@@ -1,0 +1,67 @@
+// Ablation: tile-shape sensitivity of the templated CGEMM (Section 3.1's
+// "fully templated kernel ... flexible tuning of thread block shapes").
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/workload.hpp"
+#include "gemm/cgemm.hpp"
+#include "runtime/timer.hpp"
+#include "tensor/aligned_buffer.hpp"
+#include "trace/counters.hpp"
+#include "trace/table.hpp"
+
+namespace {
+
+using namespace turbofno;
+
+template <class Cfg>
+double time_config(std::size_t M, std::size_t N, std::size_t K, std::size_t reps) {
+  AlignedBuffer<c32> A(M * K);
+  AlignedBuffer<c32> B(K * N);
+  AlignedBuffer<c32> C(M * N);
+  core::fill_random(A.span(), 1u);
+  core::fill_random(B.span(), 2u);
+  return runtime::time_best_of(reps, [&] {
+    gemm::cgemm_tiled<Cfg>(M, N, K, c32{1.0f, 0.0f}, A.data(), K, B.data(), N, c32{0.0f, 0.0f},
+                           C.data(), N);
+  });
+}
+
+template <class Cfg>
+void row(trace::TextTable& t, const char* label, std::size_t M, std::size_t N, std::size_t K,
+         std::size_t reps) {
+  const double s = time_config<Cfg>(M, N, K, reps);
+  const double gflops = static_cast<double>(trace::cgemm_flops(M, N, K)) / s * 1e-9;
+  const auto shape = gemm::shape_of<Cfg>();
+  t.add_row({label,
+             std::to_string(shape.mtb) + "x" + std::to_string(shape.ntb) + "x" +
+                 std::to_string(shape.ktb),
+             std::to_string(shape.mt) + "x" + std::to_string(shape.nt),
+             trace::TextTable::fmt(s * 1e3, 3), trace::TextTable::fmt(gflops, 1)});
+}
+
+void sweep(const char* title, std::size_t M, std::size_t N, std::size_t K, std::size_t reps) {
+  std::printf("%s (M=%zu N=%zu K=%zu):\n", title, M, N, K);
+  trace::TextTable t({"config", "block tile", "reg tile", "ms", "GFLOP/s"});
+  row<gemm::FusedTiles>(t, "fused (Table 1)", M, N, K, reps);
+  row<gemm::StandaloneTiles>(t, "standalone 64x64", M, N, K, reps);
+  row<gemm::AblTilesSmall>(t, "small 16x16", M, N, K, reps);
+  row<gemm::AblTilesWideN>(t, "wide-N 32x64", M, N, K, reps);
+  row<gemm::AblTilesTallM>(t, "tall-M 64x32", M, N, K, reps);
+  row<gemm::AblTilesDeepK>(t, "deep-K ktb=16", M, N, K, reps);
+  row<gemm::AblTilesReg2>(t, "reg tile 2x2", M, N, K, reps);
+  row<gemm::AblTilesReg8>(t, "reg tile 8x8", M, N, K, reps);
+  std::printf("%s\n", t.str().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = turbofno::bench::Options::parse(argc, argv);
+  std::printf("== Ablation: CGEMM tile shapes ==\n\n");
+  const std::size_t scale = opt.full ? 4 : 1;
+  sweep("FNO tall-and-skinny", 65536 * scale, 64, 64, opt.reps);
+  sweep("square", 512, 512, 512, opt.reps);
+  sweep("small-N (fused shape)", 65536 * scale, 32, 8, opt.reps);
+  return 0;
+}

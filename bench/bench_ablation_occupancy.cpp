@@ -1,0 +1,47 @@
+// Ablation: SM occupancy / wave quantization of the fused kernel — the
+// mechanism behind the Fig 14/19 "blue corner" (slowdowns at small batch
+// with large hidden dim).  Pure model, no timing.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "gpusim/occupancy.hpp"
+#include "trace/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace turbofno;
+  using namespace turbofno::gpusim;
+  (void)bench::Options::parse(argc, argv);
+
+  std::printf("== Ablation: fused-kernel SM occupancy on the A100 model ==\n\n");
+
+  const SmLimits sm;
+  {
+    trace::TextTable t({"modes", "fft n", "smem/block", "blocks/SM", "occupancy", "limiter"});
+    for (const std::size_t modes : {std::size_t{64}, std::size_t{128}}) {
+      for (const std::size_t n : {std::size_t{128}, std::size_t{256}}) {
+        const auto block = fused_kernel_block(modes, n);
+        const auto o = occupancy_of(sm, block);
+        t.add_row({std::to_string(modes), std::to_string(n),
+                   std::to_string(block.shared_memory_bytes / 1024) + " KiB",
+                   std::to_string(o.blocks_per_sm),
+                   trace::TextTable::fmt(100.0 * o.occupancy, 1) + "%", o.limiter});
+      }
+    }
+    std::printf("static occupancy of the fused FFT-CGEMM-iFFT block:\n%s\n", t.str().c_str());
+  }
+
+  {
+    trace::TextTable t({"batch", "grid blocks", "wave efficiency"});
+    const auto block = fused_kernel_block(64, 128);
+    for (const std::size_t batch : {1u, 4u, 16u, 64u, 256u, 1024u, 4096u, 16384u}) {
+      const std::size_t grid = fused_grid_1d(batch, 128);
+      t.add_row({std::to_string(batch), std::to_string(grid),
+                 trace::TextTable::fmt(100.0 * wave_efficiency(sm, block, grid), 1) + "%"});
+    }
+    std::printf("wave efficiency vs batch (out_dim = 128, the Fig 14 corner):\n%s", t.str().c_str());
+    std::printf("\nSmall batches cannot fill %zu SMs x blocks/SM -> the heatmaps' blue\n"
+                "lower-left corner; growth restores full waves.\n",
+                sm.sm_count);
+  }
+  return 0;
+}

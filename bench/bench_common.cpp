@@ -1,0 +1,136 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "core/workload.hpp"
+#include "gpusim/pipeline_model.hpp"
+#include "runtime/timer.hpp"
+#include "trace/csv.hpp"
+#include "trace/table.hpp"
+
+namespace turbofno::bench {
+
+Options Options::parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) o.full = true;
+    if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      o.reps = static_cast<std::size_t>(std::strtoul(argv[i + 1], nullptr, 10));
+    }
+  }
+  return o;
+}
+
+const gpusim::GpuSpec& a100() {
+  static const gpusim::GpuSpec spec{};
+  return spec;
+}
+
+namespace {
+
+VariantResult measure(fused::SpectralPipeline1d* p1, fused::SpectralPipeline2d* p2,
+                      fused::Variant variant, std::span<const c32> u, std::span<const c32> w,
+                      std::span<c32> v, std::size_t reps) {
+  VariantResult r;
+  r.variant = variant;
+  r.name = std::string(fused::variant_name(variant));
+  auto body = [&] {
+    if (p1 != nullptr) {
+      p1->run(u, w, v);
+    } else {
+      p2->run(u, w, v);
+    }
+  };
+  r.seconds = runtime::time_best_of(reps, body);
+  const trace::PipelineCounters& counters = p1 != nullptr ? p1->counters() : p2->counters();
+  const auto total = counters.total();
+  r.bytes = total.bytes_total();
+  r.flops = total.flops;
+  r.launches = total.kernel_launches;
+  r.model_seconds = gpusim::predict(a100(), counters).total_seconds;
+  return r;
+}
+
+}  // namespace
+
+PointResult run_point_1d(const baseline::Spectral1dProblem& prob,
+                         const std::vector<fused::Variant>& variants, std::size_t reps) {
+  AlignedBuffer<c32> u(prob.input_elems());
+  AlignedBuffer<c32> w(prob.weight_elems());
+  AlignedBuffer<c32> v(prob.output_elems());
+  core::fill_random(u.span(), 0xbeefu + static_cast<unsigned>(prob.hidden));
+  core::fill_random(w.span(), 0xfeedu);
+
+  PointResult pr;
+  for (const auto var : variants) {
+    auto pipe = fused::make_pipeline1d(var, prob);
+    pr.variants.push_back(measure(pipe.get(), nullptr, var, u.span(), w.span(), v.span(), reps));
+  }
+  return pr;
+}
+
+PointResult run_point_2d(const baseline::Spectral2dProblem& prob,
+                         const std::vector<fused::Variant>& variants, std::size_t reps) {
+  AlignedBuffer<c32> u(prob.input_elems());
+  AlignedBuffer<c32> w(prob.weight_elems());
+  AlignedBuffer<c32> v(prob.output_elems());
+  core::fill_random(u.span(), 0xabcdu + static_cast<unsigned>(prob.hidden));
+  core::fill_random(w.span(), 0xfeedu);
+
+  PointResult pr;
+  for (const auto var : variants) {
+    auto pipe = fused::make_pipeline2d(var, prob);
+    pr.variants.push_back(measure(nullptr, pipe.get(), var, u.span(), w.span(), v.span(), reps));
+  }
+  return pr;
+}
+
+void print_figure_table(const std::string& title, const std::vector<PointResult>& points) {
+  std::printf("%s\n", title.c_str());
+  if (points.empty()) return;
+
+  std::vector<std::string> header = {"point", "PyTorch(ms)"};
+  for (std::size_t i = 1; i < points[0].variants.size(); ++i) {
+    header.push_back(points[0].variants[i].name + " cpu%");
+    header.push_back(points[0].variants[i].name + " a100%");
+  }
+  trace::TextTable table(header);
+  trace::CsvWriter csv(header);
+  for (const auto& p : points) {
+    std::vector<std::string> row = {p.label, trace::TextTable::fmt(p.variants[0].seconds * 1e3, 3)};
+    for (std::size_t i = 1; i < p.variants.size(); ++i) {
+      row.push_back(trace::TextTable::fmt(p.perf_vs_base(i), 1));
+      row.push_back(trace::TextTable::fmt(p.model_perf_vs_base(i), 1));
+    }
+    csv.add_row(row);
+    table.add_row(std::move(row));
+  }
+  std::printf("%s", table.str().c_str());
+  std::printf("(100%% = PyTorch parity; >100%% = faster than PyTorch)\n\n");
+
+  // Optional machine-readable copy: set TURBOFNO_CSV_DIR to enable.
+  const std::string dir = trace::CsvWriter::env_dir();
+  if (!dir.empty()) {
+    std::string name = title.substr(0, title.find(':'));
+    for (auto& ch : name) {
+      if (ch == ' ' || ch == '(' || ch == ')') ch = '_';
+    }
+    csv.write_to(dir, name);
+  }
+}
+
+void print_summary(const std::vector<PointResult>& points, std::size_t variant_index) {
+  if (points.empty()) return;
+  double sum = 0.0;
+  double best = 0.0;
+  for (const auto& p : points) {
+    const double s = p.perf_vs_base(variant_index);
+    sum += s;
+    best = std::max(best, s);
+  }
+  std::printf("summary: %s vs PyTorch — average %.1f%%, max %.1f%% (measured, CPU substrate)\n\n",
+              points[0].variants[variant_index].name.c_str(), sum / points.size(), best);
+}
+
+}  // namespace turbofno::bench

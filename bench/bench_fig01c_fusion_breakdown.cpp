@@ -1,0 +1,76 @@
+// Figure 1(c): the stage-time decomposition motivating TurboFNO — the
+// PyTorch pipeline's FFT / MemCopy / CGEMM / MemCopy / iFFT bars against the
+// single fused FFT-GEMM-iFFT bar, measured and A100-modeled.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/workload.hpp"
+#include "gpusim/pipeline_model.hpp"
+#include "runtime/env.hpp"
+#include "runtime/timer.hpp"
+#include "trace/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace turbofno;
+  using namespace turbofno::bench;
+  const Options opt = Options::parse(argc, argv);
+
+  baseline::Spectral1dProblem prob;
+  prob.batch = opt.full ? 4096 : 1024;
+  prob.hidden = 64;
+  prob.out_dim = 64;
+  prob.n = 256;
+  prob.modes = 64;
+
+  AlignedBuffer<c32> u(prob.input_elems());
+  AlignedBuffer<c32> w(prob.weight_elems());
+  AlignedBuffer<c32> v(prob.output_elems());
+  core::fill_random(u.span(), 1u);
+  core::fill_random(w.span(), 2u);
+
+  std::printf("== Fig 1(c): stage decomposition, BS=%zu K=%zu N=%zu modes=%zu ==\n\n",
+              prob.batch, prob.hidden, prob.n, prob.modes);
+
+  auto base = fused::make_pipeline1d(fused::Variant::PyTorch, prob);
+  auto fusedp = fused::make_pipeline1d(fused::Variant::FullyFused, prob);
+  // Warm + measure (counters carry per-stage seconds of the last run).
+  for (int i = 0; i < 2; ++i) base->run(u.span(), w.span(), v.span());
+  for (int i = 0; i < 2; ++i) fusedp->run(u.span(), w.span(), v.span());
+
+  const auto report = [&](const trace::PipelineCounters& pc) {
+    const auto pred = gpusim::predict(a100(), pc);
+    trace::TextTable t({"stage", "cpu ms", "GB moved", "a100 model ms", "bound"});
+    for (std::size_t i = 0; i < pc.stages().size(); ++i) {
+      const auto& s = pc.stages()[i];
+      const auto& m = pred.stages[i];
+      const char* bound = m.cost.bound == gpusim::Bound::Memory    ? "memory"
+                          : m.cost.bound == gpusim::Bound::Compute ? "compute"
+                                                                   : "launch";
+      t.add_row({s.name, trace::TextTable::fmt(s.seconds * 1e3, 3),
+                 trace::TextTable::fmt(static_cast<double>(s.bytes_total()) / 1e9, 3),
+                 trace::TextTable::fmt(m.cost.seconds * 1e3, 3), bound});
+    }
+    const auto total = pc.total();
+    t.add_row({"TOTAL", trace::TextTable::fmt(total.seconds * 1e3, 3),
+               trace::TextTable::fmt(static_cast<double>(total.bytes_total()) / 1e9, 3),
+               trace::TextTable::fmt(pred.total_seconds * 1e3, 3), ""});
+    std::printf("%s:\n%s\n", pc.name().c_str(), t.str().c_str());
+  };
+
+  report(base->counters());
+  report(fusedp->counters());
+
+  const auto tb = base->counters().total();
+  const auto tf = fusedp->counters().total();
+  std::printf("measured fusion speedup: %.2fx (CPU substrate)\n", tb.seconds / tf.seconds);
+  std::printf("modeled  fusion speedup: %.2fx (A100 cost model)\n",
+              gpusim::predicted_speedup(a100(), base->counters(), fusedp->counters()));
+  std::printf("global-memory traffic reduction: %.2fx (%s -> %s)\n",
+              static_cast<double>(tb.bytes_total()) / static_cast<double>(tf.bytes_total()),
+              runtime::format_bytes(static_cast<double>(tb.bytes_total())).c_str(),
+              runtime::format_bytes(static_cast<double>(tf.bytes_total())).c_str());
+  std::printf("kernel launches: %llu -> %llu\n",
+              static_cast<unsigned long long>(tb.kernel_launches),
+              static_cast<unsigned long long>(tf.kernel_launches));
+  return 0;
+}

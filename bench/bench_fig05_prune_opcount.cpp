@@ -1,0 +1,77 @@
+// Figure 5: FFT butterfly-pruning operation counts.  Reproduces the paper's
+// 4-point example exactly (3 / 6 / 8 ops at 25% / 50% / no truncation) and
+// extends the table to the kernel's real sizes.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "fft/opcount.hpp"
+#include "trace/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace turbofno;
+  using namespace turbofno::fft;
+  (void)bench::Options::parse(argc, argv);
+
+  std::printf("== Fig 5: FFT pruning op counts ==\n\n");
+
+  std::printf("Paper's 4-point example:\n");
+  trace::TextTable t4({"case", "ops", "of full", "paper"});
+  t4.add_row({"(a) keep 1/4 (25%)", std::to_string(count_pruned_ops(4, 1, 4).unit_ops),
+              trace::TextTable::fmt(100.0 * pruned_fraction(4, 1, 4), 1) + "%",
+              "3 ops = 37.5%"});
+  t4.add_row({"(b) keep 2/4 (50%)", std::to_string(count_pruned_ops(4, 2, 4).unit_ops),
+              trace::TextTable::fmt(100.0 * pruned_fraction(4, 2, 4), 1) + "%",
+              "6 ops = 75%"});
+  t4.add_row({"(c) full", std::to_string(count_full_ops(4).unit_ops), "100.0%", "8 ops"});
+  std::printf("%s\n", t4.str().c_str());
+
+  std::printf("Truncated forward FFT (output pruning):\n");
+  trace::TextTable tt({"n", "keep", "unit ops", "full ops", "retained", "flops", "full flops"});
+  for (std::size_t n : {8u, 16u, 32u, 64u, 128u, 256u, 1024u}) {
+    for (std::size_t div : {4u, 2u}) {
+      const std::size_t m = n / div;
+      const auto oc = count_pruned_ops(n, m, n);
+      const auto full = count_full_ops(n);
+      tt.add_row({std::to_string(n), std::to_string(m), std::to_string(oc.unit_ops),
+                  std::to_string(full.unit_ops),
+                  trace::TextTable::fmt(100.0 * pruned_fraction(n, m, n), 1) + "%",
+                  std::to_string(oc.flops()), std::to_string(full.flops())});
+    }
+  }
+  std::printf("%s\n", tt.str().c_str());
+
+  std::printf("Zero-padded inverse FFT (input pruning):\n");
+  trace::TextTable tz({"n", "nonzero", "unit ops", "retained", "flops saved"});
+  for (std::size_t n : {8u, 16u, 64u, 256u}) {
+    for (std::size_t div : {4u, 2u}) {
+      const std::size_t p = n / div;
+      const auto oc = count_pruned_ops(n, n, p);
+      const auto full = count_full_ops(n);
+      tz.add_row({std::to_string(n), std::to_string(p), std::to_string(oc.unit_ops),
+                  trace::TextTable::fmt(100.0 * pruned_fraction(n, n, p), 1) + "%",
+                  trace::TextTable::fmt(
+                      100.0 * (1.0 - static_cast<double>(oc.flops()) /
+                                         static_cast<double>(full.flops())),
+                      1) +
+                      "%"});
+    }
+  }
+  std::printf("%s\n", tz.str().c_str());
+
+  std::printf("Combined fwd-truncated + inv-padded layer (the paper's 25%%-67.5%% band,\n"
+              "per-thread FFT sizes):\n");
+  trace::TextTable tc({"n", "modes", "combined reduction"});
+  for (std::size_t n : {4u, 8u, 16u, 32u}) {
+    const std::size_t m = n / 4;
+    const auto fwd = count_pruned_ops(n, m, n).unit_ops;
+    const auto inv = count_pruned_ops(n, n, m).unit_ops;
+    const auto full = 2 * count_full_ops(n).unit_ops;
+    tc.add_row({std::to_string(n), std::to_string(m),
+                trace::TextTable::fmt(
+                    100.0 * (1.0 - static_cast<double>(fwd + inv) / static_cast<double>(full)),
+                    1) +
+                    "%"});
+  }
+  std::printf("%s", tc.str().c_str());
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Figure 7: shared-memory bank utilization of the FFT -> CGEMM forwarding
+// layouts, replayed on the bank-conflict simulator.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "gpusim/layouts.hpp"
+#include "trace/table.hpp"
+
+namespace {
+
+void report(const char* label, const turbofno::gpusim::AccessPattern& p, const char* paper,
+            turbofno::trace::TextTable& t) {
+  const auto audit = turbofno::gpusim::replay(p);
+  t.add_row({label, turbofno::trace::TextTable::fmt(100.0 * audit.utilization(), 2) + "%",
+             turbofno::trace::TextTable::fmt(100.0 * p.bank_coverage(), 2) + "%",
+             turbofno::trace::TextTable::fmt(audit.mean_cycles(), 2), paper});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace turbofno;
+  using namespace turbofno::gpusim;
+  (void)bench::Options::parse(argc, argv);
+
+  std::printf("== Fig 7: FFT->CGEMM shared-memory layouts (bank simulator) ==\n\n");
+  trace::TextTable t({"layout", "utilization", "bank coverage", "cycles/instr", "paper says"});
+  report("(a) VkFFT strided -> GEMM column load", fig7a_gemm_load_vkfft_layout(), "25%", t);
+  report("(a) TurboFNO consecutive -> GEMM load", fig7a_gemm_load_turbofno_layout(), "100%", t);
+  report("(b) 16-elem writeback, no swizzle", fig7b_fft16_writeback(false), "6.25% (2/32)", t);
+  report("(b) 16-elem writeback, addr += tid", fig7b_fft16_writeback(true), "100%", t);
+  report("(c) 8-elem writeback, no swizzle", fig7c_fft8_writeback(false), "(conflicting)", t);
+  report("(c) 8-elem writeback, addr += tid/2", fig7c_fft8_writeback(true), "100%", t);
+  std::printf("%s", t.str().c_str());
+  std::printf("\n32 banks x 4 bytes; each c32 element spans two banks; utilization =\n"
+              "useful bank-words / (cycles x 32); coverage = banks touched / 32.\n");
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Figure 8: shared-memory bank utilization of the CGEMM -> iFFT epilogue
+// store, with and without the tid/4 swizzle.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "gpusim/layouts.hpp"
+#include "trace/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace turbofno;
+  using namespace turbofno::gpusim;
+  (void)bench::Options::parse(argc, argv);
+
+  std::printf("== Fig 8: CGEMM->iFFT epilogue store (bank simulator) ==\n\n");
+  trace::TextTable t({"layout", "utilization", "cycles/instr", "paper says"});
+  for (const bool swizzle : {false, true}) {
+    const auto pattern = fig8_gemm_epilogue_store(swizzle);
+    const auto audit = replay(pattern);
+    t.add_row({swizzle ? "(b) offset += tid/4" : "(a) no offset",
+               trace::TextTable::fmt(100.0 * audit.utilization(), 2) + "%",
+               trace::TextTable::fmt(audit.mean_cycles(), 2), swizzle ? "100%" : "25%"});
+  }
+  std::printf("%s", t.str().c_str());
+  std::printf("\nWarp tile 32x16 complex, each thread storing a 4x4 register block; the\n"
+              "swizzle staggers column groups so 64 word-accesses land on all 32 banks\n"
+              "in the 2-cycle floor.\n");
+  return 0;
+}

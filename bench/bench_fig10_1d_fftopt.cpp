@@ -1,0 +1,13 @@
+// Figure 10: 1D FFT optimization (pruning + truncation + zero padding)
+// against the PyTorch-like baseline.  Method A of Table 2.
+#include "sweep1d.hpp"
+
+int main(int argc, char** argv) {
+  using namespace turbofno::bench;
+  using turbofno::fused::Variant;
+  const Options opt = Options::parse(argc, argv);
+  std::printf("== Fig 10: 1D FFT pruning/truncation/zero-padding (A) ==\n\n");
+  run_1d_figure(10, "FFT+GEMM+iFFT (built-in filtering, unfused)", opt,
+                {Variant::PyTorch, Variant::FftOpt});
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Figure 11: fused forward FFT + CGEMM (method B) vs PyTorch and method A.
+#include "sweep1d.hpp"
+
+int main(int argc, char** argv) {
+  using namespace turbofno::bench;
+  using turbofno::fused::Variant;
+  const Options opt = Options::parse(argc, argv);
+  std::printf("== Fig 11: 1D fused FFT-CGEMM (B) ==\n\n");
+  run_1d_figure(11, "Fused_FFT_GEMM+iFFT", opt,
+                {Variant::PyTorch, Variant::FftOpt, Variant::FusedFftGemm});
+  return 0;
+}

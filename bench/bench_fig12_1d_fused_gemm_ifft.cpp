@@ -1,0 +1,13 @@
+// Figure 12: fused CGEMM + iFFT epilogue (method C) vs PyTorch, A, B.
+#include "sweep1d.hpp"
+
+int main(int argc, char** argv) {
+  using namespace turbofno::bench;
+  using turbofno::fused::Variant;
+  const Options opt = Options::parse(argc, argv);
+  std::printf("== Fig 12: 1D fused CGEMM-iFFT (C) ==\n\n");
+  run_1d_figure(12, "FFT+Fused_GEMM_iFFT", opt,
+                {Variant::PyTorch, Variant::FftOpt, Variant::FusedFftGemm,
+                 Variant::FusedGemmIfft});
+  return 0;
+}

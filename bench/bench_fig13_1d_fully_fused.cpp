@@ -1,0 +1,14 @@
+// Figure 13: the fully fused FFT-CGEMM-iFFT kernel (method D) against
+// PyTorch and every partial-fusion stage.
+#include "sweep1d.hpp"
+
+int main(int argc, char** argv) {
+  using namespace turbofno::bench;
+  using turbofno::fused::Variant;
+  const Options opt = Options::parse(argc, argv);
+  std::printf("== Fig 13: 1D fully fused FFT-CGEMM-iFFT (D) ==\n\n");
+  run_1d_figure(13, "Fused_FFT_GEMM_iFFT", opt,
+                {Variant::PyTorch, Variant::FftOpt, Variant::FusedFftGemm,
+                 Variant::FusedGemmIfft, Variant::FullyFused});
+  return 0;
+}

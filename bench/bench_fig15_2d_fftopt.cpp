@@ -1,0 +1,12 @@
+// Figure 15: 2D FFT optimization (pruning + truncation + zero padding).
+#include "sweep2d.hpp"
+
+int main(int argc, char** argv) {
+  using namespace turbofno::bench;
+  using turbofno::fused::Variant;
+  const Options opt = Options::parse(argc, argv);
+  std::printf("== Fig 15: 2D FFT pruning/truncation/zero-padding (A) ==\n\n");
+  run_2d_figure(15, "FFT+GEMM+iFFT (built-in filtering, unfused)", opt,
+                {Variant::PyTorch, Variant::FftOpt});
+  return 0;
+}

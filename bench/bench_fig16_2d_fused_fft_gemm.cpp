@@ -1,0 +1,12 @@
+// Figure 16: 2D fused FFT-CGEMM.
+#include "sweep2d.hpp"
+
+int main(int argc, char** argv) {
+  using namespace turbofno::bench;
+  using turbofno::fused::Variant;
+  const Options opt = Options::parse(argc, argv);
+  std::printf("== Fig 16: 2D fused FFT-CGEMM (B) ==\n\n");
+  run_2d_figure(16, "Fused_FFT_GEMM+iFFT", opt,
+                {Variant::PyTorch, Variant::FftOpt, Variant::FusedFftGemm});
+  return 0;
+}

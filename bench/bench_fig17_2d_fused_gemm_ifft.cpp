@@ -1,0 +1,13 @@
+// Figure 17: 2D fused CGEMM-iFFT.
+#include "sweep2d.hpp"
+
+int main(int argc, char** argv) {
+  using namespace turbofno::bench;
+  using turbofno::fused::Variant;
+  const Options opt = Options::parse(argc, argv);
+  std::printf("== Fig 17: 2D fused CGEMM-iFFT (C) ==\n\n");
+  run_2d_figure(17, "FFT+Fused_GEMM_iFFT", opt,
+                {Variant::PyTorch, Variant::FftOpt, Variant::FusedFftGemm,
+                 Variant::FusedGemmIfft});
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Figure 18: 2D fully fused FFT-CGEMM-iFFT.
+#include "sweep2d.hpp"
+
+int main(int argc, char** argv) {
+  using namespace turbofno::bench;
+  using turbofno::fused::Variant;
+  const Options opt = Options::parse(argc, argv);
+  std::printf("== Fig 18: 2D fully fused FFT-CGEMM-iFFT (D) ==\n\n");
+  run_2d_figure(18, "Fused_FFT_GEMM_iFFT", opt,
+                {Variant::PyTorch, Variant::FftOpt, Variant::FusedFftGemm,
+                 Variant::FusedGemmIfft, Variant::FullyFused});
+  return 0;
+}

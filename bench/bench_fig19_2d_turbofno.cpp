@@ -1,0 +1,73 @@
+// Figure 19: 2D TurboFNO (best-of) vs PyTorch heatmaps over (K, batch) for
+// 256x128 and 256x256 fields with truncation to 64/128 modes.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "sweep2d.hpp"
+#include "trace/table.hpp"
+
+namespace {
+
+using namespace turbofno::bench;
+using turbofno::fused::Variant;
+
+void heatmap(const Options& opt, std::size_t nx, std::size_t ny, std::size_t modes) {
+  const std::vector<std::size_t> ks = opt.full
+                                          ? std::vector<std::size_t>{8, 24, 40, 56, 72, 88, 104, 120}
+                                          : std::vector<std::size_t>{8, 40, 88};
+  const std::vector<std::size_t> bss = opt.full ? std::vector<std::size_t>{1, 16, 32, 48, 64}
+                                                : std::vector<std::size_t>{1, 4, 8};
+
+  std::vector<std::string> rows;
+  for (const auto b : bss) rows.push_back("BS=" + std::to_string(b));
+  std::vector<std::string> cols;
+  for (const auto k : ks) cols.push_back(std::to_string(k));
+  turbofno::trace::AsciiHeatmap heat(rows, cols);
+  turbofno::trace::AsciiHeatmap heat_model(rows, cols);
+
+  double sum = 0.0;
+  double best = -1e9;
+  std::size_t count = 0;
+  for (std::size_t r = 0; r < bss.size(); ++r) {
+    for (std::size_t c = 0; c < ks.size(); ++c) {
+      const auto prob = make_2d(bss[r], ks[c], nx, ny, modes, modes);
+      const auto pr = run_point_2d(
+          prob, {Variant::PyTorch, Variant::FftOpt, Variant::FusedFftGemm,
+                 Variant::FusedGemmIfft, Variant::FullyFused},
+          opt.reps);
+      double best_pct = -1e9;
+      double best_model = -1e9;
+      for (std::size_t i = 1; i < pr.variants.size(); ++i) {
+        best_pct = std::max(best_pct, pr.perf_vs_base(i) - 100.0);
+        best_model = std::max(best_model, pr.model_perf_vs_base(i) - 100.0);
+      }
+      heat.set(r, c, best_pct);
+      heat_model.set(r, c, best_model);
+      sum += best_pct;
+      best = std::max(best, best_pct);
+      ++count;
+    }
+  }
+  std::printf("Figure 19 heatmap: %zux%zu 2D FFT, N(modes)=%zu — measured speedup vs PyTorch\n",
+              nx, ny, modes);
+  std::printf("%s\n", heat.str().c_str());
+  std::printf("Same grid, A100 cost-model prediction:\n%s\n", heat_model.str().c_str());
+  std::printf("grid summary: average %+.1f%%, max %+.1f%% vs PyTorch\n\n",
+              sum / static_cast<double>(count), best);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = Options::parse(argc, argv);
+  std::printf("== Fig 19: 2D TurboFNO (all optimizations, best-of) vs PyTorch ==\n\n");
+  heatmap(opt, 256, 128, 64);
+  if (opt.full) {
+    heatmap(opt, 256, 128, 128);
+    heatmap(opt, 256, 256, 64);
+    heatmap(opt, 256, 256, 128);
+  }
+  return 0;
+}

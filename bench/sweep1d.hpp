@@ -1,0 +1,72 @@
+// Shared sweep definitions for the 1D evaluation figures (paper Figs 10-13).
+//
+// Axes mirror the paper: subplot (a) sweeps the hidden dimension K at a
+// fixed GEMM row count M; subplots (b)-(d) sweep M at K = 32 / 64 / 128.
+// M = batch * modes (the tall-and-skinny GEMM's row dimension), so the
+// signal count is M / modes.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace turbofno::bench {
+
+inline baseline::Spectral1dProblem make_1d(std::size_t gemm_m, std::size_t k, std::size_t n,
+                                           std::size_t modes) {
+  baseline::Spectral1dProblem p;
+  p.batch = std::max<std::size_t>(1, gemm_m / modes);
+  p.hidden = k;
+  p.out_dim = k;  // paper: OutputDim comparable to HiddenDim
+  p.n = n;
+  p.modes = modes;
+  return p;
+}
+
+/// Runs the (a) + (b)-(d) sweeps of one 1D figure for a variant subset and
+/// prints the tables.  `fig` is the paper figure number for the title.
+inline void run_1d_figure(int fig, const char* what, const Options& opt,
+                          const std::vector<fused::Variant>& variants) {
+  const std::size_t n = 128;     // FFT size (paper uses 128/256-pt)
+  const std::size_t modes = 64;  // 50% truncation
+
+  // (a) sweep K at fixed M.
+  const std::size_t m_fixed = opt.full ? (1u << 20) : (1u << 16);
+  const std::vector<std::size_t> ks =
+      opt.full ? std::vector<std::size_t>{16, 24, 32, 40, 48, 56, 64, 72, 80, 88, 96,
+                                          104, 112, 120, 128, 136}
+               : std::vector<std::size_t>{16, 32, 64, 96, 128};
+  std::vector<PointResult> sweep_k;
+  for (const auto k : ks) {
+    auto pr = run_point_1d(make_1d(m_fixed, k, n, modes), variants, opt.reps);
+    pr.label = "K=" + std::to_string(k);
+    sweep_k.push_back(std::move(pr));
+  }
+  char title[160];
+  std::snprintf(title, sizeof title, "Figure %d(a): %s — sweep K, M=%zu, %zu-pt FFT, modes=%zu",
+                fig, what, m_fixed, n, modes);
+  print_figure_table(title, sweep_k);
+
+  // (b)-(d) sweep M at fixed K.
+  const std::vector<std::size_t> ms =
+      opt.full ? std::vector<std::size_t>{64, 256, 1024, 4096, 16384, 65536, 262144}
+               : std::vector<std::size_t>{256, 4096, 65536};
+  int sub = 'b';
+  for (const std::size_t k : {std::size_t{32}, std::size_t{64}, std::size_t{128}}) {
+    std::vector<PointResult> sweep_m;
+    for (const auto m : ms) {
+      auto pr = run_point_1d(make_1d(m, k, n, modes), variants, opt.reps);
+      pr.label = "M=" + std::to_string(m);
+      sweep_m.push_back(std::move(pr));
+    }
+    std::snprintf(title, sizeof title, "Figure %d(%c): %s — sweep M, K=%zu", fig, sub, what, k);
+    print_figure_table(title, sweep_m);
+    print_summary(sweep_m, sweep_m[0].variants.size() - 1);
+    ++sub;
+  }
+  print_summary(sweep_k, sweep_k[0].variants.size() - 1);
+}
+
+}  // namespace turbofno::bench

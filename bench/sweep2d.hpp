@@ -1,0 +1,75 @@
+// Shared sweep definitions for the 2D evaluation figures (paper Figs 15-18).
+//
+// Axes mirror the paper: subplot (a) sweeps the hidden dimension K at a
+// fixed batch size; (b)-(d) sweep the batch size at K = 32 / 64 / 128.
+// Fields are DimX x DimY = 256 x 128 (the paper's primary 2D shape) with
+// truncation to 64x64 modes.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace turbofno::bench {
+
+inline baseline::Spectral2dProblem make_2d(std::size_t batch, std::size_t k, std::size_t nx,
+                                           std::size_t ny, std::size_t mx, std::size_t my) {
+  baseline::Spectral2dProblem p;
+  p.batch = batch;
+  p.hidden = k;
+  p.out_dim = k;
+  p.nx = nx;
+  p.ny = ny;
+  p.modes_x = mx;
+  p.modes_y = my;
+  return p;
+}
+
+inline void run_2d_figure(int fig, const char* what, const Options& opt,
+                          const std::vector<fused::Variant>& variants) {
+  const std::size_t nx = 256;
+  const std::size_t ny = 128;
+  const std::size_t mx = 64;
+  const std::size_t my = 64;
+
+  // (a) sweep K at fixed batch size.
+  const std::size_t bs_fixed = opt.full ? 8 : 4;
+  const std::vector<std::size_t> ks =
+      opt.full ? std::vector<std::size_t>{16, 24, 32, 40, 48, 56, 64, 72, 80, 88, 96,
+                                          104, 112, 120, 128, 136}
+               : std::vector<std::size_t>{16, 32, 64, 128};
+  std::vector<PointResult> sweep_k;
+  for (const auto k : ks) {
+    auto pr = run_point_2d(make_2d(bs_fixed, k, nx, ny, mx, my), variants, opt.reps);
+    pr.label = "K=" + std::to_string(k);
+    sweep_k.push_back(std::move(pr));
+  }
+  char title[160];
+  std::snprintf(title, sizeof title,
+                "Figure %d(a): %s — sweep K, BS=%zu, %zux%zu field, modes %zux%zu", fig, what,
+                bs_fixed, nx, ny, mx, my);
+  print_figure_table(title, sweep_k);
+
+  // (b)-(d) sweep batch size at fixed K.
+  const std::vector<std::size_t> bss = opt.full
+                                           ? std::vector<std::size_t>{48, 64, 80, 96, 112, 128}
+                                           : std::vector<std::size_t>{4, 8, 16};
+  int sub = 'b';
+  for (const std::size_t k : {std::size_t{32}, std::size_t{64}, std::size_t{128}}) {
+    std::vector<PointResult> sweep_bs;
+    for (const auto bs : bss) {
+      auto pr = run_point_2d(make_2d(bs, k, nx, ny, mx, my), variants, opt.reps);
+      pr.label = "BS=" + std::to_string(bs);
+      sweep_bs.push_back(std::move(pr));
+    }
+    std::snprintf(title, sizeof title, "Figure %d(%c): %s — sweep BS, K=%zu", fig, sub, what, k);
+    print_figure_table(title, sweep_bs);
+    print_summary(sweep_bs, sweep_bs[0].variants.size() - 1);
+    ++sub;
+  }
+  print_summary(sweep_k, sweep_k[0].variants.size() - 1);
+}
+
+}  // namespace turbofno::bench

@@ -1,0 +1,63 @@
+// Burgers' equation surrogate scenario (the canonical 1D FNO benchmark):
+// drives the spectral layer with every backend on the same batch of initial
+// conditions and reports wall-clock, traffic, and the A100 model — the
+// decision a practitioner makes when picking a backend.
+//
+//   $ ./examples/burgers1d
+#include <cstdio>
+
+#include "core/api.hpp"
+#include "runtime/env.hpp"
+#include "runtime/timer.hpp"
+
+int main() {
+  using namespace turbofno;
+
+  // Problem sized like the FNO-1D Burgers benchmark: resolution 1024,
+  // 64 hidden channels, 64 retained modes.
+  baseline::Spectral1dProblem prob;
+  prob.batch = 128;
+  prob.hidden = 64;
+  prob.out_dim = 64;
+  prob.n = 1024;
+  prob.modes = 64;
+
+  CTensor u(Shape{prob.batch, prob.hidden, prob.n});
+  core::burgers_batch(u.span(), prob.batch, prob.hidden, prob.n, 7u);
+  CTensor w(Shape{prob.out_dim, prob.hidden});
+  core::init_weights(w.span(), prob.hidden, prob.out_dim, 11u);
+  CTensor v(Shape{prob.batch, prob.out_dim, prob.n});
+
+  std::printf("Burgers 1D spectral layer: batch=%zu hidden=%zu n=%zu modes=%zu\n\n", prob.batch,
+              prob.hidden, prob.n, prob.modes);
+  std::printf("%-22s %10s %14s %12s %10s\n", "backend", "cpu ms", "traffic", "launches",
+              "a100 ms");
+
+  const gpusim::GpuSpec spec;
+  double base_ms = 0.0;
+  for (const auto variant : fused::kAllVariants) {
+    auto pipe = fused::make_pipeline1d(variant, prob);
+    const double s =
+        runtime::time_best_of(3, [&] { pipe->run(u.span(), w.span(), v.span()); });
+    const auto total = pipe->counters().total();
+    const double model_ms = gpusim::predict(spec, pipe->counters()).total_seconds * 1e3;
+    if (variant == fused::Variant::PyTorch) base_ms = s * 1e3;
+    std::printf("%-22s %10.3f %14s %12llu %10.4f", std::string(pipe->name()).c_str(), s * 1e3,
+                runtime::format_bytes(static_cast<double>(total.bytes_total())).c_str(),
+                static_cast<unsigned long long>(total.kernel_launches), model_ms);
+    if (variant != fused::Variant::PyTorch) {
+      std::printf("   (%.0f%% of PyTorch time)", 100.0 * s * 1e3 / base_ms);
+    }
+    std::printf("\n");
+  }
+
+  // Sanity: the fused result must match the baseline.
+  auto base = fused::make_pipeline1d(fused::Variant::PyTorch, prob);
+  CTensor vb(Shape{prob.batch, prob.out_dim, prob.n});
+  base->run(u.span(), w.span(), vb.span());
+  auto fusedp = fused::make_pipeline1d(fused::Variant::FullyFused, prob);
+  fusedp->run(u.span(), w.span(), v.span());
+  std::printf("\nfused vs baseline relative L2 error: %.2e\nOK\n",
+              core::rel_l2_error(v.span(), vb.span()));
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Spectral Poisson solver: solves -laplacian(u) = f on a periodic 2D domain
+// with the TurboFNO FFT library (real transforms along Y, complex along X),
+// then verifies the residual.  Demonstrates that the FFT substrate is a
+// complete, reusable library — the FFT -> pointwise multiply -> iFFT motif
+// the paper's introduction cites from quantum chemistry and CFD.
+//
+//   $ ./examples/spectral_poisson
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+#include <vector>
+
+#include "core/api.hpp"
+#include "fft/real.hpp"
+
+namespace {
+
+using namespace turbofno;
+
+// Forward 2D FFT of a real field stored as c32 with zero imaginary part.
+void fft2d(const CTensor& in, CTensor& out, std::size_t nx, std::size_t ny, bool inverse) {
+  fft::Plan2dDesc d;
+  d.nx = nx;
+  d.ny = ny;
+  d.dir = inverse ? fft::Direction::Inverse : fft::Direction::Forward;
+  fft::FftPlan2d(d).execute(in.span(), out.span(), 1);
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t nx = 128;
+  const std::size_t ny = 128;
+  const double L = 2.0 * std::numbers::pi;
+
+  // Manufactured solution u* = sin(3x)cos(5y) + 0.5 sin(x+y):
+  // f = -lap(u*) = 34 sin(3x)cos(5y) + sin(x+y).
+  CTensor f(Shape{nx, ny});
+  CTensor u_exact(Shape{nx, ny});
+  for (std::size_t i = 0; i < nx; ++i) {
+    const double x = L * static_cast<double>(i) / nx;
+    for (std::size_t j = 0; j < ny; ++j) {
+      const double y = L * static_cast<double>(j) / ny;
+      u_exact.at(i, j) = {static_cast<float>(std::sin(3 * x) * std::cos(5 * y) +
+                                             0.5 * std::sin(x + y)),
+                          0.0f};
+      f.at(i, j) = {static_cast<float>(34.0 * std::sin(3 * x) * std::cos(5 * y) +
+                                       std::sin(x + y)),
+                    0.0f};
+    }
+  }
+
+  // Solve in frequency space: u_hat[kx,ky] = f_hat / (kx^2 + ky^2).
+  CTensor f_hat(Shape{nx, ny});
+  fft2d(f, f_hat, nx, ny, false);
+  auto wavenumber = [](std::size_t k, std::size_t n) -> double {
+    const auto ik = static_cast<std::ptrdiff_t>(k);
+    const auto in = static_cast<std::ptrdiff_t>(n);
+    return static_cast<double>(ik <= in / 2 ? ik : ik - in);  // signed frequency
+  };
+  for (std::size_t i = 0; i < nx; ++i) {
+    for (std::size_t j = 0; j < ny; ++j) {
+      const double kx = wavenumber(i, nx);
+      const double ky = wavenumber(j, ny);
+      const double k2 = kx * kx + ky * ky;
+      if (k2 == 0.0) {
+        f_hat.at(i, j) = c32{};  // zero-mean gauge
+      } else {
+        f_hat.at(i, j) *= static_cast<float>(1.0 / k2);
+      }
+    }
+  }
+  CTensor u(Shape{nx, ny});
+  fft2d(f_hat, u, nx, ny, true);
+
+  const double err = core::rel_l2_error(u.span(), u_exact.span());
+  std::printf("Spectral Poisson solve on %zux%zu periodic grid\n", nx, ny);
+  std::printf("  relative L2 error vs manufactured solution: %.3e\n", err);
+
+  // And the same pointwise-multiply motif through the real-transform API.
+  const std::size_t n1 = 1024;
+  std::vector<float> sig(n1);
+  for (std::size_t i = 0; i < n1; ++i) {
+    sig[i] = std::sin(2.0f * std::numbers::pi_v<float> * 7.0f * static_cast<float>(i) / n1);
+  }
+  const std::size_t modes = 16;
+  fft::RfftPlan rfwd(n1, modes);
+  fft::IrfftPlan rinv(n1, modes);
+  std::vector<c32> half(modes);
+  std::vector<float> smooth(n1);
+  rfwd.execute(sig, half, 1);
+  rinv.execute(half, smooth, 1);
+  double d = 0.0;
+  for (std::size_t i = 0; i < n1; ++i) d = std::max(d, std::abs(double(smooth[i]) - sig[i]));
+  std::printf("  rfft lowpass round trip (tone inside band): max dev %.3e\n", d);
+  std::printf("%s\n", err < 1e-4 && d < 1e-4 ? "OK" : "FAILED");
+  return err < 1e-4 && d < 1e-4 ? 0 : 1;
+}

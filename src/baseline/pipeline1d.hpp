@@ -1,0 +1,41 @@
+// The PyTorch-like 1D spectral-convolution pipeline (comparison base).
+//
+// Mirrors Figure 1(b): five separate kernels with full-size intermediates —
+// full FFT, truncate copy, batched CGEMM, pad copy, full iFFT.  No pruning,
+// no built-in filtering: exactly what cuFFT + cuBLAS + memory kernels do.
+#pragma once
+
+#include <span>
+
+#include "baseline/problem.hpp"
+#include "fft/plan.hpp"
+#include "tensor/aligned_buffer.hpp"
+#include "tensor/complex.hpp"
+#include "trace/counters.hpp"
+
+namespace turbofno::baseline {
+
+class BaselinePipeline1d {
+ public:
+  explicit BaselinePipeline1d(Spectral1dProblem prob);
+
+  /// u [batch, hidden, n] -> v [batch, out_dim, n]; w [out_dim, hidden].
+  /// Refreshes counters() on every call.
+  void run(std::span<const c32> u, std::span<const c32> w, std::span<c32> v);
+
+  [[nodiscard]] const trace::PipelineCounters& counters() const noexcept { return counters_; }
+  [[nodiscard]] const Spectral1dProblem& problem() const noexcept { return prob_; }
+
+ private:
+  Spectral1dProblem prob_;
+  fft::FftPlan fwd_full_;
+  fft::FftPlan inv_full_;
+  // Full-size intermediates: the global-memory round trips fusion removes.
+  AlignedBuffer<c32> freq_full_;   // [batch, hidden, n]
+  AlignedBuffer<c32> freq_trunc_;  // [batch, hidden, modes]
+  AlignedBuffer<c32> mixed_;       // [batch, out_dim, modes]
+  AlignedBuffer<c32> mixed_full_;  // [batch, out_dim, n]
+  trace::PipelineCounters counters_{"pytorch-1d"};
+};
+
+}  // namespace turbofno::baseline

@@ -1,0 +1,39 @@
+// The PyTorch-like 2D spectral-convolution pipeline (comparison base).
+//
+// Full 2D FFT (both passes over global memory, as cuFFT performs), truncate
+// copy of the low-frequency corner, batched CGEMM, pad copy, full 2D iFFT.
+#pragma once
+
+#include <span>
+
+#include "baseline/problem.hpp"
+#include "fft/fft2d.hpp"
+#include "tensor/aligned_buffer.hpp"
+#include "tensor/complex.hpp"
+#include "trace/counters.hpp"
+
+namespace turbofno::baseline {
+
+class BaselinePipeline2d {
+ public:
+  explicit BaselinePipeline2d(Spectral2dProblem prob);
+
+  /// u [batch, hidden, nx, ny] -> v [batch, out_dim, nx, ny];
+  /// w [out_dim, hidden].  Refreshes counters() per call.
+  void run(std::span<const c32> u, std::span<const c32> w, std::span<c32> v);
+
+  [[nodiscard]] const trace::PipelineCounters& counters() const noexcept { return counters_; }
+  [[nodiscard]] const Spectral2dProblem& problem() const noexcept { return prob_; }
+
+ private:
+  Spectral2dProblem prob_;
+  fft::FftPlan2d fwd_full_;
+  fft::FftPlan2d inv_full_;
+  AlignedBuffer<c32> freq_full_;   // [batch, hidden, nx, ny]
+  AlignedBuffer<c32> freq_trunc_;  // [batch, hidden, mx, my]
+  AlignedBuffer<c32> mixed_;       // [batch, out_dim, mx, my]
+  AlignedBuffer<c32> mixed_full_;  // [batch, out_dim, nx, ny]
+  trace::PipelineCounters counters_{"pytorch-2d"};
+};
+
+}  // namespace turbofno::baseline

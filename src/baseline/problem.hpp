@@ -1,0 +1,66 @@
+// Problem descriptors shared by the baseline and fused spectral pipelines.
+//
+// Layouts follow the paper (Figure 2):
+//   1D: input  u [Batch, HiddenDim, DimY]        (DimY contiguous)
+//       output v [Batch, OutDim,    DimY]
+//   2D: input  u [Batch, HiddenDim, DimX, DimY]  (DimY contiguous)
+//       output v [Batch, OutDim,    DimX, DimY]
+// Weights are a single complex matrix W [OutDim, HiddenDim] (row-major),
+// applied at every retained frequency — the paper folds canonical FNO's
+// per-mode weights into one tall-and-skinny CGEMM (Section 3.1).
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+
+namespace turbofno::baseline {
+
+struct Spectral1dProblem {
+  std::size_t batch = 0;    // number of signals (paper's BS)
+  std::size_t hidden = 0;   // K
+  std::size_t out_dim = 0;  // OutputDim
+  std::size_t n = 0;        // DimY, FFT length (power of two)
+  std::size_t modes = 0;    // retained low-frequency bins (truncation)
+
+  [[nodiscard]] std::size_t input_elems() const noexcept { return batch * hidden * n; }
+  [[nodiscard]] std::size_t output_elems() const noexcept { return batch * out_dim * n; }
+  [[nodiscard]] std::size_t weight_elems() const noexcept { return out_dim * hidden; }
+  /// Rows of the logical tall-and-skinny GEMM (paper's M).
+  [[nodiscard]] std::size_t gemm_m() const noexcept { return batch * modes; }
+
+  void validate() const {
+    if (batch == 0 || hidden == 0 || out_dim == 0) {
+      throw std::invalid_argument("Spectral1dProblem: empty dimension");
+    }
+    if (n < 2 || (n & (n - 1)) != 0) throw std::invalid_argument("Spectral1dProblem: n not pow2");
+    if (modes == 0 || modes > n) throw std::invalid_argument("Spectral1dProblem: bad modes");
+  }
+};
+
+struct Spectral2dProblem {
+  std::size_t batch = 0;
+  std::size_t hidden = 0;
+  std::size_t out_dim = 0;
+  std::size_t nx = 0;       // DimX
+  std::size_t ny = 0;       // DimY
+  std::size_t modes_x = 0;  // dimX kept after truncation
+  std::size_t modes_y = 0;  // dimY kept
+
+  [[nodiscard]] std::size_t input_elems() const noexcept { return batch * hidden * nx * ny; }
+  [[nodiscard]] std::size_t output_elems() const noexcept { return batch * out_dim * nx * ny; }
+  [[nodiscard]] std::size_t weight_elems() const noexcept { return out_dim * hidden; }
+
+  void validate() const {
+    if (batch == 0 || hidden == 0 || out_dim == 0) {
+      throw std::invalid_argument("Spectral2dProblem: empty dimension");
+    }
+    if (nx < 2 || (nx & (nx - 1)) != 0 || ny < 2 || (ny & (ny - 1)) != 0) {
+      throw std::invalid_argument("Spectral2dProblem: dims not pow2");
+    }
+    if (modes_x == 0 || modes_x > nx || modes_y == 0 || modes_y > ny) {
+      throw std::invalid_argument("Spectral2dProblem: bad modes");
+    }
+  }
+};
+
+}  // namespace turbofno::baseline

@@ -1,0 +1,29 @@
+// TurboFNO public API — single include for downstream users.
+//
+//   #include "core/api.hpp"
+//
+//   turbofno::core::Fno1dConfig cfg;
+//   turbofno::core::Fno1d model(cfg, /*batch=*/16);
+//   model.forward(input, output);
+//
+// Layers, pipelines, FFT plans, and the GEMM are also usable directly; see
+// the per-module headers pulled in below.
+#pragma once
+
+#include "baseline/pipeline1d.hpp"    // IWYU pragma: export
+#include "baseline/pipeline2d.hpp"    // IWYU pragma: export
+#include "baseline/problem.hpp"       // IWYU pragma: export
+#include "core/config.hpp"            // IWYU pragma: export
+#include "core/fno.hpp"               // IWYU pragma: export
+#include "core/spectral_conv.hpp"     // IWYU pragma: export
+#include "core/workload.hpp"          // IWYU pragma: export
+#include "fft/fft2d.hpp"              // IWYU pragma: export
+#include "fft/plan.hpp"               // IWYU pragma: export
+#include "fused/ladder.hpp"           // IWYU pragma: export
+#include "gemm/cgemm.hpp"             // IWYU pragma: export
+#include "gpusim/cost_model.hpp"      // IWYU pragma: export
+#include "gpusim/layouts.hpp"         // IWYU pragma: export
+#include "gpusim/pipeline_model.hpp"  // IWYU pragma: export
+#include "tensor/tensor.hpp"          // IWYU pragma: export
+#include "trace/counters.hpp"         // IWYU pragma: export
+#include "trace/table.hpp"            // IWYU pragma: export

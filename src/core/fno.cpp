@@ -1,0 +1,132 @@
+#include "core/fno.hpp"
+
+#include "runtime/parallel.hpp"
+
+namespace turbofno::core {
+
+PointwiseLinear::PointwiseLinear(std::size_t in_ch, std::size_t out_ch, unsigned seed)
+    : in_(in_ch), out_(out_ch), w_(in_ch * out_ch) {
+  init_weights(w_.span(), in_ch, out_ch, seed);
+}
+
+void PointwiseLinear::forward(std::span<const c32> u, std::span<c32> v, std::size_t batch,
+                              std::size_t spatial) const {
+  runtime::parallel_for(0, batch, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t b = lo; b < hi; ++b) {
+      const c32* ub = u.data() + b * in_ * spatial;
+      c32* vb = v.data() + b * out_ * spatial;
+      for (std::size_t o = 0; o < out_; ++o) {
+        c32* vrow = vb + o * spatial;
+        for (std::size_t s = 0; s < spatial; ++s) vrow[s] = c32{};
+        for (std::size_t k = 0; k < in_; ++k) {
+          const c32 w = w_[o * in_ + k];
+          const c32* urow = ub + k * spatial;
+          for (std::size_t s = 0; s < spatial; ++s) {
+            cmadd(vrow[s], w, urow[s]);
+          }
+        }
+      }
+    }
+  });
+}
+
+void relu_inplace(std::span<c32> x) {
+  runtime::parallel_for(0, x.size(), 1 << 16, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      x[i].re = x[i].re > 0.0f ? x[i].re : 0.0f;
+      x[i].im = x[i].im > 0.0f ? x[i].im : 0.0f;
+    }
+  });
+}
+
+// ----------------------------------------------------------------- Fno1d
+
+Fno1d::Fno1d(const Fno1dConfig& cfg, std::size_t batch)
+    : cfg_(cfg),
+      batch_(batch),
+      lift_(cfg.in_channels, cfg.hidden, cfg.seed),
+      project_(cfg.hidden, cfg.out_channels, cfg.seed + 1000003u) {
+  spectral_.reserve(cfg_.layers);
+  residual_.reserve(cfg_.layers);
+  for (std::size_t l = 0; l < cfg_.layers; ++l) {
+    spectral_.emplace_back(batch_, cfg_.hidden, cfg_.hidden, cfg_.n, cfg_.modes, cfg_.backend,
+                           cfg_.scheme, cfg_.seed + static_cast<unsigned>(l) * 7919u);
+    residual_.emplace_back(cfg_.hidden, cfg_.hidden, cfg_.seed + 31u + static_cast<unsigned>(l));
+  }
+  const std::size_t hid = batch_ * cfg_.hidden * cfg_.n;
+  h0_.resize(hid);
+  h1_.resize(hid);
+  hres_.resize(hid);
+}
+
+void Fno1d::forward(std::span<const c32> u, std::span<c32> v) {
+  const std::size_t spatial = cfg_.n;
+  lift_.forward(u, h0_.span(), batch_, spatial);
+  for (std::size_t l = 0; l < cfg_.layers; ++l) {
+    spectral_[l].forward(h0_.span(), h1_.span());
+    residual_[l].forward(h0_.span(), hres_.span(), batch_, spatial);
+    // h0 <- act(spectral + residual); last layer skips the activation.
+    auto* a = h1_.data();
+    const auto* r = hres_.data();
+    auto* dst = h0_.data();
+    const bool last = (l + 1 == cfg_.layers);
+    runtime::parallel_for(0, h0_.size(), 1 << 16, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        c32 s = a[i] + r[i];
+        if (!last) {
+          s.re = s.re > 0.0f ? s.re : 0.0f;
+          s.im = s.im > 0.0f ? s.im : 0.0f;
+        }
+        dst[i] = s;
+      }
+    });
+  }
+  project_.forward(h0_.span(), v, batch_, spatial);
+}
+
+// ----------------------------------------------------------------- Fno2d
+
+Fno2d::Fno2d(const Fno2dConfig& cfg, std::size_t batch)
+    : cfg_(cfg),
+      batch_(batch),
+      lift_(cfg.in_channels, cfg.hidden, cfg.seed),
+      project_(cfg.hidden, cfg.out_channels, cfg.seed + 1000003u) {
+  spectral_.reserve(cfg_.layers);
+  residual_.reserve(cfg_.layers);
+  for (std::size_t l = 0; l < cfg_.layers; ++l) {
+    spectral_.emplace_back(batch_, cfg_.hidden, cfg_.hidden, cfg_.nx, cfg_.ny, cfg_.modes_x,
+                           cfg_.modes_y, cfg_.backend, cfg_.scheme,
+                           cfg_.seed + static_cast<unsigned>(l) * 7919u);
+    residual_.emplace_back(cfg_.hidden, cfg_.hidden, cfg_.seed + 31u + static_cast<unsigned>(l));
+  }
+  const std::size_t hid = batch_ * cfg_.hidden * cfg_.nx * cfg_.ny;
+  h0_.resize(hid);
+  h1_.resize(hid);
+  hres_.resize(hid);
+}
+
+void Fno2d::forward(std::span<const c32> u, std::span<c32> v) {
+  const std::size_t spatial = cfg_.nx * cfg_.ny;
+  lift_.forward(u, h0_.span(), batch_, spatial);
+  for (std::size_t l = 0; l < cfg_.layers; ++l) {
+    spectral_[l].forward(h0_.span(), h1_.span());
+    residual_[l].forward(h0_.span(), hres_.span(), batch_, spatial);
+    auto* a = h1_.data();
+    const auto* r = hres_.data();
+    auto* dst = h0_.data();
+    const bool last = (l + 1 == cfg_.layers);
+    runtime::parallel_for(0, h0_.size(), 1 << 16, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        c32 s = a[i] + r[i];
+        if (!last) {
+          s.re = s.re > 0.0f ? s.re : 0.0f;
+          s.im = s.im > 0.0f ? s.im : 0.0f;
+        }
+        dst[i] = s;
+      }
+    });
+  }
+  project_.forward(h0_.span(), v, batch_, spatial);
+}
+
+}  // namespace turbofno::core

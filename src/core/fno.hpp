@@ -1,0 +1,94 @@
+// Full Fourier Neural Operator models (inference).
+//
+// Architecture per Li et al. / the paper's Figure 1(a):
+//   lifting (pointwise complex linear in_ch -> hidden)
+//   L x [ SpectralConv + pointwise residual path, activation ]
+//   projection (pointwise hidden -> out_ch)
+//
+// One deviation from canonical FNO is inherited from the paper: spectra are
+// truncated to the first `modes` bins of a C2C transform (no conjugate-
+// symmetric half), so intermediate fields are genuinely complex; the
+// activation acts on real and imaginary parts independently.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/spectral_conv.hpp"
+#include "tensor/aligned_buffer.hpp"
+#include "tensor/complex.hpp"
+
+namespace turbofno::core {
+
+/// Pointwise (1x1) complex channel mixing: v[b,o,s] = sum_k W[o,k] u[b,k,s].
+class PointwiseLinear {
+ public:
+  PointwiseLinear(std::size_t in_ch, std::size_t out_ch, unsigned seed);
+
+  /// u [batch, in_ch, spatial] -> v [batch, out_ch, spatial].
+  void forward(std::span<const c32> u, std::span<c32> v, std::size_t batch,
+               std::size_t spatial) const;
+
+  [[nodiscard]] std::span<c32> weights() noexcept { return w_.span(); }
+  [[nodiscard]] std::size_t in_channels() const noexcept { return in_; }
+  [[nodiscard]] std::size_t out_channels() const noexcept { return out_; }
+
+ private:
+  std::size_t in_;
+  std::size_t out_;
+  AlignedBuffer<c32> w_;  // [out, in]
+};
+
+/// Component-wise ReLU (acts on re and im independently).
+void relu_inplace(std::span<c32> x);
+
+class Fno1d {
+ public:
+  /// `batch` is fixed at construction (pipelines pre-plan their workspaces).
+  Fno1d(const Fno1dConfig& cfg, std::size_t batch);
+
+  /// u [batch, in_channels, n] -> v [batch, out_channels, n].
+  void forward(std::span<const c32> u, std::span<c32> v);
+
+  [[nodiscard]] const Fno1dConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] std::size_t batch() const noexcept { return batch_; }
+  [[nodiscard]] std::vector<SpectralConv1d>& spectral_layers() noexcept { return spectral_; }
+
+ private:
+  Fno1dConfig cfg_;
+  std::size_t batch_;
+  PointwiseLinear lift_;
+  std::vector<SpectralConv1d> spectral_;
+  std::vector<PointwiseLinear> residual_;
+  PointwiseLinear project_;
+  AlignedBuffer<c32> h0_;
+  AlignedBuffer<c32> h1_;
+  AlignedBuffer<c32> hres_;
+};
+
+class Fno2d {
+ public:
+  Fno2d(const Fno2dConfig& cfg, std::size_t batch);
+
+  /// u [batch, in_channels, nx, ny] -> v [batch, out_channels, nx, ny].
+  void forward(std::span<const c32> u, std::span<c32> v);
+
+  [[nodiscard]] const Fno2dConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] std::size_t batch() const noexcept { return batch_; }
+  [[nodiscard]] std::vector<SpectralConv2d>& spectral_layers() noexcept { return spectral_; }
+
+ private:
+  Fno2dConfig cfg_;
+  std::size_t batch_;
+  PointwiseLinear lift_;
+  std::vector<SpectralConv2d> spectral_;
+  std::vector<PointwiseLinear> residual_;
+  PointwiseLinear project_;
+  AlignedBuffer<c32> h0_;
+  AlignedBuffer<c32> h1_;
+  AlignedBuffer<c32> hres_;
+};
+
+}  // namespace turbofno::core

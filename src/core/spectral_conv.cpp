@@ -1,0 +1,137 @@
+#include "core/spectral_conv.hpp"
+
+#include <cmath>
+
+#include "fft/plan_cache.hpp"
+#include "runtime/parallel.hpp"
+#include "runtime/timer.hpp"
+
+namespace turbofno::core {
+
+void init_weights(std::span<c32> w, std::size_t fan_in, std::size_t fan_out, unsigned seed) {
+  std::mt19937 rng(seed);
+  const float bound = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  std::uniform_real_distribution<float> dist(-bound, bound);
+  for (auto& x : w) x = {dist(rng), dist(rng)};
+}
+
+// ------------------------------------------------------------ SpectralConv1d
+
+SpectralConv1d::SpectralConv1d(std::size_t batch, std::size_t hidden, std::size_t out_dim,
+                               std::size_t n, std::size_t modes, Backend backend,
+                               WeightScheme scheme, unsigned seed)
+    : scheme_(scheme) {
+  prob_.batch = batch;
+  prob_.hidden = hidden;
+  prob_.out_dim = out_dim;
+  prob_.n = n;
+  prob_.modes = modes;
+  prob_.validate();
+
+  if (scheme_ == WeightScheme::Shared) {
+    weights_.resize(out_dim * hidden);
+    pipeline_ = fused::make_pipeline1d(backend, prob_);
+  } else {
+    weights_.resize(modes * out_dim * hidden);
+    freq_.resize(batch * hidden * modes);
+    mixed_.resize(batch * out_dim * modes);
+  }
+  init_weights(weights_.span(), hidden, out_dim, seed);
+}
+
+SpectralConv1d::~SpectralConv1d() = default;
+SpectralConv1d::SpectralConv1d(SpectralConv1d&&) noexcept = default;
+SpectralConv1d& SpectralConv1d::operator=(SpectralConv1d&&) noexcept = default;
+
+void SpectralConv1d::forward(std::span<const c32> u, std::span<c32> v) {
+  if (scheme_ == WeightScheme::Shared) {
+    pipeline_->run(u, weights_.span(), v);
+  } else {
+    forward_per_mode(u, v);
+  }
+}
+
+const trace::PipelineCounters& SpectralConv1d::counters() const {
+  return scheme_ == WeightScheme::Shared ? pipeline_->counters() : permode_counters_;
+}
+
+void SpectralConv1d::forward_per_mode(std::span<const c32> u, std::span<c32> v) {
+  const std::size_t B = prob_.batch;
+  const std::size_t K = prob_.hidden;
+  const std::size_t O = prob_.out_dim;
+  const std::size_t N = prob_.n;
+  const std::size_t M = prob_.modes;
+  permode_counters_.clear();
+
+  fft::PlanDesc fd;
+  fd.n = N;
+  fd.keep = M;
+  const fft::FftPlan& fwd = fft::cached_plan(fd);
+  fft::PlanDesc id;
+  id.n = N;
+  id.dir = fft::Direction::Inverse;
+  id.nonzero = M;
+  const fft::FftPlan& inv = fft::cached_plan(id);
+
+  runtime::Timer t;
+  fwd.execute(u, freq_.span(), B * K);
+  // Per-mode mixing: for each frequency f, an independent O x K matrix.
+  runtime::parallel_for(0, B * M, 64, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const std::size_t b = i / M;
+      const std::size_t f = i % M;
+      const c32* wf = weights_.data() + f * O * K;
+      for (std::size_t o = 0; o < O; ++o) {
+        c32 acc{};
+        for (std::size_t k = 0; k < K; ++k) {
+          cmadd(acc, wf[o * K + k], freq_[(b * K + k) * M + f]);
+        }
+        mixed_[(b * O + o) * M + f] = acc;
+      }
+    }
+  });
+  inv.execute(mixed_.span(), v, B * O);
+
+  auto& sc = permode_counters_.stage("per-mode-spectral-conv");
+  sc.seconds = t.seconds();
+  sc.bytes_read = (B * K * N + M * O * K + B * O * M) * sizeof(c32);
+  sc.bytes_written = (B * K * M + B * O * M + B * O * N) * sizeof(c32);
+  sc.flops = B * K * fwd.flops_per_signal() + trace::cgemm_flops(B * M, O, K) +
+             B * O * inv.flops_per_signal();
+  sc.kernel_launches = 3;
+}
+
+// ------------------------------------------------------------ SpectralConv2d
+
+SpectralConv2d::SpectralConv2d(std::size_t batch, std::size_t hidden, std::size_t out_dim,
+                               std::size_t nx, std::size_t ny, std::size_t modes_x,
+                               std::size_t modes_y, Backend backend, WeightScheme scheme,
+                               unsigned seed)
+    : scheme_(scheme) {
+  prob_.batch = batch;
+  prob_.hidden = hidden;
+  prob_.out_dim = out_dim;
+  prob_.nx = nx;
+  prob_.ny = ny;
+  prob_.modes_x = modes_x;
+  prob_.modes_y = modes_y;
+  prob_.validate();
+  if (scheme_ != WeightScheme::Shared) {
+    throw std::invalid_argument("SpectralConv2d: PerMode scheme is 1D-only in this release");
+  }
+  weights_.resize(out_dim * hidden);
+  pipeline_ = fused::make_pipeline2d(backend, prob_);
+  init_weights(weights_.span(), hidden, out_dim, seed);
+}
+
+SpectralConv2d::~SpectralConv2d() = default;
+SpectralConv2d::SpectralConv2d(SpectralConv2d&&) noexcept = default;
+SpectralConv2d& SpectralConv2d::operator=(SpectralConv2d&&) noexcept = default;
+
+void SpectralConv2d::forward(std::span<const c32> u, std::span<c32> v) {
+  pipeline_->run(u, weights_.span(), v);
+}
+
+const trace::PipelineCounters& SpectralConv2d::counters() const { return pipeline_->counters(); }
+
+}  // namespace turbofno::core

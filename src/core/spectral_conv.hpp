@@ -1,0 +1,82 @@
+// Spectral convolution layers — the FNO building block the whole paper
+// optimizes (Figure 1(a), steps 1-5).
+//
+// forward(): v = iFFT( pad( W x trunc( FFT(u) ) ) ), with W applied along
+// the hidden dimension.  The backend selects which pipeline executes it;
+// all backends are bit-compatible up to float rounding (tests assert this).
+#pragma once
+
+#include <memory>
+#include <random>
+#include <span>
+
+#include "baseline/problem.hpp"
+#include "core/config.hpp"
+#include "tensor/aligned_buffer.hpp"
+#include "tensor/complex.hpp"
+#include "trace/counters.hpp"
+
+namespace turbofno::core {
+
+class SpectralConv1d {
+ public:
+  /// hidden -> out_dim mixing over `modes` of `n` frequencies for signals of
+  /// a fixed batch size.  Weights are initialized Glorot-style from `seed`.
+  SpectralConv1d(std::size_t batch, std::size_t hidden, std::size_t out_dim, std::size_t n,
+                 std::size_t modes, Backend backend, WeightScheme scheme = WeightScheme::Shared,
+                 unsigned seed = 1u);
+  ~SpectralConv1d();
+  SpectralConv1d(SpectralConv1d&&) noexcept;
+  SpectralConv1d& operator=(SpectralConv1d&&) noexcept;
+
+  /// u [batch, hidden, n] -> v [batch, out_dim, n].
+  void forward(std::span<const c32> u, std::span<c32> v);
+
+  [[nodiscard]] std::span<c32> weights() noexcept { return weights_.span(); }
+  [[nodiscard]] std::span<const c32> weights() const noexcept { return weights_.span(); }
+  [[nodiscard]] const baseline::Spectral1dProblem& problem() const noexcept { return prob_; }
+  [[nodiscard]] const trace::PipelineCounters& counters() const;
+  [[nodiscard]] WeightScheme scheme() const noexcept { return scheme_; }
+
+ private:
+  void forward_per_mode(std::span<const c32> u, std::span<c32> v);
+
+  baseline::Spectral1dProblem prob_;
+  WeightScheme scheme_;
+  // Shared: [out, hidden].  PerMode: [modes, out, hidden].
+  AlignedBuffer<c32> weights_;
+  std::unique_ptr<fused::SpectralPipeline1d> pipeline_;
+  // PerMode path state.
+  AlignedBuffer<c32> freq_;
+  AlignedBuffer<c32> mixed_;
+  trace::PipelineCounters permode_counters_{"per-mode-1d"};
+};
+
+class SpectralConv2d {
+ public:
+  SpectralConv2d(std::size_t batch, std::size_t hidden, std::size_t out_dim, std::size_t nx,
+                 std::size_t ny, std::size_t modes_x, std::size_t modes_y, Backend backend,
+                 WeightScheme scheme = WeightScheme::Shared, unsigned seed = 1u);
+  ~SpectralConv2d();
+  SpectralConv2d(SpectralConv2d&&) noexcept;
+  SpectralConv2d& operator=(SpectralConv2d&&) noexcept;
+
+  /// u [batch, hidden, nx, ny] -> v [batch, out_dim, nx, ny].
+  void forward(std::span<const c32> u, std::span<c32> v);
+
+  [[nodiscard]] std::span<c32> weights() noexcept { return weights_.span(); }
+  [[nodiscard]] std::span<const c32> weights() const noexcept { return weights_.span(); }
+  [[nodiscard]] const baseline::Spectral2dProblem& problem() const noexcept { return prob_; }
+  [[nodiscard]] const trace::PipelineCounters& counters() const;
+
+ private:
+  baseline::Spectral2dProblem prob_;
+  WeightScheme scheme_;
+  AlignedBuffer<c32> weights_;
+  std::unique_ptr<fused::SpectralPipeline2d> pipeline_;
+};
+
+/// Glorot-uniform complex init used by every layer (deterministic).
+void init_weights(std::span<c32> w, std::size_t fan_in, std::size_t fan_out, unsigned seed);
+
+}  // namespace turbofno::core

@@ -1,0 +1,147 @@
+#include "core/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <random>
+
+namespace turbofno::core {
+
+void fill_random(std::span<c32> x, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  for (auto& v : x) v = {dist(rng), dist(rng)};
+}
+
+void burgers_initial_condition(std::span<c32> x, std::size_t n, unsigned seed,
+                               std::size_t harmonics) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> amp(-1.0f, 1.0f);
+  std::uniform_real_distribution<float> phase(0.0f, 2.0f * std::numbers::pi_v<float>);
+  std::vector<float> a(harmonics);
+  std::vector<float> ph(harmonics);
+  for (std::size_t h = 0; h < harmonics; ++h) {
+    a[h] = amp(rng) / static_cast<float>(h + 1);  // red spectrum
+    ph[h] = phase(rng);
+  }
+  for (std::size_t i = 0; i < n && i < x.size(); ++i) {
+    float s = 0.0f;
+    const float t = 2.0f * std::numbers::pi_v<float> * static_cast<float>(i) /
+                    static_cast<float>(n);
+    for (std::size_t h = 0; h < harmonics; ++h) {
+      s += a[h] * std::sin(static_cast<float>(h + 1) * t + ph[h]);
+    }
+    x[i] = {s, 0.0f};
+  }
+}
+
+void burgers_batch(std::span<c32> x, std::size_t batch, std::size_t channels, std::size_t n,
+                   unsigned seed) {
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t c = 0; c < channels; ++c) {
+      burgers_initial_condition(x.subspan((b * channels + c) * n, n), n,
+                                seed + static_cast<unsigned>(b * channels + c) * 2654435761u);
+    }
+  }
+}
+
+void darcy_coefficient_field(std::span<c32> x, std::size_t nx, std::size_t ny, unsigned seed) {
+  // Smooth random field from a few 2D harmonics, thresholded into a
+  // two-phase medium (the classic Darcy benchmark coefficient).
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> amp(-1.0f, 1.0f);
+  constexpr std::size_t kH = 4;
+  float a[kH][kH];
+  float px[kH][kH];
+  float py[kH][kH];
+  std::uniform_real_distribution<float> phase(0.0f, 2.0f * std::numbers::pi_v<float>);
+  for (std::size_t i = 0; i < kH; ++i) {
+    for (std::size_t j = 0; j < kH; ++j) {
+      a[i][j] = amp(rng) / static_cast<float>((i + 1) * (j + 1));
+      px[i][j] = phase(rng);
+      py[i][j] = phase(rng);
+    }
+  }
+  for (std::size_t ix = 0; ix < nx; ++ix) {
+    const float tx = 2.0f * std::numbers::pi_v<float> * static_cast<float>(ix) /
+                     static_cast<float>(nx);
+    for (std::size_t iy = 0; iy < ny; ++iy) {
+      const float ty = 2.0f * std::numbers::pi_v<float> * static_cast<float>(iy) /
+                       static_cast<float>(ny);
+      float s = 0.0f;
+      for (std::size_t i = 0; i < kH; ++i) {
+        for (std::size_t j = 0; j < kH; ++j) {
+          s += a[i][j] * std::sin(static_cast<float>(i + 1) * tx + px[i][j]) *
+               std::sin(static_cast<float>(j + 1) * ty + py[i][j]);
+        }
+      }
+      // Two-phase medium: high/low permeability.
+      x[ix * ny + iy] = {s > 0.0f ? 12.0f : 3.0f, 0.0f};
+    }
+  }
+}
+
+void darcy_batch(std::span<c32> x, std::size_t batch, std::size_t channels, std::size_t nx,
+                 std::size_t ny, unsigned seed) {
+  const std::size_t field = nx * ny;
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t c = 0; c < channels; ++c) {
+      darcy_coefficient_field(x.subspan((b * channels + c) * field, field), nx, ny,
+                              seed + static_cast<unsigned>(b * channels + c) * 2654435761u);
+    }
+  }
+}
+
+void vorticity_field(std::span<c32> x, std::size_t nx, std::size_t ny, unsigned seed,
+                     std::size_t harmonics) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> amp(-1.0f, 1.0f);
+  std::uniform_real_distribution<float> phase(0.0f, 2.0f * std::numbers::pi_v<float>);
+  std::vector<float> a(harmonics * harmonics);
+  std::vector<float> ph(harmonics * harmonics);
+  for (auto& v : a) v = amp(rng);
+  for (auto& v : ph) v = phase(rng);
+  for (std::size_t ix = 0; ix < nx; ++ix) {
+    const float tx = 2.0f * std::numbers::pi_v<float> * static_cast<float>(ix) /
+                     static_cast<float>(nx);
+    for (std::size_t iy = 0; iy < ny; ++iy) {
+      const float ty = 2.0f * std::numbers::pi_v<float> * static_cast<float>(iy) /
+                       static_cast<float>(ny);
+      float s = 0.0f;
+      for (std::size_t i = 0; i < harmonics; ++i) {
+        for (std::size_t j = 0; j < harmonics; ++j) {
+          const float k2 = static_cast<float>((i + 1) * (i + 1) + (j + 1) * (j + 1));
+          s += a[i * harmonics + j] / k2 *
+               std::cos(static_cast<float>(i + 1) * tx + static_cast<float>(j + 1) * ty +
+                        ph[i * harmonics + j]);
+        }
+      }
+      x[ix * ny + iy] = {s, 0.0f};
+    }
+  }
+}
+
+double rel_l2_error(std::span<const c32> a, std::span<const c32> b) {
+  double num = 0.0;
+  double den = 0.0;
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dr = static_cast<double>(a[i].re) - static_cast<double>(b[i].re);
+    const double di = static_cast<double>(a[i].im) - static_cast<double>(b[i].im);
+    num += dr * dr + di * di;
+    den += static_cast<double>(b[i].re) * b[i].re + static_cast<double>(b[i].im) * b[i].im;
+  }
+  return den > 0.0 ? std::sqrt(num / den) : std::sqrt(num);
+}
+
+double max_abs_error(std::span<const c32> a, std::span<const c32> b) {
+  double m = 0.0;
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    m = std::max(m, static_cast<double>(std::abs(a[i].re - b[i].re)));
+    m = std::max(m, static_cast<double>(std::abs(a[i].im - b[i].im)));
+  }
+  return m;
+}
+
+}  // namespace turbofno::core

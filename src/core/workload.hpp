@@ -1,0 +1,47 @@
+// Synthetic workload generators for benches, tests, and examples.
+//
+// All generators are deterministic (seeded) and produce band-limited
+// "PDE-like" fields: superpositions of low-frequency harmonics plus mild
+// noise, the function class FNO papers evaluate on (Burgers, Darcy,
+// Navier-Stokes initial conditions).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "tensor/complex.hpp"
+
+namespace turbofno::core {
+
+/// Uniform random complex values in [-1, 1]^2 (kernel stress inputs).
+void fill_random(std::span<c32> x, unsigned seed);
+
+/// Band-limited smooth 1D field: sum of `harmonics` random sines of
+/// wavelength >= n/harmonics.  Imaginary part zero (physical field).
+void burgers_initial_condition(std::span<c32> x, std::size_t n, unsigned seed,
+                               std::size_t harmonics = 8);
+
+/// Batched channel version: fields [batch, channels, n].
+void burgers_batch(std::span<c32> x, std::size_t batch, std::size_t channels, std::size_t n,
+                   unsigned seed);
+
+/// 2D log-normal-ish permeability field (Darcy-flow style): smooth random
+/// field thresholded into two phases.  Field [nx, ny], imaginary zero.
+void darcy_coefficient_field(std::span<c32> x, std::size_t nx, std::size_t ny, unsigned seed);
+
+/// Batched version: [batch, channels, nx, ny].
+void darcy_batch(std::span<c32> x, std::size_t batch, std::size_t channels, std::size_t nx,
+                 std::size_t ny, unsigned seed);
+
+/// 2D vorticity-like field for Navier-Stokes scenarios: band-limited
+/// superposition of 2D harmonics with random phases.
+void vorticity_field(std::span<c32> x, std::size_t nx, std::size_t ny, unsigned seed,
+                     std::size_t harmonics = 6);
+
+/// Relative L2 error ||a - b|| / ||b|| over complex spans.
+double rel_l2_error(std::span<const c32> a, std::span<const c32> b);
+
+/// Max absolute component difference.
+double max_abs_error(std::span<const c32> a, std::span<const c32> b);
+
+}  // namespace turbofno::core

@@ -1,0 +1,48 @@
+// In-place decimation-in-frequency FFT kernel with branch pruning.
+//
+// This is the paper's Section 3.3 engine.  Two prunings compose:
+//
+//  * Output truncation (forward FFT in FNO keeps only the first `m` of `n`
+//    frequency bins): the DIF recursion needs ceil(need/2) outputs of the
+//    even-bin half and floor(need/2) of the odd-bin half; a branch whose
+//    needed count reaches zero is skipped with its whole subtree, exactly
+//    reproducing Figure 5's op counts (4-pt FFT: 3 ops at 25%, 6 at 50%,
+//    8 unpruned).
+//
+//  * Input zero padding (inverse FFT in FNO reads an `p`-bin spectrum padded
+//    to `n`): while the nonzero prefix z = min(p, L) fits in the lower half
+//    of a length-L block, the butterfly degenerates — the even output is a
+//    copy and the odd output a single twiddle scale; lanes where both inputs
+//    are zero are skipped outright.
+//
+// Outputs land in bit-reversed order; callers gather only the `m` natural-
+// order bins they need (no full bit-reversal pass).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "tensor/complex.hpp"
+
+namespace turbofno::fft {
+
+/// Runs the pruned in-place butterfly network on `buf` (length n, natural
+/// order, bit-reversed on exit).  `m` = outputs needed (1..n), `p` = nonzero
+/// input prefix (1..n).  Inverse uses conjugate twiddles (no scaling here).
+/// Returns the number of "butterfly output" unit ops actually performed
+/// (the Figure 5 counting convention).
+std::uint64_t dif_pruned_run(std::span<c32> buf, std::size_t n, std::size_t m, std::size_t p,
+                             bool inverse);
+
+/// Gathers the first `m` natural-order bins out of the bit-reversed buffer
+/// produced by dif_pruned_run, scaling by `scale`.
+void dif_gather(std::span<const c32> buf, std::span<c32> out, std::size_t n, std::size_t m,
+                float scale);
+
+/// Needed-output count of the block at `block_index` among `n/L` blocks of a
+/// depth-d stage (L = n >> d) when only the first `m` natural-order bins are
+/// required.  Exposed for tests and for the analytic op counter.
+std::size_t block_need(std::size_t block_index, std::size_t depth, std::size_t m) noexcept;
+
+}  // namespace turbofno::fft

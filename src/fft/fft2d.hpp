@@ -1,0 +1,58 @@
+// Batched 2D FFT with per-axis truncation / zero padding.
+//
+// Layout convention (matches the FNO tensors): a 2D field is [DimX, DimY]
+// row-major, DimY contiguous.  The 2D transform is two 1D stages:
+//
+//   stage 1: FFT along X (strided, stride DimY) with output truncation to
+//            keep_x rows — the paper's "first FFT stage along the width"
+//            which writes only the dimX/DimX fraction back (Fig 4);
+//   stage 2: FFT along Y (contiguous) on the surviving keep_x rows with
+//            output truncation to keep_y bins.
+//
+// Inverse runs the stages in the opposite order with zero-padded inputs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "fft/plan.hpp"
+#include "tensor/complex.hpp"
+
+namespace turbofno::fft {
+
+struct Plan2dDesc {
+  std::size_t nx = 0;       // DimX
+  std::size_t ny = 0;       // DimY
+  Direction dir = Direction::Forward;
+  std::size_t keep_x = 0;   // forward: rows kept; inverse: nonzero rows
+  std::size_t keep_y = 0;   // forward: bins kept;  inverse: nonzero bins
+  bool scale_inverse = true;
+
+  [[nodiscard]] std::size_t keep_x_or_nx() const noexcept { return keep_x == 0 ? nx : keep_x; }
+  [[nodiscard]] std::size_t keep_y_or_ny() const noexcept { return keep_y == 0 ? ny : keep_y; }
+};
+
+class FftPlan2d {
+ public:
+  explicit FftPlan2d(Plan2dDesc desc);
+
+  [[nodiscard]] const Plan2dDesc& desc() const noexcept { return desc_; }
+
+  /// Forward: in = batch x [nx, ny] dense fields, out = batch x [keep_x, keep_y].
+  /// Inverse: in = batch x [keep_x, keep_y] spectra, out = batch x [nx, ny].
+  void execute(std::span<const c32> in, std::span<c32> out, std::size_t batch) const;
+
+  [[nodiscard]] std::size_t in_field_elems() const noexcept;
+  [[nodiscard]] std::size_t out_field_elems() const noexcept;
+
+  /// Pruned real FLOPs per field.
+  [[nodiscard]] std::uint64_t flops_per_field() const noexcept;
+
+ private:
+  Plan2dDesc desc_;
+  FftPlan along_x_;  // strided stage over DimX
+  FftPlan along_y_;  // contiguous stage over DimY
+};
+
+}  // namespace turbofno::fft

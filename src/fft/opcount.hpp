@@ -1,0 +1,32 @@
+// Analytic operation accounting for pruned FFTs (reproduces Figure 5).
+//
+// The counter walks the same stage/block/region structure as the executing
+// kernel in dif_pruned.cpp without touching data, so tests can assert that
+// measured ops == analytic ops for every (n, m, p).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace turbofno::fft {
+
+struct OpCount {
+  std::uint64_t unit_ops = 0;  // butterfly outputs computed (Fig 5 convention)
+  std::uint64_t cmul = 0;      // complex multiplies performed
+  std::uint64_t cadd = 0;      // complex additions performed
+
+  [[nodiscard]] std::uint64_t flops() const noexcept { return 6 * cmul + 2 * cadd; }
+};
+
+/// Ops of the pruned transform: n-point, first `m` outputs needed, first `p`
+/// inputs nonzero.
+OpCount count_pruned_ops(std::size_t n, std::size_t m, std::size_t p) noexcept;
+
+/// Ops of the unpruned n-point transform (m == p == n).
+OpCount count_full_ops(std::size_t n) noexcept;
+
+/// unit-op fraction retained vs the full transform, e.g. Figure 5's
+/// 4-point example: m=1 -> 0.375, m=2 -> 0.75.
+double pruned_fraction(std::size_t n, std::size_t m, std::size_t p) noexcept;
+
+}  // namespace turbofno::fft

@@ -1,0 +1,124 @@
+#include "fft/plan.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "fft/dif_pruned.hpp"
+#include "fft/opcount.hpp"
+#include "fft/stockham.hpp"
+#include "fft/twiddle.hpp"
+#include "runtime/parallel.hpp"
+#include "tensor/aligned_buffer.hpp"
+
+namespace turbofno::fft {
+
+FftPlan::FftPlan(PlanDesc desc) : desc_(desc) {
+  if (!is_pow2(desc_.n)) throw std::invalid_argument("FftPlan: n must be a power of two >= 2");
+  if (desc_.keep > desc_.n) throw std::invalid_argument("FftPlan: keep > n");
+  if (desc_.nonzero > desc_.n) throw std::invalid_argument("FftPlan: nonzero > n");
+  const std::size_t m = desc_.keep_or_n();
+  const std::size_t p = desc_.nonzero_or_n();
+  pruned_ = (m != desc_.n) || (p != desc_.n);
+  const OpCount oc = count_pruned_ops(desc_.n, m, p);
+  unit_ops_ = oc.unit_ops;
+  flops_ = oc.flops();
+  // Pre-build the twiddle table so execution never takes the cache lock on a
+  // cold path inside a parallel region.
+  (void)twiddles_for(desc_.n);
+}
+
+std::uint64_t FftPlan::bytes_read_per_signal() const noexcept {
+  return desc_.nonzero_or_n() * sizeof(c32);
+}
+
+std::uint64_t FftPlan::bytes_written_per_signal() const noexcept {
+  return desc_.keep_or_n() * sizeof(c32);
+}
+
+void FftPlan::execute_one(const c32* in, std::ptrdiff_t in_elem_stride, c32* out,
+                          std::ptrdiff_t out_elem_stride, std::span<c32> work) const {
+  const std::size_t n = desc_.n;
+  const std::size_t m = desc_.keep_or_n();
+  const std::size_t p = desc_.nonzero_or_n();
+  const bool inverse = desc_.dir == Direction::Inverse;
+  assert(work.size() >= 2 * n);
+
+  c32* buf = work.data();
+  // Gather the stored prefix; the tail is implicit zeros.
+  if (in_elem_stride == 1) {
+    std::copy_n(in, p, buf);
+  } else {
+    for (std::size_t j = 0; j < p; ++j) buf[j] = in[static_cast<std::ptrdiff_t>(j) * in_elem_stride];
+  }
+  for (std::size_t j = p; j < n; ++j) buf[j] = c32{};
+
+  const float scale =
+      (inverse && desc_.scale_inverse) ? 1.0f / static_cast<float>(n) : 1.0f;
+
+  if (!pruned_) {
+    // Dense fast path: Stockham autosort (natural-order output, no gather).
+    std::span<c32> io{buf, n};
+    std::span<c32> scratch{work.data() + n, n};
+    if (inverse) {
+      stockham_inverse(io, scratch, n, desc_.scale_inverse);
+    } else {
+      stockham_forward(io, scratch, n);
+    }
+    if (out_elem_stride == 1) {
+      std::copy_n(buf, n, out);
+    } else {
+      for (std::size_t k = 0; k < n; ++k) out[static_cast<std::ptrdiff_t>(k) * out_elem_stride] = buf[k];
+    }
+    return;
+  }
+
+  dif_pruned_run({buf, n}, n, m, p, inverse);
+  // Gather the m needed natural-order bins out of the bit-reversed buffer.
+  const std::size_t bits = log2u(n);
+  if (out_elem_stride == 1) {
+    dif_gather({buf, n}, {out, m}, n, m, scale);
+  } else {
+    for (std::size_t k = 0; k < m; ++k) {
+      out[static_cast<std::ptrdiff_t>(k) * out_elem_stride] = buf[bit_reverse(k, bits)] * scale;
+    }
+  }
+}
+
+void FftPlan::execute(std::span<const c32> in, std::span<c32> out, std::size_t batch) const {
+  ExecLayout layout;
+  layout.in_batch_stride = static_cast<std::ptrdiff_t>(desc_.nonzero_or_n());
+  layout.out_batch_stride = static_cast<std::ptrdiff_t>(desc_.keep_or_n());
+  if (in.size() < batch * desc_.nonzero_or_n() || out.size() < batch * desc_.keep_or_n()) {
+    throw std::invalid_argument("FftPlan::execute: spans too small for batch");
+  }
+  if (in.data() == out.data() && desc_.keep_or_n() > desc_.nonzero_or_n()) {
+    throw std::invalid_argument("FftPlan::execute: in-place requires keep <= nonzero");
+  }
+  execute_strided(in.data(), out.data(), batch, layout);
+}
+
+void FftPlan::execute_strided(const c32* in, c32* out, std::size_t batch,
+                              const ExecLayout& layout) const {
+  const std::ptrdiff_t ibs = layout.in_batch_stride != 0
+                                 ? layout.in_batch_stride
+                                 : static_cast<std::ptrdiff_t>(desc_.nonzero_or_n());
+  const std::ptrdiff_t obs = layout.out_batch_stride != 0
+                                 ? layout.out_batch_stride
+                                 : static_cast<std::ptrdiff_t>(desc_.keep_or_n());
+  const std::size_t n = desc_.n;
+
+  // Grain: keep each task >= ~64k elements of butterfly work to amortize the
+  // fork; a signal is n log n work so a handful of signals per chunk is fine.
+  const std::size_t grain = std::max<std::size_t>(1, 65536 / (n == 0 ? 1 : n));
+  runtime::parallel_for(0, batch, grain, [&](std::size_t lo, std::size_t hi) {
+    AlignedBuffer<c32> work(2 * n);
+    for (std::size_t b = lo; b < hi; ++b) {
+      execute_one(in + static_cast<std::ptrdiff_t>(b) * ibs, layout.in_elem_stride,
+                  out + static_cast<std::ptrdiff_t>(b) * obs, layout.out_elem_stride,
+                  work.span());
+    }
+  });
+}
+
+}  // namespace turbofno::fft

@@ -1,0 +1,41 @@
+#include "fft/plan_cache.hpp"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+
+namespace turbofno::fft {
+
+namespace {
+
+using Key = std::tuple<std::size_t, int, std::size_t, std::size_t, bool>;
+
+Key key_of(const PlanDesc& d) {
+  return {d.n, static_cast<int>(d.dir), d.keep_or_n(), d.nonzero_or_n(), d.scale_inverse};
+}
+
+std::mutex g_mu;
+std::map<Key, std::unique_ptr<FftPlan>>& cache() {
+  static std::map<Key, std::unique_ptr<FftPlan>> c;
+  return c;
+}
+
+}  // namespace
+
+const FftPlan& cached_plan(const PlanDesc& desc) {
+  const std::lock_guard<std::mutex> lock(g_mu);
+  auto& c = cache();
+  auto it = c.find(key_of(desc));
+  if (it == c.end()) {
+    it = c.emplace(key_of(desc), std::make_unique<FftPlan>(desc)).first;
+  }
+  return *it->second;
+}
+
+std::size_t cached_plan_count() noexcept {
+  const std::lock_guard<std::mutex> lock(g_mu);
+  return cache().size();
+}
+
+}  // namespace turbofno::fft

@@ -1,0 +1,18 @@
+// Process-wide FFT plan cache.
+//
+// Plans are cheap but not free (op-count analysis + twiddle warm-up); model
+// code that builds layers on the fly shares them here, keyed by the full
+// descriptor.  Thread safe; references stay valid for the process lifetime.
+#pragma once
+
+#include "fft/plan.hpp"
+
+namespace turbofno::fft {
+
+/// Returns a shared plan for `desc`, constructing it on first use.
+const FftPlan& cached_plan(const PlanDesc& desc);
+
+/// Number of distinct plans currently cached (for tests/diagnostics).
+std::size_t cached_plan_count() noexcept;
+
+}  // namespace turbofno::fft

@@ -1,0 +1,119 @@
+#include "fft/real.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "fft/stockham.hpp"
+#include "fft/twiddle.hpp"
+#include "runtime/parallel.hpp"
+#include "tensor/aligned_buffer.hpp"
+
+namespace turbofno::fft {
+
+namespace {
+
+void check_real_size(std::size_t n) {
+  if (n < 4 || !is_pow2(n)) {
+    throw std::invalid_argument("real FFT: n must be a power of two >= 4");
+  }
+}
+
+}  // namespace
+
+RfftPlan::RfftPlan(std::size_t n, std::size_t keep) : n_(n), keep_(keep == 0 ? n / 2 + 1 : keep) {
+  check_real_size(n);
+  if (keep_ > n / 2 + 1) throw std::invalid_argument("RfftPlan: keep > n/2+1");
+  (void)twiddles_for(n);
+  (void)twiddles_for(n / 2);
+}
+
+void RfftPlan::execute(std::span<const float> in, std::span<c32> out, std::size_t batch) const {
+  const std::size_t n = n_;
+  const std::size_t m = n / 2;
+  if (in.size() < batch * n || out.size() < batch * keep_) {
+    throw std::invalid_argument("RfftPlan::execute: spans too small");
+  }
+  const TwiddleTable& tw = twiddles_for(n);
+  const std::span<const c32> w = tw.forward(n);  // W_n^k, k < n/2
+
+  runtime::parallel_for(0, batch, std::max<std::size_t>(1, 32768 / n),
+                        [&](std::size_t lo, std::size_t hi) {
+    AlignedBuffer<c32> z(m);
+    AlignedBuffer<c32> work(m);
+    AlignedBuffer<c32> zf(m);
+    for (std::size_t b = lo; b < hi; ++b) {
+      const float* x = in.data() + b * n;
+      // Pack even/odd samples into a half-length complex signal.
+      for (std::size_t j = 0; j < m; ++j) z[j] = {x[2 * j], x[2 * j + 1]};
+      stockham_forward(z.span(), work.span(), m);
+      std::copy_n(z.data(), m, zf.data());
+
+      c32* X = out.data() + b * keep_;
+      // Untangle: E[k] = (Z[k] + conj(Z[m-k]))/2, O[k] = (Z[k]-conj(Z[m-k]))/(2i),
+      // X[k] = E[k] + W_n^k O[k]; X[m] = E[0] - O[0].
+      const std::size_t kmax = std::min(keep_, m);
+      for (std::size_t k = 0; k < kmax; ++k) {
+        const c32 zk = zf[k];
+        const c32 zmk = conj(zf[(m - k) % m]);
+        const c32 e = 0.5f * (zk + zmk);
+        const c32 o = mul_neg_i(0.5f * (zk - zmk));  // divide by 2i
+        X[k] = e + w[k] * o;
+      }
+      if (keep_ == m + 1) {
+        const c32 e0 = 0.5f * (zf[0] + conj(zf[0]));
+        const c32 o0 = mul_neg_i(0.5f * (zf[0] - conj(zf[0])));
+        X[m] = e0 - o0;
+      }
+    }
+  });
+}
+
+IrfftPlan::IrfftPlan(std::size_t n, std::size_t nonzero)
+    : n_(n), nonzero_(nonzero == 0 ? n / 2 + 1 : nonzero) {
+  check_real_size(n);
+  if (nonzero_ > n / 2 + 1) throw std::invalid_argument("IrfftPlan: nonzero > n/2+1");
+  (void)twiddles_for(n);
+  (void)twiddles_for(n / 2);
+}
+
+void IrfftPlan::execute(std::span<const c32> in, std::span<float> out,
+                        std::size_t batch) const {
+  const std::size_t n = n_;
+  const std::size_t m = n / 2;
+  if (in.size() < batch * nonzero_ || out.size() < batch * n) {
+    throw std::invalid_argument("IrfftPlan::execute: spans too small");
+  }
+  const TwiddleTable& tw = twiddles_for(n);
+  const std::span<const c32> wi = tw.inverse(n);  // conj(W_n^k)
+
+  runtime::parallel_for(0, batch, std::max<std::size_t>(1, 32768 / n),
+                        [&](std::size_t lo, std::size_t hi) {
+    AlignedBuffer<c32> X(m + 1);
+    AlignedBuffer<c32> z(m);
+    AlignedBuffer<c32> work(m);
+    for (std::size_t b = lo; b < hi; ++b) {
+      const c32* src = in.data() + b * nonzero_;
+      std::copy_n(src, nonzero_, X.data());
+      for (std::size_t k = nonzero_; k <= m; ++k) X[k] = c32{};
+
+      // Re-tangle: E[k] = (X[k] + conj(X[m-k]))/2,
+      // O[k] = conj(W^k) (X[k] - conj(X[m-k]))/2, Z[k] = E[k] + i O[k].
+      for (std::size_t k = 0; k < m; ++k) {
+        const c32 xk = X[k];
+        const c32 xmk = conj(X[m - k]);
+        const c32 e = 0.5f * (xk + xmk);
+        const c32 o = wi[k] * (0.5f * (xk - xmk));
+        z[k] = e + mul_pos_i(o);
+      }
+      stockham_inverse(z.span(), work.span(), m, /*scale=*/true);
+
+      float* x = out.data() + b * n;
+      for (std::size_t j = 0; j < m; ++j) {
+        x[2 * j] = z[j].re;
+        x[2 * j + 1] = z[j].im;
+      }
+    }
+  });
+}
+
+}  // namespace turbofno::fft

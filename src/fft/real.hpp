@@ -1,0 +1,58 @@
+// Real-input transforms (R2C / C2R) — a library extension beyond the paper.
+//
+// The paper's kernels are C2C with first-m truncation; canonical FNO uses
+// rfft with a conjugate-symmetric half-spectrum.  These plans provide that
+// formulation via the classic pack-into-half-size-complex trick: an n-point
+// real transform costs one n/2-point complex FFT plus an O(n) untangle.
+//
+// Spectrum convention: forward produces bins 0..n/2 (n/2 + 1 entries); the
+// inverse consumes a (possibly truncated) prefix of such a half-spectrum and
+// treats missing bins as zero, mirroring the built-in zero padding of the
+// complex plans.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "tensor/complex.hpp"
+
+namespace turbofno::fft {
+
+/// Forward R2C: n real samples -> the first `keep` of n/2+1 spectrum bins.
+class RfftPlan {
+ public:
+  /// `keep == 0` means all n/2+1 bins.  n must be a power of two >= 4.
+  explicit RfftPlan(std::size_t n, std::size_t keep = 0);
+
+  [[nodiscard]] std::size_t n() const noexcept { return n_; }
+  [[nodiscard]] std::size_t keep() const noexcept { return keep_; }
+
+  /// Batched: `in` holds batch x n floats, `out` receives batch x keep bins.
+  void execute(std::span<const float> in, std::span<c32> out, std::size_t batch) const;
+
+ private:
+  std::size_t n_;
+  std::size_t keep_;
+};
+
+/// Inverse C2R: a stored prefix of a conjugate-symmetric half-spectrum ->
+/// n real samples.  Bins [nonzero, n/2] are implicit zeros.
+class IrfftPlan {
+ public:
+  /// `nonzero == 0` means the full n/2+1 bins are stored.
+  /// Precondition for exact reconstruction: bins 0 and n/2 (when stored)
+  /// have zero imaginary part, as produced by RfftPlan.
+  explicit IrfftPlan(std::size_t n, std::size_t nonzero = 0);
+
+  [[nodiscard]] std::size_t n() const noexcept { return n_; }
+  [[nodiscard]] std::size_t nonzero() const noexcept { return nonzero_; }
+
+  /// Batched: `in` holds batch x nonzero bins, `out` batch x n floats.
+  void execute(std::span<const c32> in, std::span<float> out, std::size_t batch) const;
+
+ private:
+  std::size_t n_;
+  std::size_t nonzero_;
+};
+
+}  // namespace turbofno::fft

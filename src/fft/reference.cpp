@@ -1,0 +1,38 @@
+#include "fft/reference.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace turbofno::fft {
+
+namespace {
+
+void dft_impl(std::span<const c32> in, std::span<c32> out, std::size_t n, double sign,
+              bool scale) {
+  const double w0 = sign * 2.0 * std::numbers::pi / static_cast<double>(n);
+  const double s = scale ? 1.0 / static_cast<double>(n) : 1.0;
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    double re = 0.0;
+    double im = 0.0;
+    for (std::size_t j = 0; j < in.size(); ++j) {
+      const double ang = w0 * static_cast<double>(j) * static_cast<double>(k % n);
+      const double c = std::cos(ang);
+      const double si = std::sin(ang);
+      re += static_cast<double>(in[j].re) * c - static_cast<double>(in[j].im) * si;
+      im += static_cast<double>(in[j].re) * si + static_cast<double>(in[j].im) * c;
+    }
+    out[k] = {static_cast<float>(re * s), static_cast<float>(im * s)};
+  }
+}
+
+}  // namespace
+
+void reference_dft(std::span<const c32> in, std::span<c32> out, std::size_t n) {
+  dft_impl(in, out, n, -1.0, false);
+}
+
+void reference_idft(std::span<const c32> in, std::span<c32> out, std::size_t n, bool scale) {
+  dft_impl(in, out, n, +1.0, scale);
+}
+
+}  // namespace turbofno::fft

@@ -1,0 +1,23 @@
+// O(n^2) reference DFT used as the correctness oracle in tests.
+//
+// Computed in double precision internally so it is strictly more accurate
+// than any kernel under test.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "tensor/complex.hpp"
+
+namespace turbofno::fft {
+
+/// out[k] = sum_j in[j] * exp(-2 pi i j k / n), k < out.size().
+/// `in` may be shorter than n (implicit zero padding of the tail).
+void reference_dft(std::span<const c32> in, std::span<c32> out, std::size_t n);
+
+/// Inverse: out[j] = (1/n) sum_k in[k] * exp(+2 pi i j k / n), j < out.size().
+/// `in` may be shorter than n (implicit zero padding).
+void reference_idft(std::span<const c32> in, std::span<c32> out, std::size_t n,
+                    bool scale = true);
+
+}  // namespace turbofno::fft

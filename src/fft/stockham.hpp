@@ -1,0 +1,31 @@
+// Stockham autosort FFT kernel (radix-2, out-of-place, ping-pong buffers).
+//
+// This is the "fast path" for full (untruncated, unpadded) transforms: the
+// autosort structure gives contiguous loads at every stage and natural-order
+// output with no bit-reversal pass, the same property the paper relies on for
+// coalesced global-memory reads (Section 3.2).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "tensor/complex.hpp"
+
+namespace turbofno::fft {
+
+/// Forward n-point transform of `io` (natural order in and out).
+/// `work` must hold at least n elements; contents are scratch.
+/// Precondition: n is a power of two, io.size() == n, work.size() >= n.
+/// Mixed radix-4/2: radix-4 passes with a radix-2 tail for odd log2(n).
+void stockham_forward(std::span<c32> io, std::span<c32> work, std::size_t n);
+
+/// Inverse n-point transform; when `scale` is true the result is divided by
+/// n (matching cuFFT's convention of unscaled inverse is `scale = false`).
+void stockham_inverse(std::span<c32> io, std::span<c32> work, std::size_t n, bool scale);
+
+/// Pure radix-2 variants, kept as the verification twin of the mixed-radix
+/// kernel (tests assert both agree to rounding).
+void stockham_forward_radix2(std::span<c32> io, std::span<c32> work, std::size_t n);
+void stockham_inverse_radix2(std::span<c32> io, std::span<c32> work, std::size_t n, bool scale);
+
+}  // namespace turbofno::fft

@@ -1,0 +1,35 @@
+#include "fft/twiddle.hpp"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+namespace turbofno::fft {
+
+TwiddleTable::TwiddleTable(std::size_t n) : n_(n) {
+  if (!is_pow2(n)) throw std::invalid_argument("TwiddleTable: size must be a power of two >= 2");
+  fwd_.resize(n - 1);
+  inv_.resize(n - 1);
+  for (std::size_t L = 2; L <= n; L *= 2) {
+    const std::size_t off = L / 2 - 1;
+    for (std::size_t j = 0; j < L / 2; ++j) {
+      const c32 w = twiddle(j, L);
+      fwd_[off + j] = w;
+      inv_[off + j] = conj(w);
+    }
+  }
+}
+
+const TwiddleTable& twiddles_for(std::size_t n) {
+  static std::mutex mu;
+  static std::map<std::size_t, std::unique_ptr<TwiddleTable>> cache;
+  const std::lock_guard<std::mutex> lock(mu);
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    it = cache.emplace(n, std::make_unique<TwiddleTable>(n)).first;
+  }
+  return *it->second;
+}
+
+}  // namespace turbofno::fft

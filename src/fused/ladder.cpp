@@ -1,0 +1,107 @@
+#include "fused/ladder.hpp"
+
+#include "baseline/pipeline1d.hpp"
+#include "baseline/pipeline2d.hpp"
+#include "fused/pipeline1d.hpp"
+#include "fused/pipeline2d.hpp"
+
+namespace turbofno::fused {
+
+std::string_view variant_name(Variant v) noexcept {
+  switch (v) {
+    case Variant::PyTorch:
+      return "PyTorch";
+    case Variant::FftOpt:
+      return "FFT+GEMM+iFFT";
+    case Variant::FusedFftGemm:
+      return "Fused_FFT_GEMM+iFFT";
+    case Variant::FusedGemmIfft:
+      return "FFT+Fused_GEMM_iFFT";
+    case Variant::FullyFused:
+      return "Fused_FFT_GEMM_iFFT";
+  }
+  return "?";
+}
+
+namespace {
+
+// Adapters giving every concrete pipeline the common virtual interface.
+template <class Impl>
+class Adapter1d final : public SpectralPipeline1d {
+ public:
+  explicit Adapter1d(const baseline::Spectral1dProblem& prob, std::string_view nm)
+      : impl_(prob), name_(nm) {}
+  void run(std::span<const c32> u, std::span<const c32> w, std::span<c32> v) override {
+    impl_.run(u, w, v);
+  }
+  [[nodiscard]] const trace::PipelineCounters& counters() const noexcept override {
+    return impl_.counters();
+  }
+  [[nodiscard]] std::string_view name() const noexcept override { return name_; }
+  [[nodiscard]] const baseline::Spectral1dProblem& problem() const noexcept override {
+    return impl_.problem();
+  }
+
+ private:
+  Impl impl_;
+  std::string_view name_;
+};
+
+template <class Impl>
+class Adapter2d final : public SpectralPipeline2d {
+ public:
+  explicit Adapter2d(const baseline::Spectral2dProblem& prob, std::string_view nm)
+      : impl_(prob), name_(nm) {}
+  void run(std::span<const c32> u, std::span<const c32> w, std::span<c32> v) override {
+    impl_.run(u, w, v);
+  }
+  [[nodiscard]] const trace::PipelineCounters& counters() const noexcept override {
+    return impl_.counters();
+  }
+  [[nodiscard]] std::string_view name() const noexcept override { return name_; }
+  [[nodiscard]] const baseline::Spectral2dProblem& problem() const noexcept override {
+    return impl_.problem();
+  }
+
+ private:
+  Impl impl_;
+  std::string_view name_;
+};
+
+}  // namespace
+
+std::unique_ptr<SpectralPipeline1d> make_pipeline1d(Variant v,
+                                                    const baseline::Spectral1dProblem& prob) {
+  switch (v) {
+    case Variant::PyTorch:
+      return std::make_unique<Adapter1d<baseline::BaselinePipeline1d>>(prob, variant_name(v));
+    case Variant::FftOpt:
+      return std::make_unique<Adapter1d<FftOptPipeline1d>>(prob, variant_name(v));
+    case Variant::FusedFftGemm:
+      return std::make_unique<Adapter1d<FusedFftGemmPipeline1d>>(prob, variant_name(v));
+    case Variant::FusedGemmIfft:
+      return std::make_unique<Adapter1d<FusedGemmIfftPipeline1d>>(prob, variant_name(v));
+    case Variant::FullyFused:
+      return std::make_unique<Adapter1d<FullyFusedPipeline1d>>(prob, variant_name(v));
+  }
+  return nullptr;
+}
+
+std::unique_ptr<SpectralPipeline2d> make_pipeline2d(Variant v,
+                                                    const baseline::Spectral2dProblem& prob) {
+  switch (v) {
+    case Variant::PyTorch:
+      return std::make_unique<Adapter2d<baseline::BaselinePipeline2d>>(prob, variant_name(v));
+    case Variant::FftOpt:
+      return std::make_unique<Adapter2d<FftOptPipeline2d>>(prob, variant_name(v));
+    case Variant::FusedFftGemm:
+      return std::make_unique<Adapter2d<FusedFftGemmPipeline2d>>(prob, variant_name(v));
+    case Variant::FusedGemmIfft:
+      return std::make_unique<Adapter2d<FusedGemmIfftPipeline2d>>(prob, variant_name(v));
+    case Variant::FullyFused:
+      return std::make_unique<Adapter2d<FullyFusedPipeline2d>>(prob, variant_name(v));
+  }
+  return nullptr;
+}
+
+}  // namespace turbofno::fused

@@ -1,0 +1,58 @@
+// The optimization ladder of the paper's Table 2:
+//
+//   PyTorch        the 5-kernel baseline (comparison base)
+//   FftOpt      A  built-in truncation / zero padding / pruning, unfused
+//   FusedFftGemm B fused forward FFT + CGEMM, separate iFFT
+//   FusedGemmIfft C separate forward FFT, fused CGEMM + iFFT epilogue
+//   FullyFused   D single fused FFT-CGEMM-iFFT pass
+//
+// Every variant implements the same interface and refreshes its stage
+// counters on each run, so benches compare wall-clock, traffic, and the
+// A100 model on identical terms.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string_view>
+
+#include "baseline/problem.hpp"
+#include "tensor/complex.hpp"
+#include "trace/counters.hpp"
+
+namespace turbofno::fused {
+
+enum class Variant { PyTorch, FftOpt, FusedFftGemm, FusedGemmIfft, FullyFused };
+
+[[nodiscard]] std::string_view variant_name(Variant v) noexcept;
+
+/// All five Table 2 rows, in ladder order.
+inline constexpr Variant kAllVariants[] = {Variant::PyTorch, Variant::FftOpt,
+                                           Variant::FusedFftGemm, Variant::FusedGemmIfft,
+                                           Variant::FullyFused};
+
+class SpectralPipeline1d {
+ public:
+  virtual ~SpectralPipeline1d() = default;
+  /// u [batch, hidden, n] -> v [batch, out_dim, n]; w [out_dim, hidden].
+  virtual void run(std::span<const c32> u, std::span<const c32> w, std::span<c32> v) = 0;
+  [[nodiscard]] virtual const trace::PipelineCounters& counters() const noexcept = 0;
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  [[nodiscard]] virtual const baseline::Spectral1dProblem& problem() const noexcept = 0;
+};
+
+class SpectralPipeline2d {
+ public:
+  virtual ~SpectralPipeline2d() = default;
+  /// u [batch, hidden, nx, ny] -> v [batch, out_dim, nx, ny].
+  virtual void run(std::span<const c32> u, std::span<const c32> w, std::span<c32> v) = 0;
+  [[nodiscard]] virtual const trace::PipelineCounters& counters() const noexcept = 0;
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  [[nodiscard]] virtual const baseline::Spectral2dProblem& problem() const noexcept = 0;
+};
+
+std::unique_ptr<SpectralPipeline1d> make_pipeline1d(Variant v,
+                                                    const baseline::Spectral1dProblem& prob);
+std::unique_ptr<SpectralPipeline2d> make_pipeline2d(Variant v,
+                                                    const baseline::Spectral2dProblem& prob);
+
+}  // namespace turbofno::fused

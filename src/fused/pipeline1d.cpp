@@ -1,0 +1,228 @@
+#include "fused/pipeline1d.hpp"
+
+#include "gemm/batched.hpp"
+#include "gemm/config.hpp"
+#include "runtime/parallel.hpp"
+#include "runtime/timer.hpp"
+
+namespace turbofno::fused {
+
+namespace {
+
+constexpr std::size_t kTb = gemm::FusedTiles::Ktb;  // paper Table 1: k_tb = 8
+
+}  // namespace
+
+// ---------------------------------------------------------------- FftOpt (A)
+
+FftOptPipeline1d::FftOptPipeline1d(baseline::Spectral1dProblem prob)
+    : prob_(prob), fwd_(prob.n, prob.modes), inv_(prob.n, prob.modes) {
+  prob_.validate();
+  freq_.resize(prob_.batch * prob_.hidden * prob_.modes);
+  mixed_.resize(prob_.batch * prob_.out_dim * prob_.modes);
+}
+
+void FftOptPipeline1d::run(std::span<const c32> u, std::span<const c32> w, std::span<c32> v) {
+  const std::size_t B = prob_.batch;
+  const std::size_t K = prob_.hidden;
+  const std::size_t O = prob_.out_dim;
+  const std::size_t N = prob_.n;
+  const std::size_t M = prob_.modes;
+  counters_.clear();
+
+  {
+    runtime::Timer t;
+    fwd_.plan().execute(u, freq_.span(), B * K);
+    auto& sc = counters_.stage("fft-trunc");
+    sc.seconds = t.seconds();
+    sc.bytes_read = B * K * N * sizeof(c32);
+    sc.bytes_written = B * K * M * sizeof(c32);  // only the kept bins
+    sc.flops = B * K * fwd_.plan().flops_per_signal();
+    sc.kernel_launches = 1;
+  }
+
+  {
+    runtime::Timer t;
+    gemm::BatchedStrides strides;
+    strides.a = 0;
+    strides.b = static_cast<std::ptrdiff_t>(K * M);
+    strides.c = static_cast<std::ptrdiff_t>(O * M);
+    gemm::cgemm_batched(O, M, K, c32{1.0f, 0.0f}, w.data(), K, freq_.data(), M,
+                        c32{0.0f, 0.0f}, mixed_.data(), M, B, strides);
+    auto& sc = counters_.stage("cgemm");
+    sc.seconds = t.seconds();
+    sc.bytes_read = (B * K * M + O * K) * sizeof(c32);
+    sc.bytes_written = B * O * M * sizeof(c32);
+    sc.flops = trace::cgemm_flops(B * M, O, K);
+    sc.kernel_launches = 1;
+  }
+
+  {
+    runtime::Timer t;
+    inv_.plan().execute(mixed_.span(), v, B * O);
+    auto& sc = counters_.stage("ifft-pad");
+    sc.seconds = t.seconds();
+    sc.bytes_read = B * O * M * sizeof(c32);  // only the stored prefix
+    sc.bytes_written = B * O * N * sizeof(c32);
+    sc.flops = B * O * inv_.plan().flops_per_signal();
+    sc.kernel_launches = 1;
+  }
+}
+
+// --------------------------------------------------------- FusedFftGemm (B)
+
+FusedFftGemmPipeline1d::FusedFftGemmPipeline1d(baseline::Spectral1dProblem prob)
+    : prob_(prob), fwd_(prob.n, prob.modes), inv_(prob.n, prob.modes) {
+  prob_.validate();
+  mixed_.resize(prob_.batch * prob_.out_dim * prob_.modes);
+}
+
+void FusedFftGemmPipeline1d::run(std::span<const c32> u, std::span<const c32> w,
+                                 std::span<c32> v) {
+  const std::size_t B = prob_.batch;
+  const std::size_t K = prob_.hidden;
+  const std::size_t O = prob_.out_dim;
+  const std::size_t N = prob_.n;
+  const std::size_t M = prob_.modes;
+  counters_.clear();
+
+  {
+    runtime::Timer t;
+    runtime::parallel_for(0, B, 1, [&](std::size_t lo, std::size_t hi) {
+      AlignedBuffer<c32> tile(kTb * M);
+      AlignedBuffer<c32> acc(O * M);
+      AlignedBuffer<c32> work(2 * N);
+      for (std::size_t b = lo; b < hi; ++b) {
+        acc.zero();
+        for (std::size_t k0 = 0; k0 < K; k0 += kTb) {
+          const std::size_t kc = std::min(kTb, K - k0);
+          // FFT directly into the GEMM operand tile (the shared-memory A
+          // block of the paper) ...
+          fwd_.forward_tile(u.data() + (b * K + k0) * N, N, kc, tile.data(), M, work.span());
+          // ... and the MAC phase of the k-loop.
+          rank_update(acc.data(), M, w.data(), K, k0, tile.data(), M, O, M, kc);
+        }
+        std::copy_n(acc.data(), O * M, mixed_.data() + b * O * M);
+      }
+    });
+    auto& sc = counters_.stage("fused-fft-cgemm");
+    sc.seconds = t.seconds();
+    sc.bytes_read = (B * K * N + O * K) * sizeof(c32);
+    sc.bytes_written = B * O * M * sizeof(c32);
+    sc.flops = B * K * fwd_.plan().flops_per_signal() + trace::cgemm_flops(B * M, O, K);
+    sc.kernel_launches = 1;
+  }
+
+  {
+    runtime::Timer t;
+    inv_.plan().execute(mixed_.span(), v, B * O);
+    auto& sc = counters_.stage("ifft-pad");
+    sc.seconds = t.seconds();
+    sc.bytes_read = B * O * M * sizeof(c32);
+    sc.bytes_written = B * O * N * sizeof(c32);
+    sc.flops = B * O * inv_.plan().flops_per_signal();
+    sc.kernel_launches = 1;
+  }
+}
+
+// --------------------------------------------------------- FusedGemmIfft (C)
+
+FusedGemmIfftPipeline1d::FusedGemmIfftPipeline1d(baseline::Spectral1dProblem prob)
+    : prob_(prob), fwd_(prob.n, prob.modes), inv_(prob.n, prob.modes) {
+  prob_.validate();
+  freq_.resize(prob_.batch * prob_.hidden * prob_.modes);
+}
+
+void FusedGemmIfftPipeline1d::run(std::span<const c32> u, std::span<const c32> w,
+                                  std::span<c32> v) {
+  const std::size_t B = prob_.batch;
+  const std::size_t K = prob_.hidden;
+  const std::size_t O = prob_.out_dim;
+  const std::size_t N = prob_.n;
+  const std::size_t M = prob_.modes;
+  counters_.clear();
+
+  {
+    runtime::Timer t;
+    fwd_.plan().execute(u, freq_.span(), B * K);
+    auto& sc = counters_.stage("fft-trunc");
+    sc.seconds = t.seconds();
+    sc.bytes_read = B * K * N * sizeof(c32);
+    sc.bytes_written = B * K * M * sizeof(c32);
+    sc.flops = B * K * fwd_.plan().flops_per_signal();
+    sc.kernel_launches = 1;
+  }
+
+  {
+    runtime::Timer t;
+    runtime::parallel_for(0, B, 1, [&](std::size_t lo, std::size_t hi) {
+      AlignedBuffer<c32> acc(O * M);
+      AlignedBuffer<c32> work(2 * N);
+      for (std::size_t b = lo; b < hi; ++b) {
+        acc.zero();
+        // The stored spectra already have the k-major tile layout; the GEMM
+        // streams them without any copy.
+        for (std::size_t k0 = 0; k0 < K; k0 += kTb) {
+          const std::size_t kc = std::min(kTb, K - k0);
+          rank_update(acc.data(), M, w.data(), K, k0, freq_.data() + (b * K + k0) * M, M, O, M,
+                      kc);
+        }
+        // iFFT epilogue straight out of the accumulator tile (the paper's
+        // Figure 6(f): iFFT on the result matrix along the output dim).
+        for (std::size_t o = 0; o < O; ++o) {
+          inv_.inverse_row(acc.data() + o * M, v.data() + (b * O + o) * N, work.span());
+        }
+      }
+    });
+    auto& sc = counters_.stage("fused-cgemm-ifft");
+    sc.seconds = t.seconds();
+    sc.bytes_read = (B * K * M + O * K) * sizeof(c32);
+    sc.bytes_written = B * O * N * sizeof(c32);
+    sc.flops = trace::cgemm_flops(B * M, O, K) + B * O * inv_.plan().flops_per_signal();
+    sc.kernel_launches = 1;
+  }
+}
+
+// ------------------------------------------------------------ FullyFused (D)
+
+FullyFusedPipeline1d::FullyFusedPipeline1d(baseline::Spectral1dProblem prob)
+    : prob_(prob), fwd_(prob.n, prob.modes), inv_(prob.n, prob.modes) {
+  prob_.validate();
+}
+
+void FullyFusedPipeline1d::run(std::span<const c32> u, std::span<const c32> w, std::span<c32> v) {
+  const std::size_t B = prob_.batch;
+  const std::size_t K = prob_.hidden;
+  const std::size_t O = prob_.out_dim;
+  const std::size_t N = prob_.n;
+  const std::size_t M = prob_.modes;
+  counters_.clear();
+
+  runtime::Timer t;
+  runtime::parallel_for(0, B, 1, [&](std::size_t lo, std::size_t hi) {
+    AlignedBuffer<c32> tile(kTb * M);  // FFT output == GEMM A-operand tile
+    AlignedBuffer<c32> acc(O * M);     // C tile, never leaves cache
+    AlignedBuffer<c32> work(2 * N);
+    for (std::size_t b = lo; b < hi; ++b) {
+      acc.zero();
+      for (std::size_t k0 = 0; k0 < K; k0 += kTb) {
+        const std::size_t kc = std::min(kTb, K - k0);
+        fwd_.forward_tile(u.data() + (b * K + k0) * N, N, kc, tile.data(), M, work.span());
+        rank_update(acc.data(), M, w.data(), K, k0, tile.data(), M, O, M, kc);
+      }
+      for (std::size_t o = 0; o < O; ++o) {
+        inv_.inverse_row(acc.data() + o * M, v.data() + (b * O + o) * N, work.span());
+      }
+    }
+  });
+
+  auto& sc = counters_.stage("fused-fft-cgemm-ifft");
+  sc.seconds = t.seconds();
+  sc.bytes_read = (B * K * N + O * K) * sizeof(c32);
+  sc.bytes_written = B * O * N * sizeof(c32);
+  sc.flops = B * K * fwd_.plan().flops_per_signal() + trace::cgemm_flops(B * M, O, K) +
+             B * O * inv_.plan().flops_per_signal();
+  sc.kernel_launches = 1;
+}
+
+}  // namespace turbofno::fused

@@ -1,0 +1,86 @@
+// The four TurboFNO 1D pipeline variants (ladder stages A-D).
+//
+// Shared structure: a "thread block" task owns one batch signal group and
+// iterates the hidden dimension in k_tb-channel tiles, exactly like the
+// GEMM k-loop (Figure 6(c)-(e)).  What differs between variants is which
+// stage boundaries still round-trip through (simulated) global memory.
+#pragma once
+
+#include <span>
+
+#include "baseline/problem.hpp"
+#include "fused/fft_variant.hpp"
+#include "tensor/aligned_buffer.hpp"
+#include "tensor/complex.hpp"
+#include "trace/counters.hpp"
+
+namespace turbofno::fused {
+
+/// Stage A: built-in truncation/zero-padding/pruning, kernels unfused.
+/// Three launches: truncated FFT -> batched CGEMM -> zero-padded iFFT; the
+/// separate memcopy passes of the baseline disappear.
+class FftOptPipeline1d {
+ public:
+  explicit FftOptPipeline1d(baseline::Spectral1dProblem prob);
+  void run(std::span<const c32> u, std::span<const c32> w, std::span<c32> v);
+  [[nodiscard]] const trace::PipelineCounters& counters() const noexcept { return counters_; }
+  [[nodiscard]] const baseline::Spectral1dProblem& problem() const noexcept { return prob_; }
+
+ private:
+  baseline::Spectral1dProblem prob_;
+  KLoopFft fwd_;
+  EpilogueIfft inv_;
+  AlignedBuffer<c32> freq_;   // [batch, hidden, modes]
+  AlignedBuffer<c32> mixed_;  // [batch, out_dim, modes]
+  trace::PipelineCounters counters_{"fftopt-1d"};
+};
+
+/// Stage B: forward FFT fused with the CGEMM k-loop; iFFT separate.
+class FusedFftGemmPipeline1d {
+ public:
+  explicit FusedFftGemmPipeline1d(baseline::Spectral1dProblem prob);
+  void run(std::span<const c32> u, std::span<const c32> w, std::span<c32> v);
+  [[nodiscard]] const trace::PipelineCounters& counters() const noexcept { return counters_; }
+  [[nodiscard]] const baseline::Spectral1dProblem& problem() const noexcept { return prob_; }
+
+ private:
+  baseline::Spectral1dProblem prob_;
+  KLoopFft fwd_;
+  EpilogueIfft inv_;
+  AlignedBuffer<c32> mixed_;  // [batch, out_dim, modes]
+  trace::PipelineCounters counters_{"fused-fft-gemm-1d"};
+};
+
+/// Stage C: forward FFT separate; iFFT fused as the CGEMM epilogue.
+class FusedGemmIfftPipeline1d {
+ public:
+  explicit FusedGemmIfftPipeline1d(baseline::Spectral1dProblem prob);
+  void run(std::span<const c32> u, std::span<const c32> w, std::span<c32> v);
+  [[nodiscard]] const trace::PipelineCounters& counters() const noexcept { return counters_; }
+  [[nodiscard]] const baseline::Spectral1dProblem& problem() const noexcept { return prob_; }
+
+ private:
+  baseline::Spectral1dProblem prob_;
+  KLoopFft fwd_;
+  EpilogueIfft inv_;
+  AlignedBuffer<c32> freq_;  // [batch, hidden, modes]
+  trace::PipelineCounters counters_{"fused-gemm-ifft-1d"};
+};
+
+/// Stage D: the fully fused FFT-CGEMM-iFFT pass.  One launch; the only
+/// global traffic is the input read, the weight read, and the output write.
+class FullyFusedPipeline1d {
+ public:
+  explicit FullyFusedPipeline1d(baseline::Spectral1dProblem prob);
+  void run(std::span<const c32> u, std::span<const c32> w, std::span<c32> v);
+  [[nodiscard]] const trace::PipelineCounters& counters() const noexcept { return counters_; }
+  [[nodiscard]] const baseline::Spectral1dProblem& problem() const noexcept { return prob_; }
+
+ private:
+  baseline::Spectral1dProblem prob_;
+  KLoopFft fwd_;
+  EpilogueIfft inv_;
+  trace::PipelineCounters counters_{"fully-fused-1d"};
+};
+
+}  // namespace turbofno::fused

@@ -1,0 +1,352 @@
+#include "fused/pipeline2d.hpp"
+
+#include "gemm/batched.hpp"
+#include "gemm/config.hpp"
+#include "runtime/parallel.hpp"
+#include "runtime/timer.hpp"
+
+namespace turbofno::fused {
+
+namespace {
+
+constexpr std::size_t kTb = gemm::FusedTiles::Ktb;
+
+fft::PlanDesc x_trunc_desc(const baseline::Spectral2dProblem& p) {
+  fft::PlanDesc d;
+  d.n = p.nx;
+  d.dir = fft::Direction::Forward;
+  d.keep = p.modes_x;
+  return d;
+}
+
+fft::PlanDesc x_pad_desc(const baseline::Spectral2dProblem& p) {
+  fft::PlanDesc d;
+  d.n = p.nx;
+  d.dir = fft::Direction::Inverse;
+  d.nonzero = p.modes_x;
+  return d;
+}
+
+}  // namespace
+
+Pipeline2dBase::Pipeline2dBase(baseline::Spectral2dProblem prob, const char* counters_name)
+    : prob_(prob),
+      fft_x_trunc_(x_trunc_desc(prob)),
+      ifft_x_pad_(x_pad_desc(prob)),
+      fwd_y_(prob.ny, prob.modes_y),
+      inv_y_(prob.ny, prob.modes_y),
+      counters_(counters_name) {
+  prob_.validate();
+  mid_in_.resize(prob_.batch * prob_.hidden * prob_.modes_x * prob_.ny);
+  mid_out_.resize(prob_.batch * prob_.out_dim * prob_.modes_x * prob_.ny);
+}
+
+void Pipeline2dBase::run_fft_x_trunc(std::span<const c32> u, std::span<c32> dst) {
+  const std::size_t B = prob_.batch;
+  const std::size_t K = prob_.hidden;
+  const std::size_t NX = prob_.nx;
+  const std::size_t NY = prob_.ny;
+  const std::size_t MX = prob_.modes_x;
+
+  runtime::Timer t;
+  // One strided pencil per (batch*channel, y column).
+  runtime::parallel_for(0, B * K * NY, 64, [&](std::size_t lo, std::size_t hi) {
+    AlignedBuffer<c32> work(2 * NX);
+    for (std::size_t i = lo; i < hi; ++i) {
+      const std::size_t bk = i / NY;
+      const std::size_t y = i % NY;
+      fft_x_trunc_.execute_one(u.data() + bk * NX * NY + y, static_cast<std::ptrdiff_t>(NY),
+                               dst.data() + bk * MX * NY + y, static_cast<std::ptrdiff_t>(NY),
+                               work.span());
+    }
+  });
+  auto& sc = counters_.stage("fft-x-trunc");
+  sc.seconds = t.seconds();
+  sc.bytes_read = B * K * NX * NY * sizeof(c32);
+  sc.bytes_written = B * K * MX * NY * sizeof(c32);  // only modes_x rows
+  sc.flops = B * K * NY * fft_x_trunc_.flops_per_signal();
+  sc.kernel_launches = 1;
+}
+
+void Pipeline2dBase::run_ifft_x_pad(std::span<const c32> src, std::span<c32> v) {
+  const std::size_t B = prob_.batch;
+  const std::size_t O = prob_.out_dim;
+  const std::size_t NX = prob_.nx;
+  const std::size_t NY = prob_.ny;
+  const std::size_t MX = prob_.modes_x;
+
+  runtime::Timer t;
+  runtime::parallel_for(0, B * O * NY, 64, [&](std::size_t lo, std::size_t hi) {
+    AlignedBuffer<c32> work(2 * NX);
+    for (std::size_t i = lo; i < hi; ++i) {
+      const std::size_t bo = i / NY;
+      const std::size_t y = i % NY;
+      ifft_x_pad_.execute_one(src.data() + bo * MX * NY + y, static_cast<std::ptrdiff_t>(NY),
+                              v.data() + bo * NX * NY + y, static_cast<std::ptrdiff_t>(NY),
+                              work.span());
+    }
+  });
+  auto& sc = counters_.stage("ifft-x-pad");
+  sc.seconds = t.seconds();
+  sc.bytes_read = B * O * MX * NY * sizeof(c32);
+  sc.bytes_written = B * O * NX * NY * sizeof(c32);
+  sc.flops = B * O * NY * ifft_x_pad_.flops_per_signal();
+  sc.kernel_launches = 1;
+}
+
+// ---------------------------------------------------------------- FftOpt (A)
+
+FftOptPipeline2d::FftOptPipeline2d(baseline::Spectral2dProblem prob)
+    : Pipeline2dBase(prob, "fftopt-2d") {
+  freq_.resize(prob_.batch * prob_.hidden * prob_.modes_x * prob_.modes_y);
+  mixed_.resize(prob_.batch * prob_.out_dim * prob_.modes_x * prob_.modes_y);
+}
+
+void FftOptPipeline2d::run(std::span<const c32> u, std::span<const c32> w, std::span<c32> v) {
+  const std::size_t B = prob_.batch;
+  const std::size_t K = prob_.hidden;
+  const std::size_t O = prob_.out_dim;
+  const std::size_t NY = prob_.ny;
+  const std::size_t MX = prob_.modes_x;
+  const std::size_t MY = prob_.modes_y;
+  const std::size_t modes = MX * MY;
+  counters_.clear();
+
+  run_fft_x_trunc(u, mid_in_.span());
+
+  // Stage 2: truncated FFT along Y (unfused).
+  {
+    runtime::Timer t;
+    fwd_y_.plan().execute(mid_in_.span(), freq_.span(), B * K * MX);
+    auto& sc = counters_.stage("fft-y-trunc");
+    sc.seconds = t.seconds();
+    sc.bytes_read = B * K * MX * NY * sizeof(c32);
+    sc.bytes_written = B * K * modes * sizeof(c32);
+    sc.flops = B * K * MX * fwd_y_.plan().flops_per_signal();
+    sc.kernel_launches = 1;
+  }
+
+  // Stage 3: batched CGEMM.
+  {
+    runtime::Timer t;
+    gemm::BatchedStrides strides;
+    strides.a = 0;
+    strides.b = static_cast<std::ptrdiff_t>(K * modes);
+    strides.c = static_cast<std::ptrdiff_t>(O * modes);
+    gemm::cgemm_batched(O, modes, K, c32{1.0f, 0.0f}, w.data(), K, freq_.data(), modes,
+                        c32{0.0f, 0.0f}, mixed_.data(), modes, B, strides);
+    auto& sc = counters_.stage("cgemm");
+    sc.seconds = t.seconds();
+    sc.bytes_read = (B * K * modes + O * K) * sizeof(c32);
+    sc.bytes_written = B * O * modes * sizeof(c32);
+    sc.flops = trace::cgemm_flops(B * modes, O, K);
+    sc.kernel_launches = 1;
+  }
+
+  // Stage 4: zero-padded iFFT along Y (unfused).
+  {
+    runtime::Timer t;
+    inv_y_.plan().execute(mixed_.span(), mid_out_.span(), B * O * MX);
+    auto& sc = counters_.stage("ifft-y-pad");
+    sc.seconds = t.seconds();
+    sc.bytes_read = B * O * modes * sizeof(c32);
+    sc.bytes_written = B * O * MX * NY * sizeof(c32);
+    sc.flops = B * O * MX * inv_y_.plan().flops_per_signal();
+    sc.kernel_launches = 1;
+  }
+
+  run_ifft_x_pad(mid_out_.span(), v);
+}
+
+// --------------------------------------------------------- FusedFftGemm (B)
+
+FusedFftGemmPipeline2d::FusedFftGemmPipeline2d(baseline::Spectral2dProblem prob)
+    : Pipeline2dBase(prob, "fused-fft-gemm-2d") {
+  mixed_.resize(prob_.batch * prob_.out_dim * prob_.modes_x * prob_.modes_y);
+}
+
+void FusedFftGemmPipeline2d::run(std::span<const c32> u, std::span<const c32> w,
+                                 std::span<c32> v) {
+  const std::size_t B = prob_.batch;
+  const std::size_t K = prob_.hidden;
+  const std::size_t O = prob_.out_dim;
+  const std::size_t NY = prob_.ny;
+  const std::size_t MX = prob_.modes_x;
+  const std::size_t MY = prob_.modes_y;
+  const std::size_t modes = MX * MY;
+  counters_.clear();
+
+  run_fft_x_trunc(u, mid_in_.span());
+
+  // Fused FFT-Y + CGEMM: one task per (batch, x-row), iterating the hidden
+  // dim like the GEMM k-loop (Figure 6(c)).
+  {
+    runtime::Timer t;
+    runtime::parallel_for(0, B * MX, 1, [&](std::size_t lo, std::size_t hi) {
+      AlignedBuffer<c32> tile(kTb * MY);
+      AlignedBuffer<c32> acc(O * MY);
+      AlignedBuffer<c32> work(2 * NY);
+      for (std::size_t i = lo; i < hi; ++i) {
+        const std::size_t b = i / MX;
+        const std::size_t x = i % MX;
+        acc.zero();
+        for (std::size_t k0 = 0; k0 < K; k0 += kTb) {
+          const std::size_t kc = std::min(kTb, K - k0);
+          // Channel k's row for this x sits at ((b*K + k) * MX + x) * NY.
+          fwd_y_.forward_tile(mid_in_.data() + ((b * K + k0) * MX + x) * NY, MX * NY, kc,
+                              tile.data(), MY, work.span());
+          rank_update(acc.data(), MY, w.data(), K, k0, tile.data(), MY, O, MY, kc);
+        }
+        for (std::size_t o = 0; o < O; ++o) {
+          std::copy_n(acc.data() + o * MY, MY, mixed_.data() + ((b * O + o) * MX + x) * MY);
+        }
+      }
+    });
+    auto& sc = counters_.stage("fused-fft-cgemm");
+    sc.seconds = t.seconds();
+    sc.bytes_read = (B * K * MX * NY + O * K) * sizeof(c32);
+    sc.bytes_written = B * O * modes * sizeof(c32);
+    sc.flops = B * K * MX * fwd_y_.plan().flops_per_signal() + trace::cgemm_flops(B * modes, O, K);
+    sc.kernel_launches = 1;
+  }
+
+  // Separate zero-padded iFFT along Y.
+  {
+    runtime::Timer t;
+    inv_y_.plan().execute(mixed_.span(), mid_out_.span(), B * O * MX);
+    auto& sc = counters_.stage("ifft-y-pad");
+    sc.seconds = t.seconds();
+    sc.bytes_read = B * O * modes * sizeof(c32);
+    sc.bytes_written = B * O * MX * NY * sizeof(c32);
+    sc.flops = B * O * MX * inv_y_.plan().flops_per_signal();
+    sc.kernel_launches = 1;
+  }
+
+  run_ifft_x_pad(mid_out_.span(), v);
+}
+
+// --------------------------------------------------------- FusedGemmIfft (C)
+
+FusedGemmIfftPipeline2d::FusedGemmIfftPipeline2d(baseline::Spectral2dProblem prob)
+    : Pipeline2dBase(prob, "fused-gemm-ifft-2d") {
+  freq_.resize(prob_.batch * prob_.hidden * prob_.modes_x * prob_.modes_y);
+}
+
+void FusedGemmIfftPipeline2d::run(std::span<const c32> u, std::span<const c32> w,
+                                  std::span<c32> v) {
+  const std::size_t B = prob_.batch;
+  const std::size_t K = prob_.hidden;
+  const std::size_t O = prob_.out_dim;
+  const std::size_t NY = prob_.ny;
+  const std::size_t MX = prob_.modes_x;
+  const std::size_t MY = prob_.modes_y;
+  const std::size_t modes = MX * MY;
+  counters_.clear();
+
+  run_fft_x_trunc(u, mid_in_.span());
+
+  // Separate truncated FFT along Y.
+  {
+    runtime::Timer t;
+    fwd_y_.plan().execute(mid_in_.span(), freq_.span(), B * K * MX);
+    auto& sc = counters_.stage("fft-y-trunc");
+    sc.seconds = t.seconds();
+    sc.bytes_read = B * K * MX * NY * sizeof(c32);
+    sc.bytes_written = B * K * modes * sizeof(c32);
+    sc.flops = B * K * MX * fwd_y_.plan().flops_per_signal();
+    sc.kernel_launches = 1;
+  }
+
+  // Fused CGEMM + iFFT-Y epilogue per (batch, x-row).
+  {
+    runtime::Timer t;
+    runtime::parallel_for(0, B * MX, 1, [&](std::size_t lo, std::size_t hi) {
+      AlignedBuffer<c32> tile(kTb * MY);
+      AlignedBuffer<c32> acc(O * MY);
+      AlignedBuffer<c32> work(2 * NY);
+      for (std::size_t i = lo; i < hi; ++i) {
+        const std::size_t b = i / MX;
+        const std::size_t x = i % MX;
+        acc.zero();
+        for (std::size_t k0 = 0; k0 < K; k0 += kTb) {
+          const std::size_t kc = std::min(kTb, K - k0);
+          // Gather the k-major tile from the stored spectra (rows are MY
+          // apart within a channel, channels MX*MY apart).
+          for (std::size_t kk = 0; kk < kc; ++kk) {
+            std::copy_n(freq_.data() + ((b * K + k0 + kk) * MX + x) * MY, MY,
+                        tile.data() + kk * MY);
+          }
+          rank_update(acc.data(), MY, w.data(), K, k0, tile.data(), MY, O, MY, kc);
+        }
+        for (std::size_t o = 0; o < O; ++o) {
+          inv_y_.inverse_row(acc.data() + o * MY, mid_out_.data() + ((b * O + o) * MX + x) * NY,
+                             work.span());
+        }
+      }
+    });
+    auto& sc = counters_.stage("fused-cgemm-ifft");
+    sc.seconds = t.seconds();
+    sc.bytes_read = (B * K * modes + O * K) * sizeof(c32);
+    sc.bytes_written = B * O * MX * NY * sizeof(c32);
+    sc.flops = trace::cgemm_flops(B * modes, O, K) + B * O * MX * inv_y_.plan().flops_per_signal();
+    sc.kernel_launches = 1;
+  }
+
+  run_ifft_x_pad(mid_out_.span(), v);
+}
+
+// ------------------------------------------------------------ FullyFused (D)
+
+FullyFusedPipeline2d::FullyFusedPipeline2d(baseline::Spectral2dProblem prob)
+    : Pipeline2dBase(prob, "fully-fused-2d") {}
+
+void FullyFusedPipeline2d::run(std::span<const c32> u, std::span<const c32> w, std::span<c32> v) {
+  const std::size_t B = prob_.batch;
+  const std::size_t K = prob_.hidden;
+  const std::size_t O = prob_.out_dim;
+  const std::size_t NY = prob_.ny;
+  const std::size_t MX = prob_.modes_x;
+  const std::size_t MY = prob_.modes_y;
+  const std::size_t modes = MX * MY;
+  counters_.clear();
+
+  run_fft_x_trunc(u, mid_in_.span());
+
+  // Fused FFT-Y + CGEMM + iFFT-Y per (batch, x-row): the middle of the
+  // pipeline never touches global memory (Figure 9's fused kernel).
+  {
+    runtime::Timer t;
+    runtime::parallel_for(0, B * MX, 1, [&](std::size_t lo, std::size_t hi) {
+      AlignedBuffer<c32> tile(kTb * MY);
+      AlignedBuffer<c32> acc(O * MY);
+      AlignedBuffer<c32> work(2 * NY);
+      for (std::size_t i = lo; i < hi; ++i) {
+        const std::size_t b = i / MX;
+        const std::size_t x = i % MX;
+        acc.zero();
+        for (std::size_t k0 = 0; k0 < K; k0 += kTb) {
+          const std::size_t kc = std::min(kTb, K - k0);
+          fwd_y_.forward_tile(mid_in_.data() + ((b * K + k0) * MX + x) * NY, MX * NY, kc,
+                              tile.data(), MY, work.span());
+          rank_update(acc.data(), MY, w.data(), K, k0, tile.data(), MY, O, MY, kc);
+        }
+        for (std::size_t o = 0; o < O; ++o) {
+          inv_y_.inverse_row(acc.data() + o * MY, mid_out_.data() + ((b * O + o) * MX + x) * NY,
+                             work.span());
+        }
+      }
+    });
+    auto& sc = counters_.stage("fused-fft-cgemm-ifft");
+    sc.seconds = t.seconds();
+    sc.bytes_read = (B * K * MX * NY + O * K) * sizeof(c32);
+    sc.bytes_written = B * O * MX * NY * sizeof(c32);
+    sc.flops = B * K * MX * fwd_y_.plan().flops_per_signal() +
+               trace::cgemm_flops(B * modes, O, K) +
+               B * O * MX * inv_y_.plan().flops_per_signal();
+    sc.kernel_launches = 1;
+  }
+
+  run_ifft_x_pad(mid_out_.span(), v);
+}
+
+}  // namespace turbofno::fused

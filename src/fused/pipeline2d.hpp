@@ -1,0 +1,85 @@
+// The four TurboFNO 2D pipeline variants (ladder stages A-D).
+//
+// 2D structure (Figure 4): the first FFT stage runs along DimX with
+// truncation to modes_x rows; the middle of the pipeline — FFT along DimY,
+// CGEMM over the hidden dim, iFFT along DimY — is where fusion applies; the
+// last stage is the zero-padded inverse FFT along DimX.
+#pragma once
+
+#include <span>
+
+#include "baseline/problem.hpp"
+#include "fft/plan.hpp"
+#include "fused/fft_variant.hpp"
+#include "tensor/aligned_buffer.hpp"
+#include "tensor/complex.hpp"
+#include "trace/counters.hpp"
+
+namespace turbofno::fused {
+
+/// Common substrate for the 2D variants: the along-X truncated/padded
+/// stages and the buffers every variant needs.
+class Pipeline2dBase {
+ public:
+  explicit Pipeline2dBase(baseline::Spectral2dProblem prob, const char* counters_name);
+  [[nodiscard]] const trace::PipelineCounters& counters() const noexcept { return counters_; }
+  [[nodiscard]] const baseline::Spectral2dProblem& problem() const noexcept { return prob_; }
+
+ protected:
+  /// Stage 1: truncated forward FFT along X: u [B,K,nx,ny] -> dst
+  /// [B,K,mx,ny].  Writes only modes_x/nx of the rows (Fig 4's saving).
+  void run_fft_x_trunc(std::span<const c32> u, std::span<c32> dst);
+  /// Final stage: zero-padded inverse FFT along X: src [B,O,mx,ny] ->
+  /// v [B,O,nx,ny].
+  void run_ifft_x_pad(std::span<const c32> src, std::span<c32> v);
+
+  baseline::Spectral2dProblem prob_;
+  fft::FftPlan fft_x_trunc_;
+  fft::FftPlan ifft_x_pad_;
+  KLoopFft fwd_y_;      // truncated FFT along Y feeding the GEMM k-loop
+  EpilogueIfft inv_y_;  // zero-padded iFFT along Y (CGEMM epilogue)
+  AlignedBuffer<c32> mid_in_;   // [B, K, mx, ny] after the X stage
+  AlignedBuffer<c32> mid_out_;  // [B, O, mx, ny] before the X inverse
+  trace::PipelineCounters counters_;
+};
+
+/// Stage A: every kernel truncated/pruned, nothing fused (5 launches).
+class FftOptPipeline2d : public Pipeline2dBase {
+ public:
+  explicit FftOptPipeline2d(baseline::Spectral2dProblem prob);
+  void run(std::span<const c32> u, std::span<const c32> w, std::span<c32> v);
+
+ private:
+  AlignedBuffer<c32> freq_;   // [B, K, mx, my]
+  AlignedBuffer<c32> mixed_;  // [B, O, mx, my]
+};
+
+/// Stage B: FFT-Y fused with CGEMM; iFFT-Y separate (4 launches).
+class FusedFftGemmPipeline2d : public Pipeline2dBase {
+ public:
+  explicit FusedFftGemmPipeline2d(baseline::Spectral2dProblem prob);
+  void run(std::span<const c32> u, std::span<const c32> w, std::span<c32> v);
+
+ private:
+  AlignedBuffer<c32> mixed_;  // [B, O, mx, my]
+};
+
+/// Stage C: FFT-Y separate; CGEMM fused with the iFFT-Y epilogue.
+class FusedGemmIfftPipeline2d : public Pipeline2dBase {
+ public:
+  explicit FusedGemmIfftPipeline2d(baseline::Spectral2dProblem prob);
+  void run(std::span<const c32> u, std::span<const c32> w, std::span<c32> v);
+
+ private:
+  AlignedBuffer<c32> freq_;  // [B, K, mx, my]
+};
+
+/// Stage D: fused FFT-Y + CGEMM + iFFT-Y between the two X stages
+/// (3 launches).
+class FullyFusedPipeline2d : public Pipeline2dBase {
+ public:
+  explicit FullyFusedPipeline2d(baseline::Spectral2dProblem prob);
+  void run(std::span<const c32> u, std::span<const c32> w, std::span<c32> v);
+};
+
+}  // namespace turbofno::fused

@@ -1,0 +1,25 @@
+#include "gemm/batched.hpp"
+
+#include "gemm/cgemm.hpp"
+#include "runtime/parallel.hpp"
+
+namespace turbofno::gemm {
+
+void cgemm_batched(std::size_t M, std::size_t N, std::size_t K, c32 alpha, const c32* A,
+                   std::size_t lda, const c32* B, std::size_t ldb, c32 beta, c32* C,
+                   std::size_t ldc, std::size_t batch, const BatchedStrides& strides) {
+  if (batch == 0 || M == 0 || N == 0) return;
+  // Parallelism across the batch; each instance runs the tiled kernel with
+  // the runtime's nested-region guard (parallel_for inside a worker runs
+  // inline, so there is no oversubscription).
+  runtime::parallel_for(0, batch, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const c32* Ai = A + static_cast<std::ptrdiff_t>(i) * strides.a;
+      const c32* Bi = B + static_cast<std::ptrdiff_t>(i) * strides.b;
+      c32* Ci = C + static_cast<std::ptrdiff_t>(i) * strides.c;
+      cgemm(M, N, K, alpha, Ai, lda, Bi, ldb, beta, Ci, ldc);
+    }
+  });
+}
+
+}  // namespace turbofno::gemm

@@ -1,0 +1,41 @@
+// Blocked complex single-precision GEMM (row-major).
+//
+// The public entry point dispatches to a templated tiled kernel; the tile
+// shapes are the paper's Table 1 configurations, plus a template header
+// (`cgemm_tiled`) so benches can sweep alternatives (Section 3.1's "fully
+// templated CGEMM kernel").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "gemm/config.hpp"
+#include "tensor/complex.hpp"
+
+namespace turbofno::gemm {
+
+/// C[MxN] = alpha * A[MxK] * B[KxN] + beta * C   (row-major).
+/// Parallelized over C tiles; deterministic for a fixed tile config.
+void cgemm(std::size_t M, std::size_t N, std::size_t K, c32 alpha, const c32* A, std::size_t lda,
+           const c32* B, std::size_t ldb, c32 beta, c32* C, std::size_t ldc);
+
+/// Same kernel with an explicit tile configuration (for the ablation bench).
+template <class Cfg>
+void cgemm_tiled(std::size_t M, std::size_t N, std::size_t K, c32 alpha, const c32* A,
+                 std::size_t lda, const c32* B, std::size_t ldb, c32 beta, c32* C,
+                 std::size_t ldc);
+
+// Explicitly instantiated tile configurations (defined in cgemm.cpp).
+using AblTilesSmall = Tiles<16, 16, 8, 4, 4>;
+using AblTilesWideN = Tiles<32, 64, 8, 4, 4>;
+using AblTilesTallM = Tiles<64, 32, 8, 4, 4>;
+using AblTilesDeepK = Tiles<32, 32, 16, 4, 4>;
+using AblTilesReg2 = Tiles<32, 32, 8, 2, 2>;
+using AblTilesReg8 = Tiles<64, 64, 8, 8, 8>;
+
+/// Bytes a cache-oblivious observer would count for one blocked CGEMM pass
+/// (A and B read once per C tile row/col, C read+written once).
+std::uint64_t cgemm_bytes(std::size_t M, std::size_t N, std::size_t K, const TileShape& tiles,
+                          bool beta_nonzero) noexcept;
+
+}  // namespace turbofno::gemm

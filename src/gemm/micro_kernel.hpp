@@ -1,0 +1,48 @@
+// Register-tile micro-kernel of the blocked CGEMM.
+//
+// Packed operand layout (both k-major) so the inner loop streams
+// contiguously, the CPU analogue of the shared-memory A/B tiles in the
+// paper's Figure 9 pseudocode:
+//   Apack[Ktb][Mtb]  — Apack[k][i] = A[i, k0+k]  (column-major A tile)
+//   Bpack[Ktb][Ntb]  — Bpack[k][j] = B[k0+k, j]
+//
+// The Mt x Nt accumulator block lives entirely in registers; GCC vectorizes
+// the j-dimension (contiguous Bpack row) at -O3.
+#pragma once
+
+#include <cstddef>
+
+#include "tensor/complex.hpp"
+
+namespace turbofno::gemm {
+
+/// acc[Mt][Nt] += Apack_col(k)[i0..i0+Mt) x Bpack_row(k)[j0..j0+Nt) over kc
+/// values of k.
+template <std::size_t Mt, std::size_t Nt, std::size_t Mtb, std::size_t Ntb>
+inline void micro_accumulate(c32 (&acc)[Mt][Nt], const c32* Apack, const c32* Bpack,
+                             std::size_t kc, std::size_t i0, std::size_t j0) {
+  for (std::size_t k = 0; k < kc; ++k) {
+    const c32* arow = Apack + k * Mtb + i0;
+    const c32* brow = Bpack + k * Ntb + j0;
+    for (std::size_t i = 0; i < Mt; ++i) {
+      const c32 a = arow[i];
+      for (std::size_t j = 0; j < Nt; ++j) {
+        cmadd(acc[i][j], a, brow[j]);
+      }
+    }
+  }
+}
+
+/// Writes the accumulator block into C with alpha/beta, honouring edge
+/// bounds (mi/nj = valid rows/cols of this block).
+template <std::size_t Mt, std::size_t Nt>
+inline void micro_store(const c32 (&acc)[Mt][Nt], c32 alpha, c32 beta, c32* C, std::size_t ldc,
+                        std::size_t mi, std::size_t nj) {
+  for (std::size_t i = 0; i < mi; ++i) {
+    for (std::size_t j = 0; j < nj; ++j) {
+      C[i * ldc + j] = alpha * acc[i][j] + beta * C[i * ldc + j];
+    }
+  }
+}
+
+}  // namespace turbofno::gemm

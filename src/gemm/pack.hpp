@@ -1,0 +1,47 @@
+// Operand packing for the blocked CGEMM.
+//
+// Packing zero-fills tile remainders so the micro-kernel never branches on
+// edges; zeros contribute nothing to the accumulation.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+
+#include "tensor/complex.hpp"
+
+namespace turbofno::gemm {
+
+/// Apack[k][i] = A[i0+i, k0+k]; rows beyond `mi` / depth beyond `kc` zeroed.
+template <std::size_t Mtb, std::size_t Ktb>
+inline void pack_a_tile(c32* Apack, const c32* A, std::size_t lda, std::size_t i0,
+                        std::size_t k0, std::size_t mi, std::size_t kc) {
+  for (std::size_t k = 0; k < Ktb; ++k) {
+    c32* dst = Apack + k * Mtb;
+    if (k < kc) {
+      const c32* src = A + i0 * lda + (k0 + k);
+      std::size_t i = 0;
+      for (; i < mi; ++i) dst[i] = src[i * lda];
+      for (; i < Mtb; ++i) dst[i] = c32{};
+    } else {
+      std::memset(dst, 0, Mtb * sizeof(c32));
+    }
+  }
+}
+
+/// Bpack[k][j] = B[k0+k, j0+j]; columns beyond `nj` / depth beyond `kc` zeroed.
+template <std::size_t Ntb, std::size_t Ktb>
+inline void pack_b_tile(c32* Bpack, const c32* B, std::size_t ldb, std::size_t k0,
+                        std::size_t j0, std::size_t kc, std::size_t nj) {
+  for (std::size_t k = 0; k < Ktb; ++k) {
+    c32* dst = Bpack + k * Ntb;
+    if (k < kc) {
+      const c32* src = B + (k0 + k) * ldb + j0;
+      std::memcpy(dst, src, nj * sizeof(c32));
+      for (std::size_t j = nj; j < Ntb; ++j) dst[j] = c32{};
+    } else {
+      std::memset(dst, 0, Ntb * sizeof(c32));
+    }
+  }
+}
+
+}  // namespace turbofno::gemm

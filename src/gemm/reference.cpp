@@ -1,0 +1,19 @@
+#include "gemm/reference.hpp"
+
+namespace turbofno::gemm {
+
+void cgemm_reference(std::size_t M, std::size_t N, std::size_t K, c32 alpha, const c32* A,
+                     std::size_t lda, const c32* B, std::size_t ldb, c32 beta, c32* C,
+                     std::size_t ldc) {
+  for (std::size_t i = 0; i < M; ++i) {
+    for (std::size_t j = 0; j < N; ++j) {
+      c32 acc{};
+      for (std::size_t k = 0; k < K; ++k) {
+        cmadd(acc, A[i * lda + k], B[k * ldb + j]);
+      }
+      C[i * ldc + j] = alpha * acc + beta * C[i * ldc + j];
+    }
+  }
+}
+
+}  // namespace turbofno::gemm

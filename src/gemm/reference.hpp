@@ -1,0 +1,16 @@
+// Naive triple-loop complex GEMM: the correctness oracle for the blocked
+// kernel and the fused pipelines.  Row-major throughout.
+#pragma once
+
+#include <cstddef>
+
+#include "tensor/complex.hpp"
+
+namespace turbofno::gemm {
+
+/// C[MxN] = alpha * A[MxK] * B[KxN] + beta * C  (row-major, leading dims).
+void cgemm_reference(std::size_t M, std::size_t N, std::size_t K, c32 alpha, const c32* A,
+                     std::size_t lda, const c32* B, std::size_t ldb, c32 beta, c32* C,
+                     std::size_t ldc);
+
+}  // namespace turbofno::gemm

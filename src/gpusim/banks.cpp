@@ -1,0 +1,49 @@
+#include "gpusim/banks.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace turbofno::gpusim {
+
+WarpTransaction replay_warp_access(std::span<const std::uint32_t> word_addrs) {
+  WarpTransaction t;
+  t.lanes = word_addrs.size();
+  if (word_addrs.empty()) return t;
+
+  // Distinct words per bank determine serialization; identical words
+  // broadcast within a cycle.
+  std::array<std::vector<std::uint32_t>, kNumBanks> words_per_bank;
+  for (const std::uint32_t w : word_addrs) {
+    words_per_bank[w % kNumBanks].push_back(w);
+  }
+  for (std::size_t b = 0; b < kNumBanks; ++b) {
+    auto& v = words_per_bank[b];
+    if (v.empty()) continue;
+    std::sort(v.begin(), v.end());
+    const std::size_t distinct =
+        static_cast<std::size_t>(std::unique(v.begin(), v.end()) - v.begin());
+    t.banks_touched += 1;
+    t.max_conflict = std::max(t.max_conflict, distinct);
+  }
+  t.cycles = t.max_conflict;
+  return t;
+}
+
+void BankConflictAudit::record(const WarpTransaction& t) {
+  instructions_ += 1;
+  total_cycles_ += t.cycles;
+  total_lanes_ += t.lanes;
+}
+
+std::vector<std::uint32_t> complex_access_words(std::span<const std::uint32_t> byte_addrs) {
+  std::vector<std::uint32_t> words;
+  words.reserve(byte_addrs.size() * 2);
+  for (const std::uint32_t b : byte_addrs) {
+    const std::uint32_t w = b / kBankWordBytes;
+    words.push_back(w);
+    words.push_back(w + 1);
+  }
+  return words;
+}
+
+}  // namespace turbofno::gpusim

@@ -1,0 +1,69 @@
+// Shared-memory bank model (NVIDIA-style: 32 banks, 4-byte words).
+//
+// A warp instruction presents 32 word addresses (or a subset for partial
+// warps).  Accesses to distinct words in the same bank serialize; accesses to
+// the same word broadcast.  The paper's Figure 7/8 utilization numbers
+// (25%, 6.25%, 100%) are statements about this model, which we reproduce
+// exactly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace turbofno::gpusim {
+
+inline constexpr std::size_t kNumBanks = 32;
+inline constexpr std::size_t kBankWordBytes = 4;
+
+/// Outcome of replaying one warp instruction against the bank model.
+struct WarpTransaction {
+  std::size_t cycles = 0;        // serialized passes (1 = conflict free)
+  std::size_t banks_touched = 0; // distinct banks addressed
+  std::size_t lanes = 0;         // participating lanes (word accesses)
+  std::size_t max_conflict = 0;  // worst per-bank distinct-word count
+
+  /// Paper's utilization metric: fraction of bank-cycles doing useful work.
+  [[nodiscard]] double utilization() const noexcept {
+    if (cycles == 0) return 0.0;
+    return static_cast<double>(lanes) / static_cast<double>(cycles * kNumBanks);
+  }
+};
+
+/// Replays one warp access: `word_addrs` are 4-byte word indices, one per
+/// participating lane.  Identical addresses broadcast (count one word).
+WarpTransaction replay_warp_access(std::span<const std::uint32_t> word_addrs);
+
+/// Accumulates transactions over a whole kernel phase.
+class BankConflictAudit {
+ public:
+  void record(const WarpTransaction& t);
+
+  [[nodiscard]] std::size_t instructions() const noexcept { return instructions_; }
+  [[nodiscard]] std::size_t total_cycles() const noexcept { return total_cycles_; }
+  [[nodiscard]] std::size_t total_lanes() const noexcept { return total_lanes_; }
+
+  /// Aggregate utilization over every replayed instruction.
+  [[nodiscard]] double utilization() const noexcept {
+    if (total_cycles_ == 0) return 0.0;
+    return static_cast<double>(total_lanes_) / static_cast<double>(total_cycles_ * kNumBanks);
+  }
+  /// Average serialized cycles per instruction (1.0 = conflict free).
+  [[nodiscard]] double mean_cycles() const noexcept {
+    return instructions_ == 0 ? 0.0
+                              : static_cast<double>(total_cycles_) /
+                                    static_cast<double>(instructions_);
+  }
+
+ private:
+  std::size_t instructions_ = 0;
+  std::size_t total_cycles_ = 0;
+  std::size_t total_lanes_ = 0;
+};
+
+/// Expands a per-lane *byte* address of an 8-byte complex access into its two
+/// word addresses (a c32 store touches two consecutive banks).
+std::vector<std::uint32_t> complex_access_words(std::span<const std::uint32_t> byte_addrs);
+
+}  // namespace turbofno::gpusim

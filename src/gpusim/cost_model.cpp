@@ -1,0 +1,30 @@
+#include "gpusim/cost_model.hpp"
+
+#include <algorithm>
+
+namespace turbofno::gpusim {
+
+KernelCost kernel_cost(const GpuSpec& spec, std::uint64_t bytes, std::uint64_t flops,
+                       std::uint64_t launches, double bank_utilization) {
+  KernelCost c;
+  const double util = std::clamp(bank_utilization, 1.0 / 64.0, 1.0);
+  c.mem_seconds = static_cast<double>(bytes) / (spec.dram_bytes_per_s * spec.mem_efficiency);
+  c.compute_seconds = static_cast<double>(flops) /
+                      (spec.fp32_flop_per_s * spec.compute_efficiency) / util;
+  c.launch_seconds = static_cast<double>(launches) * spec.launch_overhead_s;
+  const double body = std::max(c.mem_seconds, c.compute_seconds);
+  c.seconds = c.launch_seconds + body;
+  if (c.launch_seconds > body) {
+    c.bound = Bound::Launch;
+  } else {
+    c.bound = c.mem_seconds >= c.compute_seconds ? Bound::Memory : Bound::Compute;
+  }
+  return c;
+}
+
+double ridge_point(const GpuSpec& spec) {
+  return (spec.fp32_flop_per_s * spec.compute_efficiency) /
+         (spec.dram_bytes_per_s * spec.mem_efficiency);
+}
+
+}  // namespace turbofno::gpusim

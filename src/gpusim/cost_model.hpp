@@ -1,0 +1,46 @@
+// Analytic A100 kernel cost model (roofline + launch overhead).
+//
+// The paper's performance claims reduce to memory-transaction and kernel-
+// launch arithmetic (Section 5's analysis attributes the gains to traffic
+// reduction).  Given a stage's global bytes, FLOPs and launch count, the
+// model predicts its time on an A100-40GB PCIe as
+//
+//   t = launches * t_launch + max(bytes / BW_eff, flops / FLOPS_eff)
+//
+// with optional derating for shared-memory bank serialization.
+#pragma once
+
+#include <cstdint>
+
+namespace turbofno::gpusim {
+
+struct GpuSpec {
+  const char* name = "NVIDIA A100-PCIE-40GB";
+  double dram_bytes_per_s = 1.555e12;  // 1555 GB/s HBM2e
+  double fp32_flop_per_s = 19.5e12;    // CUDA-core FP32 peak
+  double launch_overhead_s = 5.0e-6;   // empirical kernel launch + sync cost
+  double mem_efficiency = 0.85;        // achievable fraction of peak BW
+  double compute_efficiency = 0.80;    // achievable fraction of peak FLOPs
+};
+
+enum class Bound { Memory, Compute, Launch };
+
+struct KernelCost {
+  double seconds = 0.0;
+  double mem_seconds = 0.0;
+  double compute_seconds = 0.0;
+  double launch_seconds = 0.0;
+  Bound bound = Bound::Memory;
+};
+
+/// Predicts one kernel (or fused kernel) stage.  `bank_utilization` in
+/// (0, 1] derates the compute term: a phase running at 25% shared-memory
+/// utilization spends 4x the cycles moving operands through shared memory.
+KernelCost kernel_cost(const GpuSpec& spec, std::uint64_t bytes, std::uint64_t flops,
+                       std::uint64_t launches, double bank_utilization = 1.0);
+
+/// Arithmetic intensity (FLOPs/byte) at which the device transitions from
+/// memory- to compute-bound.
+double ridge_point(const GpuSpec& spec);
+
+}  // namespace turbofno::gpusim

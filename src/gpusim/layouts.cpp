@@ -1,0 +1,110 @@
+#include "gpusim/layouts.hpp"
+
+namespace turbofno::gpusim {
+
+namespace {
+constexpr std::uint32_t kC32Bytes = 8;
+}
+
+AccessPattern fig7a_gemm_load_vkfft_layout() {
+  // Shared A tile is column-major: pencil k occupies complex offsets
+  // [k * kPencilLen, (k+1) * kPencilLen).  Under the VkFFT write assignment,
+  // when GEMM lane t fetches its A fragment it lands on pencil t % 8 at
+  // offset t / 8 (+ step per instruction): the eight lanes of each group
+  // address the same bank pair.
+  AccessPattern p;
+  const std::size_t steps = kPencilLen / 4;  // 4 lanes cover one pencil
+  for (std::size_t step = 0; step < steps; ++step) {
+    WarpInstruction ins;
+    ins.lane_byte_addrs.reserve(32);
+    for (std::uint32_t t = 0; t < 32; ++t) {
+      const std::uint32_t pencil = t % kPencils;
+      const std::uint32_t offset = t / kPencils + static_cast<std::uint32_t>(step * 4);
+      ins.lane_byte_addrs.push_back((pencil * kPencilLen + offset) * kC32Bytes);
+    }
+    p.instructions.push_back(std::move(ins));
+  }
+  return p;
+}
+
+AccessPattern fig7a_gemm_load_turbofno_layout() {
+  // Same column-major tile, but lanes walk one pencil contiguously: lane t
+  // reads offset t (+32 per instruction), covering all 32 banks each cycle.
+  AccessPattern p;
+  const std::size_t steps = kPencilLen / 32 * kPencils;
+  for (std::size_t step = 0; step < steps; ++step) {
+    const std::uint32_t pencil = static_cast<std::uint32_t>(step % kPencils);
+    const std::uint32_t base = static_cast<std::uint32_t>(step / kPencils) * 32;
+    WarpInstruction ins;
+    ins.lane_byte_addrs.reserve(32);
+    for (std::uint32_t t = 0; t < 32; ++t) {
+      ins.lane_byte_addrs.push_back((pencil * kPencilLen + base + t) * kC32Bytes);
+    }
+    p.instructions.push_back(std::move(ins));
+  }
+  return p;
+}
+
+namespace {
+
+// Final-stage FFT writeback: `threads` lanes each own `per_thread`
+// consecutive complex outputs of a pencil of length threads*per_thread.
+// Element e of lane t goes to offset t*per_thread + e; the swizzle rotates
+// each lane's elements cyclically within its own segment by t/offset_div,
+// so the skew is a permutation of the pencil (no padding, nothing spills).
+AccessPattern fft_writeback(std::uint32_t threads, std::uint32_t per_thread,
+                            std::uint32_t offset_div, bool swizzle) {
+  AccessPattern p;
+  for (std::uint32_t e = 0; e < per_thread; ++e) {
+    WarpInstruction ins;
+    ins.lane_byte_addrs.reserve(threads);
+    for (std::uint32_t t = 0; t < threads; ++t) {
+      std::uint32_t elem = e;
+      if (swizzle) elem = (e + t / offset_div) % per_thread;
+      ins.lane_byte_addrs.push_back((t * per_thread + elem) * kC32Bytes);
+    }
+    p.instructions.push_back(std::move(ins));
+  }
+  return p;
+}
+
+}  // namespace
+
+AccessPattern fig7b_fft16_writeback(bool swizzle) {
+  // 16 lanes x 16 outputs each: unswizzled strides of 16 complex = 128 bytes
+  // land every lane on the same bank pair (2/32 active).
+  return fft_writeback(16, 16, 1, swizzle);
+}
+
+AccessPattern fig7c_fft8_writeback(bool swizzle) {
+  // 16 lanes x 8 outputs: neighbours differ by 64 bytes (banks 0 vs 16), so
+  // the smaller tid/2 skew suffices.
+  return fft_writeback(16, 8, 2, swizzle);
+}
+
+AccessPattern fig8_gemm_epilogue_store(bool swizzle) {
+  // Warp tile 32x16 complex; lane t owns the 4x4 block at rows
+  // 4*(t/4)..4*(t/4)+3, cols 4*(t%4)..4*(t%4)+3.  Row stride is 16 complex
+  // = 128 bytes = 32 words, so banks are decided by the column alone:
+  // the eight lanes sharing t%4 collide (8 banks of 32 active).  Skewing by
+  // t/4 complex (wrapped in-row) spreads each column instruction over all
+  // banks exactly twice — the floor for 64 word accesses.
+  AccessPattern p;
+  constexpr std::uint32_t kRow = 16;  // complex per shared row
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    for (std::uint32_t j = 0; j < 4; ++j) {
+      WarpInstruction ins;
+      ins.lane_byte_addrs.reserve(32);
+      for (std::uint32_t t = 0; t < 32; ++t) {
+        const std::uint32_t row = 4 * (t / 4) + i;
+        std::uint32_t col = 4 * (t % 4) + j;
+        if (swizzle) col = (col + t / 4) % kRow;
+        ins.lane_byte_addrs.push_back((row * kRow + col) * kC32Bytes);
+      }
+      p.instructions.push_back(std::move(ins));
+    }
+  }
+  return p;
+}
+
+}  // namespace turbofno::gpusim

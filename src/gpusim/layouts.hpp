@@ -1,0 +1,55 @@
+// Shared-memory layout generators for the paper's Figures 7 and 8.
+//
+// Each generator emits the exact per-lane byte addresses one warp issues in
+// the corresponding phase of the fused kernel; replaying them against the
+// bank model reproduces the utilization numbers the paper reports:
+//
+//   Fig 7(a) top    VkFFT-style strided FFT output -> GEMM A-operand load:
+//                   thread groups 0-7, 8-15, ... collide        -> 25%
+//   Fig 7(a) bottom TurboFNO consecutive layout                 -> 100%
+//   Fig 7(b)        16-elem/thread FFT writeback, no swizzle    -> 6.25%
+//                   (2 of 32 banks active); with addr += tid    -> 100%
+//   Fig 7(c)        8-elem/thread FFT writeback, no swizzle collides two
+//                   threads apart; with addr += tid/2           -> 100%
+//   Fig 8           CGEMM 4x4-tile epilogue store to the iFFT input tile,
+//                   no swizzle                                  -> 25%;
+//                   with addr += tid/4                          -> 100%
+//
+// Swizzled offsets wrap inside the row (mod the row width) so no padding is
+// required, matching the paper's "without memory padding overhead".
+#pragma once
+
+#include <cstddef>
+
+#include "gpusim/warp_access.hpp"
+
+namespace turbofno::gpusim {
+
+/// How many complex elements per shared tile pencil in the Fig 7 scenarios.
+inline constexpr std::size_t kPencilLen = 64;
+inline constexpr std::size_t kPencils = 8;  // == GEMM k_tb
+
+/// Fig 7(a): a GEMM warp loading a column-major A fragment out of shared
+/// memory that the FFT stage produced.
+/// VkFFT assignment: FFT thread t held pencil t%8 at offset t/8, so a GEMM
+/// column read serializes in groups of eight.
+AccessPattern fig7a_gemm_load_vkfft_layout();
+/// TurboFNO assignment: consecutive threads hold consecutive elements of the
+/// same pencil; the GEMM column read is conflict-free.
+AccessPattern fig7a_gemm_load_turbofno_layout();
+
+/// Fig 7(b): final FFT stage writeback, 16 threads each owning 16
+/// consecutive complex outputs of one pencil.  `swizzle` applies
+/// addr += tid (in complex elements, wrapped in-pencil).
+AccessPattern fig7b_fft16_writeback(bool swizzle);
+
+/// Fig 7(c): same with 8 consecutive outputs per thread; swizzle is the
+/// smaller addr += tid/2.
+AccessPattern fig7c_fft8_writeback(bool swizzle);
+
+/// Fig 8: CGEMM epilogue, a warp of 32 threads each storing its 4x4 complex
+/// register tile into the 32x16 shared tile consumed by the iFFT.  `swizzle`
+/// applies addr += tid/4 (complex elements, wrapped in-row).
+AccessPattern fig8_gemm_epilogue_store(bool swizzle);
+
+}  // namespace turbofno::gpusim

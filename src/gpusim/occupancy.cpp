@@ -1,0 +1,65 @@
+#include "gpusim/occupancy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace turbofno::gpusim {
+
+Occupancy occupancy_of(const SmLimits& sm, const BlockResources& block) {
+  Occupancy o;
+  if (block.threads == 0 || block.threads > sm.max_threads) {
+    o.limiter = "threads/block";
+    return o;
+  }
+
+  const std::size_t by_threads = sm.max_threads / block.threads;
+  const std::size_t regs_per_block = block.registers_per_thread * block.threads;
+  const std::size_t by_regs =
+      regs_per_block == 0 ? sm.max_blocks : sm.registers / regs_per_block;
+  const std::size_t by_smem = block.shared_memory_bytes == 0
+                                  ? sm.max_blocks
+                                  : sm.shared_memory_bytes / block.shared_memory_bytes;
+
+  o.blocks_per_sm = std::min({by_threads, by_regs, by_smem, sm.max_blocks});
+  if (o.blocks_per_sm == by_threads && by_threads <= by_regs && by_threads <= by_smem) {
+    o.limiter = "threads";
+  } else if (o.blocks_per_sm == by_regs && by_regs <= by_smem) {
+    o.limiter = "registers";
+  } else if (o.blocks_per_sm == by_smem) {
+    o.limiter = "shared memory";
+  } else {
+    o.limiter = "max blocks";
+  }
+  o.occupancy = static_cast<double>(o.blocks_per_sm * block.threads) /
+                static_cast<double>(sm.max_threads);
+  return o;
+}
+
+double wave_efficiency(const SmLimits& sm, const BlockResources& block,
+                       std::size_t grid_blocks) {
+  if (grid_blocks == 0) return 0.0;
+  const Occupancy o = occupancy_of(sm, block);
+  if (o.blocks_per_sm == 0) return 0.0;
+  const std::size_t wave = o.blocks_per_sm * sm.sm_count;
+  const std::size_t waves = (grid_blocks + wave - 1) / wave;
+  return static_cast<double>(grid_blocks) / static_cast<double>(waves * wave);
+}
+
+BlockResources fused_kernel_block(std::size_t modes, std::size_t fft_n) {
+  BlockResources b;
+  b.threads = 256;  // 8 warps: the 32x32 C tile at 4x4 per thread
+  b.registers_per_thread = 64;
+  // As double buffer (2 x m_s x k_s), Bs (k_s x n_s), sFFT (k_s x N_fft),
+  // all complex (8 B) with Table 1 tiles m_s = n_s = 32, k_s = 8.
+  const std::size_t as = 2 * modes * 8 * 8;
+  const std::size_t bs = 8 * 32 * 8;
+  const std::size_t sfft = 8 * fft_n * 8;
+  b.shared_memory_bytes = as + bs + sfft;
+  return b;
+}
+
+std::size_t fused_grid_1d(std::size_t batch, std::size_t out_dim, std::size_t n_tb) {
+  return batch * ((out_dim + n_tb - 1) / n_tb);
+}
+
+}  // namespace turbofno::gpusim

@@ -1,0 +1,54 @@
+// SM occupancy / wave-quantization model.
+//
+// The paper's Fig 14/19 slowdown corner (small batch, large hidden dim) is
+// an SM-utilization effect: the fused kernel assigns one thread block per
+// (batch, spatial) pencil group, so small batches launch too few blocks to
+// fill the device.  This model quantifies that: blocks-per-SM from the
+// resource limits, then wave efficiency of a given grid.
+#pragma once
+
+#include <cstddef>
+
+namespace turbofno::gpusim {
+
+/// Per-SM hardware limits (A100 defaults).
+struct SmLimits {
+  std::size_t max_threads = 2048;
+  std::size_t max_blocks = 32;
+  std::size_t registers = 65536;
+  std::size_t shared_memory_bytes = 164 * 1024;
+  std::size_t sm_count = 108;
+};
+
+/// Resources one thread block consumes.
+struct BlockResources {
+  std::size_t threads = 256;
+  std::size_t registers_per_thread = 64;
+  std::size_t shared_memory_bytes = 0;
+};
+
+struct Occupancy {
+  std::size_t blocks_per_sm = 0;   // simultaneous blocks one SM can host
+  double occupancy = 0.0;          // resident threads / max threads
+  const char* limiter = "";        // which resource capped it
+};
+
+/// Static occupancy of a kernel with the given per-block resources.
+Occupancy occupancy_of(const SmLimits& sm, const BlockResources& block);
+
+/// Wave efficiency of launching `grid_blocks`: useful work / (whole waves).
+/// 1.0 when the grid fills complete waves; small grids waste most of the
+/// last (only) wave.  Returns 0 for an empty grid.
+double wave_efficiency(const SmLimits& sm, const BlockResources& block,
+                       std::size_t grid_blocks);
+
+/// Resources of the paper's fused FFT-CGEMM-iFFT block (Table 1 config):
+/// 256 threads, and shared memory for As double-buffered tile + Bs tile +
+/// the sFFT epilogue tile at the given mode count and FFT length.
+BlockResources fused_kernel_block(std::size_t modes, std::size_t fft_n);
+
+/// Grid size of the fused 1D kernel: one block per (batch) pencil group x
+/// output-dim tiles.
+std::size_t fused_grid_1d(std::size_t batch, std::size_t out_dim, std::size_t n_tb = 32);
+
+}  // namespace turbofno::gpusim

@@ -1,0 +1,24 @@
+#include "gpusim/pipeline_model.hpp"
+
+namespace turbofno::gpusim {
+
+PipelinePrediction predict(const GpuSpec& spec, const trace::PipelineCounters& counters) {
+  PipelinePrediction p;
+  for (const auto& s : counters.stages()) {
+    StagePrediction sp;
+    sp.name = s.name;
+    sp.cost = kernel_cost(spec, s.bytes_total(), s.flops, s.kernel_launches);
+    p.total_seconds += sp.cost.seconds;
+    p.stages.push_back(std::move(sp));
+  }
+  return p;
+}
+
+double predicted_speedup(const GpuSpec& spec, const trace::PipelineCounters& base,
+                         const trace::PipelineCounters& opt) {
+  const double tb = predict(spec, base).total_seconds;
+  const double to = predict(spec, opt).total_seconds;
+  return to > 0.0 ? tb / to : 0.0;
+}
+
+}  // namespace turbofno::gpusim

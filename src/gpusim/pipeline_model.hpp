@@ -1,0 +1,33 @@
+// Predicts A100 pipeline time from the stage counters the CPU pipelines
+// record, so every figure can be reported twice: measured on the CPU
+// substrate and modeled on the paper's hardware.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gpusim/cost_model.hpp"
+#include "trace/counters.hpp"
+
+namespace turbofno::gpusim {
+
+struct StagePrediction {
+  std::string name;
+  KernelCost cost;
+};
+
+struct PipelinePrediction {
+  std::vector<StagePrediction> stages;
+  double total_seconds = 0.0;
+};
+
+/// Applies the kernel cost model to each recorded stage.  Stages named with
+/// a "fused" prefix are treated as a single launch regardless of recorded
+/// launch counts (their launches were already merged by the pipeline).
+PipelinePrediction predict(const GpuSpec& spec, const trace::PipelineCounters& counters);
+
+/// Convenience: predicted speedup of `opt` over `base` (ratio of totals).
+double predicted_speedup(const GpuSpec& spec, const trace::PipelineCounters& base,
+                         const trace::PipelineCounters& opt);
+
+}  // namespace turbofno::gpusim

@@ -1,0 +1,27 @@
+#include "gpusim/warp_access.hpp"
+
+#include <algorithm>
+
+namespace turbofno::gpusim {
+
+double AccessPattern::bank_coverage() const {
+  if (instructions.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& ins : instructions) {
+    const auto words = complex_access_words(ins.lane_byte_addrs);
+    const WarpTransaction t = replay_warp_access(words);
+    acc += static_cast<double>(t.banks_touched) / static_cast<double>(kNumBanks);
+  }
+  return acc / static_cast<double>(instructions.size());
+}
+
+BankConflictAudit replay(const AccessPattern& pattern) {
+  BankConflictAudit audit;
+  for (const auto& ins : pattern.instructions) {
+    const auto words = complex_access_words(ins.lane_byte_addrs);
+    audit.record(replay_warp_access(words));
+  }
+  return audit;
+}
+
+}  // namespace turbofno::gpusim

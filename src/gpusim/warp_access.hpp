@@ -1,0 +1,31 @@
+// Warp access patterns: sequences of shared-memory instructions to replay
+// against the bank model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/banks.hpp"
+
+namespace turbofno::gpusim {
+
+/// One warp-synchronous shared-memory instruction: the byte address each
+/// participating lane accesses (one c32 per lane).
+struct WarpInstruction {
+  std::vector<std::uint32_t> lane_byte_addrs;
+};
+
+/// A replayable phase: the ordered instructions one warp issues.
+struct AccessPattern {
+  std::vector<WarpInstruction> instructions;
+
+  /// Mean fraction of the 32 banks addressed per instruction (the metric the
+  /// paper quotes for Figure 7(b): "2 out of 32 banks active" = 6.25%).
+  [[nodiscard]] double bank_coverage() const;
+};
+
+/// Replays every instruction (expanding c32 accesses to word pairs) and
+/// returns the aggregate audit.
+BankConflictAudit replay(const AccessPattern& pattern);
+
+}  // namespace turbofno::gpusim

@@ -1,0 +1,49 @@
+#include "runtime/env.hpp"
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace turbofno::runtime {
+
+long env_long(const char* name, long fallback) noexcept {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+bool env_flag(const char* name) noexcept {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return false;
+  return std::strcmp(v, "1") == 0 || std::strcmp(v, "on") == 0 ||
+         std::strcmp(v, "true") == 0 || std::strcmp(v, "yes") == 0;
+}
+
+std::string format_bytes(double bytes) {
+  static constexpr std::array<const char*, 5> units = {"B", "KiB", "MiB", "GiB", "TiB"};
+  std::size_t u = 0;
+  while (bytes >= 1024.0 && u + 1 < units.size()) {
+    bytes /= 1024.0;
+    ++u;
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.2f %s", bytes, units[u]);
+  return buf;
+}
+
+std::string format_seconds(double s) {
+  char buf[48];
+  if (s >= 1.0) {
+    std::snprintf(buf, sizeof buf, "%.3f s", s);
+  } else if (s >= 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.3f ms", s * 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3f us", s * 1e6);
+  }
+  return buf;
+}
+
+}  // namespace turbofno::runtime

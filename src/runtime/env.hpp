@@ -1,0 +1,22 @@
+// Small environment/configuration helpers shared by benches and examples.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace turbofno::runtime {
+
+/// Reads an integer environment variable, returning `fallback` when unset or
+/// unparsable.
+long env_long(const char* name, long fallback) noexcept;
+
+/// True when env var `name` is set to a truthy value (1/on/true/yes).
+bool env_flag(const char* name) noexcept;
+
+/// Human-readable byte count ("1.5 GiB").
+std::string format_bytes(double bytes);
+
+/// Human-readable duration from seconds ("12.3 ms").
+std::string format_seconds(double s);
+
+}  // namespace turbofno::runtime

@@ -1,0 +1,37 @@
+// Monotonic wall-clock timing utilities used by benches and pipelines.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+
+namespace turbofno::runtime {
+
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+  void reset() noexcept { start_ = clock::now(); }
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Runs `fn` repeatedly: a warmup pass, then timed repetitions; returns the
+/// minimum per-iteration seconds (minimum is the standard noise-robust
+/// statistic for compute kernels).
+template <class Fn>
+double time_best_of(std::size_t reps, Fn&& fn) {
+  fn();  // warmup / first-touch
+  double best = 1e300;
+  for (std::size_t r = 0; r < reps; ++r) {
+    Timer t;
+    fn();
+    best = std::min(best, t.seconds());
+  }
+  return best;
+}
+
+}  // namespace turbofno::runtime

@@ -1,0 +1,96 @@
+// Cache-line/SIMD aligned owning buffer.
+//
+// All kernel operands in TurboFNO live in 64-byte-aligned storage so the
+// compiler can emit aligned vector loads and tiles never straddle cache
+// lines unnecessarily.  RAII per the Core Guidelines: no raw new/delete
+// escapes this header.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <span>
+#include <type_traits>
+#include <utility>
+
+namespace turbofno {
+
+inline constexpr std::size_t kBufferAlignment = 64;
+
+template <class T>
+class AlignedBuffer {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "AlignedBuffer holds POD kernel operands only");
+
+ public:
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(std::size_t n) { resize(n); }
+
+  AlignedBuffer(const AlignedBuffer& other) { *this = other; }
+  AlignedBuffer& operator=(const AlignedBuffer& other) {
+    if (this != &other) {
+      resize(other.size_);
+      if (size_ != 0) std::memcpy(data_.get(), other.data_.get(), size_ * sizeof(T));
+    }
+    return *this;
+  }
+
+  AlignedBuffer(AlignedBuffer&&) noexcept = default;
+  AlignedBuffer& operator=(AlignedBuffer&&) noexcept = default;
+
+  /// Reallocates (contents are NOT preserved) and zero-fills.
+  void resize(std::size_t n) {
+    if (n == size_) {
+      zero();
+      return;
+    }
+    if (n == 0) {
+      data_.reset();
+      size_ = 0;
+      return;
+    }
+    const std::size_t bytes = round_up(n * sizeof(T));
+    void* p = std::aligned_alloc(kBufferAlignment, bytes);
+    if (p == nullptr) throw std::bad_alloc{};
+    data_.reset(static_cast<T*>(p));
+    size_ = n;
+    zero();
+  }
+
+  void zero() noexcept {
+    if (size_ != 0) std::memset(data_.get(), 0, size_ * sizeof(T));
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  [[nodiscard]] T* data() noexcept { return data_.get(); }
+  [[nodiscard]] const T* data() const noexcept { return data_.get(); }
+
+  T& operator[](std::size_t i) noexcept { return data_.get()[i]; }
+  const T& operator[](std::size_t i) const noexcept { return data_.get()[i]; }
+
+  [[nodiscard]] std::span<T> span() noexcept { return {data(), size_}; }
+  [[nodiscard]] std::span<const T> span() const noexcept { return {data(), size_}; }
+
+  T* begin() noexcept { return data(); }
+  T* end() noexcept { return data() + size_; }
+  const T* begin() const noexcept { return data(); }
+  const T* end() const noexcept { return data() + size_; }
+
+ private:
+  static std::size_t round_up(std::size_t bytes) noexcept {
+    return (bytes + kBufferAlignment - 1) / kBufferAlignment * kBufferAlignment;
+  }
+
+  struct FreeDeleter {
+    void operator()(T* p) const noexcept { std::free(p); }
+  };
+  std::unique_ptr<T, FreeDeleter> data_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace turbofno

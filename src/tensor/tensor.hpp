@@ -1,0 +1,130 @@
+// Dense row-major tensor with shape/stride views.
+//
+// TurboFNO tensors follow the FNO layout convention of the paper:
+//   1D spectral layer input:  [Batch, HiddenDim, DimY]
+//   2D spectral layer input:  [Batch, HiddenDim, DimX, DimY]
+// The innermost (last) axis is contiguous.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <initializer_list>
+#include <numeric>
+#include <span>
+#include <stdexcept>
+#include <string>
+
+#include "tensor/aligned_buffer.hpp"
+#include "tensor/complex.hpp"
+
+namespace turbofno {
+
+inline constexpr std::size_t kMaxRank = 4;
+
+/// Value type for tensor shapes; a fixed-capacity rank<=4 dimension list.
+class Shape {
+ public:
+  constexpr Shape() = default;
+  Shape(std::initializer_list<std::size_t> dims) {
+    if (dims.size() > kMaxRank) throw std::invalid_argument("Shape: rank > 4");
+    rank_ = dims.size();
+    std::size_t i = 0;
+    for (auto d : dims) dims_[i++] = d;
+  }
+
+  [[nodiscard]] constexpr std::size_t rank() const noexcept { return rank_; }
+  [[nodiscard]] constexpr std::size_t operator[](std::size_t i) const noexcept { return dims_[i]; }
+  [[nodiscard]] constexpr std::size_t numel() const noexcept {
+    std::size_t n = 1;
+    for (std::size_t i = 0; i < rank_; ++i) n *= dims_[i];
+    return rank_ == 0 ? 0 : n;
+  }
+  friend constexpr bool operator==(const Shape& a, const Shape& b) {
+    if (a.rank_ != b.rank_) return false;
+    for (std::size_t i = 0; i < a.rank_; ++i)
+      if (a.dims_[i] != b.dims_[i]) return false;
+    return true;
+  }
+
+  [[nodiscard]] std::string str() const {
+    std::string s = "[";
+    for (std::size_t i = 0; i < rank_; ++i) {
+      s += std::to_string(dims_[i]);
+      if (i + 1 < rank_) s += ", ";
+    }
+    return s + "]";
+  }
+
+ private:
+  std::array<std::size_t, kMaxRank> dims_{};
+  std::size_t rank_ = 0;
+};
+
+template <class T>
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape) : shape_(shape), buf_(shape.numel()) {}
+
+  void reshape(Shape shape) {
+    if (shape.numel() != buf_.size()) {
+      buf_.resize(shape.numel());
+    }
+    shape_ = shape;
+  }
+
+  [[nodiscard]] const Shape& shape() const noexcept { return shape_; }
+  [[nodiscard]] std::size_t rank() const noexcept { return shape_.rank(); }
+  [[nodiscard]] std::size_t dim(std::size_t i) const noexcept { return shape_[i]; }
+  [[nodiscard]] std::size_t numel() const noexcept { return buf_.size(); }
+
+  [[nodiscard]] T* data() noexcept { return buf_.data(); }
+  [[nodiscard]] const T* data() const noexcept { return buf_.data(); }
+  [[nodiscard]] std::span<T> span() noexcept { return buf_.span(); }
+  [[nodiscard]] std::span<const T> span() const noexcept { return buf_.span(); }
+
+  void zero() noexcept { buf_.zero(); }
+
+  // Rank-checked indexed access (debug/test paths; kernels use raw spans).
+  T& at(std::size_t i0) { return buf_[check(i0, 1)]; }
+  T& at(std::size_t i0, std::size_t i1) { return buf_[check(i0 * shape_[1] + i1, 2)]; }
+  T& at(std::size_t i0, std::size_t i1, std::size_t i2) {
+    return buf_[check((i0 * shape_[1] + i1) * shape_[2] + i2, 3)];
+  }
+  T& at(std::size_t i0, std::size_t i1, std::size_t i2, std::size_t i3) {
+    return buf_[check(((i0 * shape_[1] + i1) * shape_[2] + i2) * shape_[3] + i3, 4)];
+  }
+  const T& at(std::size_t i0) const { return const_cast<Tensor*>(this)->at(i0); }
+  const T& at(std::size_t i0, std::size_t i1) const { return const_cast<Tensor*>(this)->at(i0, i1); }
+  const T& at(std::size_t i0, std::size_t i1, std::size_t i2) const {
+    return const_cast<Tensor*>(this)->at(i0, i1, i2);
+  }
+  const T& at(std::size_t i0, std::size_t i1, std::size_t i2, std::size_t i3) const {
+    return const_cast<Tensor*>(this)->at(i0, i1, i2, i3);
+  }
+
+  /// Contiguous slice of the leading axis: rows [i0, i0+1) flattened.
+  [[nodiscard]] std::span<T> row(std::size_t i0) {
+    const std::size_t stride = numel() / shape_[0];
+    return {data() + i0 * stride, stride};
+  }
+  [[nodiscard]] std::span<const T> row(std::size_t i0) const {
+    const std::size_t stride = numel() / shape_[0];
+    return {data() + i0 * stride, stride};
+  }
+
+ private:
+  std::size_t check(std::size_t flat, std::size_t expect_rank) const {
+    if (shape_.rank() != expect_rank) throw std::out_of_range("Tensor: rank mismatch in at()");
+    if (flat >= buf_.size()) throw std::out_of_range("Tensor: index out of range");
+    return flat;
+  }
+
+  Shape shape_{};
+  AlignedBuffer<T> buf_{};
+};
+
+using CTensor = Tensor<c32>;
+using FTensor = Tensor<float>;
+
+}  // namespace turbofno

@@ -1,0 +1,37 @@
+#include "trace/counters.hpp"
+
+#include <bit>
+
+namespace turbofno::trace {
+
+StageCounters& StageCounters::operator+=(const StageCounters& o) noexcept {
+  bytes_read += o.bytes_read;
+  bytes_written += o.bytes_written;
+  flops += o.flops;
+  kernel_launches += o.kernel_launches;
+  seconds += o.seconds;
+  return *this;
+}
+
+StageCounters& PipelineCounters::stage(const std::string& stage_name) {
+  for (auto& s : stages_) {
+    if (s.name == stage_name) return s;
+  }
+  stages_.push_back(StageCounters{stage_name, 0, 0, 0, 0, 0.0});
+  return stages_.back();
+}
+
+StageCounters PipelineCounters::total() const {
+  StageCounters t{"total", 0, 0, 0, 0, 0.0};
+  for (const auto& s : stages_) t += s;
+  return t;
+}
+
+std::uint64_t fft_flops(std::uint64_t n) noexcept {
+  if (n < 2) return 0;
+  const auto stages = static_cast<std::uint64_t>(std::bit_width(n) - 1);
+  const std::uint64_t butterflies = stages * (n / 2);
+  return butterflies * (kFlopsPerCmul + 2 * kFlopsPerCadd);
+}
+
+}  // namespace turbofno::trace

@@ -1,0 +1,59 @@
+// Performance accounting used by both the CPU pipelines and the GPU model.
+//
+// Every pipeline stage reports the global-memory bytes it would move and the
+// complex FLOPs it performs.  The fused/unfused comparison in the paper is a
+// statement about these counters; keeping them first-class lets tests assert
+// the traffic reduction exactly rather than inferring it from wall-clock.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace turbofno::trace {
+
+/// Byte/op/launch tally for one named pipeline stage.
+struct StageCounters {
+  std::string name;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t flops = 0;          // real FLOPs (1 cmul = 6, 1 cadd = 2)
+  std::uint64_t kernel_launches = 0;
+  double seconds = 0.0;             // measured wall-clock, if timed
+
+  [[nodiscard]] std::uint64_t bytes_total() const noexcept { return bytes_read + bytes_written; }
+  StageCounters& operator+=(const StageCounters& o) noexcept;
+};
+
+/// Ordered collection of stage counters for one pipeline execution.
+class PipelineCounters {
+ public:
+  explicit PipelineCounters(std::string pipeline_name = {}) : name_(std::move(pipeline_name)) {}
+
+  StageCounters& stage(const std::string& stage_name);
+  [[nodiscard]] const std::vector<StageCounters>& stages() const noexcept { return stages_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  [[nodiscard]] StageCounters total() const;
+  void clear() noexcept { stages_.clear(); }
+
+ private:
+  std::string name_;
+  std::vector<StageCounters> stages_;
+};
+
+/// FLOP conventions shared across modules.
+inline constexpr std::uint64_t kFlopsPerCmul = 6;
+inline constexpr std::uint64_t kFlopsPerCadd = 2;
+
+/// Real FLOPs of a complex GEMM C[MxN] += A[MxK] B[KxN].
+constexpr std::uint64_t cgemm_flops(std::uint64_t m, std::uint64_t n, std::uint64_t k) noexcept {
+  return m * n * k * (kFlopsPerCmul + kFlopsPerCadd);
+}
+
+/// Real FLOPs of an unpruned radix-2 N-point complex FFT (per signal):
+/// log2(N) stages of N/2 butterflies, each 1 cmul + 2 cadd = 10 real FLOPs.
+std::uint64_t fft_flops(std::uint64_t n) noexcept;
+
+}  // namespace turbofno::trace

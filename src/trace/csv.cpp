@@ -1,0 +1,60 @@
+#include "trace/csv.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace turbofno::trace {
+
+CsvWriter::CsvWriter(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void CsvWriter::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw std::invalid_argument("CsvWriter: row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+namespace {
+
+std::string escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string CsvWriter::str() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << escape(row[i]) << (i + 1 < row.size() ? "," : "");
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+bool CsvWriter::write_to(const std::string& dir, const std::string& name) const {
+  if (dir.empty()) return false;
+  std::ofstream f(dir + "/" + name + ".csv");
+  if (!f) return false;
+  f << str();
+  return static_cast<bool>(f);
+}
+
+std::string CsvWriter::env_dir() {
+  const char* v = std::getenv("TURBOFNO_CSV_DIR");
+  return v == nullptr ? std::string{} : std::string{v};
+}
+
+}  // namespace turbofno::trace

@@ -1,0 +1,32 @@
+// CSV export for benchmark results — set TURBOFNO_CSV_DIR to a directory
+// and the figure benches drop one machine-readable file per figure next to
+// their human-readable tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace turbofno::trace {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Serializes with proper quoting of commas/quotes/newlines.
+  [[nodiscard]] std::string str() const;
+
+  /// Writes to `dir/name.csv`; returns false (without throwing) on IO
+  /// failure or when dir is empty.
+  bool write_to(const std::string& dir, const std::string& name) const;
+
+  /// Value of TURBOFNO_CSV_DIR, or empty when unset.
+  static std::string env_dir();
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace turbofno::trace

@@ -1,0 +1,112 @@
+#include "trace/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace turbofno::trace {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw std::invalid_argument("TextTable: row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::pct(double ratio, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%+.*f%%", precision, (ratio - 1.0) * 100.0);
+  return buf;
+}
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0 && c != '.' && c != '-' && c != '+' &&
+        c != '%' && c != 'e' && c != 'x') {
+      return false;
+    }
+  }
+  return true;
+}
+}  // namespace
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+  }
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const std::size_t pad = width[c] - row[c].size();
+      if (looks_numeric(row[c])) {
+        os << std::string(pad, ' ') << row[c];
+      } else {
+        os << row[c] << std::string(pad, ' ');
+      }
+      os << (c + 1 < row.size() ? "  " : "");
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (auto w : width) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+AsciiHeatmap::AsciiHeatmap(std::vector<std::string> row_labels, std::vector<std::string> col_labels)
+    : row_labels_(std::move(row_labels)),
+      col_labels_(std::move(col_labels)),
+      cells_(row_labels_.size(), std::vector<double>(col_labels_.size(), 0.0)) {}
+
+void AsciiHeatmap::set(std::size_t row, std::size_t col, double speedup_pct) {
+  cells_.at(row).at(col) = speedup_pct;
+}
+
+std::string AsciiHeatmap::str() const {
+  // Buckets mirror the paper's colour bar [-100%, +100%].
+  auto glyph = [](double pct) -> const char* {
+    if (pct >= 75.0) return " ## ";   // deep red
+    if (pct >= 50.0) return " ++ ";
+    if (pct >= 25.0) return " +  ";
+    if (pct >= 0.0) return " .  ";
+    if (pct >= -25.0) return " -  ";
+    return " -- ";                    // blue (slower than baseline)
+  };
+
+  std::size_t label_w = 0;
+  for (const auto& r : row_labels_) label_w = std::max(label_w, r.size());
+
+  std::ostringstream os;
+  os << std::string(label_w, ' ') << " |";
+  for (const auto& c : col_labels_) {
+    os << ' ' << (c.size() >= 3 ? c.substr(0, 3) : c + std::string(3 - c.size(), ' '));
+  }
+  os << "\n";
+  os << std::string(label_w, '-') << "-+" << std::string(col_labels_.size() * 4, '-') << "\n";
+  for (std::size_t r = 0; r < row_labels_.size(); ++r) {
+    os << row_labels_[r] << std::string(label_w - row_labels_[r].size(), ' ') << " |";
+    for (std::size_t c = 0; c < col_labels_.size(); ++c) os << glyph(cells_[r][c]);
+    os << "\n";
+  }
+  os << "legend: ## >=+75%  ++ >=+50%  + >=+25%  . >=0%  - > -25%  -- <= -25% vs baseline\n";
+  return os.str();
+}
+
+}  // namespace turbofno::trace

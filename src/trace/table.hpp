@@ -1,0 +1,46 @@
+// Plain-text table / heatmap rendering for the benchmark harness.
+//
+// The bench binaries print the same rows and series the paper's figures
+// plot; this module keeps their formatting consistent and pipe-friendly.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace turbofno::trace {
+
+/// Column-aligned text table with a header row.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Renders with two-space column gaps; numeric-looking cells right-align.
+  [[nodiscard]] std::string str() const;
+
+  static std::string fmt(double v, int precision = 2);
+  static std::string pct(double ratio, int precision = 1);  // 1.5 -> "150.0%"
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// ASCII heatmap reproducing the paper's Fig 14 / Fig 19 style: rows are one
+/// sweep axis, columns the other, each cell a signed speedup percentage
+/// bucketed into glyphs (deep red=big speedup ... blue=slowdown).
+class AsciiHeatmap {
+ public:
+  AsciiHeatmap(std::vector<std::string> row_labels, std::vector<std::string> col_labels);
+
+  void set(std::size_t row, std::size_t col, double speedup_pct);
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::vector<std::string> row_labels_;
+  std::vector<std::string> col_labels_;
+  std::vector<std::vector<double>> cells_;
+};
+
+}  // namespace turbofno::trace

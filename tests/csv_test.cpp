@@ -1,0 +1,58 @@
+// CSV export utility.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "trace/csv.hpp"
+
+namespace turbofno::trace {
+namespace {
+
+TEST(Csv, PlainSerialization) {
+  CsvWriter w({"a", "b"});
+  w.add_row({"1", "2"});
+  w.add_row({"x", "y"});
+  EXPECT_EQ(w.str(), "a,b\n1,2\nx,y\n");
+}
+
+TEST(Csv, QuotesCommasAndQuotes) {
+  CsvWriter w({"name", "note"});
+  w.add_row({"a,b", "he said \"hi\""});
+  EXPECT_EQ(w.str(), "name,note\n\"a,b\",\"he said \"\"hi\"\"\"\n");
+}
+
+TEST(Csv, RowWidthChecked) {
+  CsvWriter w({"a", "b"});
+  EXPECT_THROW(w.add_row({"only"}), std::invalid_argument);
+}
+
+TEST(Csv, WriteToFileRoundTrips) {
+  CsvWriter w({"k", "v"});
+  w.add_row({"x", "1"});
+  ASSERT_TRUE(w.write_to("/tmp", "turbofno_csv_test"));
+  std::ifstream f("/tmp/turbofno_csv_test.csv");
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "k,v");
+  std::getline(f, line);
+  EXPECT_EQ(line, "x,1");
+  std::remove("/tmp/turbofno_csv_test.csv");
+}
+
+TEST(Csv, EmptyDirIsRejectedQuietly) {
+  CsvWriter w({"a"});
+  EXPECT_FALSE(w.write_to("", "x"));
+  EXPECT_FALSE(w.write_to("/definitely/not/a/dir", "x"));
+}
+
+TEST(Csv, EnvDirReflectsEnvironment) {
+  ::unsetenv("TURBOFNO_CSV_DIR");
+  EXPECT_TRUE(CsvWriter::env_dir().empty());
+  ::setenv("TURBOFNO_CSV_DIR", "/tmp", 1);
+  EXPECT_EQ(CsvWriter::env_dir(), "/tmp");
+  ::unsetenv("TURBOFNO_CSV_DIR");
+}
+
+}  // namespace
+}  // namespace turbofno::trace

@@ -1,0 +1,169 @@
+// 2D FFT plan: correctness against a reference 2D DFT, per-axis truncation,
+// and the forward/inverse round trip the 2D FNO pipeline relies on.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fft/fft2d.hpp"
+#include "fft/reference.hpp"
+#include "test_util.hpp"
+
+namespace turbofno::fft {
+namespace {
+
+using turbofno::testing::fft_tol;
+using turbofno::testing::max_err;
+using turbofno::testing::random_signal;
+
+// Reference 2D DFT via two reference_dft passes (double precision inside).
+std::vector<c32> reference_fft2d(const std::vector<c32>& in, std::size_t nx, std::size_t ny) {
+  std::vector<c32> mid(nx * ny);
+  std::vector<c32> col(nx);
+  std::vector<c32> colf(nx);
+  for (std::size_t y = 0; y < ny; ++y) {
+    for (std::size_t x = 0; x < nx; ++x) col[x] = in[x * ny + y];
+    reference_dft(col, colf, nx);
+    for (std::size_t x = 0; x < nx; ++x) mid[x * ny + y] = colf[x];
+  }
+  std::vector<c32> out(nx * ny);
+  for (std::size_t x = 0; x < nx; ++x) {
+    reference_dft(std::span<const c32>(mid.data() + x * ny, ny),
+                  std::span<c32>(out.data() + x * ny, ny), ny);
+  }
+  return out;
+}
+
+FftPlan2d make2d(std::size_t nx, std::size_t ny, Direction dir, std::size_t kx = 0,
+                 std::size_t ky = 0) {
+  Plan2dDesc d;
+  d.nx = nx;
+  d.ny = ny;
+  d.dir = dir;
+  d.keep_x = kx;
+  d.keep_y = ky;
+  return FftPlan2d(d);
+}
+
+struct Case2d {
+  std::size_t nx;
+  std::size_t ny;
+};
+
+class FullFft2d : public ::testing::TestWithParam<Case2d> {};
+
+TEST_P(FullFft2d, ForwardMatchesReference) {
+  const auto [nx, ny] = GetParam();
+  const auto in = random_signal(nx * ny, 211u + static_cast<unsigned>(nx * ny));
+  std::vector<c32> out(nx * ny);
+  make2d(nx, ny, Direction::Forward).execute(in, out, 1);
+  const auto ref = reference_fft2d(in, nx, ny);
+  EXPECT_LT(max_err(out, ref), fft_tol(nx * ny));
+}
+
+TEST_P(FullFft2d, RoundTripRecoversInput) {
+  const auto [nx, ny] = GetParam();
+  const auto in = random_signal(nx * ny, 223u);
+  std::vector<c32> freq(nx * ny);
+  std::vector<c32> back(nx * ny);
+  make2d(nx, ny, Direction::Forward).execute(in, freq, 1);
+  make2d(nx, ny, Direction::Inverse).execute(freq, back, 1);
+  EXPECT_LT(max_err(back, in), fft_tol(nx * ny));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, FullFft2d,
+                         ::testing::Values(Case2d{4, 4}, Case2d{8, 16}, Case2d{16, 8},
+                                           Case2d{32, 32}, Case2d{64, 16}, Case2d{16, 64}));
+
+struct TruncCase2d {
+  std::size_t nx, ny, kx, ky;
+};
+
+class TruncFft2d : public ::testing::TestWithParam<TruncCase2d> {};
+
+TEST_P(TruncFft2d, TruncatedForwardEqualsFullPlusCornerSlice) {
+  const auto [nx, ny, kx, ky] = GetParam();
+  const auto in = random_signal(nx * ny, 227u + static_cast<unsigned>(kx + ky));
+  const auto full = reference_fft2d(in, nx, ny);
+  std::vector<c32> got(kx * ky);
+  make2d(nx, ny, Direction::Forward, kx, ky).execute(in, got, 1);
+  for (std::size_t x = 0; x < kx; ++x) {
+    for (std::size_t y = 0; y < ky; ++y) {
+      EXPECT_NEAR(got[x * ky + y].re, full[x * ny + y].re, fft_tol(nx * ny)) << x << "," << y;
+      EXPECT_NEAR(got[x * ky + y].im, full[x * ny + y].im, fft_tol(nx * ny)) << x << "," << y;
+    }
+  }
+}
+
+TEST_P(TruncFft2d, PaddedInverseEqualsExplicitPad) {
+  const auto [nx, ny, kx, ky] = GetParam();
+  const auto spec = random_signal(kx * ky, 229u);
+  // Explicit pad into a full field, then full inverse.
+  std::vector<c32> padded(nx * ny, c32{});
+  for (std::size_t x = 0; x < kx; ++x) {
+    for (std::size_t y = 0; y < ky; ++y) padded[x * ny + y] = spec[x * ky + y];
+  }
+  std::vector<c32> expect(nx * ny);
+  make2d(nx, ny, Direction::Inverse).execute(padded, expect, 1);
+
+  std::vector<c32> got(nx * ny);
+  make2d(nx, ny, Direction::Inverse, kx, ky).execute(spec, got, 1);
+  EXPECT_LT(max_err(got, expect), fft_tol(nx * ny));
+}
+
+TEST_P(TruncFft2d, TruncThenPadRoundTripIsLowpass) {
+  // fwd-trunc then inv-pad equals projecting onto the retained corner modes:
+  // applying it twice changes nothing (idempotent projector).
+  const auto [nx, ny, kx, ky] = GetParam();
+  const auto in = random_signal(nx * ny, 233u);
+  const FftPlan2d fwd = make2d(nx, ny, Direction::Forward, kx, ky);
+  const FftPlan2d inv = make2d(nx, ny, Direction::Inverse, kx, ky);
+
+  std::vector<c32> spec(kx * ky);
+  std::vector<c32> once(nx * ny);
+  fwd.execute(in, spec, 1);
+  inv.execute(spec, once, 1);
+  std::vector<c32> twice(nx * ny);
+  fwd.execute(once, spec, 1);
+  inv.execute(spec, twice, 1);
+  EXPECT_LT(max_err(twice, once), 5.0 * fft_tol(nx * ny));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, TruncFft2d,
+                         ::testing::Values(TruncCase2d{8, 8, 2, 4}, TruncCase2d{16, 16, 4, 4},
+                                           TruncCase2d{32, 16, 8, 4}, TruncCase2d{16, 32, 16, 8},
+                                           TruncCase2d{64, 32, 16, 16},
+                                           TruncCase2d{32, 32, 32, 8}));
+
+TEST(Fft2dBatched, BatchedMatchesPerField) {
+  const std::size_t nx = 16;
+  const std::size_t ny = 32;
+  const std::size_t batch = 5;
+  const auto in = random_signal(batch * nx * ny, 239u);
+  const FftPlan2d plan = make2d(nx, ny, Direction::Forward, 4, 8);
+  std::vector<c32> batched(batch * 4 * 8);
+  plan.execute(in, batched, batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    std::vector<c32> one(4 * 8);
+    plan.execute(std::span<const c32>(in.data() + b * nx * ny, nx * ny), one, 1);
+    EXPECT_LT(max_err(std::span<const c32>(batched.data() + b * 4 * 8, 4 * 8), one), 1e-6);
+  }
+}
+
+TEST(Fft2dDesc, FlopAccountingIsPositiveAndPrunedIsSmaller) {
+  const auto full = make2d(256, 128, Direction::Forward);
+  const auto pruned = make2d(256, 128, Direction::Forward, 64, 64);
+  EXPECT_GT(full.flops_per_field(), 0u);
+  EXPECT_LT(pruned.flops_per_field(), full.flops_per_field());
+}
+
+TEST(Fft2dDesc, FieldElemCountsFollowDirection) {
+  const auto fwd = make2d(32, 64, Direction::Forward, 8, 16);
+  EXPECT_EQ(fwd.in_field_elems(), 32u * 64u);
+  EXPECT_EQ(fwd.out_field_elems(), 8u * 16u);
+  const auto inv = make2d(32, 64, Direction::Inverse, 8, 16);
+  EXPECT_EQ(inv.in_field_elems(), 8u * 16u);
+  EXPECT_EQ(inv.out_field_elems(), 32u * 64u);
+}
+
+}  // namespace
+}  // namespace turbofno::fft

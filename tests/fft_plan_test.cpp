@@ -1,0 +1,351 @@
+// FFT plan correctness against the O(n^2) double-precision reference DFT.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fft/plan.hpp"
+#include "fft/reference.hpp"
+#include "fft/twiddle.hpp"
+#include "test_util.hpp"
+
+namespace turbofno::fft {
+namespace {
+
+using turbofno::testing::fft_tol;
+using turbofno::testing::max_err;
+using turbofno::testing::random_signal;
+
+FftPlan make_plan(std::size_t n, Direction dir, std::size_t keep = 0, std::size_t nonzero = 0) {
+  PlanDesc d;
+  d.n = n;
+  d.dir = dir;
+  d.keep = keep;
+  d.nonzero = nonzero;
+  return FftPlan(d);
+}
+
+// ---------------------------------------------------------------- full sizes
+
+class FullFftSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FullFftSizes, ForwardMatchesReference) {
+  const std::size_t n = GetParam();
+  const auto in = random_signal(n, 11u + static_cast<unsigned>(n));
+  std::vector<c32> out(n);
+  std::vector<c32> ref(n);
+  make_plan(n, Direction::Forward).execute(in, out, 1);
+  reference_dft(in, ref, n);
+  EXPECT_LT(max_err(out, ref), fft_tol(n)) << "n=" << n;
+}
+
+TEST_P(FullFftSizes, InverseMatchesReference) {
+  const std::size_t n = GetParam();
+  const auto in = random_signal(n, 17u + static_cast<unsigned>(n));
+  std::vector<c32> out(n);
+  std::vector<c32> ref(n);
+  make_plan(n, Direction::Inverse).execute(in, out, 1);
+  reference_idft(in, ref, n);
+  EXPECT_LT(max_err(out, ref), fft_tol(n)) << "n=" << n;
+}
+
+TEST_P(FullFftSizes, RoundTripRecoversInput) {
+  const std::size_t n = GetParam();
+  const auto in = random_signal(n, 23u + static_cast<unsigned>(n));
+  std::vector<c32> freq(n);
+  std::vector<c32> back(n);
+  make_plan(n, Direction::Forward).execute(in, freq, 1);
+  make_plan(n, Direction::Inverse).execute(freq, back, 1);
+  EXPECT_LT(max_err(back, in), fft_tol(n));
+}
+
+TEST_P(FullFftSizes, ForwardIsLinear) {
+  const std::size_t n = GetParam();
+  const auto a = random_signal(n, 29u);
+  const auto b = random_signal(n, 31u);
+  const c32 alpha{0.7f, -0.3f};
+  std::vector<c32> mix(n);
+  for (std::size_t i = 0; i < n; ++i) mix[i] = alpha * a[i] + b[i];
+
+  const FftPlan plan = make_plan(n, Direction::Forward);
+  std::vector<c32> fa(n);
+  std::vector<c32> fb(n);
+  std::vector<c32> fmix(n);
+  plan.execute(a, fa, 1);
+  plan.execute(b, fb, 1);
+  plan.execute(mix, fmix, 1);
+  std::vector<c32> expect(n);
+  for (std::size_t i = 0; i < n; ++i) expect[i] = alpha * fa[i] + fb[i];
+  EXPECT_LT(max_err(fmix, expect), 4.0 * fft_tol(n));
+}
+
+TEST_P(FullFftSizes, ParsevalEnergyConserved) {
+  const std::size_t n = GetParam();
+  const auto in = random_signal(n, 37u);
+  std::vector<c32> freq(n);
+  make_plan(n, Direction::Forward).execute(in, freq, 1);
+  double time_e = 0.0;
+  double freq_e = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    time_e += norm2(in[i]);
+    freq_e += norm2(freq[i]);
+  }
+  freq_e /= static_cast<double>(n);
+  EXPECT_NEAR(freq_e / time_e, 1.0, 1e-3);
+}
+
+TEST_P(FullFftSizes, DeltaInputGivesFlatSpectrum) {
+  const std::size_t n = GetParam();
+  std::vector<c32> in(n, c32{});
+  in[0] = {1.0f, 0.0f};
+  std::vector<c32> freq(n);
+  make_plan(n, Direction::Forward).execute(in, freq, 1);
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(freq[k].re, 1.0f, 1e-5);
+    EXPECT_NEAR(freq[k].im, 0.0f, 1e-5);
+  }
+}
+
+TEST_P(FullFftSizes, SingleToneLandsInItsBin) {
+  const std::size_t n = GetParam();
+  if (n < 4) GTEST_SKIP();
+  const std::size_t bin = n / 4 + 1;
+  std::vector<c32> in(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    in[j] = conj(twiddle(j * bin, n));  // e^{+2 pi i j bin / n}
+  }
+  std::vector<c32> freq(n);
+  make_plan(n, Direction::Forward).execute(in, freq, 1);
+  for (std::size_t k = 0; k < n; ++k) {
+    const float expect = (k == bin) ? static_cast<float>(n) : 0.0f;
+    EXPECT_NEAR(freq[k].re, expect, fft_tol(n) * n) << "k=" << k;
+    EXPECT_NEAR(freq[k].im, 0.0f, fft_tol(n) * n) << "k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, FullFftSizes,
+                         ::testing::Values(2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096));
+
+// ------------------------------------------------------------- trunc/zeropad
+
+struct FilterCase {
+  std::size_t n;
+  std::size_t keep;
+  std::size_t nonzero;
+};
+
+class FilteredFft : public ::testing::TestWithParam<FilterCase> {};
+
+TEST_P(FilteredFft, TruncatedForwardEqualsFullPlusSlice) {
+  const auto [n, keep, nonzero] = GetParam();
+  const auto in = random_signal(n, 41u + static_cast<unsigned>(n + keep));
+  std::vector<c32> full(n);
+  make_plan(n, Direction::Forward).execute(in, full, 1);
+  std::vector<c32> trunc(keep);
+  make_plan(n, Direction::Forward, keep).execute(in, trunc, 1);
+  EXPECT_LT(max_err(trunc, std::span<const c32>(full.data(), keep)), fft_tol(n));
+  (void)nonzero;
+}
+
+TEST_P(FilteredFft, ZeroPaddedForwardEqualsExplicitPad) {
+  const auto [n, keep, nonzero] = GetParam();
+  const auto stored = random_signal(nonzero, 43u + static_cast<unsigned>(n));
+  std::vector<c32> padded(n, c32{});
+  std::copy(stored.begin(), stored.end(), padded.begin());
+  std::vector<c32> expect(n);
+  make_plan(n, Direction::Forward).execute(padded, expect, 1);
+  std::vector<c32> got(n);
+  make_plan(n, Direction::Forward, 0, nonzero).execute(stored, got, 1);
+  EXPECT_LT(max_err(got, expect), fft_tol(n));
+  (void)keep;
+}
+
+TEST_P(FilteredFft, ZeroPaddedInverseEqualsExplicitPad) {
+  const auto [n, keep, nonzero] = GetParam();
+  const auto spectrum = random_signal(nonzero, 47u);
+  std::vector<c32> padded(n, c32{});
+  std::copy(spectrum.begin(), spectrum.end(), padded.begin());
+  std::vector<c32> expect(n);
+  make_plan(n, Direction::Inverse).execute(padded, expect, 1);
+  std::vector<c32> got(n);
+  make_plan(n, Direction::Inverse, 0, nonzero).execute(spectrum, got, 1);
+  EXPECT_LT(max_err(got, expect), fft_tol(n));
+  (void)keep;
+}
+
+TEST_P(FilteredFft, TruncatedAndPaddedCompose) {
+  const auto [n, keep, nonzero] = GetParam();
+  const auto stored = random_signal(nonzero, 53u);
+  std::vector<c32> padded(n, c32{});
+  std::copy(stored.begin(), stored.end(), padded.begin());
+  std::vector<c32> full(n);
+  make_plan(n, Direction::Forward).execute(padded, full, 1);
+  std::vector<c32> got(keep);
+  make_plan(n, Direction::Forward, keep, nonzero).execute(stored, got, 1);
+  EXPECT_LT(max_err(got, std::span<const c32>(full.data(), keep)), fft_tol(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FilteredFft,
+    ::testing::Values(FilterCase{8, 2, 4}, FilterCase{16, 4, 8}, FilterCase{32, 8, 8},
+                      FilterCase{64, 16, 32}, FilterCase{64, 64, 16}, FilterCase{128, 32, 64},
+                      FilterCase{128, 64, 128}, FilterCase{256, 64, 64}, FilterCase{256, 128, 32},
+                      FilterCase{256, 1, 1}, FilterCase{512, 128, 256}, FilterCase{1024, 64, 512},
+                      FilterCase{128, 127, 127}, FilterCase{128, 3, 5}));
+
+// ----------------------------------------------------------- batched/strided
+
+TEST(FftBatched, ManySignalsMatchSingleExecutes) {
+  const std::size_t n = 128;
+  const std::size_t batch = 33;  // deliberately not a multiple of any grain
+  const auto in = random_signal(n * batch, 59u);
+  const FftPlan plan = make_plan(n, Direction::Forward);
+
+  std::vector<c32> batched(n * batch);
+  plan.execute(in, batched, batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    std::vector<c32> one(n);
+    plan.execute(std::span<const c32>(in.data() + b * n, n), one, 1);
+    EXPECT_LT(max_err(std::span<const c32>(batched.data() + b * n, n), one), 1e-6)
+        << "signal " << b;
+  }
+}
+
+TEST(FftBatched, TruncatedBatchPacksDensely) {
+  const std::size_t n = 64;
+  const std::size_t keep = 16;
+  const std::size_t batch = 7;
+  const auto in = random_signal(n * batch, 61u);
+  const FftPlan plan = make_plan(n, Direction::Forward, keep);
+  std::vector<c32> out(keep * batch, c32{-99.0f, -99.0f});
+  plan.execute(in, out, batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    std::vector<c32> full(n);
+    make_plan(n, Direction::Forward).execute(std::span<const c32>(in.data() + b * n, n), full, 1);
+    EXPECT_LT(max_err(std::span<const c32>(out.data() + b * keep, keep),
+                      std::span<const c32>(full.data(), keep)),
+              fft_tol(n));
+  }
+}
+
+TEST(FftStrided, StridedInputMatchesContiguous) {
+  const std::size_t n = 64;
+  const std::size_t stride = 5;
+  const auto dense = random_signal(n, 67u);
+  std::vector<c32> strided(n * stride, c32{});
+  for (std::size_t i = 0; i < n; ++i) strided[i * stride] = dense[i];
+
+  const FftPlan plan = make_plan(n, Direction::Forward);
+  std::vector<c32> expect(n);
+  plan.execute(dense, expect, 1);
+
+  std::vector<c32> got(n);
+  std::vector<c32> work(2 * n);
+  plan.execute_one(strided.data(), static_cast<std::ptrdiff_t>(stride), got.data(), 1,
+                   std::span<c32>(work));
+  EXPECT_LT(max_err(got, expect), 1e-6);
+}
+
+TEST(FftStrided, StridedOutputMatchesContiguous) {
+  const std::size_t n = 32;
+  const std::size_t ostride = 3;
+  const auto in = random_signal(n, 71u);
+  const FftPlan plan = make_plan(n, Direction::Forward);
+  std::vector<c32> expect(n);
+  plan.execute(in, expect, 1);
+
+  std::vector<c32> out(n * ostride, c32{});
+  std::vector<c32> work(2 * n);
+  plan.execute_one(in.data(), 1, out.data(), static_cast<std::ptrdiff_t>(ostride),
+                   std::span<c32>(work));
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(out[k * ostride].re, expect[k].re, 1e-6);
+    EXPECT_NEAR(out[k * ostride].im, expect[k].im, 1e-6);
+  }
+}
+
+TEST(FftStrided, ExecStridedLayoutBatches) {
+  // Signals along a "hidden" axis: element stride K, batch stride 1 — the
+  // access pattern of the fused kernel's k-loop FFT variant.
+  const std::size_t n = 32;
+  const std::size_t k_channels = 6;
+  const auto dense = random_signal(n * k_channels, 73u);
+  // interleaved[j * k_channels + k] = signal k, element j.
+  std::vector<c32> interleaved(n * k_channels);
+  for (std::size_t k = 0; k < k_channels; ++k) {
+    for (std::size_t j = 0; j < n; ++j) interleaved[j * k_channels + k] = dense[k * n + j];
+  }
+  const FftPlan plan = make_plan(n, Direction::Forward);
+  ExecLayout layout;
+  layout.in_elem_stride = static_cast<std::ptrdiff_t>(k_channels);
+  layout.in_batch_stride = 1;
+  layout.out_elem_stride = 1;
+  layout.out_batch_stride = static_cast<std::ptrdiff_t>(n);
+  std::vector<c32> got(n * k_channels);
+  plan.execute_strided(interleaved.data(), got.data(), k_channels, layout);
+
+  std::vector<c32> expect(n * k_channels);
+  plan.execute(dense, expect, k_channels);
+  EXPECT_LT(max_err(got, expect), 1e-6);
+}
+
+// ----------------------------------------------------------------- plan desc
+
+TEST(FftPlanDesc, RejectsNonPowerOfTwo) {
+  PlanDesc d;
+  d.n = 24;
+  EXPECT_THROW(FftPlan{d}, std::invalid_argument);
+  d.n = 0;
+  EXPECT_THROW(FftPlan{d}, std::invalid_argument);
+  d.n = 1;
+  EXPECT_THROW(FftPlan{d}, std::invalid_argument);
+}
+
+TEST(FftPlanDesc, RejectsOversizedFilter) {
+  PlanDesc d;
+  d.n = 64;
+  d.keep = 65;
+  EXPECT_THROW(FftPlan{d}, std::invalid_argument);
+  d.keep = 0;
+  d.nonzero = 100;
+  EXPECT_THROW(FftPlan{d}, std::invalid_argument);
+}
+
+TEST(FftPlanDesc, ByteAccountingMatchesFilter) {
+  PlanDesc d;
+  d.n = 256;
+  d.keep = 64;
+  d.nonzero = 128;
+  const FftPlan plan(d);
+  EXPECT_EQ(plan.bytes_read_per_signal(), 128u * sizeof(c32));
+  EXPECT_EQ(plan.bytes_written_per_signal(), 64u * sizeof(c32));
+  EXPECT_TRUE(plan.pruned());
+}
+
+TEST(FftPlanDesc, FullPlanIsNotPruned) {
+  PlanDesc d;
+  d.n = 256;
+  const FftPlan plan(d);
+  EXPECT_FALSE(plan.pruned());
+  EXPECT_EQ(plan.bytes_read_per_signal(), 256u * sizeof(c32));
+}
+
+TEST(FftPlanDesc, UnscaledInverseSkipsDivision) {
+  const std::size_t n = 16;
+  const auto in = random_signal(n, 79u);
+  PlanDesc d;
+  d.n = n;
+  d.dir = Direction::Inverse;
+  d.scale_inverse = false;
+  std::vector<c32> unscaled(n);
+  FftPlan(d).execute(in, unscaled, 1);
+  d.scale_inverse = true;
+  std::vector<c32> scaled(n);
+  FftPlan(d).execute(in, scaled, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(unscaled[i].re, scaled[i].re * n, 1e-4);
+    EXPECT_NEAR(unscaled[i].im, scaled[i].im * n, 1e-4);
+  }
+}
+
+}  // namespace
+}  // namespace turbofno::fft

@@ -1,0 +1,159 @@
+// Real-input FFT plans (R2C / C2R): reference equivalence, conjugate
+// symmetry, truncation, and round trips.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "fft/real.hpp"
+#include "fft/reference.hpp"
+#include "test_util.hpp"
+
+namespace turbofno::fft {
+namespace {
+
+using turbofno::testing::fft_tol;
+using turbofno::testing::max_err;
+
+std::vector<float> random_reals(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  std::vector<float> v(n);
+  for (auto& x : v) x = dist(rng);
+  return v;
+}
+
+std::vector<c32> as_complex(const std::vector<float>& x) {
+  std::vector<c32> z(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) z[i] = {x[i], 0.0f};
+  return z;
+}
+
+class RfftSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RfftSizes, MatchesComplexReference) {
+  const std::size_t n = GetParam();
+  const auto x = random_reals(n, 1101u + static_cast<unsigned>(n));
+  const auto xc = as_complex(x);
+  std::vector<c32> ref(n);
+  reference_dft(xc, ref, n);
+
+  const RfftPlan plan(n);
+  std::vector<c32> got(n / 2 + 1);
+  plan.execute(x, got, 1);
+  EXPECT_LT(max_err(got, std::span<const c32>(ref.data(), n / 2 + 1)), fft_tol(n)) << "n=" << n;
+}
+
+TEST_P(RfftSizes, RoundTripRecoversSignal) {
+  const std::size_t n = GetParam();
+  const auto x = random_reals(n, 1103u);
+  const RfftPlan fwd(n);
+  const IrfftPlan inv(n);
+  std::vector<c32> spec(n / 2 + 1);
+  std::vector<float> back(n);
+  fwd.execute(x, spec, 1);
+  inv.execute(spec, back, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(back[i], x[i], fft_tol(n)) << "i=" << i << " n=" << n;
+  }
+}
+
+TEST_P(RfftSizes, EdgeBinsAreReal) {
+  const std::size_t n = GetParam();
+  const auto x = random_reals(n, 1109u);
+  const RfftPlan plan(n);
+  std::vector<c32> spec(n / 2 + 1);
+  plan.execute(x, spec, 1);
+  EXPECT_NEAR(spec[0].im, 0.0f, 1e-5);
+  EXPECT_NEAR(spec[n / 2].im, 0.0f, 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, RfftSizes,
+                         ::testing::Values(4, 8, 16, 32, 64, 128, 256, 1024));
+
+TEST(Rfft, TruncatedEqualsFullPrefix) {
+  const std::size_t n = 128;
+  const std::size_t keep = 20;
+  const auto x = random_reals(n, 1117u);
+  std::vector<c32> full(n / 2 + 1);
+  RfftPlan(n).execute(x, full, 1);
+  std::vector<c32> trunc(keep);
+  RfftPlan(n, keep).execute(x, trunc, 1);
+  EXPECT_LT(max_err(trunc, std::span<const c32>(full.data(), keep)), 1e-6);
+}
+
+TEST(Irfft, TruncatedSpectrumEqualsExplicitZeroPad) {
+  const std::size_t n = 64;
+  const std::size_t nonzero = 9;
+  // Produce a valid half-spectrum, keep a prefix.
+  const auto x = random_reals(n, 1123u);
+  std::vector<c32> full(n / 2 + 1);
+  RfftPlan(n).execute(x, full, 1);
+
+  std::vector<c32> padded(full);
+  for (std::size_t k = nonzero; k <= n / 2; ++k) padded[k] = c32{};
+  std::vector<float> expect(n);
+  IrfftPlan(n).execute(padded, expect, 1);
+
+  std::vector<float> got(n);
+  IrfftPlan(n, nonzero).execute(std::span<const c32>(full.data(), nonzero), got, 1);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(got[i], expect[i], 1e-5);
+}
+
+TEST(Rfft, BatchedMatchesSingle) {
+  const std::size_t n = 64;
+  const std::size_t batch = 5;
+  const auto x = random_reals(batch * n, 1129u);
+  const RfftPlan plan(n, 16);
+  std::vector<c32> batched(batch * 16);
+  plan.execute(x, batched, batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    std::vector<c32> one(16);
+    plan.execute(std::span<const float>(x.data() + b * n, n), one, 1);
+    EXPECT_LT(max_err(std::span<const c32>(batched.data() + b * 16, 16), one), 0.0 + 1e-7);
+  }
+}
+
+TEST(Rfft, CosineLandsInItsBin) {
+  const std::size_t n = 64;
+  const std::size_t bin = 5;
+  std::vector<float> x(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    x[j] = std::cos(2.0f * std::numbers::pi_v<float> * static_cast<float>(bin * j) /
+                    static_cast<float>(n));
+  }
+  std::vector<c32> spec(n / 2 + 1);
+  RfftPlan(n).execute(x, spec, 1);
+  for (std::size_t k = 0; k <= n / 2; ++k) {
+    const float expect = k == bin ? static_cast<float>(n) / 2.0f : 0.0f;
+    EXPECT_NEAR(spec[k].re, expect, 1e-3) << k;
+    EXPECT_NEAR(spec[k].im, 0.0f, 1e-3) << k;
+  }
+}
+
+TEST(Rfft, RejectsBadSizes) {
+  EXPECT_THROW(RfftPlan(2), std::invalid_argument);   // too small for the trick
+  EXPECT_THROW(RfftPlan(24), std::invalid_argument);  // not pow2
+  EXPECT_THROW(RfftPlan(64, 64), std::invalid_argument);  // keep > n/2+1
+  EXPECT_THROW(IrfftPlan(64, 40), std::invalid_argument);
+}
+
+TEST(Rfft, LowpassRoundTripIsProjection) {
+  // rfft -> keep few modes -> irfft == smoothing; applying twice == once.
+  const std::size_t n = 128;
+  const std::size_t modes = 8;
+  const auto x = random_reals(n, 1151u);
+  const RfftPlan fwd(n, modes);
+  const IrfftPlan inv(n, modes);
+  std::vector<c32> spec(modes);
+  std::vector<float> once(n);
+  fwd.execute(x, spec, 1);
+  inv.execute(spec, once, 1);
+  std::vector<float> twice(n);
+  fwd.execute(once, spec, 1);
+  inv.execute(spec, twice, 1);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(twice[i], once[i], 1e-4);
+}
+
+}  // namespace
+}  // namespace turbofno::fft

@@ -1,0 +1,83 @@
+// Stockham kernels: the mixed radix-4/2 fast path against its pure radix-2
+// verification twin and the reference DFT.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fft/reference.hpp"
+#include "fft/stockham.hpp"
+#include "test_util.hpp"
+
+namespace turbofno::fft {
+namespace {
+
+using turbofno::testing::fft_tol;
+using turbofno::testing::max_err;
+using turbofno::testing::random_signal;
+
+class StockhamSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(StockhamSizes, MixedRadixForwardMatchesReference) {
+  const std::size_t n = GetParam();
+  const auto in = random_signal(n, 1001u + static_cast<unsigned>(n));
+  std::vector<c32> buf(in);
+  std::vector<c32> work(n);
+  stockham_forward(buf, work, n);
+  std::vector<c32> ref(n);
+  reference_dft(in, ref, n);
+  EXPECT_LT(max_err(buf, ref), fft_tol(n)) << "n=" << n;
+}
+
+TEST_P(StockhamSizes, MixedRadixAgreesWithRadix2) {
+  const std::size_t n = GetParam();
+  const auto in = random_signal(n, 1009u + static_cast<unsigned>(n));
+  std::vector<c32> mixed(in);
+  std::vector<c32> r2(in);
+  std::vector<c32> work(n);
+  stockham_forward(mixed, work, n);
+  stockham_forward_radix2(r2, work, n);
+  EXPECT_LT(max_err(mixed, r2), fft_tol(n)) << "n=" << n;
+}
+
+TEST_P(StockhamSizes, InverseUndoesForward) {
+  const std::size_t n = GetParam();
+  const auto in = random_signal(n, 1013u);
+  std::vector<c32> buf(in);
+  std::vector<c32> work(n);
+  stockham_forward(buf, work, n);
+  stockham_inverse(buf, work, n, /*scale=*/true);
+  EXPECT_LT(max_err(buf, in), fft_tol(n));
+}
+
+TEST_P(StockhamSizes, Radix2InverseMatchesMixedInverse) {
+  const std::size_t n = GetParam();
+  const auto in = random_signal(n, 1019u);
+  std::vector<c32> mixed(in);
+  std::vector<c32> r2(in);
+  std::vector<c32> work(n);
+  stockham_inverse(mixed, work, n, true);
+  stockham_inverse_radix2(r2, work, n, true);
+  EXPECT_LT(max_err(mixed, r2), fft_tol(n));
+}
+
+// Odd and even log2(n): the mixed-radix driver takes a radix-2 tail on odd.
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, StockhamSizes,
+                         ::testing::Values(2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048,
+                                           4096, 8192));
+
+TEST(Stockham, UnscaledInverseIsNTimesScaled) {
+  const std::size_t n = 64;
+  const auto in = random_signal(n, 1021u);
+  std::vector<c32> a(in);
+  std::vector<c32> b(in);
+  std::vector<c32> work(n);
+  stockham_inverse(a, work, n, false);
+  stockham_inverse(b, work, n, true);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(a[i].re, b[i].re * n, 1e-3);
+    EXPECT_NEAR(a[i].im, b[i].im * n, 1e-3);
+  }
+}
+
+}  // namespace
+}  // namespace turbofno::fft

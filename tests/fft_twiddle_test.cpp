@@ -1,0 +1,101 @@
+// Twiddle tables and bit utilities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "fft/twiddle.hpp"
+
+namespace turbofno::fft {
+namespace {
+
+TEST(Twiddle, TableMatchesClosedForm) {
+  const TwiddleTable table(64);
+  for (std::size_t L = 2; L <= 64; L *= 2) {
+    const auto seg = table.forward(L);
+    ASSERT_EQ(seg.size(), L / 2);
+    for (std::size_t j = 0; j < L / 2; ++j) {
+      const double ang = -2.0 * std::numbers::pi * static_cast<double>(j) / static_cast<double>(L);
+      EXPECT_NEAR(seg[j].re, std::cos(ang), 1e-6) << "L=" << L << " j=" << j;
+      EXPECT_NEAR(seg[j].im, std::sin(ang), 1e-6);
+    }
+  }
+}
+
+TEST(Twiddle, InverseIsConjugate) {
+  const TwiddleTable table(32);
+  for (std::size_t L = 2; L <= 32; L *= 2) {
+    const auto f = table.forward(L);
+    const auto i = table.inverse(L);
+    for (std::size_t j = 0; j < L / 2; ++j) {
+      EXPECT_EQ(i[j].re, f[j].re);
+      EXPECT_EQ(i[j].im, -f[j].im);
+    }
+  }
+}
+
+TEST(Twiddle, UnitModulus) {
+  const TwiddleTable table(128);
+  for (std::size_t L = 2; L <= 128; L *= 2) {
+    for (const auto w : table.forward(L)) {
+      EXPECT_NEAR(norm2(w), 1.0f, 1e-6f);
+    }
+  }
+}
+
+TEST(Twiddle, CacheReturnsStableReference) {
+  const TwiddleTable& a = twiddles_for(256);
+  const TwiddleTable& b = twiddles_for(256);
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.size(), 256u);
+}
+
+TEST(Twiddle, RejectsNonPow2) {
+  EXPECT_THROW(TwiddleTable(3), std::invalid_argument);
+  EXPECT_THROW(TwiddleTable(0), std::invalid_argument);
+  EXPECT_THROW(TwiddleTable(1), std::invalid_argument);
+}
+
+TEST(BitUtils, IsPow2) {
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(1));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(1023));
+}
+
+TEST(BitUtils, Log2u) {
+  EXPECT_EQ(log2u(1), 0u);
+  EXPECT_EQ(log2u(2), 1u);
+  EXPECT_EQ(log2u(1024), 10u);
+}
+
+TEST(BitUtils, BitReverseInvolution) {
+  for (std::size_t bits = 1; bits <= 10; ++bits) {
+    for (std::size_t v = 0; v < (std::size_t{1} << bits); v += 7) {
+      EXPECT_EQ(bit_reverse(bit_reverse(v, bits), bits), v);
+    }
+  }
+}
+
+TEST(BitUtils, BitReverseKnownValues) {
+  EXPECT_EQ(bit_reverse(0b001, 3), 0b100u);
+  EXPECT_EQ(bit_reverse(0b011, 3), 0b110u);
+  EXPECT_EQ(bit_reverse(0b1, 1), 0b1u);
+  EXPECT_EQ(bit_reverse(0, 5), 0u);
+}
+
+TEST(BitUtils, BitReverseIsPermutation) {
+  const std::size_t bits = 6;
+  std::vector<bool> seen(1 << bits, false);
+  for (std::size_t v = 0; v < (std::size_t{1} << bits); ++v) {
+    const std::size_t r = bit_reverse(v, bits);
+    ASSERT_LT(r, seen.size());
+    EXPECT_FALSE(seen[r]);
+    seen[r] = true;
+  }
+}
+
+}  // namespace
+}  // namespace turbofno::fft

@@ -1,0 +1,178 @@
+// Full FNO model: shape handling, determinism, backend equivalence at the
+// model level, and numeric health on realistic workloads.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/fno.hpp"
+#include "core/workload.hpp"
+#include "test_util.hpp"
+
+namespace turbofno::core {
+namespace {
+
+using turbofno::testing::max_err;
+using turbofno::testing::random_signal;
+using turbofno::testing::rel_err;
+
+Fno1dConfig small_1d_cfg(Backend backend) {
+  Fno1dConfig cfg;
+  cfg.in_channels = 2;
+  cfg.hidden = 16;
+  cfg.out_channels = 1;
+  cfg.n = 64;
+  cfg.modes = 16;
+  cfg.layers = 3;
+  cfg.backend = backend;
+  return cfg;
+}
+
+TEST(Fno1dModel, ForwardProducesFiniteOutput) {
+  const std::size_t batch = 3;
+  const auto cfg = small_1d_cfg(Backend::FullyFused);
+  Fno1d model(cfg, batch);
+  std::vector<c32> u(batch * cfg.in_channels * cfg.n);
+  burgers_batch(u, batch, cfg.in_channels, cfg.n, 42u);
+  std::vector<c32> v(batch * cfg.out_channels * cfg.n, c32{});
+  model.forward(u, v);
+  double energy = 0.0;
+  for (const auto& x : v) {
+    ASSERT_TRUE(std::isfinite(x.re) && std::isfinite(x.im));
+    energy += norm2(x);
+  }
+  EXPECT_GT(energy, 0.0) << "model must not be identically zero";
+}
+
+TEST(Fno1dModel, DeterministicAcrossRuns) {
+  const std::size_t batch = 2;
+  const auto cfg = small_1d_cfg(Backend::FullyFused);
+  Fno1d model(cfg, batch);
+  std::vector<c32> u(batch * cfg.in_channels * cfg.n);
+  burgers_batch(u, batch, cfg.in_channels, cfg.n, 7u);
+  std::vector<c32> v1(batch * cfg.out_channels * cfg.n);
+  std::vector<c32> v2(batch * cfg.out_channels * cfg.n);
+  model.forward(u, v1);
+  model.forward(u, v2);
+  EXPECT_EQ(max_err(v1, v2), 0.0);
+}
+
+TEST(Fno1dModel, AllBackendsAgreeEndToEnd) {
+  const std::size_t batch = 2;
+  std::vector<c32> u(batch * 2 * 64);
+  burgers_batch(u, batch, 2, 64, 11u);
+  std::vector<std::vector<c32>> outs;
+  for (const auto backend :
+       {Backend::PyTorch, Backend::FftOpt, Backend::FusedFftGemm, Backend::FusedGemmIfft,
+        Backend::FullyFused}) {
+    Fno1d model(small_1d_cfg(backend), batch);
+    std::vector<c32> v(batch * 1 * 64, c32{});
+    model.forward(u, v);
+    outs.push_back(std::move(v));
+  }
+  for (std::size_t i = 1; i < outs.size(); ++i) {
+    EXPECT_LT(rel_err(outs[i], outs[0]), 5e-4) << "backend " << i;
+  }
+}
+
+TEST(Fno1dModel, SingleLayerNoActivationIsLinearOperator) {
+  Fno1dConfig cfg = small_1d_cfg(Backend::FullyFused);
+  cfg.layers = 1;  // single layer => final layer => no activation
+  Fno1d model(cfg, 1);
+  const auto u1 = random_signal(cfg.in_channels * cfg.n, 909u);
+  const auto u2 = random_signal(cfg.in_channels * cfg.n, 911u);
+  std::vector<c32> mix(u1.size());
+  for (std::size_t i = 0; i < mix.size(); ++i) mix[i] = u1[i] + u2[i];
+  std::vector<c32> v1(cfg.n);
+  std::vector<c32> v2(cfg.n);
+  std::vector<c32> vm(cfg.n);
+  model.forward(u1, v1);
+  model.forward(u2, v2);
+  model.forward(mix, vm);
+  std::vector<c32> expect(cfg.n);
+  for (std::size_t i = 0; i < cfg.n; ++i) expect[i] = v1[i] + v2[i];
+  EXPECT_LT(rel_err(vm, expect), 1e-3);
+}
+
+TEST(Fno2dModel, ForwardProducesFiniteOutput) {
+  Fno2dConfig cfg;
+  cfg.in_channels = 1;
+  cfg.hidden = 8;
+  cfg.out_channels = 1;
+  cfg.nx = 16;
+  cfg.ny = 16;
+  cfg.modes_x = 4;
+  cfg.modes_y = 4;
+  cfg.layers = 2;
+  cfg.backend = Backend::FullyFused;
+  const std::size_t batch = 2;
+  Fno2d model(cfg, batch);
+  std::vector<c32> u(batch * cfg.in_channels * cfg.nx * cfg.ny);
+  darcy_batch(u, batch, cfg.in_channels, cfg.nx, cfg.ny, 5u);
+  std::vector<c32> v(batch * cfg.out_channels * cfg.nx * cfg.ny, c32{});
+  model.forward(u, v);
+  for (const auto& x : v) ASSERT_TRUE(std::isfinite(x.re) && std::isfinite(x.im));
+}
+
+TEST(Fno2dModel, BackendsAgreeEndToEnd) {
+  Fno2dConfig cfg;
+  cfg.hidden = 8;
+  cfg.nx = 16;
+  cfg.ny = 16;
+  cfg.modes_x = 4;
+  cfg.modes_y = 4;
+  cfg.layers = 2;
+  const std::size_t batch = 1;
+  std::vector<c32> u(batch * cfg.in_channels * cfg.nx * cfg.ny);
+  vorticity_field(u, cfg.nx, cfg.ny, 17u);
+
+  std::vector<std::vector<c32>> outs;
+  for (const auto backend : {Backend::PyTorch, Backend::FullyFused}) {
+    cfg.backend = backend;
+    Fno2d model(cfg, batch);
+    std::vector<c32> v(batch * cfg.out_channels * cfg.nx * cfg.ny, c32{});
+    model.forward(u, v);
+    outs.push_back(std::move(v));
+  }
+  EXPECT_LT(rel_err(outs[1], outs[0]), 5e-4);
+}
+
+TEST(PointwiseLinearTest, MatchesNaiveMixing) {
+  const std::size_t in = 3;
+  const std::size_t out = 4;
+  const std::size_t batch = 2;
+  const std::size_t spatial = 10;
+  PointwiseLinear lin(in, out, 21u);
+  const auto u = random_signal(batch * in * spatial, 919u);
+  std::vector<c32> v(batch * out * spatial, c32{});
+  lin.forward(u, v, batch, spatial);
+
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t o = 0; o < out; ++o) {
+      for (std::size_t s = 0; s < spatial; ++s) {
+        c32 acc{};
+        for (std::size_t k = 0; k < in; ++k) {
+          cmadd(acc, lin.weights()[o * in + k], u[(b * in + k) * spatial + s]);
+        }
+        EXPECT_NEAR(v[(b * out + o) * spatial + s].re, acc.re, 1e-4);
+        EXPECT_NEAR(v[(b * out + o) * spatial + s].im, acc.im, 1e-4);
+      }
+    }
+  }
+}
+
+TEST(ReluTest, ClampsBothComponents) {
+  std::vector<c32> x = {{-1.0f, 2.0f}, {3.0f, -4.0f}, {-5.0f, -6.0f}, {7.0f, 8.0f}};
+  relu_inplace(x);
+  EXPECT_EQ(x[0].re, 0.0f);
+  EXPECT_EQ(x[0].im, 2.0f);
+  EXPECT_EQ(x[1].re, 3.0f);
+  EXPECT_EQ(x[1].im, 0.0f);
+  EXPECT_EQ(x[2].re, 0.0f);
+  EXPECT_EQ(x[2].im, 0.0f);
+  EXPECT_EQ(x[3].re, 7.0f);
+  EXPECT_EQ(x[3].im, 8.0f);
+}
+
+}  // namespace
+}  // namespace turbofno::core

@@ -1,0 +1,137 @@
+// Property suite over the fused pipeline ladder: the recorded traffic
+// counters must equal the closed-form byte/FLOP formulas derived from the
+// problem shape, for every variant over a shape grid.  These are the same
+// identities the A100 predictions rest on, so drift here would silently
+// corrupt every modeled figure.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fft/opcount.hpp"
+#include "fused/ladder.hpp"
+#include "test_util.hpp"
+
+namespace turbofno::fused {
+namespace {
+
+using baseline::Spectral1dProblem;
+using baseline::Spectral2dProblem;
+using turbofno::testing::random_signal;
+
+class CounterLaws1d : public ::testing::TestWithParam<Spectral1dProblem> {};
+
+trace::StageCounters run_total_1d(Variant var, const Spectral1dProblem& p) {
+  const auto u = random_signal(p.input_elems(), 3001u);
+  const auto w = random_signal(p.weight_elems(), 3003u);
+  std::vector<c32> v(p.output_elems());
+  auto pipe = make_pipeline1d(var, p);
+  pipe->run(u, w, v);
+  return pipe->counters().total();
+}
+
+TEST_P(CounterLaws1d, BaselineBytesFormula) {
+  const auto& p = GetParam();
+  const auto t = run_total_1d(Variant::PyTorch, p);
+  const std::uint64_t e = sizeof(c32);
+  // fft r/w full + trunc copy r/w + gemm (A=W once, B, C) + pad copy + ifft.
+  const std::uint64_t expect_read =
+      (p.batch * p.hidden * p.n) * e + (p.batch * p.hidden * p.modes) * e +
+      (p.batch * p.hidden * p.modes + p.out_dim * p.hidden) * e +
+      (p.batch * p.out_dim * p.modes) * e + (p.batch * p.out_dim * p.n) * e;
+  const std::uint64_t expect_write =
+      (p.batch * p.hidden * p.n) * e + (p.batch * p.hidden * p.modes) * e +
+      (p.batch * p.out_dim * p.modes) * e + (p.batch * p.out_dim * p.n) * e +
+      (p.batch * p.out_dim * p.n) * e;
+  EXPECT_EQ(t.bytes_read, expect_read);
+  EXPECT_EQ(t.bytes_written, expect_write);
+  EXPECT_EQ(t.kernel_launches, 5u);
+}
+
+TEST_P(CounterLaws1d, FullyFusedBytesFormula) {
+  const auto& p = GetParam();
+  const auto t = run_total_1d(Variant::FullyFused, p);
+  EXPECT_EQ(t.bytes_read, (p.input_elems() + p.weight_elems()) * sizeof(c32));
+  EXPECT_EQ(t.bytes_written, p.output_elems() * sizeof(c32));
+  EXPECT_EQ(t.kernel_launches, 1u);
+}
+
+TEST_P(CounterLaws1d, FusedFlopsDecomposition) {
+  const auto& p = GetParam();
+  const auto t = run_total_1d(Variant::FullyFused, p);
+  const auto fwd = fft::count_pruned_ops(p.n, p.modes, p.n).flops();
+  const auto inv = fft::count_pruned_ops(p.n, p.n, p.modes).flops();
+  const std::uint64_t expect = p.batch * p.hidden * fwd +
+                               trace::cgemm_flops(p.batch * p.modes, p.out_dim, p.hidden) +
+                               p.batch * p.out_dim * inv;
+  EXPECT_EQ(t.flops, expect);
+}
+
+TEST_P(CounterLaws1d, PartialFusionsBracketTheEndpoints) {
+  const auto& p = GetParam();
+  const auto base = run_total_1d(Variant::PyTorch, p).bytes_total();
+  const auto a = run_total_1d(Variant::FftOpt, p).bytes_total();
+  const auto b = run_total_1d(Variant::FusedFftGemm, p).bytes_total();
+  const auto c = run_total_1d(Variant::FusedGemmIfft, p).bytes_total();
+  const auto d = run_total_1d(Variant::FullyFused, p).bytes_total();
+  EXPECT_GT(base, a);
+  EXPECT_GE(a, b);
+  EXPECT_GE(a, c);
+  EXPECT_GE(b, d);
+  EXPECT_GE(c, d);
+}
+
+INSTANTIATE_TEST_SUITE_P(ShapeGrid, CounterLaws1d,
+                         ::testing::Values(Spectral1dProblem{1, 8, 8, 32, 8},
+                                           Spectral1dProblem{3, 16, 8, 64, 16},
+                                           Spectral1dProblem{2, 24, 32, 128, 64},
+                                           Spectral1dProblem{5, 9, 7, 64, 64},
+                                           Spectral1dProblem{4, 32, 32, 256, 64},
+                                           Spectral1dProblem{2, 8, 8, 64, 1}));
+
+class CounterLaws2d : public ::testing::TestWithParam<Spectral2dProblem> {};
+
+TEST_P(CounterLaws2d, FullyFusedBytesFormula) {
+  const auto& p = GetParam();
+  const auto u = random_signal(p.input_elems(), 3011u);
+  const auto w = random_signal(p.weight_elems(), 3013u);
+  std::vector<c32> v(p.output_elems());
+  auto pipe = make_pipeline2d(Variant::FullyFused, p);
+  pipe->run(u, w, v);
+  const auto t = pipe->counters().total();
+  const std::uint64_t e = sizeof(c32);
+  const std::uint64_t mid = p.batch * p.hidden * p.modes_x * p.ny;     // after X stage
+  const std::uint64_t mid_out = p.batch * p.out_dim * p.modes_x * p.ny;
+  const std::uint64_t expect_read =
+      p.input_elems() * e + (mid + p.weight_elems()) * e + mid_out * e;
+  const std::uint64_t expect_write = mid * e + mid_out * e + p.output_elems() * e;
+  EXPECT_EQ(t.bytes_read, expect_read);
+  EXPECT_EQ(t.bytes_written, expect_write);
+  EXPECT_EQ(t.kernel_launches, 3u);
+}
+
+TEST_P(CounterLaws2d, TruncationShrinksTheMiddle) {
+  // The fused middle stage must move strictly fewer bytes than the input
+  // whenever modes_x < nx (the Figure 4 write saving).
+  const auto& p = GetParam();
+  if (p.modes_x == p.nx) GTEST_SKIP();
+  const auto u = random_signal(p.input_elems(), 3017u);
+  const auto w = random_signal(p.weight_elems(), 3019u);
+  std::vector<c32> v(p.output_elems());
+  auto pipe = make_pipeline2d(Variant::FullyFused, p);
+  pipe->run(u, w, v);
+  std::uint64_t mid_bytes = 0;
+  for (const auto& s : pipe->counters().stages()) {
+    if (s.name == "fused-fft-cgemm-ifft") mid_bytes = s.bytes_total();
+  }
+  EXPECT_LT(mid_bytes,
+            pipe->counters().stages().front().bytes_total());
+}
+
+INSTANTIATE_TEST_SUITE_P(ShapeGrid, CounterLaws2d,
+                         ::testing::Values(Spectral2dProblem{1, 8, 8, 16, 16, 4, 4},
+                                           Spectral2dProblem{2, 16, 8, 32, 16, 8, 8},
+                                           Spectral2dProblem{1, 8, 16, 16, 32, 16, 8},
+                                           Spectral2dProblem{2, 8, 8, 16, 16, 16, 16}));
+
+}  // namespace
+}  // namespace turbofno::fused

@@ -1,0 +1,245 @@
+// GPU execution-model tests: the bank-conflict model itself, the exact
+// Figure 7 / Figure 8 utilization numbers, and cost-model properties.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gpusim/banks.hpp"
+#include "gpusim/cost_model.hpp"
+#include "gpusim/layouts.hpp"
+#include "gpusim/pipeline_model.hpp"
+#include "gpusim/warp_access.hpp"
+
+namespace turbofno::gpusim {
+namespace {
+
+// ------------------------------------------------------------- bank model
+
+TEST(BankModel, ConflictFreeFullWarp) {
+  std::vector<std::uint32_t> words(32);
+  for (std::uint32_t i = 0; i < 32; ++i) words[i] = i;  // one word per bank
+  const WarpTransaction t = replay_warp_access(words);
+  EXPECT_EQ(t.cycles, 1u);
+  EXPECT_EQ(t.banks_touched, 32u);
+  EXPECT_DOUBLE_EQ(t.utilization(), 1.0);
+}
+
+TEST(BankModel, SameWordBroadcastsInOneCycle) {
+  std::vector<std::uint32_t> words(32, 7u);  // all lanes read word 7
+  const WarpTransaction t = replay_warp_access(words);
+  EXPECT_EQ(t.cycles, 1u);
+  EXPECT_EQ(t.banks_touched, 1u);
+  EXPECT_EQ(t.max_conflict, 1u);
+}
+
+TEST(BankModel, TwoWayConflictTakesTwoCycles) {
+  std::vector<std::uint32_t> words;
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    words.push_back(i);        // banks 0..15
+    words.push_back(i + 32);   // same banks, different words
+  }
+  const WarpTransaction t = replay_warp_access(words);
+  EXPECT_EQ(t.cycles, 2u);
+  EXPECT_EQ(t.banks_touched, 16u);
+}
+
+TEST(BankModel, WorstCase32WayConflict) {
+  std::vector<std::uint32_t> words;
+  for (std::uint32_t i = 0; i < 32; ++i) words.push_back(i * 32);  // all bank 0
+  const WarpTransaction t = replay_warp_access(words);
+  EXPECT_EQ(t.cycles, 32u);
+  EXPECT_EQ(t.banks_touched, 1u);
+  EXPECT_DOUBLE_EQ(t.utilization(), 32.0 / (32.0 * 32.0));
+}
+
+TEST(BankModel, EmptyAccessIsFree) {
+  const WarpTransaction t = replay_warp_access({});
+  EXPECT_EQ(t.cycles, 0u);
+  EXPECT_EQ(t.lanes, 0u);
+}
+
+TEST(BankModel, ComplexAccessExpandsToWordPairs) {
+  const std::vector<std::uint32_t> bytes = {0u, 8u, 16u};
+  const auto words = complex_access_words(bytes);
+  ASSERT_EQ(words.size(), 6u);
+  EXPECT_EQ(words[0], 0u);
+  EXPECT_EQ(words[1], 1u);
+  EXPECT_EQ(words[2], 2u);
+  EXPECT_EQ(words[3], 3u);
+}
+
+TEST(BankModel, AuditAggregatesAcrossInstructions) {
+  BankConflictAudit audit;
+  std::vector<std::uint32_t> conflict_free(32);
+  for (std::uint32_t i = 0; i < 32; ++i) conflict_free[i] = i;
+  audit.record(replay_warp_access(conflict_free));
+  std::vector<std::uint32_t> all_bank0;
+  for (std::uint32_t i = 0; i < 32; ++i) all_bank0.push_back(i * 32);
+  audit.record(replay_warp_access(all_bank0));
+  EXPECT_EQ(audit.instructions(), 2u);
+  EXPECT_EQ(audit.total_cycles(), 33u);
+  EXPECT_NEAR(audit.mean_cycles(), 16.5, 1e-12);
+}
+
+// ---------------------------------------------------------------- Figure 7
+
+TEST(Figure7, VkFftLayoutGives25PercentUtilization) {
+  // Paper Fig 7(a) top: thread groups 0-7, 8-15, ... collide -> 25%.
+  const auto audit = replay(fig7a_gemm_load_vkfft_layout());
+  EXPECT_NEAR(audit.utilization(), 0.25, 1e-9);
+  EXPECT_NEAR(audit.mean_cycles(), 8.0, 1e-9);  // 8-way serialization
+}
+
+TEST(Figure7, TurboFnoLayoutGives100PercentUtilization) {
+  // Paper Fig 7(a) bottom: consecutive elements of the same pencil -> 100%.
+  const auto audit = replay(fig7a_gemm_load_turbofno_layout());
+  EXPECT_NEAR(audit.utilization(), 1.0, 1e-9);
+  EXPECT_NEAR(audit.mean_cycles(), 2.0, 1e-9);  // 64 word accesses, floor
+}
+
+TEST(Figure7, Fft16WritebackUnswizzledHits2Of32Banks) {
+  // Paper Fig 7(b) left: "2 out of 32 banks active" = 6.25%.
+  const auto pattern = fig7b_fft16_writeback(false);
+  EXPECT_NEAR(pattern.bank_coverage(), 2.0 / 32.0, 1e-9);
+  const auto audit = replay(pattern);
+  EXPECT_NEAR(audit.utilization(), 0.0625, 1e-9);
+}
+
+TEST(Figure7, Fft16WritebackSwizzledIsConflictFree) {
+  // Paper Fig 7(b) right: addr += tid restores 100%.
+  const auto audit = replay(fig7b_fft16_writeback(true));
+  EXPECT_NEAR(audit.utilization(), 1.0, 1e-9);
+  EXPECT_NEAR(audit.mean_cycles(), 1.0, 1e-9);
+}
+
+TEST(Figure7, Fft8WritebackNeighboursDoNotConflict) {
+  // Paper Fig 7(c): thread 0 and 1 land on byte 0 and 64 (banks 0 and 16).
+  const auto pattern = fig7c_fft8_writeback(false);
+  const auto& first = pattern.instructions.front().lane_byte_addrs;
+  EXPECT_EQ(first[0], 0u);
+  EXPECT_EQ(first[1], 64u);
+}
+
+TEST(Figure7, Fft8WritebackSwizzledIsConflictFree) {
+  // Paper Fig 7(c): the smaller addr += tid/2 suffices for 100%.
+  const auto audit = replay(fig7c_fft8_writeback(true));
+  EXPECT_NEAR(audit.utilization(), 1.0, 1e-9);
+}
+
+TEST(Figure7, Fft8UnswizzledSerializes) {
+  const auto audit = replay(fig7c_fft8_writeback(false));
+  EXPECT_LT(audit.utilization(), 0.25);
+  EXPECT_GT(audit.mean_cycles(), 4.0);
+}
+
+// ---------------------------------------------------------------- Figure 8
+
+TEST(Figure8, EpilogueUnswizzledGives25Percent) {
+  // Paper Fig 8(a): threads sharing a column group collide -> 25%.
+  const auto audit = replay(fig8_gemm_epilogue_store(false));
+  EXPECT_NEAR(audit.utilization(), 0.25, 1e-9);
+  EXPECT_NEAR(audit.mean_cycles(), 8.0, 1e-9);
+}
+
+TEST(Figure8, EpilogueSwizzledGives100Percent) {
+  // Paper Fig 8(b): addr += tid/4 -> 100% bank utilization.
+  const auto audit = replay(fig8_gemm_epilogue_store(true));
+  EXPECT_NEAR(audit.utilization(), 1.0, 1e-9);
+  EXPECT_NEAR(audit.mean_cycles(), 2.0, 1e-9);
+}
+
+TEST(Figure8, SwizzleCoversWholeTileExactlyOnce) {
+  // The swizzle is a permutation: every (row, col) cell written once.
+  const auto pattern = fig8_gemm_epilogue_store(true);
+  std::vector<int> hits(32 * 16, 0);
+  for (const auto& ins : pattern.instructions) {
+    for (const auto byte : ins.lane_byte_addrs) {
+      ASSERT_LT(byte / 8, hits.size());
+      hits[byte / 8] += 1;
+    }
+  }
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i], 1) << "cell " << i;
+}
+
+TEST(Figure7, SwizzleCoversWholePencilExactlyOnce) {
+  for (const bool sixteen : {true, false}) {
+    const auto pattern = sixteen ? fig7b_fft16_writeback(true) : fig7c_fft8_writeback(true);
+    const std::size_t cells = sixteen ? 256 : 128;
+    std::vector<int> hits(cells, 0);
+    for (const auto& ins : pattern.instructions) {
+      for (const auto byte : ins.lane_byte_addrs) hits.at(byte / 8) += 1;
+    }
+    for (std::size_t i = 0; i < cells; ++i) EXPECT_EQ(hits[i], 1) << "cell " << i;
+  }
+}
+
+// -------------------------------------------------------------- cost model
+
+TEST(CostModel, MemoryBoundKernelScalesWithBytes) {
+  const GpuSpec spec;
+  const auto c1 = kernel_cost(spec, 1'000'000'000, 1000, 1);
+  const auto c2 = kernel_cost(spec, 2'000'000'000, 1000, 1);
+  EXPECT_EQ(c1.bound, Bound::Memory);
+  EXPECT_NEAR(c2.seconds / c1.seconds, 2.0, 0.05);
+}
+
+TEST(CostModel, ComputeBoundKernelScalesWithFlops) {
+  const GpuSpec spec;
+  const auto c1 = kernel_cost(spec, 1000, 10'000'000'000'000ull, 1);
+  const auto c2 = kernel_cost(spec, 1000, 20'000'000'000'000ull, 1);
+  EXPECT_EQ(c1.bound, Bound::Compute);
+  EXPECT_NEAR(c2.seconds / c1.seconds, 2.0, 0.05);
+}
+
+TEST(CostModel, LaunchOverheadDominatesTinyKernels) {
+  const GpuSpec spec;
+  const auto c = kernel_cost(spec, 64, 64, 5);
+  EXPECT_EQ(c.bound, Bound::Launch);
+  EXPECT_NEAR(c.seconds, 5.0 * spec.launch_overhead_s, 1e-9);
+}
+
+TEST(CostModel, BankSerializationDeratesCompute) {
+  const GpuSpec spec;
+  const auto fast = kernel_cost(spec, 0, 1'000'000'000'000ull, 1, 1.0);
+  const auto slow = kernel_cost(spec, 0, 1'000'000'000'000ull, 1, 0.25);
+  EXPECT_NEAR(slow.compute_seconds / fast.compute_seconds, 4.0, 1e-6);
+}
+
+TEST(CostModel, RidgePointIsPositive) {
+  const GpuSpec spec;
+  EXPECT_GT(ridge_point(spec), 1.0);   // A100 needs >1 flop/byte to saturate
+  EXPECT_LT(ridge_point(spec), 100.0);
+}
+
+// ---------------------------------------------------------- pipeline model
+
+TEST(PipelineModel, FewerBytesPredictFasterPipeline) {
+  const GpuSpec spec;
+  trace::PipelineCounters heavy("baseline");
+  auto& h = heavy.stage("all");
+  h.bytes_read = 4'000'000'000u;
+  h.bytes_written = 4'000'000'000u;
+  h.kernel_launches = 5;
+  trace::PipelineCounters light("fused");
+  auto& l = light.stage("all");
+  l.bytes_read = 1'000'000'000u;
+  l.bytes_written = 1'000'000'000u;
+  l.kernel_launches = 1;
+  EXPECT_GT(predicted_speedup(spec, heavy, light), 3.0);
+}
+
+TEST(PipelineModel, PredictionSumsStages) {
+  const GpuSpec spec;
+  trace::PipelineCounters pc("p");
+  pc.stage("a").bytes_read = 1'000'000'000u;
+  pc.stage("a").kernel_launches = 1;
+  pc.stage("b").bytes_written = 1'000'000'000u;
+  pc.stage("b").kernel_launches = 1;
+  const auto pred = predict(spec, pc);
+  ASSERT_EQ(pred.stages.size(), 2u);
+  EXPECT_NEAR(pred.total_seconds, pred.stages[0].cost.seconds + pred.stages[1].cost.seconds,
+              1e-12);
+}
+
+}  // namespace
+}  // namespace turbofno::gpusim

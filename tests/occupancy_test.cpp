@@ -1,0 +1,125 @@
+// SM occupancy / wave-quantization model (explains the Fig 14/19 slowdown
+// corner at small batch x large hidden dim).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "gpusim/occupancy.hpp"
+
+namespace turbofno::gpusim {
+namespace {
+
+TEST(Occupancy, ThreadLimitedKernel) {
+  SmLimits sm;
+  BlockResources b;
+  b.threads = 1024;
+  b.registers_per_thread = 32;
+  b.shared_memory_bytes = 1024;
+  const auto o = occupancy_of(sm, b);
+  EXPECT_EQ(o.blocks_per_sm, 2u);  // 2048 / 1024
+  EXPECT_DOUBLE_EQ(o.occupancy, 1.0);
+  EXPECT_EQ(std::string(o.limiter), "threads");
+}
+
+TEST(Occupancy, RegisterLimitedKernel) {
+  SmLimits sm;
+  BlockResources b;
+  b.threads = 256;
+  b.registers_per_thread = 128;  // 32768 regs/block -> 2 blocks
+  b.shared_memory_bytes = 0;
+  const auto o = occupancy_of(sm, b);
+  EXPECT_EQ(o.blocks_per_sm, 2u);
+  EXPECT_EQ(std::string(o.limiter), "registers");
+  EXPECT_DOUBLE_EQ(o.occupancy, 0.25);
+}
+
+TEST(Occupancy, SharedMemoryLimitedKernel) {
+  SmLimits sm;
+  BlockResources b;
+  b.threads = 128;
+  b.registers_per_thread = 32;
+  b.shared_memory_bytes = 64 * 1024;  // 164K / 64K -> 2 blocks
+  const auto o = occupancy_of(sm, b);
+  EXPECT_EQ(o.blocks_per_sm, 2u);
+  EXPECT_EQ(std::string(o.limiter), "shared memory");
+}
+
+TEST(Occupancy, OversizedBlockIsRejected) {
+  SmLimits sm;
+  BlockResources b;
+  b.threads = 4096;
+  const auto o = occupancy_of(sm, b);
+  EXPECT_EQ(o.blocks_per_sm, 0u);
+}
+
+TEST(Occupancy, MaxBlockCapApplies) {
+  SmLimits sm;
+  BlockResources b;
+  b.threads = 32;  // by threads: 64, but cap is 32
+  b.registers_per_thread = 1;
+  b.shared_memory_bytes = 0;
+  const auto o = occupancy_of(sm, b);
+  EXPECT_EQ(o.blocks_per_sm, sm.max_blocks);
+}
+
+TEST(WaveEfficiency, FullWaveIsPerfect) {
+  SmLimits sm;
+  BlockResources b;  // defaults: 256 thr, 64 regs -> 4 blocks/SM
+  const auto o = occupancy_of(sm, b);
+  const std::size_t wave = o.blocks_per_sm * sm.sm_count;
+  EXPECT_DOUBLE_EQ(wave_efficiency(sm, b, wave), 1.0);
+  EXPECT_DOUBLE_EQ(wave_efficiency(sm, b, 2 * wave), 1.0);
+}
+
+TEST(WaveEfficiency, TinyGridWastesTheDevice) {
+  SmLimits sm;
+  BlockResources b;
+  // One block: one wave, almost all SMs idle.
+  const double eff = wave_efficiency(sm, b, 1);
+  EXPECT_LT(eff, 0.01);
+  EXPECT_GT(eff, 0.0);
+}
+
+TEST(WaveEfficiency, TailWaveDegradesPartially) {
+  SmLimits sm;
+  BlockResources b;
+  const auto o = occupancy_of(sm, b);
+  const std::size_t wave = o.blocks_per_sm * sm.sm_count;
+  const double eff = wave_efficiency(sm, b, wave + 1);  // 2 waves, 1 block in the tail
+  EXPECT_NEAR(eff, static_cast<double>(wave + 1) / (2.0 * wave), 1e-12);
+}
+
+TEST(WaveEfficiency, EmptyGridIsZero) {
+  SmLimits sm;
+  BlockResources b;
+  EXPECT_DOUBLE_EQ(wave_efficiency(sm, b, 0), 0.0);
+}
+
+TEST(FusedKernelModel, SharedMemoryGrowsWithModesAndFftLen) {
+  const auto small = fused_kernel_block(64, 128);
+  const auto big = fused_kernel_block(128, 256);
+  EXPECT_LT(small.shared_memory_bytes, big.shared_memory_bytes);
+  // Table 1 config must actually fit on an A100 SM.
+  SmLimits sm;
+  EXPECT_GE(occupancy_of(sm, small).blocks_per_sm, 1u);
+  EXPECT_GE(occupancy_of(sm, big).blocks_per_sm, 1u);
+}
+
+TEST(FusedKernelModel, SmallBatchCornerHasLowWaveEfficiency) {
+  // The paper's Fig 14 blue corner: small batch -> few blocks -> idle SMs.
+  SmLimits sm;
+  const auto block = fused_kernel_block(64, 128);
+  const double small_batch = wave_efficiency(sm, block, fused_grid_1d(4, 128));
+  const double large_batch = wave_efficiency(sm, block, fused_grid_1d(4096, 128));
+  EXPECT_LT(small_batch, 0.2);
+  EXPECT_GT(large_batch, 0.9);
+}
+
+TEST(FusedKernelModel, GridScalesWithBatchAndOutputTiles) {
+  EXPECT_EQ(fused_grid_1d(10, 64, 32), 20u);
+  EXPECT_EQ(fused_grid_1d(10, 65, 32), 30u);
+  EXPECT_EQ(fused_grid_1d(1, 32, 32), 1u);
+}
+
+}  // namespace
+}  // namespace turbofno::gpusim

@@ -1,0 +1,203 @@
+// 2D pipeline ladder: reference equivalence, counter ordering, determinism.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fft/reference.hpp"
+#include "fused/ladder.hpp"
+#include "runtime/parallel.hpp"
+#include "test_util.hpp"
+
+namespace turbofno::fused {
+namespace {
+
+using baseline::Spectral2dProblem;
+using turbofno::testing::max_err;
+using turbofno::testing::random_signal;
+using turbofno::testing::rel_err;
+
+// Direct reference via per-axis reference DFTs and naive mixing.
+std::vector<c32> reference_spectral_conv2d(const Spectral2dProblem& p, const std::vector<c32>& u,
+                                           const std::vector<c32>& w) {
+  const std::size_t B = p.batch;
+  const std::size_t K = p.hidden;
+  const std::size_t O = p.out_dim;
+  const std::size_t NX = p.nx;
+  const std::size_t NY = p.ny;
+  const std::size_t MX = p.modes_x;
+  const std::size_t MY = p.modes_y;
+
+  // Forward 2D DFT, truncated to the [MX, MY] corner, per (b, k).
+  std::vector<c32> freq(B * K * MX * MY);
+  std::vector<c32> col(NX);
+  std::vector<c32> colf(MX);
+  std::vector<c32> mid(MX * NY);
+  for (std::size_t bk = 0; bk < B * K; ++bk) {
+    const c32* f = u.data() + bk * NX * NY;
+    for (std::size_t y = 0; y < NY; ++y) {
+      for (std::size_t x = 0; x < NX; ++x) col[x] = f[x * NY + y];
+      fft::reference_dft(col, colf, NX);
+      for (std::size_t x = 0; x < MX; ++x) mid[x * NY + y] = colf[x];
+    }
+    for (std::size_t x = 0; x < MX; ++x) {
+      fft::reference_dft(std::span<const c32>(mid.data() + x * NY, NY),
+                         std::span<c32>(freq.data() + bk * MX * MY + x * MY, MY), NY);
+    }
+  }
+
+  // Mixing along hidden.
+  const std::size_t modes = MX * MY;
+  std::vector<c32> mixed(B * O * modes, c32{});
+  for (std::size_t b = 0; b < B; ++b) {
+    for (std::size_t o = 0; o < O; ++o) {
+      for (std::size_t fidx = 0; fidx < modes; ++fidx) {
+        c32 acc{};
+        for (std::size_t k = 0; k < K; ++k) {
+          cmadd(acc, w[o * K + k], freq[(b * K + k) * modes + fidx]);
+        }
+        mixed[(b * O + o) * modes + fidx] = acc;
+      }
+    }
+  }
+
+  // Inverse: pad corner and 2D inverse DFT per (b, o).
+  std::vector<c32> v(B * O * NX * NY);
+  std::vector<c32> row(NY);
+  std::vector<c32> mid2(MX * NY);
+  std::vector<c32> colspec(MX);
+  std::vector<c32> colout(NX);
+  for (std::size_t bo = 0; bo < B * O; ++bo) {
+    for (std::size_t x = 0; x < MX; ++x) {
+      fft::reference_idft(std::span<const c32>(mixed.data() + bo * modes + x * MY, MY),
+                          std::span<c32>(mid2.data() + x * NY, NY), NY);
+    }
+    for (std::size_t y = 0; y < NY; ++y) {
+      for (std::size_t x = 0; x < MX; ++x) colspec[x] = mid2[x * NY + y];
+      fft::reference_idft(colspec, colout, NX);
+      for (std::size_t x = 0; x < NX; ++x) v[bo * NX * NY + x * NY + y] = colout[x];
+    }
+  }
+  return v;
+}
+
+struct LadderCase2d {
+  Variant variant;
+  Spectral2dProblem prob;
+};
+
+std::vector<LadderCase2d> ladder_cases() {
+  const std::vector<Spectral2dProblem> probs = {
+      {1, 8, 8, 16, 16, 4, 4},
+      {2, 8, 8, 16, 32, 8, 8},
+      {1, 12, 6, 32, 16, 8, 4},   // hidden not multiple of k_tb, O < K
+      {2, 6, 10, 16, 16, 16, 16}, // no truncation
+      {1, 8, 8, 32, 32, 1, 1},    // extreme truncation
+  };
+  std::vector<LadderCase2d> cases;
+  for (const auto v : kAllVariants) {
+    for (const auto& p : probs) cases.push_back({v, p});
+  }
+  return cases;
+}
+
+class Ladder2d : public ::testing::TestWithParam<LadderCase2d> {};
+
+TEST_P(Ladder2d, MatchesDirectReference) {
+  const auto& [variant, prob] = GetParam();
+  const auto u = random_signal(prob.input_elems(), 601u + static_cast<unsigned>(prob.nx));
+  const auto w = random_signal(prob.weight_elems(), 607u);
+  std::vector<c32> v(prob.output_elems(), c32{});
+  auto pipe = make_pipeline2d(variant, prob);
+  pipe->run(u, w, v);
+  const auto ref = reference_spectral_conv2d(prob, u, w);
+  EXPECT_LT(rel_err(v, ref), 1e-4) << pipe->name();
+}
+
+TEST_P(Ladder2d, ThreadCountDoesNotChangeResult) {
+  const auto& [variant, prob] = GetParam();
+  const auto u = random_signal(prob.input_elems(), 613u);
+  const auto w = random_signal(prob.weight_elems(), 617u);
+  auto pipe = make_pipeline2d(variant, prob);
+  runtime::set_thread_count(1);
+  std::vector<c32> v1(prob.output_elems(), c32{});
+  pipe->run(u, w, v1);
+  runtime::set_thread_count(3);
+  std::vector<c32> v3(prob.output_elems(), c32{});
+  pipe->run(u, w, v3);
+  runtime::set_thread_count(0);
+  EXPECT_EQ(max_err(v1, v3), 0.0) << pipe->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, Ladder2d, ::testing::ValuesIn(ladder_cases()));
+
+TEST(Ladder2dEquivalence, AllVariantsAgreeWithBaseline) {
+  const Spectral2dProblem prob{2, 16, 12, 32, 64, 8, 16};
+  const auto u = random_signal(prob.input_elems(), 619u);
+  const auto w = random_signal(prob.weight_elems(), 631u);
+  auto base = make_pipeline2d(Variant::PyTorch, prob);
+  std::vector<c32> vb(prob.output_elems());
+  base->run(u, w, vb);
+  for (const auto v : {Variant::FftOpt, Variant::FusedFftGemm, Variant::FusedGemmIfft,
+                       Variant::FullyFused}) {
+    auto pipe = make_pipeline2d(v, prob);
+    std::vector<c32> vo(prob.output_elems());
+    pipe->run(u, w, vo);
+    EXPECT_LT(rel_err(vo, vb), 1e-4) << pipe->name();
+  }
+}
+
+TEST(Ladder2dCounters, TrafficShrinksUpTheLadder) {
+  const Spectral2dProblem prob{2, 16, 16, 64, 64, 16, 16};
+  const auto u = random_signal(prob.input_elems(), 641u);
+  const auto w = random_signal(prob.weight_elems(), 643u);
+  std::vector<c32> v(prob.output_elems());
+  std::vector<std::uint64_t> bytes;
+  std::vector<std::uint64_t> launches;
+  for (const auto var : kAllVariants) {
+    auto pipe = make_pipeline2d(var, prob);
+    pipe->run(u, w, v);
+    bytes.push_back(pipe->counters().total().bytes_total());
+    launches.push_back(pipe->counters().total().kernel_launches);
+  }
+  EXPECT_GT(bytes[0], bytes[1]);  // baseline moves the most
+  EXPECT_GE(bytes[1], bytes[2]);
+  EXPECT_GE(bytes[1], bytes[3]);
+  EXPECT_GE(bytes[2], bytes[4]);
+  EXPECT_GE(bytes[3], bytes[4]);
+  EXPECT_EQ(launches[0], 5u);
+  EXPECT_EQ(launches[1], 5u);  // 2D FftOpt: x-fft, y-fft, gemm, y-ifft, x-ifft
+  EXPECT_EQ(launches[2], 4u);
+  EXPECT_EQ(launches[3], 4u);
+  EXPECT_EQ(launches[4], 3u);
+}
+
+TEST(Ladder2dCounters, FirstStageDominates2dTraffic) {
+  // The paper's Section 5.2 observation: in 2D the along-X FFT reads the
+  // full field and dominates, so fusion gains are smaller than in 1D.
+  const Spectral2dProblem prob{2, 32, 32, 128, 128, 32, 32};
+  const auto u = random_signal(prob.input_elems(), 647u);
+  const auto w = random_signal(prob.weight_elems(), 653u);
+  std::vector<c32> v(prob.output_elems());
+  auto pipe = make_pipeline2d(Variant::FullyFused, prob);
+  pipe->run(u, w, v);
+  const auto& stages = pipe->counters().stages();
+  ASSERT_GE(stages.size(), 3u);
+  const auto total = pipe->counters().total();
+  std::uint64_t x_stage_bytes = 0;
+  for (const auto& s : stages) {
+    if (s.name == "fft-x-trunc" || s.name == "ifft-x-pad") x_stage_bytes += s.bytes_total();
+  }
+  EXPECT_GT(static_cast<double>(x_stage_bytes), 0.5 * static_cast<double>(total.bytes_total()));
+}
+
+TEST(Ladder2dProblem, ValidationRejectsBadShapes) {
+  Spectral2dProblem p{1, 8, 8, 15, 16, 4, 4};
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = {1, 8, 8, 16, 16, 17, 4};
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = {1, 0, 8, 16, 16, 4, 4};
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace turbofno::fused

@@ -1,0 +1,117 @@
+// FFT plan cache and strided-batched CGEMM.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "fft/plan_cache.hpp"
+#include "gemm/batched.hpp"
+#include "gemm/reference.hpp"
+#include "test_util.hpp"
+
+namespace turbofno {
+namespace {
+
+using turbofno::testing::max_err;
+using turbofno::testing::random_signal;
+
+TEST(PlanCache, SameDescriptorSharesOnePlan) {
+  fft::PlanDesc d;
+  d.n = 512;
+  d.keep = 128;
+  const auto& a = fft::cached_plan(d);
+  const auto& b = fft::cached_plan(d);
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(PlanCache, DistinctDescriptorsDistinctPlans) {
+  fft::PlanDesc d;
+  d.n = 512;
+  const auto& full = fft::cached_plan(d);
+  d.keep = 64;
+  const auto& trunc = fft::cached_plan(d);
+  EXPECT_NE(&full, &trunc);
+  EXPECT_FALSE(full.pruned());
+  EXPECT_TRUE(trunc.pruned());
+}
+
+TEST(PlanCache, DefaultedFieldsNormalizeToSameKey) {
+  fft::PlanDesc a;
+  a.n = 256;
+  a.keep = 0;  // means n
+  fft::PlanDesc b;
+  b.n = 256;
+  b.keep = 256;  // explicit n
+  EXPECT_EQ(&fft::cached_plan(a), &fft::cached_plan(b));
+}
+
+TEST(PlanCache, ConcurrentLookupsAreSafe) {
+  fft::PlanDesc d;
+  d.n = 1024;
+  d.keep = 256;
+  std::vector<const fft::FftPlan*> seen(8, nullptr);
+  std::vector<std::thread> threads;
+  threads.reserve(8);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] { seen[t] = &fft::cached_plan(d); });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 1; t < 8; ++t) EXPECT_EQ(seen[t], seen[0]);
+  EXPECT_GE(fft::cached_plan_count(), 1u);
+}
+
+TEST(CgemmBatched, IndependentInstancesMatchReference) {
+  const std::size_t M = 9;
+  const std::size_t N = 11;
+  const std::size_t K = 7;
+  const std::size_t batch = 5;
+  const auto A = random_signal(batch * M * K, 2001u);
+  const auto B = random_signal(batch * K * N, 2003u);
+  std::vector<c32> C(batch * M * N, c32{});
+  gemm::BatchedStrides strides;
+  strides.a = static_cast<std::ptrdiff_t>(M * K);
+  strides.b = static_cast<std::ptrdiff_t>(K * N);
+  strides.c = static_cast<std::ptrdiff_t>(M * N);
+  gemm::cgemm_batched(M, N, K, c32{1.0f, 0.0f}, A.data(), K, B.data(), N, c32{0.0f, 0.0f},
+                      C.data(), N, batch, strides);
+  for (std::size_t i = 0; i < batch; ++i) {
+    std::vector<c32> ref(M * N, c32{});
+    gemm::cgemm_reference(M, N, K, c32{1.0f, 0.0f}, A.data() + i * M * K, K,
+                          B.data() + i * K * N, N, c32{0.0f, 0.0f}, ref.data(), N);
+    EXPECT_LT(max_err(std::span<const c32>(C.data() + i * M * N, M * N), ref), 1e-4)
+        << "instance " << i;
+  }
+}
+
+TEST(CgemmBatched, ZeroStrideBroadcastsOperand) {
+  // The FNO case: one weight matrix A shared across the batch.
+  const std::size_t M = 8;
+  const std::size_t N = 16;
+  const std::size_t K = 8;
+  const std::size_t batch = 4;
+  const auto A = random_signal(M * K, 2011u);
+  const auto B = random_signal(batch * K * N, 2017u);
+  std::vector<c32> C(batch * M * N, c32{});
+  gemm::BatchedStrides strides;
+  strides.a = 0;  // broadcast
+  strides.b = static_cast<std::ptrdiff_t>(K * N);
+  strides.c = static_cast<std::ptrdiff_t>(M * N);
+  gemm::cgemm_batched(M, N, K, c32{1.0f, 0.0f}, A.data(), K, B.data(), N, c32{0.0f, 0.0f},
+                      C.data(), N, batch, strides);
+  for (std::size_t i = 0; i < batch; ++i) {
+    std::vector<c32> ref(M * N, c32{});
+    gemm::cgemm_reference(M, N, K, c32{1.0f, 0.0f}, A.data(), K, B.data() + i * K * N, N,
+                          c32{0.0f, 0.0f}, ref.data(), N);
+    EXPECT_LT(max_err(std::span<const c32>(C.data() + i * M * N, M * N), ref), 1e-4);
+  }
+}
+
+TEST(CgemmBatched, EmptyBatchIsANoOp) {
+  std::vector<c32> C(4, c32{3.0f, 3.0f});
+  gemm::cgemm_batched(2, 2, 2, c32{1.0f, 0.0f}, nullptr, 2, nullptr, 2, c32{0.0f, 0.0f},
+                      C.data(), 2, 0, {});
+  EXPECT_EQ(C[0].re, 3.0f);
+}
+
+}  // namespace
+}  // namespace turbofno

@@ -1,0 +1,174 @@
+// Tensor substrate: c32 arithmetic, aligned buffers, tensor views.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+
+#include "tensor/aligned_buffer.hpp"
+#include "tensor/complex.hpp"
+#include "tensor/tensor.hpp"
+
+namespace turbofno {
+namespace {
+
+// ------------------------------------------------------------------ c32
+
+TEST(Complex, MultiplicationMatchesHandComputed) {
+  const c32 a{1.0f, 2.0f};
+  const c32 b{3.0f, -4.0f};
+  const c32 p = a * b;  // (1+2i)(3-4i) = 3 - 4i + 6i + 8 = 11 + 2i
+  EXPECT_FLOAT_EQ(p.re, 11.0f);
+  EXPECT_FLOAT_EQ(p.im, 2.0f);
+}
+
+TEST(Complex, CmaddAccumulates) {
+  c32 acc{1.0f, 1.0f};
+  cmadd(acc, c32{2.0f, 0.0f}, c32{0.0f, 3.0f});  // += 6i
+  EXPECT_FLOAT_EQ(acc.re, 1.0f);
+  EXPECT_FLOAT_EQ(acc.im, 7.0f);
+}
+
+TEST(Complex, ConjugateAndNorm) {
+  const c32 a{3.0f, 4.0f};
+  EXPECT_FLOAT_EQ(conj(a).im, -4.0f);
+  EXPECT_FLOAT_EQ(norm2(a), 25.0f);
+  EXPECT_FLOAT_EQ(abs(a), 5.0f);
+}
+
+TEST(Complex, QuarterTurnHelpers) {
+  const c32 a{1.0f, 2.0f};
+  const c32 minus_i = mul_neg_i(a);  // a * (-i) = (2, -1)
+  EXPECT_FLOAT_EQ(minus_i.re, 2.0f);
+  EXPECT_FLOAT_EQ(minus_i.im, -1.0f);
+  const c32 plus_i = mul_pos_i(a);  // a * i = (-2, 1)
+  EXPECT_FLOAT_EQ(plus_i.re, -2.0f);
+  EXPECT_FLOAT_EQ(plus_i.im, 1.0f);
+}
+
+TEST(Complex, TwiddleUnitCircle) {
+  const c32 w0 = twiddle(0, 8);
+  EXPECT_FLOAT_EQ(w0.re, 1.0f);
+  EXPECT_FLOAT_EQ(w0.im, 0.0f);
+  const c32 w2 = twiddle(2, 8);  // e^{-i pi/2} = -i
+  EXPECT_NEAR(w2.re, 0.0f, 1e-7);
+  EXPECT_NEAR(w2.im, -1.0f, 1e-7);
+  const c32 w4 = twiddle(4, 8);  // e^{-i pi} = -1
+  EXPECT_NEAR(w4.re, -1.0f, 1e-7);
+  EXPECT_NEAR(w4.im, 0.0f, 1e-6);
+}
+
+TEST(Complex, IsTrivial) {
+  static_assert(std::is_trivially_copyable_v<c32>);
+  static_assert(std::is_trivially_default_constructible_v<c32>);
+  const c32 zero{};
+  EXPECT_EQ(zero.re, 0.0f);
+  EXPECT_EQ(zero.im, 0.0f);
+}
+
+// --------------------------------------------------------- AlignedBuffer
+
+TEST(AlignedBuffer, AllocatesAlignedZeroedStorage) {
+  AlignedBuffer<c32> buf(100);
+  EXPECT_EQ(buf.size(), 100u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % kBufferAlignment, 0u);
+  for (const auto& v : buf) {
+    EXPECT_EQ(v.re, 0.0f);
+    EXPECT_EQ(v.im, 0.0f);
+  }
+}
+
+TEST(AlignedBuffer, CopyIsDeep) {
+  AlignedBuffer<float> a(8);
+  a[3] = 42.0f;
+  AlignedBuffer<float> b(a);
+  b[3] = 7.0f;
+  EXPECT_EQ(a[3], 42.0f);
+  EXPECT_EQ(b[3], 7.0f);
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  AlignedBuffer<float> a(8);
+  a[0] = 5.0f;
+  const float* p = a.data();
+  AlignedBuffer<float> b(std::move(a));
+  EXPECT_EQ(b.data(), p);
+  EXPECT_EQ(b[0], 5.0f);
+}
+
+TEST(AlignedBuffer, ResizeZeroReleases) {
+  AlignedBuffer<float> a(8);
+  a.resize(0);
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.data(), nullptr);
+}
+
+TEST(AlignedBuffer, ResizeSameSizeRezeros) {
+  AlignedBuffer<float> a(8);
+  a[2] = 9.0f;
+  a.resize(8);
+  EXPECT_EQ(a[2], 0.0f);
+}
+
+// ------------------------------------------------------------------ Shape
+
+TEST(Shape, NumelAndEquality) {
+  const Shape s{2, 3, 4};
+  EXPECT_EQ(s.rank(), 3u);
+  EXPECT_EQ(s.numel(), 24u);
+  EXPECT_EQ(s, (Shape{2, 3, 4}));
+  EXPECT_FALSE(s == (Shape{2, 3, 5}));
+  EXPECT_FALSE(s == (Shape{2, 3}));
+  EXPECT_EQ(s.str(), "[2, 3, 4]");
+}
+
+TEST(Shape, EmptyShapeHasZeroNumel) {
+  const Shape s{};
+  EXPECT_EQ(s.rank(), 0u);
+  EXPECT_EQ(s.numel(), 0u);
+}
+
+TEST(Shape, RejectsRankAboveFour) {
+  EXPECT_THROW((Shape{1, 2, 3, 4, 5}), std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- Tensor
+
+TEST(Tensor, IndexedAccessRoundTrips) {
+  CTensor t(Shape{2, 3, 4});
+  t.at(1, 2, 3) = {1.0f, -1.0f};
+  EXPECT_EQ(t.at(1, 2, 3).re, 1.0f);
+  EXPECT_EQ(t.data()[(1 * 3 + 2) * 4 + 3].re, 1.0f);
+}
+
+TEST(Tensor, AtChecksRankAndBounds) {
+  CTensor t(Shape{2, 3});
+  EXPECT_THROW(t.at(0, 0, 0), std::out_of_range);  // rank mismatch
+  EXPECT_THROW(t.at(2, 0), std::out_of_range);     // out of bounds
+}
+
+TEST(Tensor, RowSliceIsContiguousLeadingAxis) {
+  FTensor t(Shape{3, 4});
+  t.at(1, 0) = 5.0f;
+  const auto r = t.row(1);
+  EXPECT_EQ(r.size(), 4u);
+  EXPECT_EQ(r[0], 5.0f);
+}
+
+TEST(Tensor, ReshapeReallocatesWhenNeeded) {
+  FTensor t(Shape{4, 4});
+  t.at(0, 0) = 1.0f;
+  t.reshape(Shape{2, 8});
+  EXPECT_EQ(t.numel(), 16u);
+  t.reshape(Shape{3, 3});
+  EXPECT_EQ(t.numel(), 9u);
+}
+
+TEST(Tensor, Rank4Access) {
+  CTensor t(Shape{2, 2, 2, 2});
+  t.at(1, 0, 1, 0) = {2.0f, 3.0f};
+  EXPECT_EQ(t.at(1, 0, 1, 0).im, 3.0f);
+  EXPECT_EQ(t.numel(), 16u);
+}
+
+}  // namespace
+}  // namespace turbofno

@@ -1,0 +1,49 @@
+// Shared helpers for the TurboFNO test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "tensor/complex.hpp"
+
+namespace turbofno::testing {
+
+inline std::vector<c32> random_signal(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  std::vector<c32> v(n);
+  for (auto& x : v) x = {dist(rng), dist(rng)};
+  return v;
+}
+
+inline double max_err(std::span<const c32> a, std::span<const c32> b) {
+  EXPECT_EQ(a.size(), b.size());
+  double m = 0.0;
+  for (std::size_t i = 0; i < std::min(a.size(), b.size()); ++i) {
+    m = std::max(m, static_cast<double>(std::fabs(a[i].re - b[i].re)));
+    m = std::max(m, static_cast<double>(std::fabs(a[i].im - b[i].im)));
+  }
+  return m;
+}
+
+inline double rel_err(std::span<const c32> a, std::span<const c32> b) {
+  double num = 0.0;
+  double den = 1e-30;
+  for (std::size_t i = 0; i < std::min(a.size(), b.size()); ++i) {
+    const double dr = static_cast<double>(a[i].re) - b[i].re;
+    const double di = static_cast<double>(a[i].im) - b[i].im;
+    num += dr * dr + di * di;
+    den += static_cast<double>(b[i].re) * b[i].re + static_cast<double>(b[i].im) * b[i].im;
+  }
+  return std::sqrt(num / den);
+}
+
+/// FFT error grows ~ sqrt(log n) in float; this bound is loose but tight
+/// enough to catch real bugs (wrong twiddle, wrong ordering, missed scale).
+inline double fft_tol(std::size_t n) { return 2e-5 * std::sqrt(static_cast<double>(n)); }
+
+}  // namespace turbofno::testing

@@ -1,0 +1,100 @@
+// Trace substrate: counters, FLOP conventions, text tables and heatmaps.
+#include <gtest/gtest.h>
+
+#include "trace/counters.hpp"
+#include "trace/table.hpp"
+
+namespace turbofno::trace {
+namespace {
+
+TEST(Counters, StageLookupCreatesOnceAndAccumulates) {
+  PipelineCounters pc("test");
+  pc.stage("fft").bytes_read = 100;
+  pc.stage("fft").bytes_written = 50;
+  pc.stage("gemm").flops = 999;
+  EXPECT_EQ(pc.stages().size(), 2u);
+  EXPECT_EQ(pc.stage("fft").bytes_total(), 150u);
+}
+
+TEST(Counters, TotalSumsAllStages) {
+  PipelineCounters pc("test");
+  auto& a = pc.stage("a");
+  a.bytes_read = 10;
+  a.flops = 5;
+  a.kernel_launches = 1;
+  a.seconds = 0.5;
+  auto& b = pc.stage("b");
+  b.bytes_written = 20;
+  b.flops = 7;
+  b.kernel_launches = 2;
+  b.seconds = 0.25;
+  const auto t = pc.total();
+  EXPECT_EQ(t.bytes_read, 10u);
+  EXPECT_EQ(t.bytes_written, 20u);
+  EXPECT_EQ(t.flops, 12u);
+  EXPECT_EQ(t.kernel_launches, 3u);
+  EXPECT_DOUBLE_EQ(t.seconds, 0.75);
+}
+
+TEST(Counters, ClearEmptiesStages) {
+  PipelineCounters pc("test");
+  pc.stage("x").flops = 1;
+  pc.clear();
+  EXPECT_TRUE(pc.stages().empty());
+  EXPECT_EQ(pc.total().flops, 0u);
+}
+
+TEST(Counters, CgemmFlopConvention) {
+  // One complex MAC = 6 (mul) + 2 (add) real FLOPs.
+  EXPECT_EQ(cgemm_flops(1, 1, 1), 8u);
+  EXPECT_EQ(cgemm_flops(10, 20, 30), 10u * 20u * 30u * 8u);
+}
+
+TEST(Counters, FftFlopConvention) {
+  // n log2(n) / 2 butterflies x 10 real FLOPs.
+  EXPECT_EQ(fft_flops(2), 10u);
+  EXPECT_EQ(fft_flops(8), 3u * 4u * 10u);
+  EXPECT_EQ(fft_flops(1), 0u);
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1.00"});
+  t.add_row({"b", "200.50"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("200.50"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(TextTable, RejectsWidthMismatch) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, NumericFormatters) {
+  EXPECT_EQ(TextTable::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::pct(1.5), "+50.0%");
+  EXPECT_EQ(TextTable::pct(0.8), "-20.0%");
+}
+
+TEST(AsciiHeatmapTest, GlyphBucketsFollowSpeedup) {
+  AsciiHeatmap h({"r0", "r1"}, {"c0", "c1"});
+  h.set(0, 0, 90.0);   // ##
+  h.set(0, 1, -50.0);  // --
+  h.set(1, 0, 10.0);   // .
+  h.set(1, 1, 30.0);   // +
+  const std::string s = h.str();
+  EXPECT_NE(s.find("##"), std::string::npos);
+  EXPECT_NE(s.find("--"), std::string::npos);
+  EXPECT_NE(s.find("legend"), std::string::npos);
+}
+
+TEST(AsciiHeatmapTest, OutOfRangeCellThrows) {
+  AsciiHeatmap h({"r"}, {"c"});
+  EXPECT_THROW(h.set(1, 0, 0.0), std::out_of_range);
+  EXPECT_THROW(h.set(0, 1, 0.0), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace turbofno::trace

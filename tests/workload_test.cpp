@@ -1,0 +1,112 @@
+// Workload generators: determinism, physical plausibility, error metrics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/workload.hpp"
+#include "fft/plan.hpp"
+#include "test_util.hpp"
+
+namespace turbofno::core {
+namespace {
+
+using turbofno::testing::max_err;
+
+TEST(Workload, FillRandomIsDeterministic) {
+  std::vector<c32> a(128);
+  std::vector<c32> b(128);
+  fill_random(a, 3u);
+  fill_random(b, 3u);
+  EXPECT_EQ(max_err(a, b), 0.0);
+  fill_random(b, 4u);
+  EXPECT_GT(max_err(a, b), 0.0);
+}
+
+TEST(Workload, BurgersFieldIsRealAndBandLimited) {
+  const std::size_t n = 256;
+  std::vector<c32> x(n);
+  burgers_initial_condition(x, n, 9u, /*harmonics=*/8);
+  for (const auto& v : x) EXPECT_EQ(v.im, 0.0f);
+
+  fft::PlanDesc d;
+  d.n = n;
+  const fft::FftPlan plan(d);
+  std::vector<c32> freq(n);
+  plan.execute(x, freq, 1);
+  // Energy above harmonic 8 (and below the conjugate tail) must vanish.
+  double high = 0.0;
+  double low = 0.0;
+  for (std::size_t f = 0; f < n; ++f) {
+    const std::size_t dist = std::min(f, n - f);  // distance to DC
+    (dist <= 8 ? low : high) += norm2(freq[f]);
+  }
+  EXPECT_LT(high, 1e-5 * (low + 1e-12));
+}
+
+TEST(Workload, BurgersBatchVariesAcrossSignals) {
+  const std::size_t n = 64;
+  std::vector<c32> x(2 * 2 * n);
+  burgers_batch(x, 2, 2, n, 13u);
+  EXPECT_GT(max_err(std::span<const c32>(x.data(), n),
+                    std::span<const c32>(x.data() + n, n)),
+            1e-3);
+}
+
+TEST(Workload, DarcyFieldIsTwoPhase) {
+  const std::size_t nx = 32;
+  const std::size_t ny = 32;
+  std::vector<c32> x(nx * ny);
+  darcy_coefficient_field(x, nx, ny, 21u);
+  std::size_t high = 0;
+  std::size_t low = 0;
+  for (const auto& v : x) {
+    EXPECT_TRUE(v.re == 12.0f || v.re == 3.0f) << v.re;
+    EXPECT_EQ(v.im, 0.0f);
+    (v.re == 12.0f ? high : low) += 1;
+  }
+  // Both phases present (threshold of a zero-mean field).
+  EXPECT_GT(high, nx * ny / 10);
+  EXPECT_GT(low, nx * ny / 10);
+}
+
+TEST(Workload, VorticityFieldIsSmooth) {
+  const std::size_t nx = 32;
+  const std::size_t ny = 32;
+  std::vector<c32> x(nx * ny);
+  vorticity_field(x, nx, ny, 31u);
+  // Smoothness proxy: neighbour differences small relative to field range.
+  float range = 0.0f;
+  for (const auto& v : x) range = std::max(range, std::fabs(v.re));
+  ASSERT_GT(range, 0.0f);
+  float max_step = 0.0f;
+  for (std::size_t ix = 0; ix + 1 < nx; ++ix) {
+    for (std::size_t iy = 0; iy + 1 < ny; ++iy) {
+      max_step = std::max(max_step, std::fabs(x[ix * ny + iy].re - x[(ix + 1) * ny + iy].re));
+      max_step = std::max(max_step, std::fabs(x[ix * ny + iy].re - x[ix * ny + iy + 1].re));
+    }
+  }
+  EXPECT_LT(max_step, 0.75f * range);
+}
+
+TEST(Workload, ErrorMetricsBehave) {
+  std::vector<c32> a = {{1.0f, 0.0f}, {0.0f, 1.0f}};
+  std::vector<c32> b = a;
+  EXPECT_EQ(rel_l2_error(a, b), 0.0);
+  EXPECT_EQ(max_abs_error(a, b), 0.0);
+  b[0].re = 1.5f;
+  EXPECT_NEAR(max_abs_error(a, b), 0.5, 1e-7);
+  EXPECT_GT(rel_l2_error(a, b), 0.0);
+}
+
+TEST(Workload, RelErrorIsScaleInvariant) {
+  std::vector<c32> a = {{2.0f, 0.0f}, {0.0f, 2.0f}};
+  std::vector<c32> b = {{1.0f, 0.0f}, {0.0f, 1.0f}};
+  const double e1 = rel_l2_error(a, b);
+  std::vector<c32> a10 = {{20.0f, 0.0f}, {0.0f, 20.0f}};
+  std::vector<c32> b10 = {{10.0f, 0.0f}, {0.0f, 10.0f}};
+  EXPECT_NEAR(rel_l2_error(a10, b10), e1, 1e-9);
+}
+
+}  // namespace
+}  // namespace turbofno::core
