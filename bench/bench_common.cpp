@@ -11,6 +11,34 @@
 
 namespace turbofno::bench {
 
+namespace {
+
+// --json state: path from the last Options::parse plus every figure recorded
+// so far.  The file is rewritten after each figure so an interrupted sweep
+// still leaves valid JSON on disk.
+std::string g_json_path;                                                  // NOLINT
+std::vector<std::pair<std::string, std::vector<PointResult>>> g_figures;  // NOLINT
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+      out.append(buf);
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 Options Options::parse(int argc, char** argv) {
   Options o;
   for (int i = 1; i < argc; ++i) {
@@ -18,8 +46,51 @@ Options Options::parse(int argc, char** argv) {
     if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
       o.reps = static_cast<std::size_t>(std::strtoul(argv[i + 1], nullptr, 10));
     }
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      o.json = argv[i + 1];
+    }
   }
+  g_json_path = o.json;
+  g_figures.clear();
   return o;
+}
+
+void record_json(const std::string& title, const std::vector<PointResult>& points) {
+  if (g_json_path.empty()) return;
+  g_figures.emplace_back(title, points);
+
+  std::FILE* f = std::fopen(g_json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot open --json path '%s'\n", g_json_path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"figures\": [\n");
+  for (std::size_t fi = 0; fi < g_figures.size(); ++fi) {
+    const auto& [fig_title, fig_points] = g_figures[fi];
+    std::fprintf(f, "    {\n      \"title\": \"%s\",\n      \"points\": [\n",
+                 json_escape(fig_title).c_str());
+    for (std::size_t pi = 0; pi < fig_points.size(); ++pi) {
+      const auto& p = fig_points[pi];
+      std::fprintf(f, "        {\"label\": \"%s\", \"variants\": [\n",
+                   json_escape(p.label).c_str());
+      for (std::size_t vi = 0; vi < p.variants.size(); ++vi) {
+        const auto& v = p.variants[vi];
+        const double gflops =
+            v.seconds > 0.0 ? static_cast<double>(v.flops) / v.seconds * 1e-9 : 0.0;
+        std::fprintf(f,
+                     "          {\"name\": \"%s\", \"seconds\": %.9g, \"gflops\": %.6g, "
+                     "\"model_seconds\": %.9g, \"bytes\": %llu, \"flops\": %llu}%s\n",
+                     json_escape(v.name).c_str(), v.seconds, gflops, v.model_seconds,
+                     static_cast<unsigned long long>(v.bytes),
+                     static_cast<unsigned long long>(v.flops),
+                     vi + 1 < p.variants.size() ? "," : "");
+      }
+      std::fprintf(f, "        ]}%s\n", pi + 1 < fig_points.size() ? "," : "");
+    }
+    std::fprintf(f, "      ]\n    }%s\n", fi + 1 < g_figures.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
 }
 
 const gpusim::GpuSpec& a100() {
@@ -108,6 +179,8 @@ void print_figure_table(const std::string& title, const std::vector<PointResult>
   }
   std::printf("%s", table.str().c_str());
   std::printf("(100%% = PyTorch parity; >100%% = faster than PyTorch)\n\n");
+
+  record_json(title, points);
 
   // Optional machine-readable copy: set TURBOFNO_CSV_DIR to enable.
   const std::string dir = trace::CsvWriter::env_dir();

@@ -19,8 +19,9 @@
 namespace turbofno::bench {
 
 struct Options {
-  bool full = false;    // paper-scale sweep (large, slow)
-  std::size_t reps = 3; // timed repetitions (best-of)
+  bool full = false;     // paper-scale sweep (large, slow)
+  std::size_t reps = 3;  // timed repetitions (best-of)
+  std::string json;      // --json <path>: machine-readable per-variant results
   static Options parse(int argc, char** argv);
 };
 
@@ -62,6 +63,14 @@ void print_figure_table(const std::string& title, const std::vector<PointResult>
 
 /// Summary line: average and max measured speedup of the last variant.
 void print_summary(const std::vector<PointResult>& points, std::size_t variant_index);
+
+/// Records one figure's results for --json emission and rewrites the file.
+/// The path comes from the last Options::parse; a no-op when --json was not
+/// given.  print_figure_table calls this automatically, so every figure
+/// bench can drop a BENCH_*.json perf-trajectory file with per-variant
+/// seconds and GFLOP/s; benches that format their own tables may call it
+/// directly.
+void record_json(const std::string& title, const std::vector<PointResult>& points);
 
 /// The A100 spec every bench uses.
 const gpusim::GpuSpec& a100();

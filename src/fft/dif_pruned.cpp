@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cassert>
 
+#include "fft/kernels.hpp"
 #include "fft/twiddle.hpp"
+#include "tensor/simd.hpp"
 
 namespace turbofno::fft {
 
@@ -19,54 +21,9 @@ std::size_t block_need(std::size_t block_index, std::size_t depth, std::size_t m
 
 namespace {
 
-// One block butterfly with both prunings.
-//
-//   x[start .. start+half)      -> even-bin half (sums)
-//   x[start+half .. start+L)    -> odd-bin half (diffs * twiddle)
-//
-// `z` is the nonzero prefix of this block (uniform across blocks of a stage).
-// `need_odd == 0` skips every diff; the even half is then written only where
-// the sum differs from a plain copy (i.e. where b != 0).
-inline std::uint64_t block_butterfly(c32* x, std::size_t half, std::size_t z,
-                                     bool need_odd, std::span<const c32> w) {
-  std::uint64_t ops = 0;
-  const std::size_t full_end = z > half ? z - half : 0;  // both inputs nonzero
-  const std::size_t copy_end = std::min(z, half);        // upper input zero
-
-  if (need_odd) {
-    // j == 0 (twiddle == 1) peeled off the full region.
-    std::size_t j = 0;
-    if (full_end > 0) {
-      const c32 a = x[0];
-      const c32 b = x[half];
-      x[0] = a + b;
-      x[half] = a - b;
-      ops += 2;
-      j = 1;
-    }
-    for (; j < full_end; ++j) {
-      const c32 a = x[j];
-      const c32 b = x[j + half];
-      x[j] = a + b;
-      x[j + half] = (a - b) * w[j];
-      ops += 2;
-    }
-    for (j = full_end; j < copy_end; ++j) {
-      // b == 0: even output is already a (in place), odd is a twiddle scale.
-      x[j + half] = x[j] * w[j];
-      ops += 1;
-    }
-    // j in [copy_end, half): both inputs zero; outputs remain zero.
-  } else {
-    // Odd subtree pruned: only sums are needed, and only where b != 0.
-    for (std::size_t j = 0; j < full_end; ++j) {
-      x[j] = x[j] + x[j + half];
-      ops += 1;
-    }
-    // b == 0 region: x[j] already holds the sum.
-  }
-  return ops;
-}
+// The block butterfly lives in fft/kernels.hpp (templated on the SIMD
+// backend); all three of its inner loops are contiguous-j vector sweeps.
+using Backend = simd::Active;
 
 }  // namespace
 
@@ -91,7 +48,7 @@ std::uint64_t dif_pruned_run(std::span<c32> buf, std::size_t n, std::size_t m, s
       if (need == 0) continue;  // whole subtree pruned
       // Even child needs ceil(need/2) bins (>= 1 here), odd child
       // floor(need/2); the odd branch exists iff need >= 2.
-      ops += block_butterfly(buf.data() + b * L, half, z, need >= 2, w);
+      ops += kernels::block_butterfly<Backend>(buf.data() + b * L, half, z, need >= 2, w);
     }
   }
   return ops;

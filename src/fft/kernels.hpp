@@ -1,0 +1,244 @@
+// Backend-templated FFT butterfly kernels.
+//
+// The Stockham radix-2/radix-4 passes and the pruned-DIF block butterfly
+// live here, parameterized on a simd backend (tensor/simd.hpp), so:
+//   - stockham.cpp / dif_pruned.cpp instantiate them with simd::Active,
+//   - the SIMD micro bench and parity tests can instantiate the scalar and
+//     AVX2 backends side by side in one binary.
+//
+// Vectorization strategy: every kernel's innermost loop runs over a
+// contiguous run of butterflies (the q-loop over `s` adjacent outputs in
+// Stockham, the j-loop over a block prefix in the pruned DIF) using the
+// backend's *packed* complex vectors (B::pvec, AoS order): butterflies are
+// add/sub dominated, which packed lanes do shuffle-free, and the twiddle
+// multiply is a single fmaddsub sequence.  Runs shorter than a vector fall
+// through to the scalar tail, which is bit-identical to the seed's scalar
+// code.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "tensor/complex.hpp"
+#include "tensor/simd.hpp"
+
+namespace turbofno::fft::kernels {
+
+/// One DIF-Stockham radix-2 pass: combines pairs (p, p+l) with stride s into
+/// an interleaved output.  Data flows src -> dst; after all passes the
+/// result is in natural order.  `w` = twiddles for sub-transform length 2l.
+///
+/// The j == 0 twiddle is 1 + 0i; the p == 0 iteration is peeled so the
+/// common case avoids a complex multiply.
+template <class B, bool Inverse>
+void pass_radix2(const c32* src, c32* dst, std::size_t l, std::size_t s,
+                 std::span<const c32> w) {
+  using P = typename B::pvec;
+  {
+    const c32* sa = src;
+    const c32* sb = src + s * l;
+    c32* d0 = dst;
+    c32* d1 = dst + s;
+    std::size_t q = 0;
+    for (; q + B::planes <= s; q += B::planes) {
+      const P a = B::pload(sa + q);
+      const P b = B::pload(sb + q);
+      B::pstore(d0 + q, B::padd(a, b));
+      B::pstore(d1 + q, B::psub(a, b));
+    }
+    for (; q < s; ++q) {
+      const c32 a = sa[q];
+      const c32 b = sb[q];
+      d0[q] = a + b;
+      d1[q] = a - b;
+    }
+  }
+  for (std::size_t p = 1; p < l; ++p) {
+    const c32 wp = w[p];
+    const P wv = B::pset1(wp);
+    const c32* sa = src + s * p;
+    const c32* sb = src + s * (p + l);
+    c32* d0 = dst + s * 2 * p;
+    c32* d1 = d0 + s;
+    std::size_t q = 0;
+    for (; q + B::planes <= s; q += B::planes) {
+      const P a = B::pload(sa + q);
+      const P b = B::pload(sb + q);
+      B::pstore(d0 + q, B::padd(a, b));
+      B::pstore(d1 + q, B::pcmul(B::psub(a, b), wv));
+    }
+    for (; q < s; ++q) {
+      const c32 a = sa[q];
+      const c32 b = sb[q];
+      d0[q] = a + b;
+      d1[q] = (a - b) * wp;
+    }
+  }
+}
+
+/// One DIF-Stockham radix-4 pass over a current sub-transform length L = 4*l:
+/// reads x[p + j*l] (j = 0..3, stride s), writes the four interleaved
+/// outputs at 4p..4p+3.  The quarter-turn factor is -i forward / +i inverse.
+/// `w` = twiddles for length L (first half of the circle; 2p/3p fold with
+/// W(j + L/2) = -W(j)).
+///
+/// The p == 0 iteration (w1 = w2 = w3 = 1) is peeled out of the loop, so the
+/// most common butterfly group pays no twiddle multiplies and the main loop
+/// carries no per-iteration branch.
+template <class B, bool Inverse>
+void pass_radix4(const c32* src, c32* dst, std::size_t l, std::size_t s,
+                 std::span<const c32> w) {
+  using P = typename B::pvec;
+  const std::size_t half = 2 * l;  // = L / 2
+
+  auto tw_at = [&](std::size_t j) -> c32 { return j < half ? w[j] : -w[j - half]; };
+  auto quarter = [](P v) { return Inverse ? B::pmul_pos_i(v) : B::pmul_neg_i(v); };
+
+  {
+    // p == 0: all twiddles are 1, pure butterfly.
+    const c32* s0 = src;
+    const c32* s1 = src + s * l;
+    const c32* s2 = src + s * 2 * l;
+    const c32* s3 = src + s * 3 * l;
+    c32* d0 = dst;
+    c32* d1 = d0 + s;
+    c32* d2 = d1 + s;
+    c32* d3 = d2 + s;
+    std::size_t q = 0;
+    for (; q + B::planes <= s; q += B::planes) {
+      const P t0 = B::padd(B::pload(s0 + q), B::pload(s2 + q));
+      const P t1 = B::psub(B::pload(s0 + q), B::pload(s2 + q));
+      const P t2 = B::padd(B::pload(s1 + q), B::pload(s3 + q));
+      const P t3 = quarter(B::psub(B::pload(s1 + q), B::pload(s3 + q)));
+      B::pstore(d0 + q, B::padd(t0, t2));
+      B::pstore(d1 + q, B::padd(t1, t3));
+      B::pstore(d2 + q, B::psub(t0, t2));
+      B::pstore(d3 + q, B::psub(t1, t3));
+    }
+    for (; q < s; ++q) {
+      const c32 a = s0[q];
+      const c32 b = s1[q];
+      const c32 c = s2[q];
+      const c32 d = s3[q];
+      const c32 t0 = a + c;
+      const c32 t1 = a - c;
+      const c32 t2 = b + d;
+      const c32 t3 = Inverse ? mul_pos_i(b - d) : mul_neg_i(b - d);
+      d0[q] = t0 + t2;
+      d1[q] = t1 + t3;
+      d2[q] = t0 - t2;
+      d3[q] = t1 - t3;
+    }
+  }
+
+  for (std::size_t p = 1; p < l; ++p) {
+    const c32 w1 = tw_at(p);
+    const c32 w2 = tw_at(2 * p);
+    const c32 w3 = tw_at(3 * p);
+    const P w1v = B::pset1(w1);
+    const P w2v = B::pset1(w2);
+    const P w3v = B::pset1(w3);
+    const c32* s0 = src + s * p;
+    const c32* s1 = src + s * (p + l);
+    const c32* s2 = src + s * (p + 2 * l);
+    const c32* s3 = src + s * (p + 3 * l);
+    c32* d0 = dst + s * 4 * p;
+    c32* d1 = d0 + s;
+    c32* d2 = d1 + s;
+    c32* d3 = d2 + s;
+    std::size_t q = 0;
+    for (; q + B::planes <= s; q += B::planes) {
+      const P t0 = B::padd(B::pload(s0 + q), B::pload(s2 + q));
+      const P t1 = B::psub(B::pload(s0 + q), B::pload(s2 + q));
+      const P t2 = B::padd(B::pload(s1 + q), B::pload(s3 + q));
+      const P t3 = quarter(B::psub(B::pload(s1 + q), B::pload(s3 + q)));
+      B::pstore(d0 + q, B::padd(t0, t2));
+      B::pstore(d1 + q, B::pcmul(B::padd(t1, t3), w1v));
+      B::pstore(d2 + q, B::pcmul(B::psub(t0, t2), w2v));
+      B::pstore(d3 + q, B::pcmul(B::psub(t1, t3), w3v));
+    }
+    for (; q < s; ++q) {
+      const c32 a = s0[q];
+      const c32 b = s1[q];
+      const c32 c = s2[q];
+      const c32 d = s3[q];
+      const c32 t0 = a + c;
+      const c32 t1 = a - c;
+      const c32 t2 = b + d;
+      const c32 t3 = Inverse ? mul_pos_i(b - d) : mul_neg_i(b - d);
+      d0[q] = t0 + t2;
+      d1[q] = (t1 + t3) * w1;
+      d2[q] = (t0 - t2) * w2;
+      d3[q] = (t1 - t3) * w3;
+    }
+  }
+}
+
+/// One pruned-DIF block butterfly with both prunings (see dif_pruned.cpp for
+/// the derivation):
+///
+///   x[0 .. half)        -> even-bin half (sums)
+///   x[half .. 2*half)   -> odd-bin half (diffs * twiddle)
+///
+/// `z` is the nonzero prefix of this block (uniform across blocks of a
+/// stage).  `need_odd == false` skips every diff; the even half is then
+/// written only where the sum differs from a plain copy.  All three loops
+/// run over contiguous j with contiguous twiddles, so each is a straight
+/// packed-vector sweep.  Returns the unit-op count (identical to the scalar
+/// accounting).
+template <class B>
+inline std::uint64_t block_butterfly(c32* x, std::size_t half, std::size_t z, bool need_odd,
+                                     std::span<const c32> w) {
+  using P = typename B::pvec;
+  const std::size_t full_end = z > half ? z - half : 0;  // both inputs nonzero
+  const std::size_t copy_end = z < half ? z : half;      // upper input zero
+
+  if (need_odd) {
+    // j == 0 (twiddle == 1) peeled off the full region.
+    std::size_t j = 0;
+    if (full_end > 0) {
+      const c32 a = x[0];
+      const c32 b = x[half];
+      x[0] = a + b;
+      x[half] = a - b;
+      j = 1;
+    }
+    for (; j + B::planes <= full_end; j += B::planes) {
+      const P a = B::pload(x + j);
+      const P b = B::pload(x + j + half);
+      B::pstore(x + j, B::padd(a, b));
+      B::pstore(x + j + half, B::pcmul(B::psub(a, b), B::pload(w.data() + j)));
+    }
+    for (; j < full_end; ++j) {
+      const c32 a = x[j];
+      const c32 b = x[j + half];
+      x[j] = a + b;
+      x[j + half] = (a - b) * w[j];
+    }
+    // b == 0: even output is already a (in place), odd is a twiddle scale.
+    j = full_end;
+    for (; j + B::planes <= copy_end; j += B::planes) {
+      B::pstore(x + j + half, B::pcmul(B::pload(x + j), B::pload(w.data() + j)));
+    }
+    for (; j < copy_end; ++j) {
+      x[j + half] = x[j] * w[j];
+    }
+    // j in [copy_end, half): both inputs zero; outputs remain zero.
+    return 2 * static_cast<std::uint64_t>(full_end) +
+           static_cast<std::uint64_t>(copy_end - full_end);
+  }
+
+  // Odd subtree pruned: only sums are needed, and only where b != 0.
+  std::size_t j = 0;
+  for (; j + B::planes <= full_end; j += B::planes) {
+    B::pstore(x + j, B::padd(B::pload(x + j), B::pload(x + j + half)));
+  }
+  for (; j < full_end; ++j) {
+    x[j] = x[j] + x[j + half];
+  }
+  // b == 0 region: x[j] already holds the sum.
+  return full_end;
+}
+
+}  // namespace turbofno::fft::kernels

@@ -3,104 +3,17 @@
 #include <cassert>
 #include <utility>
 
+#include "fft/kernels.hpp"
 #include "fft/twiddle.hpp"
+#include "tensor/simd.hpp"
 
 namespace turbofno::fft {
 
 namespace {
 
-// One DIF-Stockham radix-2 pass: combines pairs (p, p+l) with stride s into
-// an interleaved output.  Data flows src -> dst; after all passes the result
-// is in natural order.
-//
-// The j == 0 twiddle is 1 + 0i; the p == 0 iteration is peeled so the common
-// case avoids a complex multiply.
-template <bool Inverse>
-void pass_radix2(const c32* src, c32* dst, std::size_t l, std::size_t s,
-                 const TwiddleTable& tw) {
-  const std::span<const c32> w = Inverse ? tw.inverse(2 * l) : tw.forward(2 * l);
-  for (std::size_t q = 0; q < s; ++q) {
-    const c32 a = src[q];
-    const c32 b = src[q + s * l];
-    dst[q] = a + b;
-    dst[q + s] = a - b;
-  }
-  for (std::size_t p = 1; p < l; ++p) {
-    const c32 wp = w[p];
-    const c32* sa = src + s * p;
-    const c32* sb = src + s * (p + l);
-    c32* d0 = dst + s * 2 * p;
-    c32* d1 = d0 + s;
-    for (std::size_t q = 0; q < s; ++q) {
-      const c32 a = sa[q];
-      const c32 b = sb[q];
-      d0[q] = a + b;
-      d1[q] = (a - b) * wp;
-    }
-  }
-}
-
-// One DIF-Stockham radix-4 pass over a current sub-transform length L = 4*l:
-// reads x[p + j*l] (j = 0..3, stride s), writes the four interleaved outputs
-// at 4p..4p+3.  The quarter-turn factor is -i forward / +i inverse.
-//
-// Twiddles w1 = W(p, L), w2 = W(2p, L), w3 = W(3p, L); the table stores only
-// the first half of the circle, so 2p/3p fold with W(j + L/2) = -W(j).
-template <bool Inverse>
-void pass_radix4(const c32* src, c32* dst, std::size_t l, std::size_t s,
-                 const TwiddleTable& tw) {
-  const std::size_t L = 4 * l;
-  const std::span<const c32> w = Inverse ? tw.inverse(L) : tw.forward(L);
-  const std::size_t half = L / 2;
-
-  auto tw_at = [&](std::size_t j) -> c32 { return j < half ? w[j] : -w[j - half]; };
-
-  for (std::size_t p = 0; p < l; ++p) {
-    const c32 w1 = tw_at(p);
-    const c32 w2 = tw_at(2 * p);
-    const c32 w3 = tw_at(3 * p);
-    const c32* s0 = src + s * p;
-    const c32* s1 = src + s * (p + l);
-    const c32* s2 = src + s * (p + 2 * l);
-    const c32* s3 = src + s * (p + 3 * l);
-    c32* d0 = dst + s * 4 * p;
-    c32* d1 = d0 + s;
-    c32* d2 = d1 + s;
-    c32* d3 = d2 + s;
-    if (p == 0) {
-      // All twiddles are 1: pure butterfly.
-      for (std::size_t q = 0; q < s; ++q) {
-        const c32 a = s0[q];
-        const c32 b = s1[q];
-        const c32 c = s2[q];
-        const c32 d = s3[q];
-        const c32 t0 = a + c;
-        const c32 t1 = a - c;
-        const c32 t2 = b + d;
-        const c32 t3 = Inverse ? mul_pos_i(b - d) : mul_neg_i(b - d);
-        d0[q] = t0 + t2;
-        d1[q] = t1 + t3;
-        d2[q] = t0 - t2;
-        d3[q] = t1 - t3;
-      }
-      continue;
-    }
-    for (std::size_t q = 0; q < s; ++q) {
-      const c32 a = s0[q];
-      const c32 b = s1[q];
-      const c32 c = s2[q];
-      const c32 d = s3[q];
-      const c32 t0 = a + c;
-      const c32 t1 = a - c;
-      const c32 t2 = b + d;
-      const c32 t3 = Inverse ? mul_pos_i(b - d) : mul_neg_i(b - d);
-      d0[q] = t0 + t2;
-      d1[q] = (t1 + t3) * w1;
-      d2[q] = (t0 - t2) * w2;
-      d3[q] = (t1 - t3) * w3;
-    }
-  }
-}
+// The pass kernels live in fft/kernels.hpp, templated on the SIMD backend;
+// the library runs whichever backend it was compiled against.
+using Backend = simd::Active;
 
 template <bool Inverse, bool Radix2Only>
 void stockham_run(std::span<c32> io, std::span<c32> work, std::size_t n) {
@@ -114,11 +27,13 @@ void stockham_run(std::span<c32> io, std::span<c32> work, std::size_t n) {
   std::size_t s = 1;
   while (len > 1) {
     if (!Radix2Only && len % 4 == 0) {
-      pass_radix4<Inverse>(a, b, len / 4, s, tw);
+      const std::span<const c32> w = Inverse ? tw.inverse(len) : tw.forward(len);
+      kernels::pass_radix4<Backend, Inverse>(a, b, len / 4, s, w);
       len /= 4;
       s *= 4;
     } else {
-      pass_radix2<Inverse>(a, b, len / 2, s, tw);
+      const std::span<const c32> w = Inverse ? tw.inverse(len) : tw.forward(len);
+      kernels::pass_radix2<Backend, Inverse>(a, b, len / 2, s, w);
       len /= 2;
       s *= 2;
     }

@@ -1,5 +1,7 @@
 #include "fused/fft_variant.hpp"
 
+#include "tensor/simd.hpp"
+
 namespace turbofno::fused {
 
 namespace {
@@ -41,14 +43,55 @@ void EpilogueIfft::inverse_row(const c32* c_row, c32* v_row, std::span<c32> work
 void rank_update(c32* C, std::size_t ldc, const c32* W, std::size_t ldw, std::size_t k0,
                  const c32* At, std::size_t lda_t, std::size_t out_dim, std::size_t m,
                  std::size_t kc) {
+  using B = simd::Active;
   for (std::size_t o = 0; o < out_dim; ++o) {
     c32* crow = C + o * ldc;
     for (std::size_t kk = 0; kk < kc; ++kk) {
       const c32 wv = W[o * ldw + k0 + kk];
+      const typename B::pvec wvv = B::pset1(wv);
       const c32* arow = At + kk * lda_t;
-      for (std::size_t f = 0; f < m; ++f) {
+      std::size_t f = 0;
+      for (; f + B::planes <= m; f += B::planes) {
+        B::pstore(crow + f, B::pcmadd(B::pload(crow + f), wvv, B::pload(arow + f)));
+      }
+      for (; f < m; ++f) {
         cmadd(crow[f], wv, arow[f]);
       }
+    }
+  }
+}
+
+void rank_update_split(float* c_re, float* c_im, const c32* W, std::size_t ldw, std::size_t k0,
+                       const float* at_re, const float* at_im, std::size_t ld,
+                       std::size_t out_dim, std::size_t kc) {
+  using B = simd::Active;
+  using V = typename B::cvec;
+  constexpr std::size_t kStep = 2 * B::lanes;  // two accumulator vectors in flight
+  for (std::size_t o = 0; o < out_dim; ++o) {
+    float* cre = c_re + o * ld;
+    float* cim = c_im + o * ld;
+    const c32* wrow = W + o * ldw + k0;
+    std::size_t f = 0;
+    for (; f + kStep <= ld; f += kStep) {
+      V acc0 = B::load_split(cre + f, cim + f);
+      V acc1 = B::load_split(cre + f + B::lanes, cim + f + B::lanes);
+      for (std::size_t kk = 0; kk < kc; ++kk) {
+        const V wv = B::broadcast(wrow[kk]);
+        const float* are = at_re + kk * ld + f;
+        const float* aim = at_im + kk * ld + f;
+        acc0 = B::cmadd(acc0, wv, B::load_split(are, aim));
+        acc1 = B::cmadd(acc1, wv, B::load_split(are + B::lanes, aim + B::lanes));
+      }
+      B::store_split(cre + f, cim + f, acc0);
+      B::store_split(cre + f + B::lanes, cim + f + B::lanes, acc1);
+    }
+    for (; f < ld; f += B::lanes) {
+      V acc = B::load_split(cre + f, cim + f);
+      for (std::size_t kk = 0; kk < kc; ++kk) {
+        acc = B::cmadd(acc, B::broadcast(wrow[kk]),
+                       B::load_split(at_re + kk * ld + f, at_im + kk * ld + f));
+      }
+      B::store_split(cre + f, cim + f, acc);
     }
   }
 }

@@ -54,8 +54,20 @@ class EpilogueIfft {
 /// The fused GEMM rank-kc update: C[O x m] += W[:, k0 .. k0+kc) * At[kc x m].
 /// At rows are the freshly produced spectra (B-operand panel); W is the
 /// [out_dim x hidden] weight matrix with leading dimension ldw.
+/// Interleaved (c32) operands; vectorized along m.
 void rank_update(c32* C, std::size_t ldc, const c32* W, std::size_t ldw, std::size_t k0,
                  const c32* At, std::size_t lda_t, std::size_t out_dim, std::size_t m,
                  std::size_t kc);
+
+/// Split-complex rank update — the hot path of the fused pipelines.  The
+/// accumulator and the spectra tile are separate re/im float planes with a
+/// common leading dimension `ld` (a whole number of SIMD lanes, padding
+/// zeroed), so the inner loop is a pure broadcast-FMA stream with no
+/// shuffles:
+///   c_{re,im}[o * ld + f]  += W[o, k0+kk] * at_{re,im}[kk * ld + f]
+/// for all o < out_dim, kk < kc, f < ld.
+void rank_update_split(float* c_re, float* c_im, const c32* W, std::size_t ldw, std::size_t k0,
+                       const float* at_re, const float* at_im, std::size_t ld,
+                       std::size_t out_dim, std::size_t kc);
 
 }  // namespace turbofno::fused

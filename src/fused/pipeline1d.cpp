@@ -4,6 +4,7 @@
 #include "gemm/config.hpp"
 #include "runtime/parallel.hpp"
 #include "runtime/timer.hpp"
+#include "tensor/simd.hpp"
 
 namespace turbofno::fused {
 
@@ -88,21 +89,32 @@ void FusedFftGemmPipeline1d::run(std::span<const c32> u, std::span<const c32> w,
 
   {
     runtime::Timer t;
+    const std::size_t ld = simd::round_up_lanes(M);
     runtime::parallel_for(0, B, 1, [&](std::size_t lo, std::size_t hi) {
-      AlignedBuffer<c32> tile(kTb * M);
-      AlignedBuffer<c32> acc(O * M);
+      AlignedBuffer<c32> tile(kTb * ld);
+      AlignedBuffer<float> tsplit(2 * kTb * ld);  // split tile planes (re, im)
+      AlignedBuffer<float> acc(2 * O * ld);       // split accumulator planes
       AlignedBuffer<c32> work(2 * N);
+      float* tre = tsplit.data();
+      float* tim = tre + kTb * ld;
+      float* are = acc.data();
+      float* aim = are + O * ld;
       for (std::size_t b = lo; b < hi; ++b) {
         acc.zero();
         for (std::size_t k0 = 0; k0 < K; k0 += kTb) {
           const std::size_t kc = std::min(kTb, K - k0);
           // FFT directly into the GEMM operand tile (the shared-memory A
-          // block of the paper) ...
-          fwd_.forward_tile(u.data() + (b * K + k0) * N, N, kc, tile.data(), M, work.span());
+          // block of the paper), split into SoA planes for the SIMD MAC ...
+          fwd_.forward_tile(u.data() + (b * K + k0) * N, N, kc, tile.data(), ld, work.span());
+          for (std::size_t kk = 0; kk < kc; ++kk) {
+            simd::split_planes(tile.data() + kk * ld, tre + kk * ld, tim + kk * ld, M);
+          }
           // ... and the MAC phase of the k-loop.
-          rank_update(acc.data(), M, w.data(), K, k0, tile.data(), M, O, M, kc);
+          rank_update_split(are, aim, w.data(), K, k0, tre, tim, ld, O, kc);
         }
-        std::copy_n(acc.data(), O * M, mixed_.data() + b * O * M);
+        for (std::size_t o = 0; o < O; ++o) {
+          simd::interleave_planes(are + o * ld, aim + o * ld, mixed_.data() + (b * O + o) * M, M);
+        }
       }
     });
     auto& sc = counters_.stage("fused-fft-cgemm");
@@ -155,22 +167,33 @@ void FusedGemmIfftPipeline1d::run(std::span<const c32> u, std::span<const c32> w
 
   {
     runtime::Timer t;
+    const std::size_t ld = simd::round_up_lanes(M);
     runtime::parallel_for(0, B, 1, [&](std::size_t lo, std::size_t hi) {
-      AlignedBuffer<c32> acc(O * M);
+      AlignedBuffer<float> tsplit(2 * kTb * ld);
+      AlignedBuffer<float> acc(2 * O * ld);
+      AlignedBuffer<c32> row(ld);
       AlignedBuffer<c32> work(2 * N);
+      float* tre = tsplit.data();
+      float* tim = tre + kTb * ld;
+      float* are = acc.data();
+      float* aim = are + O * ld;
       for (std::size_t b = lo; b < hi; ++b) {
         acc.zero();
-        // The stored spectra already have the k-major tile layout; the GEMM
-        // streams them without any copy.
+        // The stored spectra already have the k-major tile layout; splitting
+        // them into SoA planes is the only copy the GEMM pays.
         for (std::size_t k0 = 0; k0 < K; k0 += kTb) {
           const std::size_t kc = std::min(kTb, K - k0);
-          rank_update(acc.data(), M, w.data(), K, k0, freq_.data() + (b * K + k0) * M, M, O, M,
-                      kc);
+          for (std::size_t kk = 0; kk < kc; ++kk) {
+            simd::split_planes(freq_.data() + (b * K + k0 + kk) * M, tre + kk * ld,
+                               tim + kk * ld, M);
+          }
+          rank_update_split(are, aim, w.data(), K, k0, tre, tim, ld, O, kc);
         }
         // iFFT epilogue straight out of the accumulator tile (the paper's
         // Figure 6(f): iFFT on the result matrix along the output dim).
         for (std::size_t o = 0; o < O; ++o) {
-          inv_.inverse_row(acc.data() + o * M, v.data() + (b * O + o) * N, work.span());
+          simd::interleave_planes(are + o * ld, aim + o * ld, row.data(), M);
+          inv_.inverse_row(row.data(), v.data() + (b * O + o) * N, work.span());
         }
       }
     });
@@ -199,19 +222,30 @@ void FullyFusedPipeline1d::run(std::span<const c32> u, std::span<const c32> w, s
   counters_.clear();
 
   runtime::Timer t;
+  const std::size_t ld = simd::round_up_lanes(M);
   runtime::parallel_for(0, B, 1, [&](std::size_t lo, std::size_t hi) {
-    AlignedBuffer<c32> tile(kTb * M);  // FFT output == GEMM A-operand tile
-    AlignedBuffer<c32> acc(O * M);     // C tile, never leaves cache
+    AlignedBuffer<c32> tile(kTb * ld);          // FFT output == GEMM A-operand tile
+    AlignedBuffer<float> tsplit(2 * kTb * ld);  // its SoA planes
+    AlignedBuffer<float> acc(2 * O * ld);       // C tile planes, never leave cache
+    AlignedBuffer<c32> row(ld);
     AlignedBuffer<c32> work(2 * N);
+    float* tre = tsplit.data();
+    float* tim = tre + kTb * ld;
+    float* are = acc.data();
+    float* aim = are + O * ld;
     for (std::size_t b = lo; b < hi; ++b) {
       acc.zero();
       for (std::size_t k0 = 0; k0 < K; k0 += kTb) {
         const std::size_t kc = std::min(kTb, K - k0);
-        fwd_.forward_tile(u.data() + (b * K + k0) * N, N, kc, tile.data(), M, work.span());
-        rank_update(acc.data(), M, w.data(), K, k0, tile.data(), M, O, M, kc);
+        fwd_.forward_tile(u.data() + (b * K + k0) * N, N, kc, tile.data(), ld, work.span());
+        for (std::size_t kk = 0; kk < kc; ++kk) {
+          simd::split_planes(tile.data() + kk * ld, tre + kk * ld, tim + kk * ld, M);
+        }
+        rank_update_split(are, aim, w.data(), K, k0, tre, tim, ld, O, kc);
       }
       for (std::size_t o = 0; o < O; ++o) {
-        inv_.inverse_row(acc.data() + o * M, v.data() + (b * O + o) * N, work.span());
+        simd::interleave_planes(are + o * ld, aim + o * ld, row.data(), M);
+        inv_.inverse_row(row.data(), v.data() + (b * O + o) * N, work.span());
       }
     }
   });

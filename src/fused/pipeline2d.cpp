@@ -4,6 +4,7 @@
 #include "gemm/config.hpp"
 #include "runtime/parallel.hpp"
 #include "runtime/timer.hpp"
+#include "tensor/simd.hpp"
 
 namespace turbofno::fused {
 
@@ -182,10 +183,16 @@ void FusedFftGemmPipeline2d::run(std::span<const c32> u, std::span<const c32> w,
   // dim like the GEMM k-loop (Figure 6(c)).
   {
     runtime::Timer t;
+    const std::size_t ld = simd::round_up_lanes(MY);
     runtime::parallel_for(0, B * MX, 1, [&](std::size_t lo, std::size_t hi) {
-      AlignedBuffer<c32> tile(kTb * MY);
-      AlignedBuffer<c32> acc(O * MY);
+      AlignedBuffer<c32> tile(kTb * ld);
+      AlignedBuffer<float> tsplit(2 * kTb * ld);
+      AlignedBuffer<float> acc(2 * O * ld);
       AlignedBuffer<c32> work(2 * NY);
+      float* tre = tsplit.data();
+      float* tim = tre + kTb * ld;
+      float* are = acc.data();
+      float* aim = are + O * ld;
       for (std::size_t i = lo; i < hi; ++i) {
         const std::size_t b = i / MX;
         const std::size_t x = i % MX;
@@ -194,11 +201,15 @@ void FusedFftGemmPipeline2d::run(std::span<const c32> u, std::span<const c32> w,
           const std::size_t kc = std::min(kTb, K - k0);
           // Channel k's row for this x sits at ((b*K + k) * MX + x) * NY.
           fwd_y_.forward_tile(mid_in_.data() + ((b * K + k0) * MX + x) * NY, MX * NY, kc,
-                              tile.data(), MY, work.span());
-          rank_update(acc.data(), MY, w.data(), K, k0, tile.data(), MY, O, MY, kc);
+                              tile.data(), ld, work.span());
+          for (std::size_t kk = 0; kk < kc; ++kk) {
+            simd::split_planes(tile.data() + kk * ld, tre + kk * ld, tim + kk * ld, MY);
+          }
+          rank_update_split(are, aim, w.data(), K, k0, tre, tim, ld, O, kc);
         }
         for (std::size_t o = 0; o < O; ++o) {
-          std::copy_n(acc.data() + o * MY, MY, mixed_.data() + ((b * O + o) * MX + x) * MY);
+          simd::interleave_planes(are + o * ld, aim + o * ld,
+                                  mixed_.data() + ((b * O + o) * MX + x) * MY, MY);
         }
       }
     });
@@ -260,26 +271,34 @@ void FusedGemmIfftPipeline2d::run(std::span<const c32> u, std::span<const c32> w
   // Fused CGEMM + iFFT-Y epilogue per (batch, x-row).
   {
     runtime::Timer t;
+    const std::size_t ld = simd::round_up_lanes(MY);
     runtime::parallel_for(0, B * MX, 1, [&](std::size_t lo, std::size_t hi) {
-      AlignedBuffer<c32> tile(kTb * MY);
-      AlignedBuffer<c32> acc(O * MY);
+      AlignedBuffer<float> tsplit(2 * kTb * ld);
+      AlignedBuffer<float> acc(2 * O * ld);
+      AlignedBuffer<c32> row(ld);
       AlignedBuffer<c32> work(2 * NY);
+      float* tre = tsplit.data();
+      float* tim = tre + kTb * ld;
+      float* are = acc.data();
+      float* aim = are + O * ld;
       for (std::size_t i = lo; i < hi; ++i) {
         const std::size_t b = i / MX;
         const std::size_t x = i % MX;
         acc.zero();
         for (std::size_t k0 = 0; k0 < K; k0 += kTb) {
           const std::size_t kc = std::min(kTb, K - k0);
-          // Gather the k-major tile from the stored spectra (rows are MY
-          // apart within a channel, channels MX*MY apart).
+          // Gather the k-major tile straight into SoA planes (rows are MY
+          // apart within a channel, channels MX*MY apart) — the split is
+          // the gather copy the seed already paid.
           for (std::size_t kk = 0; kk < kc; ++kk) {
-            std::copy_n(freq_.data() + ((b * K + k0 + kk) * MX + x) * MY, MY,
-                        tile.data() + kk * MY);
+            simd::split_planes(freq_.data() + ((b * K + k0 + kk) * MX + x) * MY, tre + kk * ld,
+                               tim + kk * ld, MY);
           }
-          rank_update(acc.data(), MY, w.data(), K, k0, tile.data(), MY, O, MY, kc);
+          rank_update_split(are, aim, w.data(), K, k0, tre, tim, ld, O, kc);
         }
         for (std::size_t o = 0; o < O; ++o) {
-          inv_y_.inverse_row(acc.data() + o * MY, mid_out_.data() + ((b * O + o) * MX + x) * NY,
+          simd::interleave_planes(are + o * ld, aim + o * ld, row.data(), MY);
+          inv_y_.inverse_row(row.data(), mid_out_.data() + ((b * O + o) * MX + x) * NY,
                              work.span());
         }
       }
@@ -316,10 +335,17 @@ void FullyFusedPipeline2d::run(std::span<const c32> u, std::span<const c32> w, s
   // pipeline never touches global memory (Figure 9's fused kernel).
   {
     runtime::Timer t;
+    const std::size_t ld = simd::round_up_lanes(MY);
     runtime::parallel_for(0, B * MX, 1, [&](std::size_t lo, std::size_t hi) {
-      AlignedBuffer<c32> tile(kTb * MY);
-      AlignedBuffer<c32> acc(O * MY);
+      AlignedBuffer<c32> tile(kTb * ld);
+      AlignedBuffer<float> tsplit(2 * kTb * ld);
+      AlignedBuffer<float> acc(2 * O * ld);
+      AlignedBuffer<c32> row(ld);
       AlignedBuffer<c32> work(2 * NY);
+      float* tre = tsplit.data();
+      float* tim = tre + kTb * ld;
+      float* are = acc.data();
+      float* aim = are + O * ld;
       for (std::size_t i = lo; i < hi; ++i) {
         const std::size_t b = i / MX;
         const std::size_t x = i % MX;
@@ -327,11 +353,15 @@ void FullyFusedPipeline2d::run(std::span<const c32> u, std::span<const c32> w, s
         for (std::size_t k0 = 0; k0 < K; k0 += kTb) {
           const std::size_t kc = std::min(kTb, K - k0);
           fwd_y_.forward_tile(mid_in_.data() + ((b * K + k0) * MX + x) * NY, MX * NY, kc,
-                              tile.data(), MY, work.span());
-          rank_update(acc.data(), MY, w.data(), K, k0, tile.data(), MY, O, MY, kc);
+                              tile.data(), ld, work.span());
+          for (std::size_t kk = 0; kk < kc; ++kk) {
+            simd::split_planes(tile.data() + kk * ld, tre + kk * ld, tim + kk * ld, MY);
+          }
+          rank_update_split(are, aim, w.data(), K, k0, tre, tim, ld, O, kc);
         }
         for (std::size_t o = 0; o < O; ++o) {
-          inv_y_.inverse_row(acc.data() + o * MY, mid_out_.data() + ((b * O + o) * MX + x) * NY,
+          simd::interleave_planes(are + o * ld, aim + o * ld, row.data(), MY);
+          inv_y_.inverse_row(row.data(), mid_out_.data() + ((b * O + o) * MX + x) * NY,
                              work.span());
         }
       }

@@ -11,11 +11,13 @@
 
 #include "gemm/config.hpp"
 #include "tensor/complex.hpp"
+#include "tensor/simd.hpp"
 
 namespace turbofno::gemm {
 
 /// C[MxN] = alpha * A[MxK] * B[KxN] + beta * C   (row-major).
 /// Parallelized over C tiles; deterministic for a fixed tile config.
+/// Runs the SIMD backend the library was compiled with (simd::Active).
 void cgemm(std::size_t M, std::size_t N, std::size_t K, c32 alpha, const c32* A, std::size_t lda,
            const c32* B, std::size_t ldb, c32 beta, c32* C, std::size_t ldc);
 
@@ -24,6 +26,14 @@ template <class Cfg>
 void cgemm_tiled(std::size_t M, std::size_t N, std::size_t K, c32 alpha, const c32* A,
                  std::size_t lda, const c32* B, std::size_t ldb, c32 beta, c32* C,
                  std::size_t ldc);
+
+/// Explicit-backend variant so benches and parity tests can pit the scalar
+/// and SIMD code paths against each other inside one binary.  Instantiated
+/// in cgemm.cpp for {FusedTiles, StandaloneTiles} x {ScalarBackend, Active}.
+template <class Cfg, class Backend>
+void cgemm_tiled_backend(std::size_t M, std::size_t N, std::size_t K, c32 alpha, const c32* A,
+                         std::size_t lda, const c32* B, std::size_t ldb, c32 beta, c32* C,
+                         std::size_t ldc);
 
 // Explicitly instantiated tile configurations (defined in cgemm.cpp).
 using AblTilesSmall = Tiles<16, 16, 8, 4, 4>;

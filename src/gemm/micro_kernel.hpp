@@ -1,4 +1,4 @@
-// Register-tile micro-kernel of the blocked CGEMM.
+// Register-tile micro-kernels of the blocked CGEMM.
 //
 // Packed operand layout (both k-major) so the inner loop streams
 // contiguously, the CPU analogue of the shared-memory A/B tiles in the
@@ -6,13 +6,21 @@
 //   Apack[Ktb][Mtb]  — Apack[k][i] = A[i, k0+k]  (column-major A tile)
 //   Bpack[Ktb][Ntb]  — Bpack[k][j] = B[k0+k, j]
 //
-// The Mt x Nt accumulator block lives entirely in registers; GCC vectorizes
-// the j-dimension (contiguous Bpack row) at -O3.
+// Two kernels:
+//   micro_accumulate        the seed's scalar kernel over interleaved (c32)
+//                           panels; the scalar backend's GEMM path and the
+//                           bench baseline.
+//   micro_accumulate_split  explicit-SIMD kernel over split-complex (SoA)
+//                           float panels (see pack.hpp).  The Mt x JW
+//                           register block holds re/im vector pairs; each k
+//                           step is a B-vector load, Mt broadcasts, and
+//                           Mt * JW/lanes complex FMAs — no shuffles.
 #pragma once
 
 #include <cstddef>
 
 #include "tensor/complex.hpp"
+#include "tensor/simd.hpp"
 
 namespace turbofno::gemm {
 
@@ -41,6 +49,57 @@ inline void micro_store(const c32 (&acc)[Mt][Nt], c32 alpha, c32 beta, c32* C, s
   for (std::size_t i = 0; i < mi; ++i) {
     for (std::size_t j = 0; j < nj; ++j) {
       C[i * ldc + j] = alpha * acc[i][j] + beta * C[i * ldc + j];
+    }
+  }
+}
+
+/// The j-block width of the SIMD register tile for a config whose scalar
+/// register tile is Mt x Nt: at least one full vector, otherwise Nt.
+template <class B, std::size_t Nt>
+inline constexpr std::size_t kJBlock = Nt >= B::lanes ? Nt : B::lanes;
+
+/// Split-complex accumulator tile += Apack panel x Bpack panel over kc steps.
+///
+/// `acc` holds the Mtb x Ntb tile as two planes: re at [i * Ntb + j], im at
+/// [Mtb * Ntb + i * Ntb + j].  The (i0, j0) register block of shape
+/// Mt x JW stays in registers for the whole kc loop.
+template <class B, std::size_t Mt, std::size_t JW, std::size_t Mtb, std::size_t Ntb>
+inline void micro_accumulate_split(float* acc, const float* Apack, const float* Bpack,
+                                   std::size_t kc, std::size_t i0, std::size_t j0) {
+  static_assert(JW % B::lanes == 0, "j-block must be whole vectors");
+  constexpr std::size_t NV = JW / B::lanes;
+  using V = typename B::cvec;
+
+  float* acc_re = acc + i0 * Ntb + j0;
+  float* acc_im = acc + Mtb * Ntb + i0 * Ntb + j0;
+
+  V r[Mt][NV];
+  for (std::size_t i = 0; i < Mt; ++i) {
+    for (std::size_t v = 0; v < NV; ++v) {
+      r[i][v] = B::load_split(acc_re + i * Ntb + v * B::lanes, acc_im + i * Ntb + v * B::lanes);
+    }
+  }
+
+  for (std::size_t k = 0; k < kc; ++k) {
+    const float* bre = Bpack + k * 2 * Ntb + j0;
+    const float* bim = bre + Ntb;
+    V b[NV];
+    for (std::size_t v = 0; v < NV; ++v) {
+      b[v] = B::load_split(bre + v * B::lanes, bim + v * B::lanes);
+    }
+    const float* are = Apack + k * 2 * Mtb + i0;
+    const float* aim = are + Mtb;
+    for (std::size_t i = 0; i < Mt; ++i) {
+      const V a = B::broadcast_split(are[i], aim[i]);
+      for (std::size_t v = 0; v < NV; ++v) {
+        r[i][v] = B::cmadd(r[i][v], a, b[v]);
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < Mt; ++i) {
+    for (std::size_t v = 0; v < NV; ++v) {
+      B::store_split(acc_re + i * Ntb + v * B::lanes, acc_im + i * Ntb + v * B::lanes, r[i][v]);
     }
   }
 }

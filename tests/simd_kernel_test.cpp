@@ -1,0 +1,332 @@
+// Parity tests for the explicit SIMD layer (tensor/simd.hpp) and every
+// kernel built on it: cvec ops against plain c32 arithmetic, the split
+// CGEMM against the naive reference at non-tile-multiple dims, the FFT
+// butterfly kernels across all radix paths and odd prunings, and the fused
+// rank updates.  Each test runs the scalar backend and, when the binary was
+// compiled with AVX2 support, the AVX2 backend through identical sweeps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "fft/kernels.hpp"
+#include "fft/plan.hpp"
+#include "fft/reference.hpp"
+#include "fft/twiddle.hpp"
+#include "fused/fft_variant.hpp"
+#include "gemm/cgemm.hpp"
+#include "gemm/reference.hpp"
+#include "tensor/aligned_buffer.hpp"
+#include "tensor/simd.hpp"
+#include "test_util.hpp"
+
+namespace turbofno {
+namespace {
+
+using testing::max_err;
+using testing::random_signal;
+
+// ------------------------------------------------------------- cvec op parity
+
+template <class B>
+void check_cvec_ops() {
+  const std::size_t lanes = B::lanes;
+  const std::vector<c32> a = random_signal(lanes, 101u);
+  const std::vector<c32> b = random_signal(lanes, 102u);
+
+  std::vector<c32> out(lanes);
+
+  // load/store round trip.
+  B::store(out.data(), B::load(a.data()));
+  EXPECT_EQ(0.0, max_err(out, a));
+
+  // Arithmetic, lane by lane, against c32 operators.
+  std::vector<c32> want(lanes);
+  B::store(out.data(), B::cmul(B::load(a.data()), B::load(b.data())));
+  for (std::size_t i = 0; i < lanes; ++i) want[i] = a[i] * b[i];
+  EXPECT_LT(max_err(out, want), 1e-6);
+
+  B::store(out.data(), B::cmadd(B::load(a.data()), B::load(b.data()), B::load(a.data())));
+  for (std::size_t i = 0; i < lanes; ++i) {
+    want[i] = a[i];
+    cmadd(want[i], b[i], a[i]);
+  }
+  EXPECT_LT(max_err(out, want), 1e-6);
+
+  B::store(out.data(), B::add(B::load(a.data()), B::load(b.data())));
+  for (std::size_t i = 0; i < lanes; ++i) want[i] = a[i] + b[i];
+  EXPECT_EQ(0.0, max_err(out, want));
+
+  B::store(out.data(), B::sub(B::load(a.data()), B::load(b.data())));
+  for (std::size_t i = 0; i < lanes; ++i) want[i] = a[i] - b[i];
+  EXPECT_EQ(0.0, max_err(out, want));
+
+  B::store(out.data(), B::mul_neg_i(B::load(a.data())));
+  for (std::size_t i = 0; i < lanes; ++i) want[i] = mul_neg_i(a[i]);
+  EXPECT_EQ(0.0, max_err(out, want));
+
+  B::store(out.data(), B::mul_pos_i(B::load(a.data())));
+  for (std::size_t i = 0; i < lanes; ++i) want[i] = mul_pos_i(a[i]);
+  EXPECT_EQ(0.0, max_err(out, want));
+
+  B::store(out.data(), B::scale(B::load(a.data()), 0.75f));
+  for (std::size_t i = 0; i < lanes; ++i) want[i] = a[i] * 0.75f;
+  EXPECT_EQ(0.0, max_err(out, want));
+
+  // Broadcast fills every lane.
+  B::store(out.data(), B::broadcast(b[0]));
+  for (std::size_t i = 0; i < lanes; ++i) EXPECT_EQ(out[i], b[0]);
+
+  // Split loads/stores agree with interleaved ones.
+  std::vector<float> re(lanes);
+  std::vector<float> im(lanes);
+  B::store_split(re.data(), im.data(), B::load(a.data()));
+  for (std::size_t i = 0; i < lanes; ++i) {
+    EXPECT_EQ(re[i], a[i].re);
+    EXPECT_EQ(im[i], a[i].im);
+  }
+  B::store(out.data(), B::load_split(re.data(), im.data()));
+  EXPECT_EQ(0.0, max_err(out, a));
+}
+
+template <class B>
+void check_cvec_partials() {
+  const std::size_t lanes = B::lanes;
+  const std::vector<c32> a = random_signal(lanes, 103u);
+  const c32 zero{};
+  const c32 sentinel{-3.0f, 5.0f};
+  for (std::size_t count = 0; count <= lanes; ++count) {
+    // Partial load: first `count` lanes real, the rest zero.
+    std::vector<c32> out(lanes, c32{7.0f, 7.0f});
+    B::store(out.data(), B::load_partial(a.data(), count));
+    for (std::size_t i = 0; i < lanes; ++i) {
+      const c32 want = i < count ? a[i] : zero;
+      EXPECT_EQ(out[i], want) << "count=" << count << " lane=" << i;
+    }
+    // Partial store: lanes past `count` must be untouched.
+    std::vector<c32> dst(lanes, sentinel);
+    B::store_partial(dst.data(), B::load(a.data()), count);
+    for (std::size_t i = 0; i < lanes; ++i) {
+      const c32 want = i < count ? a[i] : sentinel;
+      EXPECT_EQ(dst[i], want) << "count=" << count << " lane=" << i;
+    }
+  }
+}
+
+TEST(SimdCvec, ScalarOps) { check_cvec_ops<simd::ScalarBackend>(); }
+TEST(SimdCvec, ScalarPartials) { check_cvec_partials<simd::ScalarBackend>(); }
+
+#if TURBOFNO_SIMD_HAVE_AVX2
+TEST(SimdCvec, Avx2Ops) { check_cvec_ops<simd::Avx2Backend>(); }
+TEST(SimdCvec, Avx2Partials) { check_cvec_partials<simd::Avx2Backend>(); }
+#endif
+
+TEST(SimdCvec, ActiveBackendReport) {
+#if TURBOFNO_SIMD_HAVE_AVX2
+  EXPECT_STREQ("avx2", simd::active_backend());
+  EXPECT_EQ(8u, simd::kLanes);
+#else
+  EXPECT_STREQ("scalar", simd::active_backend());
+  EXPECT_EQ(1u, simd::kLanes);
+#endif
+  EXPECT_EQ(simd::round_up_lanes(1), simd::kLanes);
+  EXPECT_EQ(simd::round_up_lanes(simd::kLanes), simd::kLanes);
+}
+
+TEST(SimdCvec, SplitInterleaveRoundTrip) {
+  for (const std::size_t n : {1u, 3u, 7u, 8u, 9u, 31u, 64u}) {
+    const std::vector<c32> src = random_signal(n, 104u + static_cast<unsigned>(n));
+    std::vector<float> re(n);
+    std::vector<float> im(n);
+    std::vector<c32> back(n);
+    simd::split_planes(src.data(), re.data(), im.data(), n);
+    simd::interleave_planes(re.data(), im.data(), back.data(), n);
+    EXPECT_EQ(0.0, max_err(back, src)) << "n=" << n;
+  }
+}
+
+// --------------------------------------------------------------- cgemm parity
+
+template <class Cfg, class B>
+void check_cgemm_backend() {
+  // Dims deliberately not multiples of the tile config; alpha/beta exercise
+  // both epilogue paths.
+  const c32 alphas[] = {c32{1.0f, 0.0f}, c32{0.7f, -0.3f}};
+  const c32 betas[] = {c32{0.0f, 0.0f}, c32{-0.5f, 0.25f}};
+  const std::size_t dims[][3] = {{1, 1, 1},    {3, 5, 7},    {17, 9, 33},
+                                 {33, 31, 13}, {64, 64, 64}, {65, 33, 17}};
+  unsigned seed = 1000;
+  for (const auto& d : dims) {
+    const std::size_t M = d[0];
+    const std::size_t N = d[1];
+    const std::size_t K = d[2];
+    for (const c32 alpha : alphas) {
+      for (const c32 beta : betas) {
+        const std::vector<c32> A = random_signal(M * K, ++seed);
+        const std::vector<c32> Bm = random_signal(K * N, ++seed);
+        std::vector<c32> C = random_signal(M * N, ++seed);
+        std::vector<c32> want = C;
+
+        gemm::cgemm_tiled_backend<Cfg, B>(M, N, K, alpha, A.data(), K, Bm.data(), N, beta,
+                                          C.data(), N);
+        gemm::cgemm_reference(M, N, K, alpha, A.data(), K, Bm.data(), N, beta, want.data(), N);
+
+        // K accumulated floats; the reference accumulates in the same
+        // precision, so the error is just reassociation noise.
+        const double tol = 1e-5 * std::sqrt(static_cast<double>(K)) * 4.0;
+        EXPECT_LT(max_err(C, want), tol) << "M=" << M << " N=" << N << " K=" << K;
+      }
+    }
+  }
+}
+
+TEST(SimdCgemm, ScalarFusedTiles) {
+  check_cgemm_backend<gemm::FusedTiles, simd::ScalarBackend>();
+}
+TEST(SimdCgemm, ScalarStandaloneTiles) {
+  check_cgemm_backend<gemm::StandaloneTiles, simd::ScalarBackend>();
+}
+#if TURBOFNO_SIMD_HAVE_AVX2
+TEST(SimdCgemm, Avx2FusedTiles) { check_cgemm_backend<gemm::FusedTiles, simd::Avx2Backend>(); }
+TEST(SimdCgemm, Avx2StandaloneTiles) {
+  check_cgemm_backend<gemm::StandaloneTiles, simd::Avx2Backend>();
+}
+#endif
+
+// ----------------------------------------------------------------- fft parity
+
+template <class B>
+void check_stockham_passes() {
+  // Drive a full transform through the backend-explicit pass kernels and
+  // compare against the double-precision DFT, covering the radix-4 path,
+  // the radix-2 fallback pass, and sub-lane strides.
+  for (const std::size_t n : {2u, 4u, 8u, 16u, 32u, 64u, 256u, 512u}) {
+    const std::vector<c32> input = random_signal(n, 300u + static_cast<unsigned>(n));
+    const fft::TwiddleTable& tw = fft::twiddles_for(n);
+
+    std::vector<c32> a = input;
+    std::vector<c32> b(n);
+    c32* src = a.data();
+    c32* dst = b.data();
+    std::size_t len = n;
+    std::size_t s = 1;
+    while (len > 1) {
+      if (len % 4 == 0) {
+        fft::kernels::pass_radix4<B, false>(src, dst, len / 4, s, tw.forward(len));
+        len /= 4;
+        s *= 4;
+      } else {
+        fft::kernels::pass_radix2<B, false>(src, dst, len / 2, s, tw.forward(len));
+        len /= 2;
+        s *= 2;
+      }
+      std::swap(src, dst);
+    }
+
+    std::vector<c32> want(n);
+    fft::reference_dft(input, want, n);
+    EXPECT_LT(max_err({src, n}, want), testing::fft_tol(n)) << "n=" << n;
+  }
+}
+
+TEST(SimdFft, ScalarStockhamPasses) { check_stockham_passes<simd::ScalarBackend>(); }
+#if TURBOFNO_SIMD_HAVE_AVX2
+TEST(SimdFft, Avx2StockhamPasses) { check_stockham_passes<simd::Avx2Backend>(); }
+#endif
+
+#if TURBOFNO_SIMD_HAVE_AVX2
+TEST(SimdFft, BlockButterflyBackendsAgree) {
+  // The pruned-DIF block butterfly must produce identical pruning decisions
+  // and near-identical arithmetic on both backends, across odd nonzero
+  // prefixes z and both need_odd settings.
+  const std::size_t n = 64;
+  const std::size_t half = n / 2;
+  const fft::TwiddleTable& tw = fft::twiddles_for(n);
+  const auto w = tw.forward(n);
+  for (const std::size_t z : {1u, 3u, 7u, 31u, 32u, 33u, 47u, 63u, 64u}) {
+    for (const bool need_odd : {false, true}) {
+      std::vector<c32> xs = random_signal(n, 400u + static_cast<unsigned>(z));
+      std::vector<c32> xv = xs;
+      const auto ops_s =
+          fft::kernels::block_butterfly<simd::ScalarBackend>(xs.data(), half, z, need_odd, w);
+      const auto ops_v =
+          fft::kernels::block_butterfly<simd::Avx2Backend>(xv.data(), half, z, need_odd, w);
+      EXPECT_EQ(ops_s, ops_v) << "z=" << z << " need_odd=" << need_odd;
+      EXPECT_LT(max_err(xv, xs), 1e-6) << "z=" << z << " need_odd=" << need_odd;
+    }
+  }
+}
+#endif
+
+TEST(SimdFft, PrunedPlansOddFiltering) {
+  // End-to-end pruned plans (the active backend) at keep/nonzero values
+  // that are not lane multiples, against the double-precision reference.
+  const std::size_t n = 128;
+  for (const std::size_t keep : {1u, 5u, 13u, 64u, 127u}) {
+    for (const std::size_t nonzero : {3u, 17u, 96u, 128u}) {
+      const std::vector<c32> input = random_signal(nonzero, 500u + static_cast<unsigned>(keep));
+
+      fft::PlanDesc d;
+      d.n = n;
+      d.dir = fft::Direction::Forward;
+      d.keep = keep;
+      d.nonzero = nonzero;
+      const fft::FftPlan plan(d);
+
+      std::vector<c32> out(keep);
+      plan.execute(input, out, 1);
+
+      std::vector<c32> want(keep);
+      fft::reference_dft(input, want, n);
+      EXPECT_LT(max_err(out, want), testing::fft_tol(n))
+          << "keep=" << keep << " nonzero=" << nonzero;
+    }
+  }
+}
+
+// ---------------------------------------------------------- fused rank update
+
+TEST(SimdFused, RankUpdateSplitMatchesInterleaved) {
+  // Odd m forces lane padding in the split path; both must agree with the
+  // plain interleaved update.
+  for (const std::size_t m : {1u, 5u, 8u, 13u, 33u, 64u}) {
+    const std::size_t out_dim = 6;
+    const std::size_t hidden = 12;
+    const std::size_t kc = 5;
+    const std::size_t k0 = 4;
+    const std::size_t ld = simd::round_up_lanes(m);
+
+    const std::vector<c32> W = random_signal(out_dim * hidden, 600u + static_cast<unsigned>(m));
+    const std::vector<c32> At = random_signal(kc * m, 601u);
+    std::vector<c32> C = random_signal(out_dim * m, 602u);
+
+    // Interleaved oracle.
+    std::vector<c32> want = C;
+    fused::rank_update(want.data(), m, W.data(), hidden, k0, At.data(), m, out_dim, m, kc);
+
+    // Split path with zero-padded planes.
+    AlignedBuffer<float> tsplit(2 * kc * ld);
+    AlignedBuffer<float> acc(2 * out_dim * ld);
+    float* tre = tsplit.data();
+    float* tim = tre + kc * ld;
+    float* are = acc.data();
+    float* aim = are + out_dim * ld;
+    for (std::size_t kk = 0; kk < kc; ++kk) {
+      simd::split_planes(At.data() + kk * m, tre + kk * ld, tim + kk * ld, m);
+    }
+    for (std::size_t o = 0; o < out_dim; ++o) {
+      simd::split_planes(C.data() + o * m, are + o * ld, aim + o * ld, m);
+    }
+    fused::rank_update_split(are, aim, W.data(), hidden, k0, tre, tim, ld, out_dim, kc);
+
+    std::vector<c32> got(out_dim * m);
+    for (std::size_t o = 0; o < out_dim; ++o) {
+      simd::interleave_planes(are + o * ld, aim + o * ld, got.data() + o * m, m);
+    }
+    EXPECT_LT(max_err(got, want), 1e-5) << "m=" << m;
+  }
+}
+
+}  // namespace
+}  // namespace turbofno
