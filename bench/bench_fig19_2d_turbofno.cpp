@@ -1,10 +1,13 @@
 // Figure 19: 2D TurboFNO (best-of) vs PyTorch heatmaps over (K, batch) for
-// 256x128 and 256x256 fields with truncation to 64/128 modes.
+// 256x128 and 256x256 fields with truncation to 64/128 modes, plus a
+// thread-scaling axis for the fused (batch x x-row) parallelization
+// (recorded in --json as its own figure).
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "runtime/parallel.hpp"
 #include "sweep2d.hpp"
 #include "trace/table.hpp"
 
@@ -58,6 +61,28 @@ void heatmap(const Options& opt, std::size_t nx, std::size_t ny, std::size_t mod
               sum / static_cast<double>(count), best);
 }
 
+// Thread-scaling axis (ROADMAP's threaded-2D-fusion tuning item): the
+// fully fused pipeline on one representative shape, swept over worker
+// counts with the tuned (batch x x-row) grain.  Points land in the --json
+// trajectory so per-PR perf recording captures scaling regressions too.
+void thread_scaling(const Options& opt) {
+  const auto prob = make_2d(4, 40, 256, 128, 64, 64);
+  const std::vector<int> threads = opt.full ? std::vector<int>{1, 2, 4, 8, 16}
+                                            : std::vector<int>{1, 2, 4};
+  std::vector<PointResult> points;
+  for (const int t : threads) {
+    turbofno::runtime::set_thread_count(t);
+    auto pr = run_point_2d(prob, {Variant::PyTorch, Variant::FullyFused}, opt.reps);
+    pr.label = "T=" + std::to_string(t);
+    points.push_back(std::move(pr));
+  }
+  turbofno::runtime::set_thread_count(0);  // restore the hardware default
+  print_figure_table(
+      "Figure 19 thread scaling: fused 2D (BS=4, K=40, 256x128, modes 64x64), grain=" +
+          std::to_string(turbofno::runtime::fused_grain(4 * 64)),
+      points);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -69,5 +94,6 @@ int main(int argc, char** argv) {
     heatmap(opt, 256, 256, 64);
     heatmap(opt, 256, 256, 128);
   }
+  thread_scaling(opt);
   return 0;
 }

@@ -1,0 +1,220 @@
+// Serving-layer throughput: dynamic micro-batching vs one-request-at-a-time.
+//
+// For each model shape, a fixed stream of single-field inference requests is
+// pushed through three execution modes:
+//   serial      direct core::Fno forward per request, no server (capacity 1)
+//   serve-1     InferenceServer with max_batch = 1 (one-at-a-time serving)
+//   serve-B     InferenceServer with max_batch = B for B in {2, 4, 8, 16}
+// and the requests/second of each mode is reported.  Batching amortizes the
+// per-forward fixed costs (stage dispatch, workspace setup, plan lookups,
+// pool handoffs) across the micro-batch; the win is largest for the small
+// requests a high-traffic service actually sees.
+//
+//   bench_serve_throughput [--full] [--reps N] [--json PATH]
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/api.hpp"
+#include "core/workload.hpp"
+#include "runtime/timer.hpp"
+#include "trace/table.hpp"
+
+namespace {
+
+using namespace turbofno;
+using turbofno::bench::Options;
+
+struct ShapeCase {
+  std::string label;
+  bool is_2d = false;
+  core::Fno1dConfig c1;
+  core::Fno2dConfig c2;
+};
+
+struct ModeResult {
+  std::size_t max_batch = 0;  // 0 = direct serial
+  double rps = 0.0;
+  double avg_micro_batch = 1.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+};
+
+std::vector<ShapeCase> shapes(bool full) {
+  std::vector<ShapeCase> out;
+  {
+    ShapeCase s;
+    s.label = "1d n=64 K=8 m=16 L=1";
+    s.c1 = {1, 8, 1, 64, 16, 1};
+    out.push_back(s);
+  }
+  {
+    ShapeCase s;
+    s.label = "1d n=256 K=16 m=64 L=2";
+    s.c1 = {1, 16, 1, 256, 64, 2};
+    out.push_back(s);
+  }
+  {
+    ShapeCase s;
+    s.label = "2d 16x16 K=8 m=4x4 L=1";
+    s.is_2d = true;
+    s.c2 = {1, 8, 1, 16, 16, 4, 4, 1};
+    out.push_back(s);
+  }
+  if (full) {
+    ShapeCase s;
+    s.label = "2d 64x64 K=16 m=16x16 L=2";
+    s.is_2d = true;
+    s.c2 = {1, 16, 1, 64, 64, 16, 16, 2};
+    out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<std::vector<c32>> make_requests(const ShapeCase& s, std::size_t count) {
+  const std::size_t elems = s.is_2d ? s.c2.in_channels * s.c2.nx * s.c2.ny
+                                    : s.c1.in_channels * s.c1.n;
+  std::vector<std::vector<c32>> reqs(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    reqs[i].resize(elems);
+    core::fill_random(reqs[i], 0x5e21u + static_cast<unsigned>(i));
+  }
+  return reqs;
+}
+
+ModeResult run_serial(const ShapeCase& s, const std::vector<std::vector<c32>>& reqs,
+                      std::size_t reps) {
+  ModeResult r;
+  std::unique_ptr<core::Fno1d> m1;
+  std::unique_ptr<core::Fno2d> m2;
+  std::size_t out_elems = 0;
+  if (s.is_2d) {
+    m2 = std::make_unique<core::Fno2d>(s.c2, 1);
+    out_elems = s.c2.out_channels * s.c2.nx * s.c2.ny;
+  } else {
+    m1 = std::make_unique<core::Fno1d>(s.c1, 1);
+    out_elems = s.c1.out_channels * s.c1.n;
+  }
+  std::vector<c32> out(out_elems);
+  const double secs = runtime::time_best_of(reps, [&] {
+    for (const auto& req : reqs) {
+      if (s.is_2d) {
+        m2->forward(req, out);
+      } else {
+        m1->forward(req, out);
+      }
+    }
+  });
+  r.rps = static_cast<double>(reqs.size()) / secs;
+  return r;
+}
+
+ModeResult run_served(const ShapeCase& s, const std::vector<std::vector<c32>>& reqs,
+                      std::size_t max_batch, std::size_t reps) {
+  serve::InferenceServer::Options so;
+  so.policy.max_batch = max_batch;
+  so.policy.max_delay_s = 200e-6;
+  so.policy.queue_capacity = reqs.size();
+  so.workers = 1;
+  serve::InferenceServer server(so);
+  const serve::ModelId model = s.is_2d ? server.load_model(s.c2) : server.load_model(s.c1);
+
+  std::vector<std::future<serve::InferResponse>> futs;
+  std::vector<double> totals;
+  const double secs = runtime::time_best_of(reps, [&] {
+    futs.clear();
+    futs.reserve(reqs.size());
+    for (const auto& req : reqs) futs.push_back(server.submit(model, req));
+    server.drain();
+  });
+  totals.reserve(futs.size());
+  for (auto& f : futs) {
+    auto resp = f.get();
+    totals.push_back(resp.timing.total_s);
+  }
+  std::sort(totals.begin(), totals.end());
+
+  ModeResult r;
+  r.max_batch = max_batch;
+  r.rps = static_cast<double>(reqs.size()) / secs;
+  r.avg_micro_batch = server.stats().avg_micro_batch();
+  if (!totals.empty()) {
+    r.p50_ms = totals[totals.size() / 2] * 1e3;
+    r.p95_ms = totals[(totals.size() * 95) / 100] * 1e3;
+  }
+  return r;
+}
+
+void write_json(const std::string& path, std::size_t requests,
+                const std::vector<std::pair<ShapeCase, std::vector<ModeResult>>>& results) {
+  if (path.empty()) return;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_serve_throughput: cannot open --json path '%s'\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"requests\": %zu,\n  \"shapes\": [\n", requests);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& [shape, modes] = results[i];
+    std::fprintf(f, "    {\"shape\": \"%s\", \"modes\": [\n", shape.label.c_str());
+    const double serial_rps = modes.front().rps;
+    const double one_at_a_time_rps = modes.size() > 1 ? modes[1].rps : serial_rps;
+    for (std::size_t j = 0; j < modes.size(); ++j) {
+      const auto& m = modes[j];
+      std::fprintf(f,
+                   "      {\"mode\": \"%s\", \"max_batch\": %zu, \"rps\": %.1f, "
+                   "\"speedup_vs_serial\": %.3f, \"speedup_vs_serve1\": %.3f, "
+                   "\"avg_micro_batch\": %.2f, \"p50_ms\": %.4f, \"p95_ms\": %.4f}%s\n",
+                   j == 0 ? "serial" : "serve", m.max_batch, m.rps, m.rps / serial_rps,
+                   m.rps / one_at_a_time_rps, m.avg_micro_batch, m.p50_ms, m.p95_ms,
+                   j + 1 < modes.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]}%s\n", i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = Options::parse(argc, argv);
+  const std::size_t requests = opt.full ? 512 : 128;
+  const std::vector<std::size_t> batches = {1, 2, 4, 8, 16};
+
+  std::printf("== Serving throughput: micro-batched vs one-request-at-a-time ==\n");
+  std::printf("(%zu requests per point, best of %zu passes, 1 executor worker)\n\n", requests,
+              opt.reps);
+
+  std::vector<std::pair<ShapeCase, std::vector<ModeResult>>> results;
+  for (const auto& s : shapes(opt.full)) {
+    const auto reqs = make_requests(s, requests);
+    std::vector<ModeResult> modes;
+    modes.push_back(run_serial(s, reqs, opt.reps));
+    for (const auto b : batches) modes.push_back(run_served(s, reqs, b, opt.reps));
+
+    trace::TextTable table({"mode", "req/s", "vs serial", "vs serve-1", "avg batch", "p50 ms",
+                            "p95 ms"});
+    const double serial_rps = modes[0].rps;
+    const double serve1_rps = modes[1].rps;
+    for (std::size_t j = 0; j < modes.size(); ++j) {
+      const auto& m = modes[j];
+      const std::string name = j == 0 ? "serial" : "serve-" + std::to_string(m.max_batch);
+      table.add_row({name, trace::TextTable::fmt(m.rps, 0),
+                     trace::TextTable::fmt(m.rps / serial_rps, 2),
+                     trace::TextTable::fmt(m.rps / serve1_rps, 2),
+                     j == 0 ? "-" : trace::TextTable::fmt(m.avg_micro_batch, 2),
+                     j == 0 ? "-" : trace::TextTable::fmt(m.p50_ms, 3),
+                     j == 0 ? "-" : trace::TextTable::fmt(m.p95_ms, 3)});
+    }
+    std::printf("%s\n%s\n", s.label.c_str(), table.str().c_str());
+    results.emplace_back(s, std::move(modes));
+  }
+
+  write_json(opt.json, requests, results);
+  return 0;
+}

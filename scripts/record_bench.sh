@@ -1,0 +1,44 @@
+#!/usr/bin/env sh
+# Records the per-PR performance trajectory (ROADMAP item): runs the SIMD
+# micro bench and the serving-throughput bench with --json and merges the
+# results into BENCH_PR<N>.json at the repo root, so perf regressions show
+# up in review as a diffable artifact.
+#
+# Usage: scripts/record_bench.sh <pr-number> [build-dir] [extra bench args]
+#   scripts/record_bench.sh 2            # writes BENCH_PR2.json from ./build
+#   scripts/record_bench.sh 3 build --full
+set -eu
+
+PR=${1:?usage: record_bench.sh <pr-number> [build-dir] [extra bench args]}
+BUILD=${2:-build}
+shift
+if [ $# -gt 0 ]; then shift; fi
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+BIN="$ROOT/$BUILD"
+OUT="$ROOT/BENCH_PR$PR.json"
+TMP_SIMD=$(mktemp)
+TMP_SERVE=$(mktemp)
+trap 'rm -f "$TMP_SIMD" "$TMP_SERVE"' EXIT
+
+for exe in bench_micro_simd bench_serve_throughput; do
+  if [ ! -x "$BIN/$exe" ]; then
+    echo "record_bench.sh: $BIN/$exe not built (run the tier-1 cmake build first)" >&2
+    exit 1
+  fi
+done
+
+echo "running bench_micro_simd ..." >&2
+"$BIN/bench_micro_simd" --json "$TMP_SIMD" "$@" >/dev/null
+echo "running bench_serve_throughput ..." >&2
+"$BIN/bench_serve_throughput" --json "$TMP_SERVE" "$@" >/dev/null
+
+{
+  printf '{\n"pr": %s,\n"bench_micro_simd":\n' "$PR"
+  cat "$TMP_SIMD"
+  printf ',\n"bench_serve_throughput":\n'
+  cat "$TMP_SERVE"
+  printf '}\n'
+} > "$OUT"
+
+echo "wrote $OUT" >&2

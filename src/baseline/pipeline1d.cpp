@@ -1,6 +1,9 @@
 #include "baseline/pipeline1d.hpp"
 
+#include <stdexcept>
+
 #include "baseline/memcopy_stages.hpp"
+#include "fft/plan_cache.hpp"
 #include "gemm/batched.hpp"
 #include "runtime/timer.hpp"
 
@@ -19,8 +22,8 @@ fft::PlanDesc full_desc(std::size_t n, fft::Direction dir) {
 
 BaselinePipeline1d::BaselinePipeline1d(Spectral1dProblem prob)
     : prob_(prob),
-      fwd_full_(full_desc(prob.n, fft::Direction::Forward)),
-      inv_full_(full_desc(prob.n, fft::Direction::Inverse)) {
+      fwd_full_(fft::acquire_plan(full_desc(prob.n, fft::Direction::Forward))),
+      inv_full_(fft::acquire_plan(full_desc(prob.n, fft::Direction::Inverse))) {
   prob_.validate();
   freq_full_.resize(prob_.batch * prob_.hidden * prob_.n);
   freq_trunc_.resize(prob_.batch * prob_.hidden * prob_.modes);
@@ -29,19 +32,28 @@ BaselinePipeline1d::BaselinePipeline1d(Spectral1dProblem prob)
 }
 
 void BaselinePipeline1d::run(std::span<const c32> u, std::span<const c32> w, std::span<c32> v) {
-  const auto [B, K, O, N, M] =
-      std::tuple{prob_.batch, prob_.hidden, prob_.out_dim, prob_.n, prob_.modes};
+  run_batched(u, w, v, prob_.batch);
+}
+
+void BaselinePipeline1d::run_batched(std::span<const c32> u, std::span<const c32> w,
+                                     std::span<c32> v, std::size_t batch) {
+  if (batch > prob_.batch) {
+    throw std::invalid_argument("BaselinePipeline1d: micro-batch exceeds the planned capacity");
+  }
   counters_.clear();
+  if (batch == 0) return;
+  const auto [B, K, O, N, M] =
+      std::tuple{batch, prob_.hidden, prob_.out_dim, prob_.n, prob_.modes};
 
   // Stage 1: full forward FFT of every (batch, channel) signal.
   {
     runtime::Timer t;
-    fwd_full_.execute(u, freq_full_.span(), B * K);
+    fwd_full_->execute(u, freq_full_.span(), B * K);
     auto& sc = counters_.stage("fft");
     sc.seconds = t.seconds();
     sc.bytes_read = B * K * N * sizeof(c32);
     sc.bytes_written = B * K * N * sizeof(c32);
-    sc.flops = B * K * fwd_full_.flops_per_signal();
+    sc.flops = B * K * fwd_full_->flops_per_signal();
     sc.kernel_launches = 1;
   }
 
@@ -81,12 +93,12 @@ void BaselinePipeline1d::run(std::span<const c32> u, std::span<const c32> w, std
   // Stage 5: full inverse FFT.
   {
     runtime::Timer t;
-    inv_full_.execute(mixed_full_.span(), v, B * O);
+    inv_full_->execute(mixed_full_.span(), v, B * O);
     auto& sc = counters_.stage("ifft");
     sc.seconds = t.seconds();
     sc.bytes_read = B * O * N * sizeof(c32);
     sc.bytes_written = B * O * N * sizeof(c32);
-    sc.flops = B * O * inv_full_.flops_per_signal();
+    sc.flops = B * O * inv_full_->flops_per_signal();
     sc.kernel_launches = 1;
   }
 }

@@ -5,6 +5,7 @@
 // no built-in filtering: exactly what cuFFT + cuBLAS + memory kernels do.
 #pragma once
 
+#include <memory>
 #include <span>
 
 #include "baseline/problem.hpp"
@@ -22,14 +23,17 @@ class BaselinePipeline1d {
   /// u [batch, hidden, n] -> v [batch, out_dim, n]; w [out_dim, hidden].
   /// Refreshes counters() on every call.
   void run(std::span<const c32> u, std::span<const c32> w, std::span<c32> v);
+  /// Serving entry point: first `batch` (<= problem().batch) signals only.
+  void run_batched(std::span<const c32> u, std::span<const c32> w, std::span<c32> v,
+                   std::size_t batch);
 
   [[nodiscard]] const trace::PipelineCounters& counters() const noexcept { return counters_; }
   [[nodiscard]] const Spectral1dProblem& problem() const noexcept { return prob_; }
 
  private:
   Spectral1dProblem prob_;
-  fft::FftPlan fwd_full_;
-  fft::FftPlan inv_full_;
+  std::shared_ptr<const fft::FftPlan> fwd_full_;
+  std::shared_ptr<const fft::FftPlan> inv_full_;
   // Full-size intermediates: the global-memory round trips fusion removes.
   AlignedBuffer<c32> freq_full_;   // [batch, hidden, n]
   AlignedBuffer<c32> freq_trunc_;  // [batch, hidden, modes]

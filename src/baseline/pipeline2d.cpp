@@ -1,5 +1,7 @@
 #include "baseline/pipeline2d.hpp"
 
+#include <stdexcept>
+
 #include "baseline/memcopy_stages.hpp"
 #include "gemm/batched.hpp"
 #include "runtime/timer.hpp"
@@ -32,7 +34,17 @@ BaselinePipeline2d::BaselinePipeline2d(Spectral2dProblem prob)
 }
 
 void BaselinePipeline2d::run(std::span<const c32> u, std::span<const c32> w, std::span<c32> v) {
-  const std::size_t B = prob_.batch;
+  run_batched(u, w, v, prob_.batch);
+}
+
+void BaselinePipeline2d::run_batched(std::span<const c32> u, std::span<const c32> w,
+                                     std::span<c32> v, std::size_t batch) {
+  if (batch > prob_.batch) {
+    throw std::invalid_argument("BaselinePipeline2d: micro-batch exceeds the planned capacity");
+  }
+  counters_.clear();
+  if (batch == 0) return;
+  const std::size_t B = batch;
   const std::size_t K = prob_.hidden;
   const std::size_t O = prob_.out_dim;
   const std::size_t NX = prob_.nx;
@@ -41,7 +53,6 @@ void BaselinePipeline2d::run(std::span<const c32> u, std::span<const c32> w, std
   const std::size_t MY = prob_.modes_y;
   const std::size_t field = NX * NY;
   const std::size_t modes = MX * MY;
-  counters_.clear();
 
   // Stage 1: full 2D FFT.  cuFFT's 2D C2C makes two passes over global
   // memory (one per axis); the byte accounting reflects both.

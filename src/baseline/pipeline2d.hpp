@@ -21,6 +21,9 @@ class BaselinePipeline2d {
   /// u [batch, hidden, nx, ny] -> v [batch, out_dim, nx, ny];
   /// w [out_dim, hidden].  Refreshes counters() per call.
   void run(std::span<const c32> u, std::span<const c32> w, std::span<c32> v);
+  /// Serving entry point: first `batch` (<= problem().batch) fields only.
+  void run_batched(std::span<const c32> u, std::span<const c32> w, std::span<c32> v,
+                   std::size_t batch);
 
   [[nodiscard]] const trace::PipelineCounters& counters() const noexcept { return counters_; }
   [[nodiscard]] const Spectral2dProblem& problem() const noexcept { return prob_; }

@@ -19,11 +19,13 @@
 #include "core/workload.hpp"          // IWYU pragma: export
 #include "fft/fft2d.hpp"              // IWYU pragma: export
 #include "fft/plan.hpp"               // IWYU pragma: export
+#include "fft/plan_cache.hpp"         // IWYU pragma: export
 #include "fused/ladder.hpp"           // IWYU pragma: export
 #include "gemm/cgemm.hpp"             // IWYU pragma: export
 #include "gpusim/cost_model.hpp"      // IWYU pragma: export
 #include "gpusim/layouts.hpp"         // IWYU pragma: export
 #include "gpusim/pipeline_model.hpp"  // IWYU pragma: export
+#include "serve/server.hpp"           // IWYU pragma: export
 #include "tensor/tensor.hpp"          // IWYU pragma: export
 #include "trace/counters.hpp"         // IWYU pragma: export
 #include "trace/table.hpp"            // IWYU pragma: export

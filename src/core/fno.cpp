@@ -1,5 +1,7 @@
 #include "core/fno.hpp"
 
+#include <stdexcept>
+
 #include "runtime/parallel.hpp"
 
 namespace turbofno::core {
@@ -60,17 +62,29 @@ Fno1d::Fno1d(const Fno1dConfig& cfg, std::size_t batch)
 }
 
 void Fno1d::forward(std::span<const c32> u, std::span<c32> v) {
+  forward(u, v, batch_);
+}
+
+void Fno1d::forward(std::span<const c32> u, std::span<c32> v, std::size_t batch) {
+  if (batch > batch_) {
+    throw std::invalid_argument("Fno1d: micro-batch exceeds the planned capacity");
+  }
+  if (batch == 0) return;
   const std::size_t spatial = cfg_.n;
-  lift_.forward(u, h0_.span(), batch_, spatial);
+  const std::size_t hid = batch * cfg_.hidden * spatial;
+  const auto h0 = h0_.span().first(hid);
+  const auto h1 = h1_.span().first(hid);
+  const auto hres = hres_.span().first(hid);
+  lift_.forward(u, h0, batch, spatial);
   for (std::size_t l = 0; l < cfg_.layers; ++l) {
-    spectral_[l].forward(h0_.span(), h1_.span());
-    residual_[l].forward(h0_.span(), hres_.span(), batch_, spatial);
+    spectral_[l].forward(h0, h1, batch);
+    residual_[l].forward(h0, hres, batch, spatial);
     // h0 <- act(spectral + residual); last layer skips the activation.
     auto* a = h1_.data();
     const auto* r = hres_.data();
     auto* dst = h0_.data();
     const bool last = (l + 1 == cfg_.layers);
-    runtime::parallel_for(0, h0_.size(), 1 << 16, [&](std::size_t lo, std::size_t hi) {
+    runtime::parallel_for(0, hid, 1 << 16, [&](std::size_t lo, std::size_t hi) {
       for (std::size_t i = lo; i < hi; ++i) {
         c32 s = a[i] + r[i];
         if (!last) {
@@ -81,7 +95,7 @@ void Fno1d::forward(std::span<const c32> u, std::span<c32> v) {
       }
     });
   }
-  project_.forward(h0_.span(), v, batch_, spatial);
+  project_.forward(h0, v, batch, spatial);
 }
 
 // ----------------------------------------------------------------- Fno2d
@@ -106,16 +120,28 @@ Fno2d::Fno2d(const Fno2dConfig& cfg, std::size_t batch)
 }
 
 void Fno2d::forward(std::span<const c32> u, std::span<c32> v) {
+  forward(u, v, batch_);
+}
+
+void Fno2d::forward(std::span<const c32> u, std::span<c32> v, std::size_t batch) {
+  if (batch > batch_) {
+    throw std::invalid_argument("Fno2d: micro-batch exceeds the planned capacity");
+  }
+  if (batch == 0) return;
   const std::size_t spatial = cfg_.nx * cfg_.ny;
-  lift_.forward(u, h0_.span(), batch_, spatial);
+  const std::size_t hid = batch * cfg_.hidden * spatial;
+  const auto h0 = h0_.span().first(hid);
+  const auto h1 = h1_.span().first(hid);
+  const auto hres = hres_.span().first(hid);
+  lift_.forward(u, h0, batch, spatial);
   for (std::size_t l = 0; l < cfg_.layers; ++l) {
-    spectral_[l].forward(h0_.span(), h1_.span());
-    residual_[l].forward(h0_.span(), hres_.span(), batch_, spatial);
+    spectral_[l].forward(h0, h1, batch);
+    residual_[l].forward(h0, hres, batch, spatial);
     auto* a = h1_.data();
     const auto* r = hres_.data();
     auto* dst = h0_.data();
     const bool last = (l + 1 == cfg_.layers);
-    runtime::parallel_for(0, h0_.size(), 1 << 16, [&](std::size_t lo, std::size_t hi) {
+    runtime::parallel_for(0, hid, 1 << 16, [&](std::size_t lo, std::size_t hi) {
       for (std::size_t i = lo; i < hi; ++i) {
         c32 s = a[i] + r[i];
         if (!last) {
@@ -126,7 +152,7 @@ void Fno2d::forward(std::span<const c32> u, std::span<c32> v) {
       }
     });
   }
-  project_.forward(h0_.span(), v, batch_, spatial);
+  project_.forward(h0, v, batch, spatial);
 }
 
 }  // namespace turbofno::core

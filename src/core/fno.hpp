@@ -51,6 +51,10 @@ class Fno1d {
 
   /// u [batch, in_channels, n] -> v [batch, out_channels, n].
   void forward(std::span<const c32> u, std::span<c32> v);
+  /// Micro-batch variant for the serving layer: first `batch` (<= the
+  /// planned capacity) signals; per-signal results are bitwise-identical
+  /// to a batch-1 forward.
+  void forward(std::span<const c32> u, std::span<c32> v, std::size_t batch);
 
   [[nodiscard]] const Fno1dConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] std::size_t batch() const noexcept { return batch_; }
@@ -74,6 +78,8 @@ class Fno2d {
 
   /// u [batch, in_channels, nx, ny] -> v [batch, out_channels, nx, ny].
   void forward(std::span<const c32> u, std::span<c32> v);
+  /// Micro-batch variant; see Fno1d::forward.
+  void forward(std::span<const c32> u, std::span<c32> v, std::size_t batch);
 
   [[nodiscard]] const Fno2dConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] std::size_t batch() const noexcept { return batch_; }

@@ -44,10 +44,14 @@ SpectralConv1d::SpectralConv1d(SpectralConv1d&&) noexcept = default;
 SpectralConv1d& SpectralConv1d::operator=(SpectralConv1d&&) noexcept = default;
 
 void SpectralConv1d::forward(std::span<const c32> u, std::span<c32> v) {
+  forward(u, v, prob_.batch);
+}
+
+void SpectralConv1d::forward(std::span<const c32> u, std::span<c32> v, std::size_t batch) {
   if (scheme_ == WeightScheme::Shared) {
-    pipeline_->run(u, weights_.span(), v);
+    pipeline_->run_batched(u, weights_.span(), v, batch);
   } else {
-    forward_per_mode(u, v);
+    forward_per_mode(u, v, batch);
   }
 }
 
@@ -55,8 +59,12 @@ const trace::PipelineCounters& SpectralConv1d::counters() const {
   return scheme_ == WeightScheme::Shared ? pipeline_->counters() : permode_counters_;
 }
 
-void SpectralConv1d::forward_per_mode(std::span<const c32> u, std::span<c32> v) {
-  const std::size_t B = prob_.batch;
+void SpectralConv1d::forward_per_mode(std::span<const c32> u, std::span<c32> v,
+                                      std::size_t batch) {
+  if (batch > prob_.batch) {
+    throw std::invalid_argument("SpectralConv1d: micro-batch exceeds the planned capacity");
+  }
+  const std::size_t B = batch;
   const std::size_t K = prob_.hidden;
   const std::size_t O = prob_.out_dim;
   const std::size_t N = prob_.n;
@@ -66,15 +74,15 @@ void SpectralConv1d::forward_per_mode(std::span<const c32> u, std::span<c32> v) 
   fft::PlanDesc fd;
   fd.n = N;
   fd.keep = M;
-  const fft::FftPlan& fwd = fft::cached_plan(fd);
+  const auto fwd = fft::acquire_plan(fd);
   fft::PlanDesc id;
   id.n = N;
   id.dir = fft::Direction::Inverse;
   id.nonzero = M;
-  const fft::FftPlan& inv = fft::cached_plan(id);
+  const auto inv = fft::acquire_plan(id);
 
   runtime::Timer t;
-  fwd.execute(u, freq_.span(), B * K);
+  fwd->execute(u, freq_.span().first(B * K * M), B * K);
   // Per-mode mixing: for each frequency f, an independent O x K matrix.
   runtime::parallel_for(0, B * M, 64, [&](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) {
@@ -90,14 +98,14 @@ void SpectralConv1d::forward_per_mode(std::span<const c32> u, std::span<c32> v) 
       }
     }
   });
-  inv.execute(mixed_.span(), v, B * O);
+  inv->execute(mixed_.span().first(B * O * M), v, B * O);
 
   auto& sc = permode_counters_.stage("per-mode-spectral-conv");
   sc.seconds = t.seconds();
   sc.bytes_read = (B * K * N + M * O * K + B * O * M) * sizeof(c32);
   sc.bytes_written = (B * K * M + B * O * M + B * O * N) * sizeof(c32);
-  sc.flops = B * K * fwd.flops_per_signal() + trace::cgemm_flops(B * M, O, K) +
-             B * O * inv.flops_per_signal();
+  sc.flops = B * K * fwd->flops_per_signal() + trace::cgemm_flops(B * M, O, K) +
+             B * O * inv->flops_per_signal();
   sc.kernel_launches = 3;
 }
 
@@ -130,6 +138,10 @@ SpectralConv2d& SpectralConv2d::operator=(SpectralConv2d&&) noexcept = default;
 
 void SpectralConv2d::forward(std::span<const c32> u, std::span<c32> v) {
   pipeline_->run(u, weights_.span(), v);
+}
+
+void SpectralConv2d::forward(std::span<const c32> u, std::span<c32> v, std::size_t batch) {
+  pipeline_->run_batched(u, weights_.span(), v, batch);
 }
 
 const trace::PipelineCounters& SpectralConv2d::counters() const { return pipeline_->counters(); }

@@ -31,6 +31,8 @@ class SpectralConv1d {
 
   /// u [batch, hidden, n] -> v [batch, out_dim, n].
   void forward(std::span<const c32> u, std::span<c32> v);
+  /// Micro-batch variant: first `batch` (<= planned batch) signals only.
+  void forward(std::span<const c32> u, std::span<c32> v, std::size_t batch);
 
   [[nodiscard]] std::span<c32> weights() noexcept { return weights_.span(); }
   [[nodiscard]] std::span<const c32> weights() const noexcept { return weights_.span(); }
@@ -39,7 +41,7 @@ class SpectralConv1d {
   [[nodiscard]] WeightScheme scheme() const noexcept { return scheme_; }
 
  private:
-  void forward_per_mode(std::span<const c32> u, std::span<c32> v);
+  void forward_per_mode(std::span<const c32> u, std::span<c32> v, std::size_t batch);
 
   baseline::Spectral1dProblem prob_;
   WeightScheme scheme_;
@@ -63,6 +65,8 @@ class SpectralConv2d {
 
   /// u [batch, hidden, nx, ny] -> v [batch, out_dim, nx, ny].
   void forward(std::span<const c32> u, std::span<c32> v);
+  /// Micro-batch variant: first `batch` (<= planned batch) fields only.
+  void forward(std::span<const c32> u, std::span<c32> v, std::size_t batch);
 
   [[nodiscard]] std::span<c32> weights() noexcept { return weights_.span(); }
   [[nodiscard]] std::span<const c32> weights() const noexcept { return weights_.span(); }

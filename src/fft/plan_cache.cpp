@@ -1,8 +1,9 @@
 #include "fft/plan_cache.hpp"
 
+#include <atomic>
 #include <map>
-#include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <tuple>
 
 namespace turbofno::fft {
@@ -15,27 +16,129 @@ Key key_of(const PlanDesc& d) {
   return {d.n, static_cast<int>(d.dir), d.keep_or_n(), d.nonzero_or_n(), d.scale_inverse};
 }
 
-std::mutex g_mu;
-std::map<Key, std::unique_ptr<FftPlan>>& cache() {
-  static std::map<Key, std::unique_ptr<FftPlan>> c;
+struct Entry {
+  std::shared_ptr<const FftPlan> plan;
+  // Approximate-LRU stamp: refreshed under the reader lock, so hits never
+  // serialize on the writer lock.  Eviction scans for the minimum.
+  std::atomic<std::uint64_t> last_use{0};
+};
+
+std::shared_mutex g_mu;
+std::atomic<std::uint64_t> g_tick{0};
+std::atomic<std::uint64_t> g_hits{0};
+std::atomic<std::uint64_t> g_misses{0};
+std::atomic<std::uint64_t> g_evictions{0};
+std::size_t g_capacity = 0;  // guarded by g_mu (exclusive)
+
+std::map<Key, std::unique_ptr<Entry>>& cache() {
+  static std::map<Key, std::unique_ptr<Entry>> c;
   return c;
+}
+
+void touch(Entry& e) noexcept {
+  e.last_use.store(g_tick.fetch_add(1, std::memory_order_relaxed) + 1,
+                   std::memory_order_relaxed);
+}
+
+// Caller holds g_mu exclusively.
+void evict_over_capacity_locked() {
+  auto& c = cache();
+  while (g_capacity != 0 && c.size() > g_capacity) {
+    auto victim = c.begin();
+    for (auto it = c.begin(); it != c.end(); ++it) {
+      if (it->second->last_use.load(std::memory_order_relaxed) <
+          victim->second->last_use.load(std::memory_order_relaxed)) {
+        victim = it;
+      }
+    }
+    c.erase(victim);
+    g_evictions.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 }  // namespace
 
-const FftPlan& cached_plan(const PlanDesc& desc) {
-  const std::lock_guard<std::mutex> lock(g_mu);
-  auto& c = cache();
-  auto it = c.find(key_of(desc));
-  if (it == c.end()) {
-    it = c.emplace(key_of(desc), std::make_unique<FftPlan>(desc)).first;
+std::shared_ptr<const FftPlan> acquire_plan(const PlanDesc& desc) {
+  const Key k = key_of(desc);
+  {
+    const std::shared_lock<std::shared_mutex> lock(g_mu);
+    auto& c = cache();
+    const auto it = c.find(k);
+    if (it != c.end()) {
+      touch(*it->second);
+      g_hits.fetch_add(1, std::memory_order_relaxed);
+      return it->second->plan;
+    }
   }
+  // Miss: build OUTSIDE any lock so concurrent readers never stall behind a
+  // plan construction (op-count analysis + twiddle warm-up), then insert
+  // with a re-check.  Racing threads may build the same descriptor twice;
+  // the loser's build is discarded and counted as a hit, so the miss
+  // counter still equals the number of distinct plans ever inserted.
+  auto built = std::make_shared<const FftPlan>(desc);
+  const std::unique_lock<std::shared_mutex> lock(g_mu);
+  auto& c = cache();
+  auto it = c.find(k);
+  if (it == c.end()) {
+    g_misses.fetch_add(1, std::memory_order_relaxed);
+    auto e = std::make_unique<Entry>();
+    e->plan = std::move(built);
+    touch(*e);
+    it = c.emplace(k, std::move(e)).first;
+    evict_over_capacity_locked();
+  } else {
+    touch(*it->second);
+    g_hits.fetch_add(1, std::memory_order_relaxed);
+  }
+  return it->second->plan;
+}
+
+const FftPlan& cached_plan(const PlanDesc& desc) {
+  // Preserve the historical contract — references from this function stay
+  // valid for the process lifetime — even when an eviction capacity is set:
+  // the first plan handed out per descriptor is pinned here, immune to LRU
+  // eviction and plan_cache_clear().  New code should prefer acquire_plan.
+  static std::mutex pin_mu;
+  static std::map<Key, std::shared_ptr<const FftPlan>>& pins =
+      *new std::map<Key, std::shared_ptr<const FftPlan>>();
+  auto p = acquire_plan(desc);  // counts stats and refreshes the LRU stamp
+  const std::lock_guard<std::mutex> lock(pin_mu);
+  const auto [it, inserted] = pins.emplace(key_of(desc), std::move(p));
   return *it->second;
 }
 
 std::size_t cached_plan_count() noexcept {
-  const std::lock_guard<std::mutex> lock(g_mu);
+  const std::shared_lock<std::shared_mutex> lock(g_mu);
   return cache().size();
+}
+
+PlanCacheStats plan_cache_stats() noexcept {
+  PlanCacheStats s;
+  s.hits = g_hits.load(std::memory_order_relaxed);
+  s.misses = g_misses.load(std::memory_order_relaxed);
+  s.evictions = g_evictions.load(std::memory_order_relaxed);
+  const std::shared_lock<std::shared_mutex> lock(g_mu);
+  s.size = cache().size();
+  s.capacity = g_capacity;
+  return s;
+}
+
+void plan_cache_reset_stats() noexcept {
+  g_hits.store(0, std::memory_order_relaxed);
+  g_misses.store(0, std::memory_order_relaxed);
+  g_evictions.store(0, std::memory_order_relaxed);
+}
+
+void set_plan_cache_capacity(std::size_t max_plans) noexcept {
+  const std::unique_lock<std::shared_mutex> lock(g_mu);
+  g_capacity = max_plans;
+  evict_over_capacity_locked();
+}
+
+void plan_cache_clear() noexcept {
+  const std::unique_lock<std::shared_mutex> lock(g_mu);
+  g_evictions.fetch_add(cache().size(), std::memory_order_relaxed);
+  cache().clear();
 }
 
 }  // namespace turbofno::fft

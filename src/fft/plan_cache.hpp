@@ -2,17 +2,64 @@
 //
 // Plans are cheap but not free (op-count analysis + twiddle warm-up); model
 // code that builds layers on the fly shares them here, keyed by the full
-// descriptor.  Thread safe; references stay valid for the process lifetime.
+// descriptor.  The cache is shared-concurrent: lookups of already-built
+// plans take a reader lock only, so the serving layer's workers can hammer
+// it from many threads without serializing, and a descriptor is constructed
+// exactly once even when several threads miss on it simultaneously.
+//
+// By default the cache never evicts, so plan references live for the
+// process lifetime.  An optional capacity (set_plan_cache_capacity) turns
+// on least-recently-used eviction for long-lived servers that see many
+// shapes; under a capacity, hold plans via acquire_plan() — the returned
+// shared_ptr keeps a plan alive after eviction drops the cache's reference.
 #pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
 
 #include "fft/plan.hpp"
 
 namespace turbofno::fft {
 
-/// Returns a shared plan for `desc`, constructing it on first use.
+/// Cache telemetry.  hits/misses/evictions are cumulative since process
+/// start (or the last plan_cache_reset_stats); size/capacity are current.
+struct PlanCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t size = 0;
+  std::size_t capacity = 0;  // 0 = unbounded
+};
+
+/// Shared-ownership lookup, constructing the plan on first use.  Safe to
+/// call concurrently; the result stays valid even if the plan is later
+/// evicted.  This is what long-lived holders (pipelines, the serving
+/// layer) should use.
+std::shared_ptr<const FftPlan> acquire_plan(const PlanDesc& desc);
+
+/// Returns a shared plan for `desc`, constructing it on first use.  The
+/// reference stays valid for the process lifetime: plans handed out here
+/// are pinned against LRU eviction and plan_cache_clear().  Prefer
+/// acquire_plan in new code (pinning trades memory for the old contract).
 const FftPlan& cached_plan(const PlanDesc& desc);
 
 /// Number of distinct plans currently cached (for tests/diagnostics).
 std::size_t cached_plan_count() noexcept;
+
+/// Snapshot of the cache counters.
+PlanCacheStats plan_cache_stats() noexcept;
+
+/// Zeroes the hit/miss/eviction counters (size is unaffected).
+void plan_cache_reset_stats() noexcept;
+
+/// Caps the cache at `max_plans` entries with LRU eviction; 0 restores the
+/// unbounded default.  Shrinks immediately if over the new cap.
+void set_plan_cache_capacity(std::size_t max_plans) noexcept;
+
+/// Drops every cached plan (counted as evictions).  Plans still held via
+/// acquire_plan shared_ptrs or pinned by cached_plan survive.  Primarily
+/// for tests that need a cold cache.
+void plan_cache_clear() noexcept;
 
 }  // namespace turbofno::fft

@@ -3,6 +3,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <stdexcept>
 
 namespace turbofno::fft {
@@ -22,9 +23,17 @@ TwiddleTable::TwiddleTable(std::size_t n) : n_(n) {
 }
 
 const TwiddleTable& twiddles_for(std::size_t n) {
-  static std::mutex mu;
+  // Every butterfly kernel calls this, so the hit path must not serialize:
+  // concurrent server workers each run thousands of transforms per second.
+  // Entries are never removed, so a reference is stable once returned.
+  static std::shared_mutex mu;
   static std::map<std::size_t, std::unique_ptr<TwiddleTable>> cache;
-  const std::lock_guard<std::mutex> lock(mu);
+  {
+    const std::shared_lock<std::shared_mutex> lock(mu);
+    const auto it = cache.find(n);
+    if (it != cache.end()) return *it->second;
+  }
+  const std::unique_lock<std::shared_mutex> lock(mu);
   auto it = cache.find(n);
   if (it == cache.end()) {
     it = cache.emplace(n, std::make_unique<TwiddleTable>(n)).first;

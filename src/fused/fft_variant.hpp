@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <span>
 
 #include "fft/plan.hpp"
@@ -27,12 +28,15 @@ class KLoopFft {
   void forward_tile(const c32* u_base, std::size_t channel_stride, std::size_t count, c32* tile,
                     std::size_t tile_ld, std::span<c32> work) const;
 
-  [[nodiscard]] const fft::FftPlan& plan() const noexcept { return plan_; }
+  [[nodiscard]] const fft::FftPlan& plan() const noexcept { return *plan_; }
   [[nodiscard]] std::size_t modes() const noexcept { return modes_; }
 
  private:
   std::size_t modes_;
-  fft::FftPlan plan_;
+  // Shared through the process-wide plan cache: every pipeline (and every
+  // serving-layer micro-batch bucket) with the same (n, modes) reuses one
+  // plan instead of re-deriving op counts and twiddles.
+  std::shared_ptr<const fft::FftPlan> plan_;
 };
 
 /// Inverse, input-zero-padded FFT consuming GEMM output rows (the CGEMM
@@ -44,11 +48,11 @@ class EpilogueIfft {
   /// v_row[0..n) = iFFT(pad_n(c_row[0..modes))).  `work` >= 2n elements.
   void inverse_row(const c32* c_row, c32* v_row, std::span<c32> work) const;
 
-  [[nodiscard]] const fft::FftPlan& plan() const noexcept { return plan_; }
+  [[nodiscard]] const fft::FftPlan& plan() const noexcept { return *plan_; }
 
  private:
   std::size_t modes_;
-  fft::FftPlan plan_;
+  std::shared_ptr<const fft::FftPlan> plan_;
 };
 
 /// The fused GEMM rank-kc update: C[O x m] += W[:, k0 .. k0+kc) * At[kc x m].

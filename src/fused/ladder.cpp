@@ -34,6 +34,10 @@ class Adapter1d final : public SpectralPipeline1d {
   void run(std::span<const c32> u, std::span<const c32> w, std::span<c32> v) override {
     impl_.run(u, w, v);
   }
+  void run_batched(std::span<const c32> u, std::span<const c32> w, std::span<c32> v,
+                   std::size_t batch) override {
+    impl_.run_batched(u, w, v, batch);
+  }
   [[nodiscard]] const trace::PipelineCounters& counters() const noexcept override {
     return impl_.counters();
   }
@@ -54,6 +58,10 @@ class Adapter2d final : public SpectralPipeline2d {
       : impl_(prob), name_(nm) {}
   void run(std::span<const c32> u, std::span<const c32> w, std::span<c32> v) override {
     impl_.run(u, w, v);
+  }
+  void run_batched(std::span<const c32> u, std::span<const c32> w, std::span<c32> v,
+                   std::size_t batch) override {
+    impl_.run_batched(u, w, v, batch);
   }
   [[nodiscard]] const trace::PipelineCounters& counters() const noexcept override {
     return impl_.counters();

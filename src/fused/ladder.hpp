@@ -35,6 +35,14 @@ class SpectralPipeline1d {
   virtual ~SpectralPipeline1d() = default;
   /// u [batch, hidden, n] -> v [batch, out_dim, n]; w [out_dim, hidden].
   virtual void run(std::span<const c32> u, std::span<const c32> w, std::span<c32> v) = 0;
+  /// Batched serving entry point: runs on the first `batch` signals only
+  /// (batch <= problem().batch, which is the planned capacity).  Workspaces,
+  /// plans, and packed weight planes are reused across calls, so a server
+  /// can execute variable-size micro-batches on one pipeline instance.
+  /// Each signal's result is bitwise-identical to a batch-1 run (no
+  /// cross-request coupling); `batch == 0` is a no-op.
+  virtual void run_batched(std::span<const c32> u, std::span<const c32> w, std::span<c32> v,
+                           std::size_t batch) = 0;
   [[nodiscard]] virtual const trace::PipelineCounters& counters() const noexcept = 0;
   [[nodiscard]] virtual std::string_view name() const noexcept = 0;
   [[nodiscard]] virtual const baseline::Spectral1dProblem& problem() const noexcept = 0;
@@ -45,6 +53,9 @@ class SpectralPipeline2d {
   virtual ~SpectralPipeline2d() = default;
   /// u [batch, hidden, nx, ny] -> v [batch, out_dim, nx, ny].
   virtual void run(std::span<const c32> u, std::span<const c32> w, std::span<c32> v) = 0;
+  /// Batched serving entry point; see SpectralPipeline1d::run_batched.
+  virtual void run_batched(std::span<const c32> u, std::span<const c32> w, std::span<c32> v,
+                           std::size_t batch) = 0;
   [[nodiscard]] virtual const trace::PipelineCounters& counters() const noexcept = 0;
   [[nodiscard]] virtual std::string_view name() const noexcept = 0;
   [[nodiscard]] virtual const baseline::Spectral2dProblem& problem() const noexcept = 0;

@@ -1,5 +1,7 @@
 #include "fused/pipeline1d.hpp"
 
+#include <stdexcept>
+
 #include "gemm/batched.hpp"
 #include "gemm/config.hpp"
 #include "runtime/parallel.hpp"
@@ -11,6 +13,12 @@ namespace turbofno::fused {
 namespace {
 
 constexpr std::size_t kTb = gemm::FusedTiles::Ktb;  // paper Table 1: k_tb = 8
+
+void check_batch(const baseline::Spectral1dProblem& prob, std::size_t batch) {
+  if (batch > prob.batch) {
+    throw std::invalid_argument("pipeline1d: micro-batch exceeds the planned capacity");
+  }
+}
 
 }  // namespace
 
@@ -24,12 +32,19 @@ FftOptPipeline1d::FftOptPipeline1d(baseline::Spectral1dProblem prob)
 }
 
 void FftOptPipeline1d::run(std::span<const c32> u, std::span<const c32> w, std::span<c32> v) {
-  const std::size_t B = prob_.batch;
+  run_batched(u, w, v, prob_.batch);
+}
+
+void FftOptPipeline1d::run_batched(std::span<const c32> u, std::span<const c32> w,
+                                   std::span<c32> v, std::size_t batch) {
+  check_batch(prob_, batch);
+  counters_.clear();
+  if (batch == 0) return;
+  const std::size_t B = batch;
   const std::size_t K = prob_.hidden;
   const std::size_t O = prob_.out_dim;
   const std::size_t N = prob_.n;
   const std::size_t M = prob_.modes;
-  counters_.clear();
 
   {
     runtime::Timer t;
@@ -80,12 +95,19 @@ FusedFftGemmPipeline1d::FusedFftGemmPipeline1d(baseline::Spectral1dProblem prob)
 
 void FusedFftGemmPipeline1d::run(std::span<const c32> u, std::span<const c32> w,
                                  std::span<c32> v) {
-  const std::size_t B = prob_.batch;
+  run_batched(u, w, v, prob_.batch);
+}
+
+void FusedFftGemmPipeline1d::run_batched(std::span<const c32> u, std::span<const c32> w,
+                                         std::span<c32> v, std::size_t batch) {
+  check_batch(prob_, batch);
+  counters_.clear();
+  if (batch == 0) return;
+  const std::size_t B = batch;
   const std::size_t K = prob_.hidden;
   const std::size_t O = prob_.out_dim;
   const std::size_t N = prob_.n;
   const std::size_t M = prob_.modes;
-  counters_.clear();
 
   {
     runtime::Timer t;
@@ -147,12 +169,19 @@ FusedGemmIfftPipeline1d::FusedGemmIfftPipeline1d(baseline::Spectral1dProblem pro
 
 void FusedGemmIfftPipeline1d::run(std::span<const c32> u, std::span<const c32> w,
                                   std::span<c32> v) {
-  const std::size_t B = prob_.batch;
+  run_batched(u, w, v, prob_.batch);
+}
+
+void FusedGemmIfftPipeline1d::run_batched(std::span<const c32> u, std::span<const c32> w,
+                                          std::span<c32> v, std::size_t batch) {
+  check_batch(prob_, batch);
+  counters_.clear();
+  if (batch == 0) return;
+  const std::size_t B = batch;
   const std::size_t K = prob_.hidden;
   const std::size_t O = prob_.out_dim;
   const std::size_t N = prob_.n;
   const std::size_t M = prob_.modes;
-  counters_.clear();
 
   {
     runtime::Timer t;
@@ -214,12 +243,19 @@ FullyFusedPipeline1d::FullyFusedPipeline1d(baseline::Spectral1dProblem prob)
 }
 
 void FullyFusedPipeline1d::run(std::span<const c32> u, std::span<const c32> w, std::span<c32> v) {
-  const std::size_t B = prob_.batch;
+  run_batched(u, w, v, prob_.batch);
+}
+
+void FullyFusedPipeline1d::run_batched(std::span<const c32> u, std::span<const c32> w,
+                                       std::span<c32> v, std::size_t batch) {
+  check_batch(prob_, batch);
+  counters_.clear();
+  if (batch == 0) return;
+  const std::size_t B = batch;
   const std::size_t K = prob_.hidden;
   const std::size_t O = prob_.out_dim;
   const std::size_t N = prob_.n;
   const std::size_t M = prob_.modes;
-  counters_.clear();
 
   runtime::Timer t;
   const std::size_t ld = simd::round_up_lanes(M);

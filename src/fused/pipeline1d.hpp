@@ -23,6 +23,8 @@ class FftOptPipeline1d {
  public:
   explicit FftOptPipeline1d(baseline::Spectral1dProblem prob);
   void run(std::span<const c32> u, std::span<const c32> w, std::span<c32> v);
+  void run_batched(std::span<const c32> u, std::span<const c32> w, std::span<c32> v,
+                   std::size_t batch);
   [[nodiscard]] const trace::PipelineCounters& counters() const noexcept { return counters_; }
   [[nodiscard]] const baseline::Spectral1dProblem& problem() const noexcept { return prob_; }
 
@@ -40,6 +42,8 @@ class FusedFftGemmPipeline1d {
  public:
   explicit FusedFftGemmPipeline1d(baseline::Spectral1dProblem prob);
   void run(std::span<const c32> u, std::span<const c32> w, std::span<c32> v);
+  void run_batched(std::span<const c32> u, std::span<const c32> w, std::span<c32> v,
+                   std::size_t batch);
   [[nodiscard]] const trace::PipelineCounters& counters() const noexcept { return counters_; }
   [[nodiscard]] const baseline::Spectral1dProblem& problem() const noexcept { return prob_; }
 
@@ -56,6 +60,8 @@ class FusedGemmIfftPipeline1d {
  public:
   explicit FusedGemmIfftPipeline1d(baseline::Spectral1dProblem prob);
   void run(std::span<const c32> u, std::span<const c32> w, std::span<c32> v);
+  void run_batched(std::span<const c32> u, std::span<const c32> w, std::span<c32> v,
+                   std::size_t batch);
   [[nodiscard]] const trace::PipelineCounters& counters() const noexcept { return counters_; }
   [[nodiscard]] const baseline::Spectral1dProblem& problem() const noexcept { return prob_; }
 
@@ -73,6 +79,8 @@ class FullyFusedPipeline1d {
  public:
   explicit FullyFusedPipeline1d(baseline::Spectral1dProblem prob);
   void run(std::span<const c32> u, std::span<const c32> w, std::span<c32> v);
+  void run_batched(std::span<const c32> u, std::span<const c32> w, std::span<c32> v,
+                   std::size_t batch);
   [[nodiscard]] const trace::PipelineCounters& counters() const noexcept { return counters_; }
   [[nodiscard]] const baseline::Spectral1dProblem& problem() const noexcept { return prob_; }
 

@@ -1,5 +1,8 @@
 #include "fused/pipeline2d.hpp"
 
+#include <stdexcept>
+
+#include "fft/plan_cache.hpp"
 #include "gemm/batched.hpp"
 #include "gemm/config.hpp"
 #include "runtime/parallel.hpp"
@@ -32,8 +35,8 @@ fft::PlanDesc x_pad_desc(const baseline::Spectral2dProblem& p) {
 
 Pipeline2dBase::Pipeline2dBase(baseline::Spectral2dProblem prob, const char* counters_name)
     : prob_(prob),
-      fft_x_trunc_(x_trunc_desc(prob)),
-      ifft_x_pad_(x_pad_desc(prob)),
+      fft_x_trunc_(fft::acquire_plan(x_trunc_desc(prob))),
+      ifft_x_pad_(fft::acquire_plan(x_pad_desc(prob))),
       fwd_y_(prob.ny, prob.modes_y),
       inv_y_(prob.ny, prob.modes_y),
       counters_(counters_name) {
@@ -42,8 +45,15 @@ Pipeline2dBase::Pipeline2dBase(baseline::Spectral2dProblem prob, const char* cou
   mid_out_.resize(prob_.batch * prob_.out_dim * prob_.modes_x * prob_.ny);
 }
 
-void Pipeline2dBase::run_fft_x_trunc(std::span<const c32> u, std::span<c32> dst) {
-  const std::size_t B = prob_.batch;
+void Pipeline2dBase::check_batch(std::size_t batch) const {
+  if (batch > prob_.batch) {
+    throw std::invalid_argument("pipeline2d: micro-batch exceeds the planned capacity");
+  }
+}
+
+void Pipeline2dBase::run_fft_x_trunc(std::span<const c32> u, std::span<c32> dst,
+                                     std::size_t batch) {
+  const std::size_t B = batch;
   const std::size_t K = prob_.hidden;
   const std::size_t NX = prob_.nx;
   const std::size_t NY = prob_.ny;
@@ -56,7 +66,7 @@ void Pipeline2dBase::run_fft_x_trunc(std::span<const c32> u, std::span<c32> dst)
     for (std::size_t i = lo; i < hi; ++i) {
       const std::size_t bk = i / NY;
       const std::size_t y = i % NY;
-      fft_x_trunc_.execute_one(u.data() + bk * NX * NY + y, static_cast<std::ptrdiff_t>(NY),
+      fft_x_trunc_->execute_one(u.data() + bk * NX * NY + y, static_cast<std::ptrdiff_t>(NY),
                                dst.data() + bk * MX * NY + y, static_cast<std::ptrdiff_t>(NY),
                                work.span());
     }
@@ -65,12 +75,13 @@ void Pipeline2dBase::run_fft_x_trunc(std::span<const c32> u, std::span<c32> dst)
   sc.seconds = t.seconds();
   sc.bytes_read = B * K * NX * NY * sizeof(c32);
   sc.bytes_written = B * K * MX * NY * sizeof(c32);  // only modes_x rows
-  sc.flops = B * K * NY * fft_x_trunc_.flops_per_signal();
+  sc.flops = B * K * NY * fft_x_trunc_->flops_per_signal();
   sc.kernel_launches = 1;
 }
 
-void Pipeline2dBase::run_ifft_x_pad(std::span<const c32> src, std::span<c32> v) {
-  const std::size_t B = prob_.batch;
+void Pipeline2dBase::run_ifft_x_pad(std::span<const c32> src, std::span<c32> v,
+                                    std::size_t batch) {
+  const std::size_t B = batch;
   const std::size_t O = prob_.out_dim;
   const std::size_t NX = prob_.nx;
   const std::size_t NY = prob_.ny;
@@ -82,7 +93,7 @@ void Pipeline2dBase::run_ifft_x_pad(std::span<const c32> src, std::span<c32> v) 
     for (std::size_t i = lo; i < hi; ++i) {
       const std::size_t bo = i / NY;
       const std::size_t y = i % NY;
-      ifft_x_pad_.execute_one(src.data() + bo * MX * NY + y, static_cast<std::ptrdiff_t>(NY),
+      ifft_x_pad_->execute_one(src.data() + bo * MX * NY + y, static_cast<std::ptrdiff_t>(NY),
                               v.data() + bo * NX * NY + y, static_cast<std::ptrdiff_t>(NY),
                               work.span());
     }
@@ -91,7 +102,7 @@ void Pipeline2dBase::run_ifft_x_pad(std::span<const c32> src, std::span<c32> v) 
   sc.seconds = t.seconds();
   sc.bytes_read = B * O * MX * NY * sizeof(c32);
   sc.bytes_written = B * O * NX * NY * sizeof(c32);
-  sc.flops = B * O * NY * ifft_x_pad_.flops_per_signal();
+  sc.flops = B * O * NY * ifft_x_pad_->flops_per_signal();
   sc.kernel_launches = 1;
 }
 
@@ -104,16 +115,23 @@ FftOptPipeline2d::FftOptPipeline2d(baseline::Spectral2dProblem prob)
 }
 
 void FftOptPipeline2d::run(std::span<const c32> u, std::span<const c32> w, std::span<c32> v) {
-  const std::size_t B = prob_.batch;
+  run_batched(u, w, v, prob_.batch);
+}
+
+void FftOptPipeline2d::run_batched(std::span<const c32> u, std::span<const c32> w,
+                        std::span<c32> v, std::size_t batch) {
+  check_batch(batch);
+  counters_.clear();
+  if (batch == 0) return;
+  const std::size_t B = batch;
   const std::size_t K = prob_.hidden;
   const std::size_t O = prob_.out_dim;
   const std::size_t NY = prob_.ny;
   const std::size_t MX = prob_.modes_x;
   const std::size_t MY = prob_.modes_y;
   const std::size_t modes = MX * MY;
-  counters_.clear();
 
-  run_fft_x_trunc(u, mid_in_.span());
+  run_fft_x_trunc(u, mid_in_.span(), B);
 
   // Stage 2: truncated FFT along Y (unfused).
   {
@@ -156,7 +174,7 @@ void FftOptPipeline2d::run(std::span<const c32> u, std::span<const c32> w, std::
     sc.kernel_launches = 1;
   }
 
-  run_ifft_x_pad(mid_out_.span(), v);
+  run_ifft_x_pad(mid_out_.span(), v, B);
 }
 
 // --------------------------------------------------------- FusedFftGemm (B)
@@ -168,23 +186,31 @@ FusedFftGemmPipeline2d::FusedFftGemmPipeline2d(baseline::Spectral2dProblem prob)
 
 void FusedFftGemmPipeline2d::run(std::span<const c32> u, std::span<const c32> w,
                                  std::span<c32> v) {
-  const std::size_t B = prob_.batch;
+  run_batched(u, w, v, prob_.batch);
+}
+
+void FusedFftGemmPipeline2d::run_batched(std::span<const c32> u, std::span<const c32> w,
+                        std::span<c32> v, std::size_t batch) {
+  check_batch(batch);
+  counters_.clear();
+  if (batch == 0) return;
+  const std::size_t B = batch;
   const std::size_t K = prob_.hidden;
   const std::size_t O = prob_.out_dim;
   const std::size_t NY = prob_.ny;
   const std::size_t MX = prob_.modes_x;
   const std::size_t MY = prob_.modes_y;
   const std::size_t modes = MX * MY;
-  counters_.clear();
 
-  run_fft_x_trunc(u, mid_in_.span());
+  run_fft_x_trunc(u, mid_in_.span(), B);
 
   // Fused FFT-Y + CGEMM: one task per (batch, x-row), iterating the hidden
   // dim like the GEMM k-loop (Figure 6(c)).
   {
     runtime::Timer t;
     const std::size_t ld = simd::round_up_lanes(MY);
-    runtime::parallel_for(0, B * MX, 1, [&](std::size_t lo, std::size_t hi) {
+    runtime::parallel_for(0, B * MX, runtime::fused_grain(B * MX),
+                          [&](std::size_t lo, std::size_t hi) {
       AlignedBuffer<c32> tile(kTb * ld);
       AlignedBuffer<float> tsplit(2 * kTb * ld);
       AlignedBuffer<float> acc(2 * O * ld);
@@ -233,7 +259,7 @@ void FusedFftGemmPipeline2d::run(std::span<const c32> u, std::span<const c32> w,
     sc.kernel_launches = 1;
   }
 
-  run_ifft_x_pad(mid_out_.span(), v);
+  run_ifft_x_pad(mid_out_.span(), v, B);
 }
 
 // --------------------------------------------------------- FusedGemmIfft (C)
@@ -245,16 +271,23 @@ FusedGemmIfftPipeline2d::FusedGemmIfftPipeline2d(baseline::Spectral2dProblem pro
 
 void FusedGemmIfftPipeline2d::run(std::span<const c32> u, std::span<const c32> w,
                                   std::span<c32> v) {
-  const std::size_t B = prob_.batch;
+  run_batched(u, w, v, prob_.batch);
+}
+
+void FusedGemmIfftPipeline2d::run_batched(std::span<const c32> u, std::span<const c32> w,
+                        std::span<c32> v, std::size_t batch) {
+  check_batch(batch);
+  counters_.clear();
+  if (batch == 0) return;
+  const std::size_t B = batch;
   const std::size_t K = prob_.hidden;
   const std::size_t O = prob_.out_dim;
   const std::size_t NY = prob_.ny;
   const std::size_t MX = prob_.modes_x;
   const std::size_t MY = prob_.modes_y;
   const std::size_t modes = MX * MY;
-  counters_.clear();
 
-  run_fft_x_trunc(u, mid_in_.span());
+  run_fft_x_trunc(u, mid_in_.span(), B);
 
   // Separate truncated FFT along Y.
   {
@@ -272,7 +305,8 @@ void FusedGemmIfftPipeline2d::run(std::span<const c32> u, std::span<const c32> w
   {
     runtime::Timer t;
     const std::size_t ld = simd::round_up_lanes(MY);
-    runtime::parallel_for(0, B * MX, 1, [&](std::size_t lo, std::size_t hi) {
+    runtime::parallel_for(0, B * MX, runtime::fused_grain(B * MX),
+                          [&](std::size_t lo, std::size_t hi) {
       AlignedBuffer<float> tsplit(2 * kTb * ld);
       AlignedBuffer<float> acc(2 * O * ld);
       AlignedBuffer<c32> row(ld);
@@ -311,7 +345,7 @@ void FusedGemmIfftPipeline2d::run(std::span<const c32> u, std::span<const c32> w
     sc.kernel_launches = 1;
   }
 
-  run_ifft_x_pad(mid_out_.span(), v);
+  run_ifft_x_pad(mid_out_.span(), v, B);
 }
 
 // ------------------------------------------------------------ FullyFused (D)
@@ -320,23 +354,31 @@ FullyFusedPipeline2d::FullyFusedPipeline2d(baseline::Spectral2dProblem prob)
     : Pipeline2dBase(prob, "fully-fused-2d") {}
 
 void FullyFusedPipeline2d::run(std::span<const c32> u, std::span<const c32> w, std::span<c32> v) {
-  const std::size_t B = prob_.batch;
+  run_batched(u, w, v, prob_.batch);
+}
+
+void FullyFusedPipeline2d::run_batched(std::span<const c32> u, std::span<const c32> w,
+                        std::span<c32> v, std::size_t batch) {
+  check_batch(batch);
+  counters_.clear();
+  if (batch == 0) return;
+  const std::size_t B = batch;
   const std::size_t K = prob_.hidden;
   const std::size_t O = prob_.out_dim;
   const std::size_t NY = prob_.ny;
   const std::size_t MX = prob_.modes_x;
   const std::size_t MY = prob_.modes_y;
   const std::size_t modes = MX * MY;
-  counters_.clear();
 
-  run_fft_x_trunc(u, mid_in_.span());
+  run_fft_x_trunc(u, mid_in_.span(), B);
 
   // Fused FFT-Y + CGEMM + iFFT-Y per (batch, x-row): the middle of the
   // pipeline never touches global memory (Figure 9's fused kernel).
   {
     runtime::Timer t;
     const std::size_t ld = simd::round_up_lanes(MY);
-    runtime::parallel_for(0, B * MX, 1, [&](std::size_t lo, std::size_t hi) {
+    runtime::parallel_for(0, B * MX, runtime::fused_grain(B * MX),
+                          [&](std::size_t lo, std::size_t hi) {
       AlignedBuffer<c32> tile(kTb * ld);
       AlignedBuffer<float> tsplit(2 * kTb * ld);
       AlignedBuffer<float> acc(2 * O * ld);
@@ -376,7 +418,7 @@ void FullyFusedPipeline2d::run(std::span<const c32> u, std::span<const c32> w, s
     sc.kernel_launches = 1;
   }
 
-  run_ifft_x_pad(mid_out_.span(), v);
+  run_ifft_x_pad(mid_out_.span(), v, B);
 }
 
 }  // namespace turbofno::fused

@@ -6,6 +6,7 @@
 // last stage is the zero-padded inverse FFT along DimX.
 #pragma once
 
+#include <memory>
 #include <span>
 
 #include "baseline/problem.hpp"
@@ -28,14 +29,19 @@ class Pipeline2dBase {
  protected:
   /// Stage 1: truncated forward FFT along X: u [B,K,nx,ny] -> dst
   /// [B,K,mx,ny].  Writes only modes_x/nx of the rows (Fig 4's saving).
-  void run_fft_x_trunc(std::span<const c32> u, std::span<c32> dst);
+  /// `batch` <= prob_.batch selects the micro-batch actually present.
+  void run_fft_x_trunc(std::span<const c32> u, std::span<c32> dst, std::size_t batch);
   /// Final stage: zero-padded inverse FFT along X: src [B,O,mx,ny] ->
   /// v [B,O,nx,ny].
-  void run_ifft_x_pad(std::span<const c32> src, std::span<c32> v);
+  void run_ifft_x_pad(std::span<const c32> src, std::span<c32> v, std::size_t batch);
+  /// Throws when a micro-batch exceeds the planned capacity.
+  void check_batch(std::size_t batch) const;
 
   baseline::Spectral2dProblem prob_;
-  fft::FftPlan fft_x_trunc_;
-  fft::FftPlan ifft_x_pad_;
+  // X-stage plans come from the process-wide cache so concurrent pipelines
+  // (one per serving-layer model) share them.
+  std::shared_ptr<const fft::FftPlan> fft_x_trunc_;
+  std::shared_ptr<const fft::FftPlan> ifft_x_pad_;
   KLoopFft fwd_y_;      // truncated FFT along Y feeding the GEMM k-loop
   EpilogueIfft inv_y_;  // zero-padded iFFT along Y (CGEMM epilogue)
   AlignedBuffer<c32> mid_in_;   // [B, K, mx, ny] after the X stage
@@ -48,6 +54,8 @@ class FftOptPipeline2d : public Pipeline2dBase {
  public:
   explicit FftOptPipeline2d(baseline::Spectral2dProblem prob);
   void run(std::span<const c32> u, std::span<const c32> w, std::span<c32> v);
+  void run_batched(std::span<const c32> u, std::span<const c32> w, std::span<c32> v,
+                   std::size_t batch);
 
  private:
   AlignedBuffer<c32> freq_;   // [B, K, mx, my]
@@ -59,6 +67,8 @@ class FusedFftGemmPipeline2d : public Pipeline2dBase {
  public:
   explicit FusedFftGemmPipeline2d(baseline::Spectral2dProblem prob);
   void run(std::span<const c32> u, std::span<const c32> w, std::span<c32> v);
+  void run_batched(std::span<const c32> u, std::span<const c32> w, std::span<c32> v,
+                   std::size_t batch);
 
  private:
   AlignedBuffer<c32> mixed_;  // [B, O, mx, my]
@@ -69,6 +79,8 @@ class FusedGemmIfftPipeline2d : public Pipeline2dBase {
  public:
   explicit FusedGemmIfftPipeline2d(baseline::Spectral2dProblem prob);
   void run(std::span<const c32> u, std::span<const c32> w, std::span<c32> v);
+  void run_batched(std::span<const c32> u, std::span<const c32> w, std::span<c32> v,
+                   std::size_t batch);
 
  private:
   AlignedBuffer<c32> freq_;  // [B, K, mx, my]
@@ -80,6 +92,8 @@ class FullyFusedPipeline2d : public Pipeline2dBase {
  public:
   explicit FullyFusedPipeline2d(baseline::Spectral2dProblem prob);
   void run(std::span<const c32> u, std::span<const c32> w, std::span<c32> v);
+  void run_batched(std::span<const c32> u, std::span<const c32> w, std::span<c32> v,
+                   std::size_t batch);
 };
 
 }  // namespace turbofno::fused

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 
+#include "runtime/env.hpp"
+
 #if TURBOFNO_HAVE_OPENMP
 #include <omp.h>
 #endif
@@ -11,6 +13,15 @@ namespace turbofno::runtime {
 
 namespace {
 std::atomic<int> g_thread_override{0};
+std::atomic<std::size_t> g_fused_grain{0};
+
+std::size_t env_fused_grain() noexcept {
+  static const std::size_t v = [] {
+    const long g = env_long("TURBOFNO_FUSED_GRAIN", 0);
+    return g > 0 ? static_cast<std::size_t>(g) : std::size_t{0};
+  }();
+  return v;
+}
 }  // namespace
 
 int thread_count() noexcept {
@@ -33,6 +44,19 @@ bool has_openmp() noexcept {
 #else
   return false;
 #endif
+}
+
+void set_fused_grain(std::size_t g) noexcept {
+  g_fused_grain.store(g, std::memory_order_relaxed);
+}
+
+std::size_t fused_grain(std::size_t total) noexcept {
+  const std::size_t ov = g_fused_grain.load(std::memory_order_relaxed);
+  if (ov > 0) return ov;
+  const std::size_t env = env_fused_grain();
+  if (env > 0) return env;
+  // Default: at least 2 rows per chunk, and no more chunks than rows.
+  return std::min<std::size_t>(2, std::max<std::size_t>(total, 1));
 }
 
 Range partition(std::size_t n, std::size_t parts, std::size_t which) noexcept {

@@ -1,0 +1,58 @@
+#include "runtime/thread_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace turbofno::runtime {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  const std::size_t n = std::max<std::size_t>(workers, 1);
+  threads_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    jobs_.push_back(std::move(job));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return jobs_.empty() && active_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return !jobs_.empty() || stopping_; });
+    if (jobs_.empty()) {
+      // stopping_ with a drained queue: exit (destructor drains first).
+      return;
+    }
+    std::function<void()> job = std::move(jobs_.front());
+    jobs_.pop_front();
+    ++active_;
+    lock.unlock();
+    job();
+    lock.lock();
+    --active_;
+    if (jobs_.empty() && active_ == 0) idle_cv_.notify_all();
+  }
+}
+
+}  // namespace turbofno::runtime

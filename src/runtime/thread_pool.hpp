@@ -1,0 +1,53 @@
+// Long-lived task-parallel worker pool.
+//
+// parallel_for covers fork-join data parallelism inside one kernel; the
+// serving layer additionally needs long-lived workers that pick up
+// independent jobs (micro-batch executions) as they appear.  This pool is
+// that second leg of the runtime: a fixed set of threads draining a FIFO
+// job queue.  Jobs may themselves call parallel_for — OpenMP builds a team
+// per region, so nesting is safe (if oversubscribed, merely slower).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace turbofno::runtime {
+
+class ThreadPool {
+ public:
+  /// Starts `workers` threads (at least one).
+  explicit ThreadPool(std::size_t workers);
+  /// Drains the queue, then stops and joins every worker.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a job.  Jobs submitted after shutdown began are dropped.
+  void submit(std::function<void()> job);
+
+  /// Blocks until the queue is empty and every worker is idle.  Does not
+  /// prevent further submissions; jobs submitted by running jobs are waited
+  /// for too.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t worker_count() const noexcept { return threads_.size(); }
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: queue non-empty or stopping
+  std::condition_variable idle_cv_;  // wait_idle: queue empty and none active
+  std::deque<std::function<void()>> jobs_;
+  std::vector<std::thread> threads_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace turbofno::runtime

@@ -1,0 +1,78 @@
+// Request/response vocabulary of the batched inference serving layer.
+//
+// A request is one FNO inference for a registered model: one input field
+// of that model's shape (the request's own batch dimension is always 1).
+// The server coalesces compatible requests — same model, hence same
+// spectral shapes and weights — into dynamic micro-batches that ride the
+// fused pipelines' batched entry points, which is where the paper's fused
+// FFT-CGEMM-iFFT pass pays off at serving scale.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "tensor/complex.hpp"
+
+namespace turbofno::serve {
+
+/// Handle of a model registered with InferenceServer::load_model.
+using ModelId = std::size_t;
+
+/// Server-assigned, strictly increasing per accepted submission.
+using RequestId = std::uint64_t;
+
+enum class Status {
+  Ok,            // output is valid
+  Rejected,      // per-model backlog was full at submission
+  ShutDown,      // server stopped before this request executed
+  InvalidInput,  // input size does not match the model's input shape
+};
+
+[[nodiscard]] std::string_view status_name(Status s) noexcept;
+
+/// Knobs of the dynamic micro-batcher.
+struct BatchingPolicy {
+  /// Largest micro-batch; also each model's planned pipeline capacity.
+  std::size_t max_batch = 8;
+  /// Deadline: a queued request waits at most this long before its model's
+  /// queue is flushed as a (possibly partial) micro-batch.
+  double max_delay_s = 1e-3;
+  /// Per-model backlog bound; submissions beyond it are Rejected.
+  std::size_t queue_capacity = 4096;
+};
+
+/// Per-request latency breakdown (seconds).
+struct RequestTiming {
+  double queue_s = 0.0;  // submission -> micro-batch formation
+  double exec_s = 0.0;   // model forward (shared by the whole micro-batch)
+  double total_s = 0.0;  // submission -> response delivered
+  std::size_t micro_batch = 0;  // size of the batch this request rode in
+};
+
+struct InferResponse {
+  RequestId id = 0;
+  Status status = Status::Ok;
+  /// [out_channels, spatial] result; empty unless status == Ok.
+  std::vector<c32> output;
+  RequestTiming timing;
+};
+
+/// Monotonic whole-server tallies (snapshot).
+struct ServerStats {
+  std::uint64_t submitted = 0;   // accepted into a queue
+  std::uint64_t completed = 0;   // delivered with Status::Ok
+  std::uint64_t rejected = 0;    // backlog-full or bad-input refusals
+  std::uint64_t shut_down = 0;   // completed with Status::ShutDown
+  std::uint64_t batches = 0;     // micro-batches executed
+  std::uint64_t batched_requests = 0;  // sum of micro-batch sizes
+  std::size_t max_micro_batch = 0;
+
+  [[nodiscard]] double avg_micro_batch() const noexcept {
+    return batches == 0 ? 0.0
+                        : static_cast<double>(batched_requests) / static_cast<double>(batches);
+  }
+};
+
+}  // namespace turbofno::serve

@@ -1,0 +1,334 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <limits>
+#include <span>
+#include <stdexcept>
+#include <utility>
+
+namespace turbofno::serve {
+
+namespace {
+
+// Deadline slack: triggering a hair early costs one slightly-smaller
+// micro-batch; triggering late costs every queued request real latency.
+constexpr double kDeadlineSlackS = 50e-6;
+
+}  // namespace
+
+std::string_view status_name(Status s) noexcept {
+  switch (s) {
+    case Status::Ok:
+      return "ok";
+    case Status::Rejected:
+      return "rejected";
+    case Status::ShutDown:
+      return "shut-down";
+    case Status::InvalidInput:
+      return "invalid-input";
+  }
+  return "?";
+}
+
+InferenceServer::InferenceServer(Options opts)
+    : opts_(opts), pool_(std::max<std::size_t>(opts.workers, 1)) {
+  opts_.policy.max_batch = std::max<std::size_t>(opts_.policy.max_batch, 1);
+  opts_.policy.queue_capacity = std::max<std::size_t>(opts_.policy.queue_capacity, 1);
+  timekeeper_ = std::thread([this] { timekeeper_loop(); });
+}
+
+InferenceServer::~InferenceServer() { stop(StopMode::Drain); }
+
+ModelId InferenceServer::register_model(std::unique_ptr<Model> m) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  models_.push_back(std::move(m));
+  return models_.size() - 1;
+}
+
+ModelId InferenceServer::load_model(const core::Fno1dConfig& cfg) {
+  auto m = std::make_unique<Model>();
+  m->is_2d = false;
+  m->in_elems = cfg.in_channels * cfg.n;
+  m->out_elems = cfg.out_channels * cfg.n;
+  m->fno1 = std::make_unique<core::Fno1d>(cfg, opts_.policy.max_batch);
+  m->batch_in.resize(opts_.policy.max_batch * m->in_elems);
+  m->batch_out.resize(opts_.policy.max_batch * m->out_elems);
+  return register_model(std::move(m));
+}
+
+ModelId InferenceServer::load_model(const core::Fno2dConfig& cfg) {
+  auto m = std::make_unique<Model>();
+  m->is_2d = true;
+  m->in_elems = cfg.in_channels * cfg.nx * cfg.ny;
+  m->out_elems = cfg.out_channels * cfg.nx * cfg.ny;
+  m->fno2 = std::make_unique<core::Fno2d>(cfg, opts_.policy.max_batch);
+  m->batch_in.resize(opts_.policy.max_batch * m->in_elems);
+  m->batch_out.resize(opts_.policy.max_batch * m->out_elems);
+  return register_model(std::move(m));
+}
+
+std::size_t InferenceServer::input_elems(ModelId m) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return models_.at(m)->in_elems;
+}
+
+std::size_t InferenceServer::output_elems(ModelId m) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return models_.at(m)->out_elems;
+}
+
+void InferenceServer::complete(Pending&& p, InferResponse&& r) {
+  r.id = p.id;
+  if (p.has_promise) {
+    p.promise.set_value(std::move(r));
+  } else if (p.callback) {
+    p.callback(std::move(r));
+  }
+}
+
+std::future<InferResponse> InferenceServer::submit(ModelId model, std::vector<c32> input) {
+  Pending p;
+  p.has_promise = true;
+  std::future<InferResponse> fut = p.promise.get_future();
+  submit_impl(model, std::move(input), std::move(p));
+  return fut;
+}
+
+void InferenceServer::submit(ModelId model, std::vector<c32> input,
+                             std::function<void(InferResponse&&)> on_done) {
+  Pending p;
+  p.callback = std::move(on_done);
+  submit_impl(model, std::move(input), std::move(p));
+}
+
+void InferenceServer::submit_impl(ModelId model, std::vector<c32> input, Pending&& p) {
+  p.input = std::move(input);
+  InferResponse refusal;
+  bool refuse = false;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    Model& m = *models_.at(model);
+    p.id = next_id_++;
+    p.submit_s = clock_.seconds();
+    if (!accepting_) {
+      refusal.status = Status::ShutDown;
+      ++stats_.shut_down;
+      refuse = true;
+    } else if (p.input.size() != m.in_elems) {
+      refusal.status = Status::InvalidInput;
+      ++stats_.rejected;
+      refuse = true;
+    } else if (m.queue.size() >= opts_.policy.queue_capacity) {
+      refusal.status = Status::Rejected;
+      ++stats_.rejected;
+      refuse = true;
+    } else {
+      ++stats_.submitted;
+      ++inflight_;
+      m.queue.push_back(std::move(p));
+      if (!m.busy && m.queue.size() >= opts_.policy.max_batch) {
+        launch_locked(m);
+      } else if (m.queue.size() == 1) {
+        deadline_cv_.notify_one();  // a new earliest deadline exists
+      }
+      return;
+    }
+  }
+  if (refuse) complete(std::move(p), std::move(refusal));
+}
+
+bool InferenceServer::deadline_due_locked(const Model& m, double now) const {
+  return !m.queue.empty() &&
+         now >= m.queue.front().submit_s + opts_.policy.max_delay_s - kDeadlineSlackS;
+}
+
+void InferenceServer::launch_locked(Model& m) {
+  m.flush_requested = false;  // launching consumes any pending flush intent
+  const std::size_t n = std::min(m.queue.size(), opts_.policy.max_batch);
+  auto batch = std::make_shared<std::vector<Pending>>();
+  batch->reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    batch->push_back(std::move(m.queue.front()));
+    m.queue.pop_front();
+  }
+  m.busy = true;
+  // shared_ptr because std::function requires copyable callables; the
+  // Model lives in a stable unique_ptr slot for the server's lifetime.
+  Model* mp = &m;
+  pool_.submit([this, mp, batch] { execute(*mp, std::move(*batch)); });
+}
+
+void InferenceServer::execute(Model& m, std::vector<Pending> batch) {
+  const std::size_t B = batch.size();
+  const double formed_s = clock_.seconds();
+
+  runtime::Timer gather_t;
+  for (std::size_t i = 0; i < B; ++i) {
+    std::memcpy(m.batch_in.data() + i * m.in_elems, batch[i].input.data(),
+                m.in_elems * sizeof(c32));
+  }
+  const double gather_s = gather_t.seconds();
+
+  runtime::Timer exec_t;
+  const std::span<const c32> in{m.batch_in.data(), B * m.in_elems};
+  const std::span<c32> out{m.batch_out.data(), B * m.out_elems};
+  if (m.is_2d) {
+    m.fno2->forward(in, out, B);
+  } else {
+    m.fno1->forward(in, out, B);
+  }
+  const double exec_s = exec_t.seconds();
+
+  runtime::Timer scatter_t;
+  double queue_wait_sum = 0.0;
+  for (std::size_t i = 0; i < B; ++i) {
+    InferResponse r;
+    r.status = Status::Ok;
+    r.output.assign(m.batch_out.data() + i * m.out_elems,
+                    m.batch_out.data() + (i + 1) * m.out_elems);
+    r.timing.queue_s = formed_s - batch[i].submit_s;
+    r.timing.exec_s = exec_s;
+    r.timing.micro_batch = B;
+    r.timing.total_s = clock_.seconds() - batch[i].submit_s;
+    queue_wait_sum += r.timing.queue_s;
+    complete(std::move(batch[i]), std::move(r));
+  }
+  const double scatter_s = scatter_t.seconds();
+
+  {
+    const std::lock_guard<std::mutex> lock(trace_mu_);
+    latency_.stage("queue-wait").seconds += queue_wait_sum;
+    auto& g = latency_.stage("gather");
+    g.seconds += gather_s;
+    g.bytes_read += B * m.in_elems * sizeof(c32);
+    auto& e = latency_.stage("execute");
+    e.seconds += exec_s;
+    e.kernel_launches += 1;
+    auto& s = latency_.stage("scatter");
+    s.seconds += scatter_s;
+    s.bytes_written += B * m.out_elems * sizeof(c32);
+  }
+
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    m.busy = false;
+    inflight_ -= B;
+    stats_.completed += B;
+    stats_.batches += 1;
+    stats_.batched_requests += B;
+    stats_.max_micro_batch = std::max(stats_.max_micro_batch, B);
+    if (!m.queue.empty() &&
+        (m.queue.size() >= opts_.policy.max_batch || !accepting_ || m.flush_requested ||
+         deadline_due_locked(m, clock_.seconds()))) {
+      launch_locked(m);
+    }
+  }
+  drained_cv_.notify_all();
+  deadline_cv_.notify_one();
+}
+
+void InferenceServer::timekeeper_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    double earliest = std::numeric_limits<double>::infinity();
+    for (const auto& m : models_) {
+      if (!m->busy && !m->queue.empty()) {
+        earliest = std::min(earliest, m->queue.front().submit_s + opts_.policy.max_delay_s);
+      }
+    }
+    if (earliest == std::numeric_limits<double>::infinity()) {
+      deadline_cv_.wait(lock);
+      continue;
+    }
+    const double now = clock_.seconds();
+    if (now >= earliest - kDeadlineSlackS) {
+      for (auto& m : models_) {
+        if (!m->busy && deadline_due_locked(*m, now)) launch_locked(*m);
+      }
+      continue;  // recompute the next earliest deadline
+    }
+    deadline_cv_.wait_for(lock, std::chrono::duration<double>(earliest - now));
+  }
+}
+
+void InferenceServer::flush() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& m : models_) {
+    if (m->queue.empty()) continue;
+    if (!m->busy) {
+      launch_locked(*m);
+    } else {
+      // Remember the intent: the executor finishing this model launches the
+      // queued remainder instead of letting it wait out the deadline.
+      m->flush_requested = true;
+    }
+  }
+}
+
+void InferenceServer::drain_locked(std::unique_lock<std::mutex>& lock) {
+  while (inflight_ > 0) {
+    for (auto& m : models_) {
+      if (!m->busy && !m->queue.empty()) launch_locked(*m);
+    }
+    drained_cv_.wait_for(lock, std::chrono::milliseconds(1));
+  }
+}
+
+void InferenceServer::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_locked(lock);
+}
+
+void InferenceServer::stop(StopMode mode) {
+  std::vector<Pending> aborted;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stop_done_) return;
+    if (stop_running_) {
+      // Another thread owns the wind-down (stop() and the destructor may
+      // race); wait for it to finish rather than double-joining.
+      drained_cv_.wait(lock, [this] { return stop_done_; });
+      return;
+    }
+    stop_running_ = true;
+    accepting_ = false;
+    if (mode == StopMode::Abort) {
+      for (auto& m : models_) {
+        while (!m->queue.empty()) {
+          aborted.push_back(std::move(m->queue.front()));
+          m->queue.pop_front();
+          --inflight_;
+          ++stats_.shut_down;
+        }
+      }
+    }
+    drain_locked(lock);
+    stopping_ = true;
+  }
+  deadline_cv_.notify_all();
+  if (timekeeper_.joinable()) timekeeper_.join();
+  for (auto& p : aborted) {
+    InferResponse r;
+    r.status = Status::ShutDown;
+    complete(std::move(p), std::move(r));
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_done_ = true;
+  }
+  drained_cv_.notify_all();
+}
+
+ServerStats InferenceServer::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+trace::PipelineCounters InferenceServer::latency_counters() const {
+  const std::lock_guard<std::mutex> lock(trace_mu_);
+  return latency_;
+}
+
+}  // namespace turbofno::serve

@@ -1,0 +1,166 @@
+// Batched inference serving front-end — the first step toward the
+// ROADMAP's heavy-traffic north star.
+//
+// Architecture:
+//
+//   submit() ──> per-model FIFO queue ──┐ size trigger (max_batch)
+//                                       ├──> micro-batch ──> ThreadPool
+//   timekeeper thread ──────────────────┘ deadline trigger     workers
+//                                                                │
+//   futures / callbacks <── scatter results <── Fno forward <────┘
+//
+// Requests for the same model are coalesced into dynamic micro-batches and
+// executed through the model's batched forward (one fused FFT-CGEMM-iFFT
+// sweep per spectral layer for the whole batch), reusing one pre-planned
+// pipeline instance — FFT plans, packed weight planes, and workspaces —
+// across every micro-batch.  Results are bitwise-identical to running each
+// request alone, so batching is a pure throughput optimization.
+//
+// Thread safety: every public method may be called from any thread.
+// Determinism: response *values* never depend on how requests were grouped
+// into micro-batches; only timing metadata does.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/fno.hpp"
+#include "runtime/thread_pool.hpp"
+#include "runtime/timer.hpp"
+#include "serve/request.hpp"
+#include "tensor/aligned_buffer.hpp"
+#include "trace/counters.hpp"
+
+namespace turbofno::serve {
+
+class InferenceServer {
+ public:
+  struct Options {
+    BatchingPolicy policy;
+    /// Micro-batch executor threads.  One is enough on small hosts; more
+    /// lets distinct models execute concurrently (one micro-batch per
+    /// model is in flight at a time).
+    std::size_t workers = 1;
+  };
+
+  InferenceServer() : InferenceServer(Options{}) {}
+  explicit InferenceServer(Options opts);
+  /// Drains in-flight and queued work (StopMode::Drain), then joins.
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Registers a model; weights are materialized from the config's seed.
+  /// Requests reference the returned id.  Registration is cheap to call at
+  /// any time but models live for the server's lifetime.
+  ModelId load_model(const core::Fno1dConfig& cfg);
+  ModelId load_model(const core::Fno2dConfig& cfg);
+
+  /// Input/output element counts one request of `m` must carry.
+  [[nodiscard]] std::size_t input_elems(ModelId m) const;
+  [[nodiscard]] std::size_t output_elems(ModelId m) const;
+
+  /// Future-based submission.  The future is always eventually satisfied;
+  /// check InferResponse::status.
+  std::future<InferResponse> submit(ModelId model, std::vector<c32> input);
+
+  /// Callback-based submission; `on_done` runs on an executor thread.
+  void submit(ModelId model, std::vector<c32> input,
+              std::function<void(InferResponse&&)> on_done);
+
+  /// Flushes every non-empty queue as (possibly partial) micro-batches now,
+  /// without waiting for size or deadline triggers.
+  void flush();
+
+  /// Blocks until every accepted request has been delivered.
+  void drain();
+
+  enum class StopMode {
+    Drain,  // execute everything already accepted, then stop
+    Abort,  // complete queued-but-unlaunched requests with Status::ShutDown
+  };
+
+  /// Stops intake and winds down per `mode`.  Idempotent; concurrent
+  /// submissions race benignly (they complete with Status::ShutDown).
+  void stop(StopMode mode = StopMode::Drain);
+
+  [[nodiscard]] ServerStats stats() const;
+
+  /// Cumulative per-stage latency/traffic counters, trace-style:
+  ///   serve.queue-wait   sum of request queueing seconds
+  ///   serve.gather       input coalescing (bytes_read = request bytes)
+  ///   serve.execute      batched forwards (kernel_launches = micro-batches)
+  ///   serve.scatter      result scatter + delivery (bytes_written)
+  [[nodiscard]] trace::PipelineCounters latency_counters() const;
+
+ private:
+  struct Pending {
+    RequestId id = 0;
+    std::vector<c32> input;
+    std::promise<InferResponse> promise;
+    std::function<void(InferResponse&&)> callback;  // used when no promise
+    bool has_promise = false;
+    double submit_s = 0.0;  // server-clock submission stamp
+  };
+
+  struct Model {
+    bool is_2d = false;
+    std::size_t in_elems = 0;   // per request
+    std::size_t out_elems = 0;  // per request
+    std::unique_ptr<core::Fno1d> fno1;
+    std::unique_ptr<core::Fno2d> fno2;
+    // Guarded by the server mutex:
+    std::deque<Pending> queue;
+    bool busy = false;  // an executor currently owns this model
+    bool flush_requested = false;  // flush() arrived while busy; launch on completion
+    // Owned by the executor holding busy == true:
+    AlignedBuffer<c32> batch_in;   // [max_batch, in_elems]
+    AlignedBuffer<c32> batch_out;  // [max_batch, out_elems]
+  };
+
+  ModelId register_model(std::unique_ptr<Model> m);
+  void submit_impl(ModelId model, std::vector<c32> input, Pending&& p);
+  static void complete(Pending&& p, InferResponse&& r);
+  // Pops up to max_batch requests and hands them to the pool.  Caller holds
+  // mu_ and has checked the model is idle with a non-empty queue.
+  void launch_locked(Model& m);
+  void execute(Model& m, std::vector<Pending> batch);
+  void timekeeper_loop();
+  // True when `m`'s queue should be flushed by time rather than size.
+  [[nodiscard]] bool deadline_due_locked(const Model& m, double now) const;
+  // Launches idle non-empty queues and waits until nothing is in flight.
+  void drain_locked(std::unique_lock<std::mutex>& lock);
+
+  Options opts_;
+  runtime::Timer clock_;  // server-lifetime monotonic clock
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Model>> models_;
+  bool accepting_ = true;
+  bool stopping_ = false;      // timekeeper shutdown flag
+  bool stop_running_ = false;  // a stop() call owns the wind-down
+  bool stop_done_ = false;     // stop() ran to completion (join included)
+  std::uint64_t inflight_ = 0;  // accepted, not yet delivered
+  RequestId next_id_ = 1;
+  ServerStats stats_;
+
+  std::condition_variable deadline_cv_;  // wakes the timekeeper
+  std::condition_variable drained_cv_;   // wakes drain()/stop()
+
+  mutable std::mutex trace_mu_;
+  trace::PipelineCounters latency_{"serve"};
+
+  runtime::ThreadPool pool_;
+  std::thread timekeeper_;
+};
+
+}  // namespace turbofno::serve

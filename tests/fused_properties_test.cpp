@@ -5,6 +5,9 @@
 // corrupt every modeled figure.
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "fft/opcount.hpp"
@@ -132,6 +135,145 @@ INSTANTIATE_TEST_SUITE_P(ShapeGrid, CounterLaws2d,
                                            Spectral2dProblem{2, 16, 8, 32, 16, 8, 8},
                                            Spectral2dProblem{1, 8, 16, 16, 32, 16, 8},
                                            Spectral2dProblem{2, 8, 8, 16, 16, 16, 16}));
+
+// ------------------------------------------------- batched serving entries
+//
+// The serving layer coalesces independent requests into micro-batches, so
+// each request's output must be bitwise-invariant to (a) the size of the
+// batch it rides in ("linearity in the batch dimension": running a prefix
+// equals the prefix of a full run) and (b) its position in the batch.  Any
+// cross-request state leak in a pipeline breaks one of these.
+
+bool same_bits(std::span<const c32> a, std::span<const c32> b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(c32)) == 0;
+}
+
+TEST(BatchedEntry1d, EachRequestBitwiseInvariantToBatchCompositionAllVariants) {
+  const Spectral1dProblem p{4, 8, 6, 64, 16};
+  const auto u = random_signal(p.input_elems(), 4001u);
+  const auto w = random_signal(p.weight_elems(), 4003u);
+  const std::size_t in_stride = p.hidden * p.n;
+  const std::size_t out_stride = p.out_dim * p.n;
+  const std::span<const c32> uspan{u};
+
+  for (const auto var : kAllVariants) {
+    auto pipe = make_pipeline1d(var, p);
+    std::vector<c32> full(p.output_elems());
+    pipe->run_batched(u, w, full, p.batch);
+
+    // Prefix runs equal prefixes of the full run (batch-dimension linearity).
+    for (std::size_t b = 1; b < p.batch; ++b) {
+      std::vector<c32> prefix(b * out_stride);
+      pipe->run_batched(uspan.first(b * in_stride), w, prefix, b);
+      EXPECT_TRUE(same_bits(prefix, std::span<const c32>(full).first(b * out_stride)))
+          << variant_name(var) << " prefix batch " << b;
+    }
+
+    // Each request alone reproduces its slice (position invariance).
+    for (std::size_t b = 0; b < p.batch; ++b) {
+      std::vector<c32> one(out_stride);
+      pipe->run_batched(uspan.subspan(b * in_stride, in_stride), w, one, 1);
+      EXPECT_TRUE(same_bits(
+          one, std::span<const c32>(full).subspan(b * out_stride, out_stride)))
+          << variant_name(var) << " request " << b;
+    }
+  }
+}
+
+TEST(BatchedEntry1d, PermutedBatchPermutesOutputsBitwise) {
+  const Spectral1dProblem p{3, 8, 8, 64, 16};
+  const auto u = random_signal(p.input_elems(), 4011u);
+  const auto w = random_signal(p.weight_elems(), 4013u);
+  const std::size_t in_stride = p.hidden * p.n;
+  const std::size_t out_stride = p.out_dim * p.n;
+  const std::size_t perm[] = {2, 0, 1};
+
+  auto pipe = make_pipeline1d(Variant::FullyFused, p);
+  std::vector<c32> base(p.output_elems());
+  pipe->run_batched(u, w, base, p.batch);
+
+  std::vector<c32> u_perm(p.input_elems());
+  for (std::size_t b = 0; b < p.batch; ++b) {
+    std::memcpy(u_perm.data() + b * in_stride, u.data() + perm[b] * in_stride,
+                in_stride * sizeof(c32));
+  }
+  std::vector<c32> out_perm(p.output_elems());
+  pipe->run_batched(u_perm, w, out_perm, p.batch);
+  for (std::size_t b = 0; b < p.batch; ++b) {
+    EXPECT_TRUE(same_bits(
+        std::span<const c32>(out_perm).subspan(b * out_stride, out_stride),
+        std::span<const c32>(base).subspan(perm[b] * out_stride, out_stride)))
+        << "slot " << b;
+  }
+}
+
+TEST(BatchedEntry1d, OverCapacityThrowsAndZeroIsANoOp) {
+  const Spectral1dProblem p{2, 8, 8, 32, 8};
+  const auto u = random_signal(p.input_elems(), 4021u);
+  const auto w = random_signal(p.weight_elems(), 4023u);
+  std::vector<c32> v(p.output_elems());
+  for (const auto var : kAllVariants) {
+    auto pipe = make_pipeline1d(var, p);
+    EXPECT_THROW(pipe->run_batched(u, w, v, p.batch + 1), std::invalid_argument)
+        << variant_name(var);
+    pipe->run_batched(u, w, v, 0);  // must not touch v or crash
+    EXPECT_TRUE(pipe->counters().stages().empty()) << variant_name(var);
+  }
+}
+
+TEST(BatchedEntry2d, EachRequestBitwiseInvariantToBatchCompositionAllVariants) {
+  const Spectral2dProblem p{3, 8, 8, 16, 16, 4, 4};
+  const auto u = random_signal(p.input_elems(), 4031u);
+  const auto w = random_signal(p.weight_elems(), 4033u);
+  const std::size_t in_stride = p.hidden * p.nx * p.ny;
+  const std::size_t out_stride = p.out_dim * p.nx * p.ny;
+  const std::span<const c32> uspan{u};
+
+  for (const auto var : kAllVariants) {
+    auto pipe = make_pipeline2d(var, p);
+    std::vector<c32> full(p.output_elems());
+    pipe->run_batched(u, w, full, p.batch);
+
+    for (std::size_t b = 1; b < p.batch; ++b) {
+      std::vector<c32> prefix(b * out_stride);
+      pipe->run_batched(uspan.first(b * in_stride), w, prefix, b);
+      EXPECT_TRUE(same_bits(prefix, std::span<const c32>(full).first(b * out_stride)))
+          << variant_name(var) << " prefix batch " << b;
+    }
+    for (std::size_t b = 0; b < p.batch; ++b) {
+      std::vector<c32> one(out_stride);
+      pipe->run_batched(uspan.subspan(b * in_stride, in_stride), w, one, 1);
+      EXPECT_TRUE(same_bits(
+          one, std::span<const c32>(full).subspan(b * out_stride, out_stride)))
+          << variant_name(var) << " request " << b;
+    }
+  }
+}
+
+TEST(BatchedEntry2d, CountersScaleWithTheMicroBatch) {
+  // The counter formulas must describe the micro-batch actually executed,
+  // not the planned capacity, or serving telemetry over-reports traffic.
+  const Spectral2dProblem p{4, 8, 8, 16, 16, 4, 4};
+  const auto u = random_signal(p.input_elems(), 4041u);
+  const auto w = random_signal(p.weight_elems(), 4043u);
+  auto pipe = make_pipeline2d(Variant::FullyFused, p);
+
+  std::vector<c32> v(p.output_elems());
+  pipe->run_batched(u, w, v, p.batch);
+  const auto full = pipe->counters().total();
+
+  const std::size_t half = p.batch / 2;
+  pipe->run_batched(std::span<const c32>(u).first(half * p.hidden * p.nx * p.ny), w,
+                    std::span<c32>(v).first(half * p.out_dim * p.nx * p.ny), half);
+  const auto part = pipe->counters().total();
+
+  // Input/output traffic halves exactly; the shared weight read does not.
+  const std::uint64_t w_bytes = p.weight_elems() * sizeof(c32);
+  EXPECT_EQ(part.bytes_read - w_bytes, (full.bytes_read - w_bytes) / 2);
+  EXPECT_EQ(part.bytes_written, full.bytes_written / 2);
+  EXPECT_EQ(part.flops, full.flops / 2);
+}
 
 }  // namespace
 }  // namespace turbofno::fused

@@ -1,0 +1,168 @@
+// Concurrency and eviction behavior of the shared FFT plan cache.
+//
+// The serving layer hits the cache from every executor worker, so the
+// invariants under contention are load-bearing: a descriptor is built
+// exactly once (no lost or duplicated plans), every thread sees the same
+// instance, and the hit/miss counters add up deterministically.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "fft/plan_cache.hpp"
+#include "test_util.hpp"
+
+namespace turbofno::fft {
+namespace {
+
+std::vector<PlanDesc> mixed_shapes() {
+  std::vector<PlanDesc> v;
+  for (const std::size_t n : {std::size_t{64}, std::size_t{128}, std::size_t{256}}) {
+    PlanDesc full;
+    full.n = n;
+    v.push_back(full);
+
+    PlanDesc trunc;
+    trunc.n = n;
+    trunc.keep = n / 4;
+    v.push_back(trunc);
+
+    PlanDesc pad;
+    pad.n = n;
+    pad.dir = Direction::Inverse;
+    pad.nonzero = n / 4;
+    v.push_back(pad);
+
+    PlanDesc inv;
+    inv.n = n;
+    inv.dir = Direction::Inverse;
+    v.push_back(inv);
+  }
+  return v;  // 12 distinct descriptors
+}
+
+TEST(PlanCacheConcurrency, HammeredMixedShapesAgreeWithStableCounts) {
+  plan_cache_clear();
+  plan_cache_reset_stats();
+
+  const auto shapes = mixed_shapes();
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kIters = 200;
+
+  // Per-thread view of which plan instance each descriptor resolved to.
+  std::vector<std::vector<const FftPlan*>> seen(
+      kThreads, std::vector<const FftPlan*>(shapes.size(), nullptr));
+  std::atomic<std::size_t> disagreements{0};
+  std::atomic<bool> start{false};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      while (!start.load(std::memory_order_acquire)) {
+      }
+      for (std::size_t it = 0; it < kIters; ++it) {
+        for (std::size_t s = 0; s < shapes.size(); ++s) {
+          // Stagger the visit order per thread so the first touch of each
+          // descriptor races between different threads.
+          const std::size_t idx = (s + t) % shapes.size();
+          const auto plan = acquire_plan(shapes[idx]);
+          if (seen[t][idx] == nullptr) {
+            seen[t][idx] = plan.get();
+          } else if (seen[t][idx] != plan.get()) {
+            disagreements.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  start.store(true, std::memory_order_release);
+  for (auto& th : threads) th.join();
+
+  // Same instance within each thread across iterations...
+  EXPECT_EQ(disagreements.load(), 0u);
+  // ... and across threads.
+  for (std::size_t t = 1; t < kThreads; ++t) {
+    for (std::size_t s = 0; s < shapes.size(); ++s) {
+      EXPECT_EQ(seen[t][s], seen[0][s]) << "thread " << t << " shape " << s;
+    }
+  }
+
+  // No lost or duplicated plans: one cache entry per descriptor, and the
+  // counters balance exactly.
+  EXPECT_EQ(cached_plan_count(), shapes.size());
+  const auto st = plan_cache_stats();
+  EXPECT_EQ(st.misses, shapes.size());
+  EXPECT_EQ(st.hits + st.misses, kThreads * kIters * shapes.size());
+  EXPECT_EQ(st.evictions, 0u);
+  EXPECT_EQ(st.size, shapes.size());
+}
+
+TEST(PlanCacheConcurrency, ReferencesStayValidWhileCached) {
+  plan_cache_clear();
+  PlanDesc d;
+  d.n = 128;
+  d.keep = 32;
+  const FftPlan& a = cached_plan(d);
+  const FftPlan& b = cached_plan(d);
+  EXPECT_EQ(&a, &b);
+  EXPECT_TRUE(a.pruned());
+}
+
+TEST(PlanCacheEviction, CapacityEvictsLruButAcquiredPlansSurvive) {
+  plan_cache_clear();
+  plan_cache_reset_stats();
+  set_plan_cache_capacity(4);
+
+  PlanDesc first;
+  first.n = 64;
+  first.keep = 16;
+  const auto held = acquire_plan(first);
+
+  for (const std::size_t n :
+       {std::size_t{128}, std::size_t{256}, std::size_t{512}, std::size_t{1024},
+        std::size_t{2048}, std::size_t{4096}}) {
+    PlanDesc d;
+    d.n = n;
+    (void)acquire_plan(d);
+  }
+
+  const auto st = plan_cache_stats();
+  EXPECT_LE(st.size, 4u);
+  EXPECT_EQ(st.capacity, 4u);
+  EXPECT_GE(st.evictions, 3u);  // 7 inserts into a 4-slot cache
+  EXPECT_EQ(cached_plan_count(), st.size);
+
+  // The evicted-but-held plan still executes correctly.
+  const auto u = turbofno::testing::random_signal(64, 99u);
+  std::vector<c32> out(16);
+  held->execute(u, out, 1);
+  EXPECT_EQ(held->desc().n, 64u);
+
+  // Re-acquiring the evicted descriptor builds a fresh instance.
+  plan_cache_reset_stats();
+  (void)acquire_plan(first);
+  EXPECT_EQ(plan_cache_stats().misses, 1u);
+
+  set_plan_cache_capacity(0);  // restore the unbounded default for later tests
+  plan_cache_clear();
+}
+
+TEST(PlanCacheEviction, ClearCountsEvictionsAndEmptiesTheCache) {
+  plan_cache_clear();
+  plan_cache_reset_stats();
+  PlanDesc d;
+  d.n = 64;
+  (void)acquire_plan(d);
+  d.keep = 16;
+  (void)acquire_plan(d);
+  EXPECT_EQ(cached_plan_count(), 2u);
+  plan_cache_clear();
+  EXPECT_EQ(cached_plan_count(), 0u);
+  EXPECT_EQ(plan_cache_stats().evictions, 2u);
+}
+
+}  // namespace
+}  // namespace turbofno::fft

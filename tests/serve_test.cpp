@@ -1,0 +1,283 @@
+// Deterministic end-to-end tests of the batched inference serving layer.
+//
+// The golden property: a request served through InferenceServer — whatever
+// micro-batch it happens to ride in — must produce results bitwise-identical
+// to running the same input through a serial, batch-1 core::Fno model built
+// from the same config.  This holds on every SIMD backend (the comparison is
+// within one build, so the suite is golden under TURBOFNO_SIMD=avx2 and
+// =scalar alike), and makes batching a pure throughput optimization.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <future>
+#include <vector>
+
+#include "core/fno.hpp"
+#include "serve/server.hpp"
+#include "test_util.hpp"
+
+namespace turbofno::serve {
+namespace {
+
+using turbofno::testing::max_err;
+using turbofno::testing::random_signal;
+
+core::Fno1dConfig small_1d() {
+  core::Fno1dConfig c;
+  c.in_channels = 2;
+  c.hidden = 8;
+  c.out_channels = 2;
+  c.n = 64;
+  c.modes = 16;
+  c.layers = 2;
+  return c;
+}
+
+core::Fno1dConfig wide_1d() {
+  core::Fno1dConfig c;
+  c.in_channels = 1;
+  c.hidden = 12;
+  c.out_channels = 1;
+  c.n = 128;
+  c.modes = 32;
+  c.layers = 1;
+  return c;
+}
+
+core::Fno2dConfig small_2d() {
+  core::Fno2dConfig c;
+  c.in_channels = 1;
+  c.hidden = 8;
+  c.out_channels = 1;
+  c.nx = 16;
+  c.ny = 16;
+  c.modes_x = 4;
+  c.modes_y = 4;
+  c.layers = 2;
+  return c;
+}
+
+::testing::AssertionResult bitwise_equal(std::span<const c32> a, std::span<const c32> b) {
+  if (a.size() != b.size()) {
+    return ::testing::AssertionFailure() << "size " << a.size() << " vs " << b.size();
+  }
+  if (std::memcmp(a.data(), b.data(), a.size() * sizeof(c32)) != 0) {
+    return ::testing::AssertionFailure() << "outputs differ, max |err| = " << max_err(a, b);
+  }
+  return ::testing::AssertionSuccess();
+}
+
+TEST(ServeGolden, MixedShapeStreamMatchesSerialExecutionBitwise) {
+  InferenceServer::Options so;
+  so.policy.max_batch = 4;
+  so.policy.max_delay_s = 200e-6;
+  so.workers = 2;
+  InferenceServer server(so);
+
+  const ModelId m0 = server.load_model(small_1d());
+  const ModelId m1 = server.load_model(wide_1d());
+  const ModelId m2 = server.load_model(small_2d());
+  const ModelId models[] = {m0, m1, m2};
+
+  // Serial references: batch-1 models from the same configs (same seeds,
+  // hence bitwise-identical weights).
+  core::Fno1d ref0(small_1d(), 1);
+  core::Fno1d ref1(wide_1d(), 1);
+  core::Fno2d ref2(small_2d(), 1);
+
+  // Fixed-seed request stream, interleaving the three shapes.
+  constexpr std::size_t kTotal = 48;
+  std::vector<std::vector<c32>> inputs(kTotal);
+  std::vector<std::future<InferResponse>> futs;
+  futs.reserve(kTotal);
+  for (std::size_t i = 0; i < kTotal; ++i) {
+    const ModelId m = models[i % 3];
+    inputs[i] = random_signal(server.input_elems(m), 7000u + static_cast<unsigned>(i));
+    futs.push_back(server.submit(m, inputs[i]));
+  }
+  server.drain();
+
+  for (std::size_t i = 0; i < kTotal; ++i) {
+    const ModelId m = models[i % 3];
+    auto resp = futs[i].get();
+    ASSERT_EQ(resp.status, Status::Ok) << "request " << i;
+    EXPECT_GE(resp.timing.micro_batch, 1u);
+    EXPECT_LE(resp.timing.micro_batch, so.policy.max_batch);
+
+    std::vector<c32> expect(server.output_elems(m));
+    switch (i % 3) {
+      case 0:
+        ref0.forward(inputs[i], expect);
+        break;
+      case 1:
+        ref1.forward(inputs[i], expect);
+        break;
+      default:
+        ref2.forward(inputs[i], expect);
+        break;
+    }
+    EXPECT_TRUE(bitwise_equal(resp.output, expect)) << "request " << i;
+  }
+
+  const auto st = server.stats();
+  EXPECT_EQ(st.submitted, kTotal);
+  EXPECT_EQ(st.completed, kTotal);
+  EXPECT_EQ(st.batched_requests, kTotal);
+  EXPECT_GE(st.batches, (kTotal + so.policy.max_batch - 1) / so.policy.max_batch);
+}
+
+TEST(ServeGolden, ShutdownWithInflightRequestsDrainsAndStaysGolden) {
+  InferenceServer::Options so;
+  so.policy.max_batch = 5;
+  so.policy.max_delay_s = 10.0;  // only size triggers or the shutdown flush
+  so.workers = 1;
+  InferenceServer server(so);
+  const ModelId m = server.load_model(small_1d());
+  core::Fno1d ref(small_1d(), 1);
+
+  constexpr std::size_t kTotal = 17;  // 3 full batches + 2 stragglers
+  std::vector<std::vector<c32>> inputs(kTotal);
+  std::vector<std::future<InferResponse>> futs;
+  for (std::size_t i = 0; i < kTotal; ++i) {
+    inputs[i] = random_signal(server.input_elems(m), 8100u + static_cast<unsigned>(i));
+    futs.push_back(server.submit(m, inputs[i]));
+  }
+  // Immediately wind down with work still queued and in flight.
+  server.stop(InferenceServer::StopMode::Drain);
+
+  for (std::size_t i = 0; i < kTotal; ++i) {
+    auto resp = futs[i].get();
+    ASSERT_EQ(resp.status, Status::Ok) << "request " << i;
+    std::vector<c32> expect(server.output_elems(m));
+    ref.forward(inputs[i], expect);
+    EXPECT_TRUE(bitwise_equal(resp.output, expect)) << "request " << i;
+  }
+  EXPECT_EQ(server.stats().completed, kTotal);
+
+  // Submissions after shutdown are refused, not dropped.
+  auto late = server.submit(m, random_signal(server.input_elems(m), 1u));
+  EXPECT_EQ(late.get().status, Status::ShutDown);
+}
+
+TEST(ServeShutdown, AbortCompletesQueuedRequestsWithShutDownStatus) {
+  InferenceServer::Options so;
+  so.policy.max_batch = 64;     // never size-triggered
+  so.policy.max_delay_s = 10.0;  // never deadline-triggered in test time
+  so.workers = 1;
+  InferenceServer server(so);
+  const ModelId m = server.load_model(small_1d());
+
+  std::vector<std::future<InferResponse>> futs;
+  for (std::size_t i = 0; i < 8; ++i) {
+    futs.push_back(server.submit(m, random_signal(server.input_elems(m), 10u + i)));
+  }
+  server.stop(InferenceServer::StopMode::Abort);
+
+  for (auto& f : futs) {
+    const auto resp = f.get();
+    EXPECT_EQ(resp.status, Status::ShutDown);
+    EXPECT_TRUE(resp.output.empty());
+  }
+  const auto st = server.stats();
+  EXPECT_EQ(st.shut_down, 8u);
+  EXPECT_EQ(st.completed, 0u);
+}
+
+TEST(ServeLimits, BacklogAndInputValidation) {
+  InferenceServer::Options so;
+  so.policy.max_batch = 64;
+  so.policy.max_delay_s = 10.0;
+  so.policy.queue_capacity = 2;
+  so.workers = 1;
+  InferenceServer server(so);
+  const ModelId m = server.load_model(small_1d());
+
+  std::vector<std::future<InferResponse>> futs;
+  for (std::size_t i = 0; i < 5; ++i) {
+    futs.push_back(server.submit(m, random_signal(server.input_elems(m), 20u + i)));
+  }
+  // A wrong-size input is refused regardless of queue state.
+  auto bad = server.submit(m, random_signal(3, 1u));
+  EXPECT_EQ(bad.get().status, Status::InvalidInput);
+
+  std::size_t rejected = 0;
+  server.stop(InferenceServer::StopMode::Abort);
+  for (auto& f : futs) {
+    const auto resp = f.get();
+    if (resp.status == Status::Rejected) ++rejected;
+  }
+  EXPECT_EQ(rejected, 3u);  // capacity 2 of 5 accepted
+  EXPECT_EQ(server.stats().rejected, 4u);  // 3 backlog + 1 invalid input
+}
+
+TEST(ServeFlush, FlushBoundsLatencyEvenWhileAModelIsBusy) {
+  InferenceServer::Options so;
+  so.policy.max_batch = 4;
+  so.policy.max_delay_s = 10.0;  // flush(), not the deadline, must release work
+  so.workers = 1;
+  InferenceServer server(so);
+  const ModelId m = server.load_model(small_1d());
+
+  // 6 requests: the first 4 size-trigger a launch (the model is then busy);
+  // the 2 stragglers would otherwise wait out the 10 s deadline.
+  std::vector<std::future<InferResponse>> futs;
+  for (std::size_t i = 0; i < 6; ++i) {
+    futs.push_back(server.submit(m, random_signal(server.input_elems(m), 30u + i)));
+  }
+  server.flush();
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    ASSERT_EQ(futs[i].wait_for(std::chrono::seconds(5)), std::future_status::ready)
+        << "request " << i << " stalled past flush()";
+    EXPECT_EQ(futs[i].get().status, Status::Ok);
+  }
+}
+
+TEST(ServeShutdown, ConcurrentStopCallsAreSafe) {
+  InferenceServer::Options so;
+  so.policy.max_batch = 4;
+  so.policy.max_delay_s = 10.0;
+  InferenceServer server(so);
+  const ModelId m = server.load_model(small_1d());
+  std::vector<std::future<InferResponse>> futs;
+  for (std::size_t i = 0; i < 9; ++i) {
+    futs.push_back(server.submit(m, random_signal(server.input_elems(m), 60u + i)));
+  }
+  // Two racing Drain stops (plus the destructor's, later): exactly one owns
+  // the wind-down, the others wait for it.
+  std::thread racer([&server] { server.stop(InferenceServer::StopMode::Drain); });
+  server.stop(InferenceServer::StopMode::Drain);
+  racer.join();
+  for (auto& f : futs) EXPECT_EQ(f.get().status, Status::Ok);
+  EXPECT_EQ(server.stats().completed, 9u);
+}
+
+TEST(ServeLatency, CountersAccumulateAcrossBatches) {
+  InferenceServer::Options so;
+  so.policy.max_batch = 4;
+  so.policy.max_delay_s = 100e-6;
+  InferenceServer server(so);
+  const ModelId m = server.load_model(small_1d());
+  std::vector<std::future<InferResponse>> futs;
+  for (std::size_t i = 0; i < 12; ++i) {
+    futs.push_back(server.submit(m, random_signal(server.input_elems(m), 40u + i)));
+  }
+  server.drain();
+  for (auto& f : futs) EXPECT_EQ(f.get().status, Status::Ok);
+
+  const auto counters = server.latency_counters();
+  const auto total = counters.total();
+  EXPECT_GE(total.kernel_launches, 3u);  // 12 requests, micro-batches <= 4
+  bool saw_execute = false;
+  for (const auto& s : counters.stages()) {
+    if (s.name == "execute") {
+      saw_execute = true;
+      EXPECT_GT(s.seconds, 0.0);
+    }
+  }
+  EXPECT_TRUE(saw_execute);
+  const std::size_t in_bytes = server.input_elems(m) * sizeof(c32);
+  EXPECT_EQ(total.bytes_read, 12 * in_bytes);
+}
+
+}  // namespace
+}  // namespace turbofno::serve
