@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/workload.hpp"
+#include "fft/fft2d.hpp"
 #include "fft/plan.hpp"
 #include "fft/reference.hpp"
 #include "tensor/aligned_buffer.hpp"
@@ -93,6 +94,82 @@ void BM_FftStridedAlongHidden(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FftStridedAlongHidden)->Arg(8)->Arg(64)->Arg(128);
+
+// 2D schedules A/B: arg0 = nx = ny, arg1 = 1 for the transpose-based
+// X stage, 0 for the legacy per-column strided one (the
+// TURBOFNO_FFT2D_TRANSPOSE knob, forced per run).
+void BM_Fft2dForward(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const bool transposed = state.range(1) != 0;
+  const std::size_t batch = 2;
+  fft::Plan2dDesc d;
+  d.nx = n;
+  d.ny = n;
+  d.dir = fft::Direction::Forward;
+  const fft::FftPlan2d plan(d);
+  AlignedBuffer<c32> in(batch * n * n);
+  AlignedBuffer<c32> out(batch * n * n);
+  core::fill_random(in.span(), 6u);
+  const bool prev = fft::fft2d_transpose_enabled();
+  fft::set_fft2d_transpose(transposed);
+  for (auto _ : state) {
+    plan.execute(in.span(), out.span(), batch);
+    benchmark::DoNotOptimize(out.data());
+  }
+  fft::set_fft2d_transpose(prev);
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * batch * n * n * 2 *
+                          sizeof(c32));
+  state.SetLabel(transposed ? "transposed" : "per-column");
+}
+BENCHMARK(BM_Fft2dForward)
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({128, 0})
+    ->Args({128, 1})
+    ->Args({256, 0})
+    ->Args({256, 1})
+    ->Args({512, 0})
+    ->Args({512, 1})
+    ->UseRealTime();
+
+// The FNO shape: forward truncated to n/4 modes per axis, then the
+// zero-padded inverse — the exact X stages the 2D pipelines run.
+void BM_Fft2dTruncRoundTrip(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const bool transposed = state.range(1) != 0;
+  const std::size_t keep = n / 4;
+  const std::size_t batch = 2;
+  fft::Plan2dDesc d;
+  d.nx = n;
+  d.ny = n;
+  d.keep_x = keep;
+  d.keep_y = keep;
+  d.dir = fft::Direction::Forward;
+  const fft::FftPlan2d fwd(d);
+  d.dir = fft::Direction::Inverse;
+  const fft::FftPlan2d inv(d);
+  AlignedBuffer<c32> in(batch * n * n);
+  AlignedBuffer<c32> spec(batch * keep * keep);
+  AlignedBuffer<c32> back(batch * n * n);
+  core::fill_random(in.span(), 7u);
+  const bool prev = fft::fft2d_transpose_enabled();
+  fft::set_fft2d_transpose(transposed);
+  for (auto _ : state) {
+    fwd.execute(in.span(), spec.span(), batch);
+    inv.execute(spec.span(), back.span(), batch);
+    benchmark::DoNotOptimize(back.data());
+  }
+  fft::set_fft2d_transpose(prev);
+  state.SetLabel(transposed ? "transposed" : "per-column");
+}
+BENCHMARK(BM_Fft2dTruncRoundTrip)
+    ->Args({128, 0})
+    ->Args({128, 1})
+    ->Args({256, 0})
+    ->Args({256, 1})
+    ->Args({512, 0})
+    ->Args({512, 1})
+    ->UseRealTime();
 
 void BM_NaiveDftAnchor(benchmark::State& state) {
   // O(n^2) reference at a small size: shows the custom kernel's advantage.

@@ -1,12 +1,17 @@
 #!/usr/bin/env sh
 # Records the per-PR performance trajectory (ROADMAP item): runs the SIMD
-# micro bench and the serving-throughput bench with --json and merges the
-# results into BENCH_PR<N>.json at the repo root, so perf regressions show
-# up in review as a diffable artifact.
+# micro bench, the serving-throughput bench, the FFT micro bench (including
+# the 2D schedule A/B pair), and the fig15 2D-FFTopt pipeline bench, and
+# merges the results into BENCH_PR<N>.json at the repo root, so perf
+# regressions show up in review as a diffable artifact.
 #
 # Usage: scripts/record_bench.sh <pr-number> [build-dir] [extra bench args]
 #   scripts/record_bench.sh 2            # writes BENCH_PR2.json from ./build
 #   scripts/record_bench.sh 3 build --full
+#
+# Extra args go to the bench_common harness binaries only; bench_micro_fft
+# is google-benchmark (different flag spelling) and always runs its full
+# default suite.
 set -eu
 
 PR=${1:?usage: record_bench.sh <pr-number> [build-dir] [extra bench args]}
@@ -19,9 +24,11 @@ BIN="$ROOT/$BUILD"
 OUT="$ROOT/BENCH_PR$PR.json"
 TMP_SIMD=$(mktemp)
 TMP_SERVE=$(mktemp)
-trap 'rm -f "$TMP_SIMD" "$TMP_SERVE"' EXIT
+TMP_FIG15=$(mktemp)
+TMP_FFT=$(mktemp)
+trap 'rm -f "$TMP_SIMD" "$TMP_SERVE" "$TMP_FIG15" "$TMP_FFT"' EXIT
 
-for exe in bench_micro_simd bench_serve_throughput; do
+for exe in bench_micro_simd bench_serve_throughput bench_fig15_2d_fftopt; do
   if [ ! -x "$BIN/$exe" ]; then
     echo "record_bench.sh: $BIN/$exe not built (run the tier-1 cmake build first)" >&2
     exit 1
@@ -32,12 +39,28 @@ echo "running bench_micro_simd ..." >&2
 "$BIN/bench_micro_simd" --json "$TMP_SIMD" "$@" >/dev/null
 echo "running bench_serve_throughput ..." >&2
 "$BIN/bench_serve_throughput" --json "$TMP_SERVE" "$@" >/dev/null
+echo "running bench_fig15_2d_fftopt ..." >&2
+"$BIN/bench_fig15_2d_fftopt" --json "$TMP_FIG15" "$@" >/dev/null
+
+# bench_micro_fft is optional (needs google-benchmark at configure time).
+# set -eu above aborts the script (and leaves $OUT unwritten) if it fails.
+if [ -x "$BIN/bench_micro_fft" ]; then
+  echo "running bench_micro_fft ..." >&2
+  "$BIN/bench_micro_fft" --benchmark_format=json >"$TMP_FFT"
+else
+  echo "record_bench.sh: $BIN/bench_micro_fft not built, skipping" >&2
+  printf 'null\n' >"$TMP_FFT"
+fi
 
 {
   printf '{\n"pr": %s,\n"bench_micro_simd":\n' "$PR"
   cat "$TMP_SIMD"
   printf ',\n"bench_serve_throughput":\n'
   cat "$TMP_SERVE"
+  printf ',\n"bench_fig15_2d_fftopt":\n'
+  cat "$TMP_FIG15"
+  printf ',\n"bench_micro_fft":\n'
+  cat "$TMP_FFT"
   printf '}\n'
 } > "$OUT"
 

@@ -1,9 +1,14 @@
 #include "fft/fft2d.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <stdexcept>
 
+#include "runtime/env.hpp"
 #include "runtime/parallel.hpp"
+#include "runtime/scratch.hpp"
 #include "tensor/aligned_buffer.hpp"
+#include "tensor/transpose.hpp"
 
 namespace turbofno::fft {
 
@@ -39,7 +44,77 @@ PlanDesc make_y_desc(const Plan2dDesc& d) {
   return p;
 }
 
+// Columns gathered per transpose slab: 16 complexes = two cache lines per
+// field row, so the gather side of the transpose consumes whole lines, and
+// a slab of 16 rows x nx=1024 stays within 128 KiB of scratch.
+constexpr std::size_t kSlabCols = 16;
+
+std::atomic<int> g_transpose_override{-1};
+
 }  // namespace
+
+bool fft2d_transpose_enabled() noexcept {
+  const int ov = g_transpose_override.load(std::memory_order_relaxed);
+  if (ov >= 0) return ov != 0;
+  static const bool from_env = runtime::env_long("TURBOFNO_FFT2D_TRANSPOSE", 1) != 0;
+  return from_env;
+}
+
+void set_fft2d_transpose(bool enabled) noexcept {
+  g_transpose_override.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+void fft2d_x_stage(const FftPlan& plan, const c32* in, c32* out, std::size_t fields,
+                   std::size_t ny) {
+  const std::size_t rows_in = plan.desc().nonzero_or_n();
+  const std::size_t rows_out = plan.desc().keep_or_n();
+
+  if (!fft2d_transpose_enabled()) {
+    // Legacy schedule: one strided transform per (field, y column).
+    runtime::parallel_for(0, fields * ny, 64, [&](std::size_t lo, std::size_t hi) {
+      auto& arena = runtime::tls_scratch();
+      const auto scope = arena.scope();
+      const std::span<c32> work = arena.alloc<c32>(plan.scratch_elems());
+      for (std::size_t i = lo; i < hi; ++i) {
+        const std::size_t f = i / ny;
+        const std::size_t y = i % ny;
+        plan.execute_one(in + f * rows_in * ny + y, static_cast<std::ptrdiff_t>(ny),
+                         out + f * rows_out * ny + y, static_cast<std::ptrdiff_t>(ny),
+                         work);
+      }
+    });
+    return;
+  }
+
+  // Transpose-based schedule: per task, gather a column slab into row-major
+  // scratch, transform contiguous rows, and transpose back only the rows the
+  // plan actually produces (keep_x on forward; on inverse the input slab is
+  // just the nonzero prefix and the transform scatters the zero-padded
+  // columns itself).
+  const std::size_t cols = std::min<std::size_t>(kSlabCols, ny);
+  const std::size_t tasks_per_field = (ny + cols - 1) / cols;
+  const std::size_t grain = std::max<std::size_t>(1, 64 / cols);
+  runtime::parallel_for(0, fields * tasks_per_field, grain,
+                        [&](std::size_t lo, std::size_t hi) {
+    auto& arena = runtime::tls_scratch();
+    const auto scope = arena.scope();
+    const std::span<c32> slab_in = arena.alloc<c32>(cols * rows_in);
+    const std::span<c32> slab_out = arena.alloc<c32>(cols * rows_out);
+    const std::span<c32> work = arena.alloc<c32>(plan.scratch_elems());
+    for (std::size_t t = lo; t < hi; ++t) {
+      const std::size_t f = t / tasks_per_field;
+      const std::size_t y0 = (t % tasks_per_field) * cols;
+      const std::size_t g = std::min(cols, ny - y0);
+      simd::transpose(in + f * rows_in * ny + y0, ny, slab_in.data(), rows_in, rows_in, g);
+      for (std::size_t r = 0; r < g; ++r) {
+        plan.execute_one(slab_in.data() + r * rows_in, 1, slab_out.data() + r * rows_out, 1,
+                         work);
+      }
+      simd::transpose(slab_out.data(), rows_out, out + f * rows_out * ny + y0, ny, g,
+                      rows_out);
+    }
+  });
+}
 
 FftPlan2d::FftPlan2d(Plan2dDesc desc)
     : desc_(desc), along_x_(make_x_desc(desc)), along_y_(make_y_desc(desc)) {
@@ -70,63 +145,45 @@ std::uint64_t FftPlan2d::flops_per_field() const noexcept {
 }
 
 void FftPlan2d::execute(std::span<const c32> in, std::span<c32> out, std::size_t batch) const {
-  const std::size_t nx = desc_.nx;
   const std::size_t ny = desc_.ny;
   const std::size_t kx = desc_.keep_x_or_nx();
-  const std::size_t ky = desc_.keep_y_or_ny();
   if (in.size() < batch * in_field_elems() || out.size() < batch * out_field_elems()) {
     throw std::invalid_argument("FftPlan2d::execute: spans too small for batch");
   }
 
-  if (desc_.dir == Direction::Forward) {
-    // Intermediate after the X stage: [keep_x, ny] per field.
-    AlignedBuffer<c32> mid(batch * kx * ny);
-    // Stage 1: FFT along X, one strided transform per (field, y column).
-    runtime::parallel_for(0, batch * ny, 64, [&](std::size_t lo, std::size_t hi) {
-      AlignedBuffer<c32> work(2 * nx);
-      for (std::size_t i = lo; i < hi; ++i) {
-        const std::size_t b = i / ny;
-        const std::size_t y = i % ny;
-        along_x_.execute_one(in.data() + b * nx * ny + y, static_cast<std::ptrdiff_t>(ny),
-                             mid.data() + b * kx * ny + y, static_cast<std::ptrdiff_t>(ny),
-                             work.span());
-      }
-    });
-    // Stage 2: FFT along Y on the surviving rows (contiguous).
+  // Intermediate between the stages: [keep_x, ny] per field.  One heap
+  // allocation per execute call (amortized over a whole 2D transform) —
+  // deliberately NOT arena-held: the grow-only thread-local arena would
+  // retain this O(batch * kx * ny) block per calling thread forever.  The
+  // per-chunk hot-loop buffers below do come from the arena.
+  AlignedBuffer<c32> mid(batch * kx * ny);
+
+  // Y stage: contiguous transforms over the batch * keep_x surviving rows.
+  // Explicit grain of 16 rows per chunk — FftPlan::execute's 64k-element
+  // grain policy would put all rows of a typical (keep_x * batch) count in
+  // one chunk and serialize the stage on many-core hosts.
+  const auto y_stage = [&](const c32* src, c32* dst) {
+    const std::size_t in_len = along_y_.desc().nonzero_or_n();
+    const std::size_t out_len = along_y_.desc().keep_or_n();
     runtime::parallel_for(0, batch * kx, 16, [&](std::size_t lo, std::size_t hi) {
-      AlignedBuffer<c32> work(2 * ny);
-      for (std::size_t i = lo; i < hi; ++i) {
-        const std::size_t b = i / kx;
-        const std::size_t x = i % kx;
-        along_y_.execute_one(mid.data() + (b * kx + x) * ny, 1,
-                             out.data() + (b * kx + x) * ky, 1, work.span());
+      auto& a = runtime::tls_scratch();
+      const auto s = a.scope();
+      const std::span<c32> work = a.alloc<c32>(along_y_.scratch_elems());
+      for (std::size_t r = lo; r < hi; ++r) {
+        along_y_.execute_one(src + r * in_len, 1, dst + r * out_len, 1, work);
       }
     });
+  };
+
+  if (desc_.dir == Direction::Forward) {
+    fft2d_x_stage(along_x_, in.data(), mid.data(), batch, ny);
+    y_stage(mid.data(), out.data());
     return;
   }
-
   // Inverse: stage 1 along Y (zero-padded ky -> ny) on keep_x rows, then
   // stage 2 along X (zero-padded kx -> nx) over all ny columns.
-  AlignedBuffer<c32> mid(batch * kx * ny);
-  runtime::parallel_for(0, batch * kx, 16, [&](std::size_t lo, std::size_t hi) {
-    AlignedBuffer<c32> work(2 * ny);
-    for (std::size_t i = lo; i < hi; ++i) {
-      const std::size_t b = i / kx;
-      const std::size_t x = i % kx;
-      along_y_.execute_one(in.data() + (b * kx + x) * ky, 1, mid.data() + (b * kx + x) * ny, 1,
-                           work.span());
-    }
-  });
-  runtime::parallel_for(0, batch * ny, 64, [&](std::size_t lo, std::size_t hi) {
-    AlignedBuffer<c32> work(2 * nx);
-    for (std::size_t i = lo; i < hi; ++i) {
-      const std::size_t b = i / ny;
-      const std::size_t y = i % ny;
-      along_x_.execute_one(mid.data() + b * kx * ny + y, static_cast<std::ptrdiff_t>(ny),
-                           out.data() + b * nx * ny + y, static_cast<std::ptrdiff_t>(ny),
-                           work.span());
-    }
-  });
+  y_stage(in.data(), mid.data());
+  fft2d_x_stage(along_x_, mid.data(), out.data(), batch, ny);
 }
 
 }  // namespace turbofno::fft

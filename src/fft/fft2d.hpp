@@ -3,13 +3,22 @@
 // Layout convention (matches the FNO tensors): a 2D field is [DimX, DimY]
 // row-major, DimY contiguous.  The 2D transform is two 1D stages:
 //
-//   stage 1: FFT along X (strided, stride DimY) with output truncation to
-//            keep_x rows — the paper's "first FFT stage along the width"
-//            which writes only the dimX/DimX fraction back (Fig 4);
+//   stage 1: FFT along X with output truncation to keep_x rows — the
+//            paper's "first FFT stage along the width" which writes only
+//            the dimX/DimX fraction back (Fig 4);
 //   stage 2: FFT along Y (contiguous) on the surviving keep_x rows with
 //            output truncation to keep_y bins.
 //
 // Inverse runs the stages in the opposite order with zero-padded inputs.
+//
+// The X stage has two schedules (same arithmetic, bitwise-identical
+// results).  The default transpose-based schedule blocks the field into
+// column slabs, transposes each slab with the SIMD 4x4 tile kernel, runs
+// the transforms over contiguous rows, and transposes only the surviving
+// keep_x rows back (forward) / scatters the zero-padded columns (inverse).
+// The legacy schedule runs one stride-DimY transform per column; it walks
+// a full cache line per element at FNO sizes and is kept only for A/B
+// benching behind TURBOFNO_FFT2D_TRANSPOSE=0.
 #pragma once
 
 #include <cstddef>
@@ -20,6 +29,23 @@
 #include "tensor/complex.hpp"
 
 namespace turbofno::fft {
+
+/// True when the transpose-based X-stage schedule is active.  Defaults to
+/// the TURBOFNO_FFT2D_TRANSPOSE environment variable (unset means on); the
+/// API override below wins over the environment.
+[[nodiscard]] bool fft2d_transpose_enabled() noexcept;
+
+/// Forces the X-stage schedule choice at runtime (A/B benchmarks, tests).
+void set_fft2d_transpose(bool enabled) noexcept;
+
+/// Applies a 1D plan along the X (row) axis of `fields` row-major fields
+/// with DimY-contiguous layout: `in` holds fields x [nonzero_or_n, ny]
+/// and `out` receives fields x [keep_or_n, ny]; each of the ny columns of a
+/// field is one transform.  Dispatches between the transpose-based and the
+/// per-column schedule (see file header).  Shared by FftPlan2d and the
+/// fused 2D pipelines' X stages; in and out must not overlap.
+void fft2d_x_stage(const FftPlan& plan, const c32* in, c32* out, std::size_t fields,
+                   std::size_t ny);
 
 struct Plan2dDesc {
   std::size_t nx = 0;       // DimX

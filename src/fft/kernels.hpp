@@ -11,9 +11,13 @@
 // Stockham, the j-loop over a block prefix in the pruned DIF) using the
 // backend's *packed* complex vectors (B::pvec, AoS order): butterflies are
 // add/sub dominated, which packed lanes do shuffle-free, and the twiddle
-// multiply is a single fmaddsub sequence.  Runs shorter than a vector fall
-// through to the scalar tail, which is bit-identical to the seed's scalar
-// code.
+// multiply is a single fmaddsub sequence.  Sub-lane passes (s < B::planes,
+// i.e. the early stages of every transform) are transposed to lane-major
+// form: each vector carries the same butterfly leg of several consecutive p
+// groups and the outputs are shuffled back with the backend's zip/4x4
+// transpose primitives, so they run packed instead of on the scalar tail.
+// Remaining short runs fall through to the scalar tail, which is
+// bit-identical to the seed's scalar code.
 #pragma once
 
 #include <cstddef>
@@ -35,6 +39,58 @@ template <class B, bool Inverse>
 void pass_radix2(const c32* src, c32* dst, std::size_t l, std::size_t s,
                  std::span<const c32> w) {
   using P = typename B::pvec;
+  if constexpr (B::planes == 4) {
+    // Sub-lane strides (s < planes): the q-loop is shorter than a vector, so
+    // run lane-major over p instead — each packed vector holds butterflies
+    // from `planes / s` consecutive p groups, with the twiddles gathered to
+    // match and the outputs shuffled back to the interleaved dst layout.
+    // The twiddle values are the same table entries the scalar tail reads
+    // (w[0] == 1, so the peeled p == 0 group folds into the vector loop
+    // exactly).
+    if (s == 1 && l >= 4) {
+      const c32* sa = src;
+      const c32* sb = src + l;
+      std::size_t p = 0;
+      for (; p + 4 <= l; p += 4) {
+        const P a = B::pload(sa + p);
+        const P b = B::pload(sb + p);
+        const P sum = B::padd(a, b);
+        const P dif = B::pcmul(B::psub(a, b), B::pload(w.data() + p));
+        // dst layout per p: [sum_p, dif_p] at 2p — interleave lanes back.
+        B::pstore(dst + 2 * p, B::pzip_lo(sum, dif));
+        B::pstore(dst + 2 * p + 4, B::pzip_hi(sum, dif));
+      }
+      for (; p < l; ++p) {
+        const c32 a = sa[p];
+        const c32 b = sb[p];
+        dst[2 * p] = a + b;
+        dst[2 * p + 1] = (a - b) * w[p];
+      }
+      return;
+    }
+    if (s == 2 && l >= 2) {
+      std::size_t p = 0;
+      for (; p + 2 <= l; p += 2) {
+        const P a = B::pload(src + 2 * p);            // p:(q0,q1), p+1:(q0,q1)
+        const P b = B::pload(src + 2 * (p + l));
+        const P sum = B::padd(a, b);
+        const P wv = B::pset4(w[p], w[p], w[p + 1], w[p + 1]);
+        const P dif = B::pcmul(B::psub(a, b), wv);
+        // dst layout per p: [sum_p(2), dif_p(2)] at 4p — pair interleave.
+        B::pstore(dst + 4 * p, B::pzip_pair_lo(sum, dif));
+        B::pstore(dst + 4 * p + 4, B::pzip_pair_hi(sum, dif));
+      }
+      for (; p < l; ++p) {
+        for (std::size_t q = 0; q < 2; ++q) {
+          const c32 a = src[2 * p + q];
+          const c32 b = src[2 * (p + l) + q];
+          dst[4 * p + q] = a + b;
+          dst[4 * p + 2 + q] = (a - b) * w[p];
+        }
+      }
+      return;
+    }
+  }
   {
     const c32* sa = src;
     const c32* sb = src + s * l;
@@ -94,6 +150,57 @@ void pass_radix4(const c32* src, c32* dst, std::size_t l, std::size_t s,
 
   auto tw_at = [&](std::size_t j) -> c32 { return j < half ? w[j] : -w[j - half]; };
   auto quarter = [](P v) { return Inverse ? B::pmul_pos_i(v) : B::pmul_neg_i(v); };
+
+  if constexpr (B::planes == 4) {
+    // s == 1 is the first pass of every mixed-radix transform and used to run
+    // entirely on the scalar tail.  Lane-major form: one vector holds the
+    // same butterfly leg for four consecutive p, the twiddles (table-exact,
+    // including the 1-values of the p == 0 group) are gathered per leg, and
+    // an in-register 4x4 transpose turns the four result legs back into the
+    // four interleaved per-p output quartets.
+    if (s == 1 && l >= 4) {
+      std::size_t p = 0;
+      for (; p + 4 <= l; p += 4) {
+        const P x0 = B::pload(src + p);
+        const P x1 = B::pload(src + p + l);
+        const P x2 = B::pload(src + p + 2 * l);
+        const P x3 = B::pload(src + p + 3 * l);
+        const P t0 = B::padd(x0, x2);
+        const P t1 = B::psub(x0, x2);
+        const P t2 = B::padd(x1, x3);
+        const P t3 = quarter(B::psub(x1, x3));
+        P r0 = B::padd(t0, t2);
+        P r1 = B::pcmul(B::padd(t1, t3), B::pload(w.data() + p));
+        P r2 = B::pcmul(B::psub(t0, t2), B::pset4(tw_at(2 * p), tw_at(2 * p + 2),
+                                                  tw_at(2 * p + 4), tw_at(2 * p + 6)));
+        P r3 = B::pcmul(B::psub(t1, t3), B::pset4(tw_at(3 * p), tw_at(3 * p + 3),
+                                                  tw_at(3 * p + 6), tw_at(3 * p + 9)));
+        B::ptranspose4(r0, r1, r2, r3);
+        B::pstore(dst + 4 * p, r0);
+        B::pstore(dst + 4 * p + 4, r1);
+        B::pstore(dst + 4 * p + 8, r2);
+        B::pstore(dst + 4 * p + 12, r3);
+      }
+      for (; p < l; ++p) {
+        const c32 a = src[p];
+        const c32 b = src[p + l];
+        const c32 c = src[p + 2 * l];
+        const c32 d = src[p + 3 * l];
+        const c32 t0 = a + c;
+        const c32 t1 = a - c;
+        const c32 t2 = b + d;
+        const c32 t3 = Inverse ? mul_pos_i(b - d) : mul_neg_i(b - d);
+        dst[4 * p] = t0 + t2;
+        dst[4 * p + 1] = (t1 + t3) * tw_at(p);
+        dst[4 * p + 2] = (t0 - t2) * tw_at(2 * p);
+        dst[4 * p + 3] = (t1 - t3) * tw_at(3 * p);
+      }
+      return;
+    }
+    // s == 2 never occurs in the mixed-radix schedule (s multiplies by 4
+    // between radix-4 passes) — the generic path below covers it if a
+    // future driver produces one.
+  }
 
   {
     // p == 0: all twiddles are 1, pure butterfly.

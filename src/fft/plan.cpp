@@ -9,7 +9,7 @@
 #include "fft/stockham.hpp"
 #include "fft/twiddle.hpp"
 #include "runtime/parallel.hpp"
-#include "tensor/aligned_buffer.hpp"
+#include "runtime/scratch.hpp"
 
 namespace turbofno::fft {
 
@@ -112,11 +112,13 @@ void FftPlan::execute_strided(const c32* in, c32* out, std::size_t batch,
   // fork; a signal is n log n work so a handful of signals per chunk is fine.
   const std::size_t grain = std::max<std::size_t>(1, 65536 / (n == 0 ? 1 : n));
   runtime::parallel_for(0, batch, grain, [&](std::size_t lo, std::size_t hi) {
-    AlignedBuffer<c32> work(2 * n);
+    auto& arena = runtime::tls_scratch();
+    const auto scope = arena.scope();
+    const std::span<c32> work = arena.alloc<c32>(scratch_elems());
     for (std::size_t b = lo; b < hi; ++b) {
       execute_one(in + static_cast<std::ptrdiff_t>(b) * ibs, layout.in_elem_stride,
                   out + static_cast<std::ptrdiff_t>(b) * obs, layout.out_elem_stride,
-                  work.span());
+                  work);
     }
   });
 }

@@ -69,6 +69,11 @@ class FftPlan {
   void execute_one(const c32* in, std::ptrdiff_t in_elem_stride, c32* out,
                    std::ptrdiff_t out_elem_stride, std::span<c32> work) const;
 
+  /// Scratch elements execute_one needs (the n-point signal plus the
+  /// Stockham ping-pong buffer); callers sizing arena requests use this
+  /// instead of hard-coding 2 * n.
+  [[nodiscard]] std::size_t scratch_elems() const noexcept { return 2 * desc_.n; }
+
   /// Unit butterfly ops per signal under the Figure-5 counting convention.
   [[nodiscard]] std::uint64_t unit_ops_per_signal() const noexcept { return unit_ops_; }
   /// Real FLOPs per signal (pruned).

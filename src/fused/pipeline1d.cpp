@@ -1,10 +1,12 @@
 #include "fused/pipeline1d.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "gemm/batched.hpp"
 #include "gemm/config.hpp"
 #include "runtime/parallel.hpp"
+#include "runtime/scratch.hpp"
 #include "runtime/timer.hpp"
 #include "tensor/simd.hpp"
 
@@ -113,21 +115,24 @@ void FusedFftGemmPipeline1d::run_batched(std::span<const c32> u, std::span<const
     runtime::Timer t;
     const std::size_t ld = simd::round_up_lanes(M);
     runtime::parallel_for(0, B, 1, [&](std::size_t lo, std::size_t hi) {
-      AlignedBuffer<c32> tile(kTb * ld);
-      AlignedBuffer<float> tsplit(2 * kTb * ld);  // split tile planes (re, im)
-      AlignedBuffer<float> acc(2 * O * ld);       // split accumulator planes
-      AlignedBuffer<c32> work(2 * N);
+      auto& arena = runtime::tls_scratch();
+      const auto scope = arena.scope();
+      const std::span<c32> tile = arena.alloc<c32>(kTb * ld);
+      const std::span<float> tsplit = arena.alloc<float>(2 * kTb * ld);  // split tile planes
+      const std::span<float> acc = arena.alloc<float>(2 * O * ld);  // split accumulator planes
+      const std::span<c32> work = arena.alloc<c32>(fwd_.plan().scratch_elems());
+      std::fill(tsplit.begin(), tsplit.end(), 0.0f);  // lane padding must stay zero
       float* tre = tsplit.data();
       float* tim = tre + kTb * ld;
       float* are = acc.data();
       float* aim = are + O * ld;
       for (std::size_t b = lo; b < hi; ++b) {
-        acc.zero();
+        std::fill(acc.begin(), acc.end(), 0.0f);
         for (std::size_t k0 = 0; k0 < K; k0 += kTb) {
           const std::size_t kc = std::min(kTb, K - k0);
           // FFT directly into the GEMM operand tile (the shared-memory A
           // block of the paper), split into SoA planes for the SIMD MAC ...
-          fwd_.forward_tile(u.data() + (b * K + k0) * N, N, kc, tile.data(), ld, work.span());
+          fwd_.forward_tile(u.data() + (b * K + k0) * N, N, kc, tile.data(), ld, work);
           for (std::size_t kk = 0; kk < kc; ++kk) {
             simd::split_planes(tile.data() + kk * ld, tre + kk * ld, tim + kk * ld, M);
           }
@@ -198,16 +203,19 @@ void FusedGemmIfftPipeline1d::run_batched(std::span<const c32> u, std::span<cons
     runtime::Timer t;
     const std::size_t ld = simd::round_up_lanes(M);
     runtime::parallel_for(0, B, 1, [&](std::size_t lo, std::size_t hi) {
-      AlignedBuffer<float> tsplit(2 * kTb * ld);
-      AlignedBuffer<float> acc(2 * O * ld);
-      AlignedBuffer<c32> row(ld);
-      AlignedBuffer<c32> work(2 * N);
+      auto& arena = runtime::tls_scratch();
+      const auto scope = arena.scope();
+      const std::span<float> tsplit = arena.alloc<float>(2 * kTb * ld);
+      const std::span<float> acc = arena.alloc<float>(2 * O * ld);
+      const std::span<c32> row = arena.alloc<c32>(ld);
+      const std::span<c32> work = arena.alloc<c32>(inv_.plan().scratch_elems());
+      std::fill(tsplit.begin(), tsplit.end(), 0.0f);
       float* tre = tsplit.data();
       float* tim = tre + kTb * ld;
       float* are = acc.data();
       float* aim = are + O * ld;
       for (std::size_t b = lo; b < hi; ++b) {
-        acc.zero();
+        std::fill(acc.begin(), acc.end(), 0.0f);
         // The stored spectra already have the k-major tile layout; splitting
         // them into SoA planes is the only copy the GEMM pays.
         for (std::size_t k0 = 0; k0 < K; k0 += kTb) {
@@ -222,7 +230,7 @@ void FusedGemmIfftPipeline1d::run_batched(std::span<const c32> u, std::span<cons
         // Figure 6(f): iFFT on the result matrix along the output dim).
         for (std::size_t o = 0; o < O; ++o) {
           simd::interleave_planes(are + o * ld, aim + o * ld, row.data(), M);
-          inv_.inverse_row(row.data(), v.data() + (b * O + o) * N, work.span());
+          inv_.inverse_row(row.data(), v.data() + (b * O + o) * N, work);
         }
       }
     });
@@ -260,20 +268,23 @@ void FullyFusedPipeline1d::run_batched(std::span<const c32> u, std::span<const c
   runtime::Timer t;
   const std::size_t ld = simd::round_up_lanes(M);
   runtime::parallel_for(0, B, 1, [&](std::size_t lo, std::size_t hi) {
-    AlignedBuffer<c32> tile(kTb * ld);          // FFT output == GEMM A-operand tile
-    AlignedBuffer<float> tsplit(2 * kTb * ld);  // its SoA planes
-    AlignedBuffer<float> acc(2 * O * ld);       // C tile planes, never leave cache
-    AlignedBuffer<c32> row(ld);
-    AlignedBuffer<c32> work(2 * N);
+    auto& arena = runtime::tls_scratch();
+    const auto scope = arena.scope();
+    const std::span<c32> tile = arena.alloc<c32>(kTb * ld);  // FFT out == GEMM A tile
+    const std::span<float> tsplit = arena.alloc<float>(2 * kTb * ld);  // its SoA planes
+    const std::span<float> acc = arena.alloc<float>(2 * O * ld);  // C planes, cache-resident
+    const std::span<c32> row = arena.alloc<c32>(ld);
+    const std::span<c32> work = arena.alloc<c32>(fwd_.plan().scratch_elems());
+    std::fill(tsplit.begin(), tsplit.end(), 0.0f);
     float* tre = tsplit.data();
     float* tim = tre + kTb * ld;
     float* are = acc.data();
     float* aim = are + O * ld;
     for (std::size_t b = lo; b < hi; ++b) {
-      acc.zero();
+      std::fill(acc.begin(), acc.end(), 0.0f);
       for (std::size_t k0 = 0; k0 < K; k0 += kTb) {
         const std::size_t kc = std::min(kTb, K - k0);
-        fwd_.forward_tile(u.data() + (b * K + k0) * N, N, kc, tile.data(), ld, work.span());
+        fwd_.forward_tile(u.data() + (b * K + k0) * N, N, kc, tile.data(), ld, work);
         for (std::size_t kk = 0; kk < kc; ++kk) {
           simd::split_planes(tile.data() + kk * ld, tre + kk * ld, tim + kk * ld, M);
         }
@@ -281,7 +292,7 @@ void FullyFusedPipeline1d::run_batched(std::span<const c32> u, std::span<const c
       }
       for (std::size_t o = 0; o < O; ++o) {
         simd::interleave_planes(are + o * ld, aim + o * ld, row.data(), M);
-        inv_.inverse_row(row.data(), v.data() + (b * O + o) * N, work.span());
+        inv_.inverse_row(row.data(), v.data() + (b * O + o) * N, work);
       }
     }
   });

@@ -1,11 +1,14 @@
 #include "fused/pipeline2d.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "fft/fft2d.hpp"
 #include "fft/plan_cache.hpp"
 #include "gemm/batched.hpp"
 #include "gemm/config.hpp"
 #include "runtime/parallel.hpp"
+#include "runtime/scratch.hpp"
 #include "runtime/timer.hpp"
 #include "tensor/simd.hpp"
 
@@ -60,17 +63,9 @@ void Pipeline2dBase::run_fft_x_trunc(std::span<const c32> u, std::span<c32> dst,
   const std::size_t MX = prob_.modes_x;
 
   runtime::Timer t;
-  // One strided pencil per (batch*channel, y column).
-  runtime::parallel_for(0, B * K * NY, 64, [&](std::size_t lo, std::size_t hi) {
-    AlignedBuffer<c32> work(2 * NX);
-    for (std::size_t i = lo; i < hi; ++i) {
-      const std::size_t bk = i / NY;
-      const std::size_t y = i % NY;
-      fft_x_trunc_->execute_one(u.data() + bk * NX * NY + y, static_cast<std::ptrdiff_t>(NY),
-                               dst.data() + bk * MX * NY + y, static_cast<std::ptrdiff_t>(NY),
-                               work.span());
-    }
-  });
+  // One (batch, channel) field per X-stage unit; fft2d_x_stage picks the
+  // transpose-based or per-column schedule.
+  fft::fft2d_x_stage(*fft_x_trunc_, u.data(), dst.data(), B * K, NY);
   auto& sc = counters_.stage("fft-x-trunc");
   sc.seconds = t.seconds();
   sc.bytes_read = B * K * NX * NY * sizeof(c32);
@@ -88,16 +83,7 @@ void Pipeline2dBase::run_ifft_x_pad(std::span<const c32> src, std::span<c32> v,
   const std::size_t MX = prob_.modes_x;
 
   runtime::Timer t;
-  runtime::parallel_for(0, B * O * NY, 64, [&](std::size_t lo, std::size_t hi) {
-    AlignedBuffer<c32> work(2 * NX);
-    for (std::size_t i = lo; i < hi; ++i) {
-      const std::size_t bo = i / NY;
-      const std::size_t y = i % NY;
-      ifft_x_pad_->execute_one(src.data() + bo * MX * NY + y, static_cast<std::ptrdiff_t>(NY),
-                              v.data() + bo * NX * NY + y, static_cast<std::ptrdiff_t>(NY),
-                              work.span());
-    }
-  });
+  fft::fft2d_x_stage(*ifft_x_pad_, src.data(), v.data(), B * O, NY);
   auto& sc = counters_.stage("ifft-x-pad");
   sc.seconds = t.seconds();
   sc.bytes_read = B * O * MX * NY * sizeof(c32);
@@ -211,10 +197,15 @@ void FusedFftGemmPipeline2d::run_batched(std::span<const c32> u, std::span<const
     const std::size_t ld = simd::round_up_lanes(MY);
     runtime::parallel_for(0, B * MX, runtime::fused_grain(B * MX),
                           [&](std::size_t lo, std::size_t hi) {
-      AlignedBuffer<c32> tile(kTb * ld);
-      AlignedBuffer<float> tsplit(2 * kTb * ld);
-      AlignedBuffer<float> acc(2 * O * ld);
-      AlignedBuffer<c32> work(2 * NY);
+      auto& arena = runtime::tls_scratch();
+      const auto scope = arena.scope();
+      const std::span<c32> tile = arena.alloc<c32>(kTb * ld);
+      const std::span<float> tsplit = arena.alloc<float>(2 * kTb * ld);
+      const std::span<float> acc = arena.alloc<float>(2 * O * ld);
+      const std::span<c32> work = arena.alloc<c32>(fwd_y_.plan().scratch_elems());
+      // rank_update_split streams whole ld-wide rows, so the tile planes'
+      // lane padding must be zero; the arena hands out raw storage.
+      std::fill(tsplit.begin(), tsplit.end(), 0.0f);
       float* tre = tsplit.data();
       float* tim = tre + kTb * ld;
       float* are = acc.data();
@@ -222,12 +213,12 @@ void FusedFftGemmPipeline2d::run_batched(std::span<const c32> u, std::span<const
       for (std::size_t i = lo; i < hi; ++i) {
         const std::size_t b = i / MX;
         const std::size_t x = i % MX;
-        acc.zero();
+        std::fill(acc.begin(), acc.end(), 0.0f);
         for (std::size_t k0 = 0; k0 < K; k0 += kTb) {
           const std::size_t kc = std::min(kTb, K - k0);
           // Channel k's row for this x sits at ((b*K + k) * MX + x) * NY.
           fwd_y_.forward_tile(mid_in_.data() + ((b * K + k0) * MX + x) * NY, MX * NY, kc,
-                              tile.data(), ld, work.span());
+                              tile.data(), ld, work);
           for (std::size_t kk = 0; kk < kc; ++kk) {
             simd::split_planes(tile.data() + kk * ld, tre + kk * ld, tim + kk * ld, MY);
           }
@@ -307,10 +298,13 @@ void FusedGemmIfftPipeline2d::run_batched(std::span<const c32> u, std::span<cons
     const std::size_t ld = simd::round_up_lanes(MY);
     runtime::parallel_for(0, B * MX, runtime::fused_grain(B * MX),
                           [&](std::size_t lo, std::size_t hi) {
-      AlignedBuffer<float> tsplit(2 * kTb * ld);
-      AlignedBuffer<float> acc(2 * O * ld);
-      AlignedBuffer<c32> row(ld);
-      AlignedBuffer<c32> work(2 * NY);
+      auto& arena = runtime::tls_scratch();
+      const auto scope = arena.scope();
+      const std::span<float> tsplit = arena.alloc<float>(2 * kTb * ld);
+      const std::span<float> acc = arena.alloc<float>(2 * O * ld);
+      const std::span<c32> row = arena.alloc<c32>(ld);
+      const std::span<c32> work = arena.alloc<c32>(inv_y_.plan().scratch_elems());
+      std::fill(tsplit.begin(), tsplit.end(), 0.0f);
       float* tre = tsplit.data();
       float* tim = tre + kTb * ld;
       float* are = acc.data();
@@ -318,7 +312,7 @@ void FusedGemmIfftPipeline2d::run_batched(std::span<const c32> u, std::span<cons
       for (std::size_t i = lo; i < hi; ++i) {
         const std::size_t b = i / MX;
         const std::size_t x = i % MX;
-        acc.zero();
+        std::fill(acc.begin(), acc.end(), 0.0f);
         for (std::size_t k0 = 0; k0 < K; k0 += kTb) {
           const std::size_t kc = std::min(kTb, K - k0);
           // Gather the k-major tile straight into SoA planes (rows are MY
@@ -332,8 +326,7 @@ void FusedGemmIfftPipeline2d::run_batched(std::span<const c32> u, std::span<cons
         }
         for (std::size_t o = 0; o < O; ++o) {
           simd::interleave_planes(are + o * ld, aim + o * ld, row.data(), MY);
-          inv_y_.inverse_row(row.data(), mid_out_.data() + ((b * O + o) * MX + x) * NY,
-                             work.span());
+          inv_y_.inverse_row(row.data(), mid_out_.data() + ((b * O + o) * MX + x) * NY, work);
         }
       }
     });
@@ -379,11 +372,14 @@ void FullyFusedPipeline2d::run_batched(std::span<const c32> u, std::span<const c
     const std::size_t ld = simd::round_up_lanes(MY);
     runtime::parallel_for(0, B * MX, runtime::fused_grain(B * MX),
                           [&](std::size_t lo, std::size_t hi) {
-      AlignedBuffer<c32> tile(kTb * ld);
-      AlignedBuffer<float> tsplit(2 * kTb * ld);
-      AlignedBuffer<float> acc(2 * O * ld);
-      AlignedBuffer<c32> row(ld);
-      AlignedBuffer<c32> work(2 * NY);
+      auto& arena = runtime::tls_scratch();
+      const auto scope = arena.scope();
+      const std::span<c32> tile = arena.alloc<c32>(kTb * ld);
+      const std::span<float> tsplit = arena.alloc<float>(2 * kTb * ld);
+      const std::span<float> acc = arena.alloc<float>(2 * O * ld);
+      const std::span<c32> row = arena.alloc<c32>(ld);
+      const std::span<c32> work = arena.alloc<c32>(fwd_y_.plan().scratch_elems());
+      std::fill(tsplit.begin(), tsplit.end(), 0.0f);
       float* tre = tsplit.data();
       float* tim = tre + kTb * ld;
       float* are = acc.data();
@@ -391,11 +387,11 @@ void FullyFusedPipeline2d::run_batched(std::span<const c32> u, std::span<const c
       for (std::size_t i = lo; i < hi; ++i) {
         const std::size_t b = i / MX;
         const std::size_t x = i % MX;
-        acc.zero();
+        std::fill(acc.begin(), acc.end(), 0.0f);
         for (std::size_t k0 = 0; k0 < K; k0 += kTb) {
           const std::size_t kc = std::min(kTb, K - k0);
           fwd_y_.forward_tile(mid_in_.data() + ((b * K + k0) * MX + x) * NY, MX * NY, kc,
-                              tile.data(), ld, work.span());
+                              tile.data(), ld, work);
           for (std::size_t kk = 0; kk < kc; ++kk) {
             simd::split_planes(tile.data() + kk * ld, tre + kk * ld, tim + kk * ld, MY);
           }
@@ -403,8 +399,7 @@ void FullyFusedPipeline2d::run_batched(std::span<const c32> u, std::span<const c
         }
         for (std::size_t o = 0; o < O; ++o) {
           simd::interleave_planes(are + o * ld, aim + o * ld, row.data(), MY);
-          inv_y_.inverse_row(row.data(), mid_out_.data() + ((b * O + o) * MX + x) * NY,
-                             work.span());
+          inv_y_.inverse_row(row.data(), mid_out_.data() + ((b * O + o) * MX + x) * NY, work);
         }
       }
     });

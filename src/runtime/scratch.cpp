@@ -1,0 +1,46 @@
+#include "runtime/scratch.hpp"
+
+#include <algorithm>
+
+namespace turbofno::runtime {
+
+namespace {
+// First block size: covers the 1D work buffers and a 16-column 2D slab at
+// typical sizes without a second allocation, and doubles from there.
+constexpr std::size_t kMinBlockBytes = std::size_t{256} * 1024;
+}  // namespace
+
+void* ScratchArena::alloc_bytes(std::size_t bytes) {
+  // Keep every handout 64-byte aligned by rounding sizes to whole lines.
+  bytes = (bytes + kBufferAlignment - 1) / kBufferAlignment * kBufferAlignment;
+  if (bytes == 0) bytes = kBufferAlignment;
+
+  // Advance past blocks that cannot fit the request.  Blocks grow
+  // geometrically, so at most O(log) skips; skipped space is reclaimed when
+  // the enclosing scope rewinds.
+  while (active_ < blocks_.size() && used_ + bytes > blocks_[active_].size()) {
+    ++active_;
+    used_ = 0;
+  }
+  if (active_ == blocks_.size()) {
+    const std::size_t prev = blocks_.empty() ? 0 : blocks_.back().size();
+    blocks_.emplace_back(std::max({bytes, kMinBlockBytes, 2 * prev}));
+    used_ = 0;
+  }
+  void* p = blocks_[active_].data() + used_;
+  used_ += bytes;
+  return p;
+}
+
+std::size_t ScratchArena::bytes_reserved() const noexcept {
+  std::size_t total = 0;
+  for (const auto& b : blocks_) total += b.size();
+  return total;
+}
+
+ScratchArena& tls_scratch() noexcept {
+  thread_local ScratchArena arena;
+  return arena;
+}
+
+}  // namespace turbofno::runtime

@@ -222,6 +222,51 @@ struct Avx2Backend {
     return {_mm256_fmaddsub_ps(a.v, bre, _mm256_mul_ps(aswap, bim))};
   }
   static pvec pcmadd(pvec acc, pvec a, pvec b) noexcept { return padd(acc, pcmul(a, b)); }
+  /// Four distinct complexes packed into one vector (lane-major twiddle
+  /// gathers in the sub-lane Stockham passes).
+  static pvec pset4(c32 a, c32 b, c32 c, c32 d) noexcept {
+    return {_mm256_setr_ps(a.re, a.im, b.re, b.im, c.re, c.im, d.re, d.im)};
+  }
+  // Complex-granularity shuffles.  A c32 is one 64-bit lane, so these are
+  // double-precision unpacks/permutes under the hood (the casts are free).
+  /// (a0,b0,a1,b1) — interleave the low complex pairs of a and b.
+  static pvec pzip_lo(pvec a, pvec b) noexcept {
+    const __m256d t0 = _mm256_unpacklo_pd(_mm256_castps_pd(a.v), _mm256_castps_pd(b.v));
+    const __m256d t1 = _mm256_unpackhi_pd(_mm256_castps_pd(a.v), _mm256_castps_pd(b.v));
+    return {_mm256_castpd_ps(_mm256_permute2f128_pd(t0, t1, 0x20))};
+  }
+  /// (a2,b2,a3,b3) — interleave the high complex pairs of a and b.
+  static pvec pzip_hi(pvec a, pvec b) noexcept {
+    const __m256d t0 = _mm256_unpacklo_pd(_mm256_castps_pd(a.v), _mm256_castps_pd(b.v));
+    const __m256d t1 = _mm256_unpackhi_pd(_mm256_castps_pd(a.v), _mm256_castps_pd(b.v));
+    return {_mm256_castpd_ps(_mm256_permute2f128_pd(t0, t1, 0x31))};
+  }
+  /// (a0,a1,b0,b1) — concatenate the low complex pairs (128-bit halves).
+  static pvec pzip_pair_lo(pvec a, pvec b) noexcept {
+    return {_mm256_permute2f128_ps(a.v, b.v, 0x20)};
+  }
+  /// (a2,a3,b2,b3) — concatenate the high complex pairs.
+  static pvec pzip_pair_hi(pvec a, pvec b) noexcept {
+    return {_mm256_permute2f128_ps(a.v, b.v, 0x31)};
+  }
+  /// In-register 4x4 complex transpose: treating r0..r3 as the rows of a
+  /// 4x4 c32 tile, swaps element (i, j) with (j, i).  8 shuffles total —
+  /// the primitive behind both the cache-blocked 2D-FFT transpose and the
+  /// lane-major sub-lane butterfly passes.
+  static void ptranspose4(pvec& r0, pvec& r1, pvec& r2, pvec& r3) noexcept {
+    const __m256d a = _mm256_castps_pd(r0.v);
+    const __m256d b = _mm256_castps_pd(r1.v);
+    const __m256d c = _mm256_castps_pd(r2.v);
+    const __m256d d = _mm256_castps_pd(r3.v);
+    const __m256d t0 = _mm256_unpacklo_pd(a, b);  // a0 b0 a2 b2
+    const __m256d t1 = _mm256_unpackhi_pd(a, b);  // a1 b1 a3 b3
+    const __m256d t2 = _mm256_unpacklo_pd(c, d);  // c0 d0 c2 d2
+    const __m256d t3 = _mm256_unpackhi_pd(c, d);  // c1 d1 c3 d3
+    r0 = {_mm256_castpd_ps(_mm256_permute2f128_pd(t0, t2, 0x20))};  // a0 b0 c0 d0
+    r1 = {_mm256_castpd_ps(_mm256_permute2f128_pd(t1, t3, 0x20))};  // a1 b1 c1 d1
+    r2 = {_mm256_castpd_ps(_mm256_permute2f128_pd(t0, t2, 0x31))};  // a2 b2 c2 d2
+    r3 = {_mm256_castpd_ps(_mm256_permute2f128_pd(t1, t3, 0x31))};  // a3 b3 c3 d3
+  }
   static pvec pmul_neg_i(pvec a) noexcept {
     // (re, im) -> (im, -re): swap within each pair, negate the new im lane.
     const __m256 swapped = _mm256_permute_ps(a.v, 0b10110001);

@@ -235,6 +235,92 @@ TEST(SimdFft, ScalarStockhamPasses) { check_stockham_passes<simd::ScalarBackend>
 TEST(SimdFft, Avx2StockhamPasses) { check_stockham_passes<simd::Avx2Backend>(); }
 #endif
 
+template <class B>
+void check_stockham_radix2_only() {
+  // The pure radix-2 schedule walks s = 1, 2, 4, ... and so exercises every
+  // sub-lane (s < planes) radix-2 path, which the mixed-radix sweep above
+  // never reaches (its s jumps 1 -> 4).
+  for (const std::size_t n : {2u, 4u, 8u, 16u, 64u, 128u}) {
+    const std::vector<c32> input = random_signal(n, 340u + static_cast<unsigned>(n));
+    const fft::TwiddleTable& tw = fft::twiddles_for(n);
+    std::vector<c32> a = input;
+    std::vector<c32> b(n);
+    c32* src = a.data();
+    c32* dst = b.data();
+    std::size_t len = n;
+    std::size_t s = 1;
+    while (len > 1) {
+      fft::kernels::pass_radix2<B, false>(src, dst, len / 2, s, tw.forward(len));
+      len /= 2;
+      s *= 2;
+      std::swap(src, dst);
+    }
+    std::vector<c32> want(n);
+    fft::reference_dft(input, want, n);
+    EXPECT_LT(max_err({src, n}, want), testing::fft_tol(n)) << "n=" << n;
+  }
+}
+
+TEST(SimdFft, ScalarStockhamRadix2Only) { check_stockham_radix2_only<simd::ScalarBackend>(); }
+#if TURBOFNO_SIMD_HAVE_AVX2
+TEST(SimdFft, Avx2StockhamRadix2Only) { check_stockham_radix2_only<simd::Avx2Backend>(); }
+
+TEST(SimdFft, SubLanePassesMatchScalarBackend) {
+  // Per-pass parity of the lane-major sub-lane paths against the scalar
+  // backend, including l just past a vector (tail handling) and both
+  // directions (the radix-4 quarter-turn differs).
+  struct Case {
+    std::size_t l, s;
+    bool radix4;
+  };
+  for (const auto& [l, s, radix4] : std::vector<Case>{{4, 1, false},
+                                                      {5, 1, false},
+                                                      {8, 1, false},
+                                                      {2, 2, false},
+                                                      {3, 2, false},
+                                                      {8, 2, false},
+                                                      {4, 1, true},
+                                                      {6, 1, true},
+                                                      {16, 1, true}}) {
+    const std::size_t radix = radix4 ? 4 : 2;
+    const std::size_t len = radix * l;  // sub-transform length of this pass
+    const std::size_t elems = s * len;
+    // Build the pass twiddles directly (kernels accept any l; the table
+    // only serves power-of-two lengths, which would exclude the tail cases).
+    std::vector<c32> wf(len / 2), wi(len / 2);
+    for (std::size_t j = 0; j < len / 2; ++j) {
+      const double ang = -2.0 * M_PI * static_cast<double>(j) / static_cast<double>(len);
+      wf[j] = c32{static_cast<float>(std::cos(ang)), static_cast<float>(std::sin(ang))};
+      wi[j] = c32{wf[j].re, -wf[j].im};
+    }
+    const auto src = random_signal(elems, 350u + static_cast<unsigned>(elems));
+    std::vector<c32> ds(elems), dv(elems);
+    for (const bool inverse : {false, true}) {
+      const std::span<const c32> w = inverse ? wi : wf;
+      if (radix4) {
+        if (inverse) {
+          fft::kernels::pass_radix4<simd::ScalarBackend, true>(src.data(), ds.data(), l, s, w);
+          fft::kernels::pass_radix4<simd::Avx2Backend, true>(src.data(), dv.data(), l, s, w);
+        } else {
+          fft::kernels::pass_radix4<simd::ScalarBackend, false>(src.data(), ds.data(), l, s, w);
+          fft::kernels::pass_radix4<simd::Avx2Backend, false>(src.data(), dv.data(), l, s, w);
+        }
+      } else {
+        if (inverse) {
+          fft::kernels::pass_radix2<simd::ScalarBackend, true>(src.data(), ds.data(), l, s, w);
+          fft::kernels::pass_radix2<simd::Avx2Backend, true>(src.data(), dv.data(), l, s, w);
+        } else {
+          fft::kernels::pass_radix2<simd::ScalarBackend, false>(src.data(), ds.data(), l, s, w);
+          fft::kernels::pass_radix2<simd::Avx2Backend, false>(src.data(), dv.data(), l, s, w);
+        }
+      }
+      EXPECT_LT(max_err(dv, ds), 1e-6)
+          << "l=" << l << " s=" << s << " radix=" << radix << " inv=" << inverse;
+    }
+  }
+}
+#endif
+
 #if TURBOFNO_SIMD_HAVE_AVX2
 TEST(SimdFft, BlockButterflyBackendsAgree) {
   // The pruned-DIF block butterfly must produce identical pruning decisions
