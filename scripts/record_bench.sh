@@ -1,23 +1,34 @@
 #!/usr/bin/env sh
 # Records the per-PR performance trajectory (ROADMAP item): runs the SIMD
 # micro bench, the serving-throughput bench, the FFT micro bench (including
-# the 2D schedule A/B pair), and the fig15 2D-FFTopt pipeline bench, and
+# the 2D schedule A/B pairs), and the fig15 2D-FFTopt pipeline bench, and
 # merges the results into BENCH_PR<N>.json at the repo root, so perf
 # regressions show up in review as a diffable artifact.
 #
 # Usage: scripts/record_bench.sh <pr-number> [build-dir] [extra bench args]
 #   scripts/record_bench.sh 2            # writes BENCH_PR2.json from ./build
 #   scripts/record_bench.sh 3 build --full
+#   scripts/record_bench.sh 4 --full     # build-dir may be omitted
 #
 # Extra args go to the bench_common harness binaries only; bench_micro_fft
 # is google-benchmark (different flag spelling) and always runs its full
 # default suite.
+#
+# Failure contract: any bench exiting non-zero aborts the script with that
+# bench's name and exit code, and BENCH_PR<N>.json is written atomically
+# (tmp + rename) — a failed or interrupted run never leaves a partial or
+# truncated artifact behind.
 set -eu
 
 PR=${1:?usage: record_bench.sh <pr-number> [build-dir] [extra bench args]}
-BUILD=${2:-build}
 shift
-if [ $# -gt 0 ]; then shift; fi
+BUILD=build
+# The build dir is positional but optional: treat a leading "-" as the start
+# of the extra bench args instead of silently using "--full" as a directory.
+if [ $# -gt 0 ] && [ "${1#-}" = "$1" ]; then
+  BUILD=$1
+  shift
+fi
 
 ROOT=$(cd "$(dirname "$0")/.." && pwd)
 BIN="$ROOT/$BUILD"
@@ -26,7 +37,12 @@ TMP_SIMD=$(mktemp)
 TMP_SERVE=$(mktemp)
 TMP_FIG15=$(mktemp)
 TMP_FFT=$(mktemp)
-trap 'rm -f "$TMP_SIMD" "$TMP_SERVE" "$TMP_FIG15" "$TMP_FFT"' EXIT
+# The merged artifact's temp file must live on the SAME filesystem as $OUT:
+# mv is only an atomic rename within one filesystem, and a /tmp tempfile
+# would degrade it to copy-then-unlink — killable mid-copy, leaving exactly
+# the truncated BENCH_PR<N>.json this script promises never to write.
+TMP_OUT=$(mktemp "$ROOT/BENCH_PR$PR.json.XXXXXX")
+trap 'rm -f "$TMP_SIMD" "$TMP_SERVE" "$TMP_FIG15" "$TMP_FFT" "$TMP_OUT"' EXIT
 
 for exe in bench_micro_simd bench_serve_throughput bench_fig15_2d_fftopt; do
   if [ ! -x "$BIN/$exe" ]; then
@@ -35,18 +51,43 @@ for exe in bench_micro_simd bench_serve_throughput bench_fig15_2d_fftopt; do
   fi
 done
 
-echo "running bench_micro_simd ..." >&2
-"$BIN/bench_micro_simd" --json "$TMP_SIMD" "$@" >/dev/null
-echo "running bench_serve_throughput ..." >&2
-"$BIN/bench_serve_throughput" --json "$TMP_SERVE" "$@" >/dev/null
-echo "running bench_fig15_2d_fftopt ..." >&2
-"$BIN/bench_fig15_2d_fftopt" --json "$TMP_FIG15" "$@" >/dev/null
+# Runs one bench, propagating its exit code with a diagnostic instead of
+# writing a partial artifact.  $1 = bench name, $2 = json output path; the
+# remaining args are the harness flags.
+run_bench() {
+  rb_name=$1
+  rb_json=$2
+  shift 2
+  echo "running $rb_name ..." >&2
+  rb_rc=0
+  "$BIN/$rb_name" --json "$rb_json" "$@" >/dev/null || rb_rc=$?
+  if [ "$rb_rc" -ne 0 ]; then
+    echo "record_bench.sh: $rb_name failed (exit $rb_rc); not writing $OUT" >&2
+    exit "$rb_rc"
+  fi
+  if [ ! -s "$rb_json" ]; then
+    echo "record_bench.sh: $rb_name wrote no JSON; not writing $OUT" >&2
+    exit 1
+  fi
+}
+
+run_bench bench_micro_simd "$TMP_SIMD" "$@"
+run_bench bench_serve_throughput "$TMP_SERVE" "$@"
+run_bench bench_fig15_2d_fftopt "$TMP_FIG15" "$@"
 
 # bench_micro_fft is optional (needs google-benchmark at configure time).
-# set -eu above aborts the script (and leaves $OUT unwritten) if it fails.
 if [ -x "$BIN/bench_micro_fft" ]; then
   echo "running bench_micro_fft ..." >&2
-  "$BIN/bench_micro_fft" --benchmark_format=json >"$TMP_FFT"
+  rc=0
+  "$BIN/bench_micro_fft" --benchmark_format=json >"$TMP_FFT" || rc=$?
+  if [ "$rc" -ne 0 ]; then
+    echo "record_bench.sh: bench_micro_fft failed (exit $rc); not writing $OUT" >&2
+    exit "$rc"
+  fi
+  if [ ! -s "$TMP_FFT" ]; then
+    echo "record_bench.sh: bench_micro_fft wrote no JSON; not writing $OUT" >&2
+    exit 1
+  fi
 else
   echo "record_bench.sh: $BIN/bench_micro_fft not built, skipping" >&2
   printf 'null\n' >"$TMP_FFT"
@@ -62,6 +103,7 @@ fi
   printf ',\n"bench_micro_fft":\n'
   cat "$TMP_FFT"
   printf '}\n'
-} > "$OUT"
+} > "$TMP_OUT"
+mv "$TMP_OUT" "$OUT"
 
 echo "wrote $OUT" >&2

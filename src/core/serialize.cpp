@@ -45,8 +45,10 @@ std::vector<std::uint8_t> save_bundle(const WeightBundle& bundle) {
     put(out, static_cast<std::uint32_t>(e.name.size()));
     out.insert(out.end(), e.name.begin(), e.name.end());
     put(out, static_cast<std::uint64_t>(e.data.size()));
-    const auto* p = reinterpret_cast<const std::uint8_t*>(e.data.data());
-    out.insert(out.end(), p, p + e.data.size() * sizeof(c32));
+    if (!e.data.empty()) {
+      const auto* p = reinterpret_cast<const std::uint8_t*>(e.data.data());
+      out.insert(out.end(), p, p + e.data.size() * sizeof(c32));
+    }
   }
   return out;
 }
@@ -74,7 +76,9 @@ WeightBundle load_bundle(std::span<const std::uint8_t> bytes) {
       throw std::runtime_error("weight bundle: truncated");
     }
     e.data.resize(elems);
-    std::memcpy(e.data.data(), bytes.data() + off, elems * sizeof(c32));
+    // memcpy with a null destination is UB even for zero bytes, and an
+    // empty vector's data() may be null — skip the copy for empty entries.
+    if (elems != 0) std::memcpy(e.data.data(), bytes.data() + off, elems * sizeof(c32));
     off += elems * sizeof(c32);
     bundle.entries.push_back(std::move(e));
   }

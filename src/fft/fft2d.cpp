@@ -4,6 +4,7 @@
 #include <atomic>
 #include <stdexcept>
 
+#include "fft/twiddle.hpp"
 #include "runtime/env.hpp"
 #include "runtime/parallel.hpp"
 #include "runtime/scratch.hpp"
@@ -44,12 +45,90 @@ PlanDesc make_y_desc(const Plan2dDesc& d) {
   return p;
 }
 
+Plan2dDesc validated_2d(Plan2dDesc d) {
+  if (!is_pow2(d.nx) || !is_pow2(d.ny)) {
+    throw std::invalid_argument("FftPlan2d: nx and ny must be powers of two >= 2");
+  }
+  if (d.keep_x > d.nx || d.keep_y > d.ny) {
+    throw std::invalid_argument("FftPlan2d: keep exceeds dimension");
+  }
+  return d;
+}
+
 // Columns gathered per transpose slab: 16 complexes = two cache lines per
 // field row, so the gather side of the transpose consumes whole lines, and
 // a slab of 16 rows x nx=1024 stays within 128 KiB of scratch.
 constexpr std::size_t kSlabCols = 16;
 
+// FftPlan2d's fused middle pays strided Y-stage gathers against the
+// per-field staging tile; that trade wins only while the tile stays
+// L2-resident.  Dense full-size fields at >= 512^2 (2 MiB tiles) thrash
+// and measure slower than the two-pass schedule, so they keep it.  The
+// FNO-shaped truncated plans (tile = ny * modes_x) are far below this.
+constexpr std::size_t kFusedFieldBudgetBytes = 1u << 20;
+
 std::atomic<int> g_transpose_override{-1};
+std::atomic<int> g_fused_mid_override{-1};
+
+// Shared slab-task geometry of the tile-granular stages: tasks enumerate
+// (field, column slab) pairs so each task touches one contiguous block.
+struct SlabGrid {
+  std::size_t cols = 0;             // columns per slab (<= kSlabCols)
+  std::size_t slabs_per_field = 0;  // ceil(ny / cols)
+  std::size_t grain = 0;            // tasks per parallel chunk
+};
+
+SlabGrid slab_grid(std::size_t ny) noexcept {
+  SlabGrid g;
+  g.cols = std::min<std::size_t>(kSlabCols, ny);
+  g.slabs_per_field = (ny + g.cols - 1) / g.cols;
+  g.grain = std::max<std::size_t>(1, 64 / g.cols);
+  return g;
+}
+
+// The two per-slab transform bodies, single-sourced for every consumer
+// (fft2d_x_stage's transposed branch, the tile-granular stages, and
+// FftPlan2d::execute_fused).  Both handle the transposed and the
+// per-column schedule; `rows_in`/`rows_out` are the plan's
+// nonzero_or_n()/keep_or_n().
+
+// Columns [y0, y0+g) of `field` become y-major rows at dst (row r
+// contiguous, packed rows_out apart).  `slab_in` needs cols*rows_in
+// elements on the transposed schedule (unused otherwise).
+void x_slab_to_rows(const FftPlan& plan, bool transposed, const c32* field, std::size_t ny,
+                    std::size_t y0, std::size_t g, std::size_t rows_in, std::size_t rows_out,
+                    c32* dst, std::span<c32> slab_in, std::span<c32> work) {
+  if (transposed) {
+    simd::transpose(field + y0, ny, slab_in.data(), rows_in, rows_in, g);
+    for (std::size_t r = 0; r < g; ++r) {
+      plan.execute_one(slab_in.data() + r * rows_in, 1, dst + r * rows_out, 1, work);
+    }
+  } else {
+    for (std::size_t r = 0; r < g; ++r) {
+      plan.execute_one(field + (y0 + r), static_cast<std::ptrdiff_t>(ny), dst + r * rows_out,
+                       1, work);
+    }
+  }
+}
+
+// Inverse of the above: y-major rows at src (packed rows_in apart) are
+// transformed and scattered into columns [y0, y0+g) of `field`.
+// `slab_out` needs cols*rows_out elements on the transposed schedule.
+void x_rows_to_slab(const FftPlan& plan, bool transposed, const c32* src, c32* field,
+                    std::size_t ny, std::size_t y0, std::size_t g, std::size_t rows_in,
+                    std::size_t rows_out, std::span<c32> slab_out, std::span<c32> work) {
+  if (transposed) {
+    for (std::size_t r = 0; r < g; ++r) {
+      plan.execute_one(src + r * rows_in, 1, slab_out.data() + r * rows_out, 1, work);
+    }
+    simd::transpose(slab_out.data(), rows_out, field + y0, ny, g, rows_out);
+  } else {
+    for (std::size_t r = 0; r < g; ++r) {
+      plan.execute_one(src + r * rows_in, 1, field + (y0 + r),
+                       static_cast<std::ptrdiff_t>(ny), work);
+    }
+  }
+}
 
 }  // namespace
 
@@ -64,8 +143,20 @@ void set_fft2d_transpose(bool enabled) noexcept {
   g_transpose_override.store(enabled ? 1 : 0, std::memory_order_relaxed);
 }
 
+bool fused_mid_enabled() noexcept {
+  const int ov = g_fused_mid_override.load(std::memory_order_relaxed);
+  if (ov >= 0) return ov != 0;
+  static const bool from_env = runtime::env_long("TURBOFNO_FUSED_MID", 1) != 0;
+  return from_env;
+}
+
+void set_fused_mid(bool enabled) noexcept {
+  g_fused_mid_override.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
 void fft2d_x_stage(const FftPlan& plan, const c32* in, c32* out, std::size_t fields,
                    std::size_t ny) {
+  if (fields == 0 || ny == 0) return;
   const std::size_t rows_in = plan.desc().nonzero_or_n();
   const std::size_t rows_out = plan.desc().keep_or_n();
 
@@ -91,37 +182,81 @@ void fft2d_x_stage(const FftPlan& plan, const c32* in, c32* out, std::size_t fie
   // plan actually produces (keep_x on forward; on inverse the input slab is
   // just the nonzero prefix and the transform scatters the zero-padded
   // columns itself).
-  const std::size_t cols = std::min<std::size_t>(kSlabCols, ny);
-  const std::size_t tasks_per_field = (ny + cols - 1) / cols;
-  const std::size_t grain = std::max<std::size_t>(1, 64 / cols);
-  runtime::parallel_for(0, fields * tasks_per_field, grain,
+  const SlabGrid grid = slab_grid(ny);
+  runtime::parallel_for(0, fields * grid.slabs_per_field, grid.grain,
                         [&](std::size_t lo, std::size_t hi) {
     auto& arena = runtime::tls_scratch();
     const auto scope = arena.scope();
-    const std::span<c32> slab_in = arena.alloc<c32>(cols * rows_in);
-    const std::span<c32> slab_out = arena.alloc<c32>(cols * rows_out);
+    const std::span<c32> slab_in = arena.alloc<c32>(grid.cols * rows_in);
+    const std::span<c32> slab_out = arena.alloc<c32>(grid.cols * rows_out);
     const std::span<c32> work = arena.alloc<c32>(plan.scratch_elems());
     for (std::size_t t = lo; t < hi; ++t) {
-      const std::size_t f = t / tasks_per_field;
-      const std::size_t y0 = (t % tasks_per_field) * cols;
-      const std::size_t g = std::min(cols, ny - y0);
-      simd::transpose(in + f * rows_in * ny + y0, ny, slab_in.data(), rows_in, rows_in, g);
-      for (std::size_t r = 0; r < g; ++r) {
-        plan.execute_one(slab_in.data() + r * rows_in, 1, slab_out.data() + r * rows_out, 1,
-                         work);
-      }
+      const std::size_t f = t / grid.slabs_per_field;
+      const std::size_t y0 = (t % grid.slabs_per_field) * grid.cols;
+      const std::size_t g = std::min(grid.cols, ny - y0);
+      x_slab_to_rows(plan, true, in + f * rows_in * ny, ny, y0, g, rows_in, rows_out,
+                     slab_out.data(), slab_in, work);
       simd::transpose(slab_out.data(), rows_out, out + f * rows_out * ny + y0, ny, g,
                       rows_out);
     }
   });
 }
 
-FftPlan2d::FftPlan2d(Plan2dDesc desc)
-    : desc_(desc), along_x_(make_x_desc(desc)), along_y_(make_y_desc(desc)) {
-  if (desc_.keep_x > desc_.nx || desc_.keep_y > desc_.ny) {
-    throw std::invalid_argument("FftPlan2d: keep exceeds dimension");
-  }
+void fft2d_x_stage_to_tiles(const FftPlan& plan, const c32* in, std::size_t fields,
+                            std::size_t ny, const XStageTileDst& dst) {
+  if (fields == 0 || ny == 0) return;
+  const std::size_t rows_in = plan.desc().nonzero_or_n();
+  const std::size_t rows_out = plan.desc().keep_or_n();
+  const bool transposed = fft2d_transpose_enabled();
+  const SlabGrid grid = slab_grid(ny);
+
+  runtime::parallel_for(0, fields * grid.slabs_per_field, grid.grain,
+                        [&](std::size_t lo, std::size_t hi) {
+    auto& arena = runtime::tls_scratch();
+    const auto scope = arena.scope();
+    // The slab gather buffer is only needed on the transpose schedule; the
+    // per-column schedule gathers inside execute_one.  Either way there is
+    // no slab_out: transformed rows land straight in the caller's block.
+    const std::span<c32> slab_in =
+        transposed ? arena.alloc<c32>(grid.cols * rows_in) : std::span<c32>{};
+    const std::span<c32> work = arena.alloc<c32>(plan.scratch_elems());
+    for (std::size_t t = lo; t < hi; ++t) {
+      const std::size_t f = t / grid.slabs_per_field;
+      const std::size_t y0 = (t % grid.slabs_per_field) * grid.cols;
+      const std::size_t g = std::min(grid.cols, ny - y0);
+      x_slab_to_rows(plan, transposed, in + f * rows_in * ny, ny, y0, g, rows_in, rows_out,
+                     dst(f, y0, g), slab_in, work);
+    }
+  });
 }
+
+void fft2d_x_stage_from_tiles(const FftPlan& plan, const XStageTileSrc& src, c32* out,
+                              std::size_t fields, std::size_t ny) {
+  if (fields == 0 || ny == 0) return;
+  const std::size_t rows_in = plan.desc().nonzero_or_n();
+  const std::size_t rows_out = plan.desc().keep_or_n();
+  const bool transposed = fft2d_transpose_enabled();
+  const SlabGrid grid = slab_grid(ny);
+
+  runtime::parallel_for(0, fields * grid.slabs_per_field, grid.grain,
+                        [&](std::size_t lo, std::size_t hi) {
+    auto& arena = runtime::tls_scratch();
+    const auto scope = arena.scope();
+    const std::span<c32> slab_out =
+        transposed ? arena.alloc<c32>(grid.cols * rows_out) : std::span<c32>{};
+    const std::span<c32> work = arena.alloc<c32>(plan.scratch_elems());
+    for (std::size_t t = lo; t < hi; ++t) {
+      const std::size_t f = t / grid.slabs_per_field;
+      const std::size_t y0 = (t % grid.slabs_per_field) * grid.cols;
+      const std::size_t g = std::min(grid.cols, ny - y0);
+      x_rows_to_slab(plan, transposed, src(f, y0, g), out + f * rows_out * ny, ny, y0, g,
+                     rows_in, rows_out, slab_out, work);
+    }
+  });
+}
+
+FftPlan2d::FftPlan2d(Plan2dDesc desc)
+    : desc_(validated_2d(desc)), along_x_(make_x_desc(desc_)), along_y_(make_y_desc(desc_)) {}
 
 std::size_t FftPlan2d::in_field_elems() const noexcept {
   return desc_.dir == Direction::Forward ? desc_.nx * desc_.ny
@@ -144,18 +279,92 @@ std::uint64_t FftPlan2d::flops_per_field() const noexcept {
          along_x_.flops_per_signal() * desc_.ny;
 }
 
+void FftPlan2d::execute_fused(std::span<const c32> in, std::span<c32> out,
+                              std::size_t batch) const {
+  // Fused middle stage: one task per field keeps that field's X spectra in a
+  // y-major arena tile ([ny, kx], row y holds the kx surviving X modes of
+  // column y) and runs the Y stage straight out of / into it.  The x-major
+  // [kx, ny] intermediate of the unfused path never exists, and the second
+  // transpose of the X stage disappears; the Y stage pays strided (stride
+  // kx) gathers instead, against scratch that stays cache-resident.
+  // Bitwise-identical to the unfused path: every 1D transform still gathers
+  // the same values into the same contiguous work buffer.
+  const std::size_t ny = desc_.ny;
+  const std::size_t kx = desc_.keep_x_or_nx();
+  const std::size_t in_f = in_field_elems();
+  const std::size_t out_f = out_field_elems();
+  const bool transposed = fft2d_transpose_enabled();
+  const SlabGrid grid = slab_grid(ny);
+  const std::size_t work_elems =
+      std::max(along_x_.scratch_elems(), along_y_.scratch_elems());
+  const std::size_t y_in_len = along_y_.desc().nonzero_or_n();
+  const std::size_t y_out_len = along_y_.desc().keep_or_n();
+
+  runtime::parallel_for(0, batch, 1, [&](std::size_t lo, std::size_t hi) {
+    auto& arena = runtime::tls_scratch();
+    const auto scope = arena.scope();
+    const std::span<c32> staging = arena.alloc<c32>(ny * kx);
+    const std::span<c32> slab =
+        transposed ? arena.alloc<c32>(grid.cols * desc_.nx) : std::span<c32>{};
+    const std::span<c32> work = arena.alloc<c32>(work_elems);
+
+    for (std::size_t f = lo; f < hi; ++f) {
+      if (desc_.dir == Direction::Forward) {
+        // X stage into the y-major tile, slab by slab (serial within the
+        // task; parallelism comes from the field loop).
+        const c32* field = in.data() + f * in_f;
+        for (std::size_t y0 = 0; y0 < ny; y0 += grid.cols) {
+          const std::size_t g = std::min(grid.cols, ny - y0);
+          x_slab_to_rows(along_x_, transposed, field, ny, y0, g, desc_.nx, kx,
+                         staging.data() + y0 * kx, slab, work);
+        }
+        // Y stage: row x of the output gathers column x of the tile.
+        for (std::size_t x = 0; x < kx; ++x) {
+          along_y_.execute_one(staging.data() + x, static_cast<std::ptrdiff_t>(kx),
+                               out.data() + f * out_f + x * y_out_len, 1, work);
+        }
+      } else {
+        // Inverse: Y stage scatters into the y-major tile, then the X stage
+        // consumes tile rows directly (no gather transpose).
+        for (std::size_t x = 0; x < kx; ++x) {
+          along_y_.execute_one(in.data() + f * in_f + x * y_in_len, 1,
+                               staging.data() + x, static_cast<std::ptrdiff_t>(kx), work);
+        }
+        c32* field = out.data() + f * out_f;
+        for (std::size_t y0 = 0; y0 < ny; y0 += grid.cols) {
+          const std::size_t g = std::min(grid.cols, ny - y0);
+          x_rows_to_slab(along_x_, transposed, staging.data() + y0 * kx, field, ny, y0, g,
+                         kx, desc_.nx, slab, work);
+        }
+      }
+    }
+  });
+}
+
 void FftPlan2d::execute(std::span<const c32> in, std::span<c32> out, std::size_t batch) const {
   const std::size_t ny = desc_.ny;
   const std::size_t kx = desc_.keep_x_or_nx();
   if (in.size() < batch * in_field_elems() || out.size() < batch * out_field_elems()) {
     throw std::invalid_argument("FftPlan2d::execute: spans too small for batch");
   }
+  if (batch == 0) return;
+
+  // The fused middle parallelizes across fields only, so it also needs
+  // enough fields to feed the worker pool; small batches keep the unfused
+  // schedule, whose fields*slabs / per-row loops split further (the two are
+  // bitwise-identical, so this is purely a scheduling choice).
+  if (fused_mid_enabled() && ny * kx * sizeof(c32) <= kFusedFieldBudgetBytes &&
+      batch >= static_cast<std::size_t>(runtime::thread_count())) {
+    execute_fused(in, out, batch);
+    return;
+  }
 
   // Intermediate between the stages: [keep_x, ny] per field.  One heap
   // allocation per execute call (amortized over a whole 2D transform) —
   // deliberately NOT arena-held: the grow-only thread-local arena would
   // retain this O(batch * kx * ny) block per calling thread forever.  The
-  // per-chunk hot-loop buffers below do come from the arena.
+  // per-chunk hot-loop buffers below do come from the arena.  (The default
+  // fused-middle path above avoids this block entirely.)
   AlignedBuffer<c32> mid(batch * kx * ny);
 
   // Y stage: contiguous transforms over the batch * keep_x surviving rows.

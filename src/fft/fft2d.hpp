@@ -19,10 +19,21 @@
 // The legacy schedule runs one stride-DimY transform per column; it walks
 // a full cache line per element at FNO sizes and is kept only for A/B
 // benching behind TURBOFNO_FFT2D_TRANSPOSE=0.
+//
+// On top of the whole-field X stage, this header exposes the tile-granular
+// producer/consumer pair (fft2d_x_stage_to_tiles / _from_tiles) that the
+// fused 2D middle stages are built on: instead of materializing the
+// x-major [keep_x, ny] intermediate, the X stage hands each post-transform
+// column slab to the caller as a contiguous y-major [slab, keep_x] row
+// block (and symmetrically reads such blocks on the inverse side).  The
+// fused pipelines point these blocks straight at their cache-resident
+// middle-stage staging, so the full [B*K*mx*ny] intermediate is never
+// written or re-read (TURBOFNO_FUSED_MID).
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <span>
 
 #include "fft/plan.hpp"
@@ -38,6 +49,20 @@ namespace turbofno::fft {
 /// Forces the X-stage schedule choice at runtime (A/B benchmarks, tests).
 void set_fft2d_transpose(bool enabled) noexcept;
 
+/// True when the fused 2D middle-stage schedule is active: FftPlan2d and
+/// the fused 2D pipelines route the X stages through the tile API below so
+/// the x-major intermediate between the X and Y stages never materializes.
+/// Defaults to the TURBOFNO_FUSED_MID environment variable (unset means
+/// on); the API override below wins over the environment.  Both settings
+/// are bitwise-identical by construction — the knob exists for A/B
+/// benchmarks and regression triage.  FftPlan2d additionally falls back to
+/// the two-pass schedule when a field's staging tile (ny * keep_x) would
+/// not stay L2-resident (dense >= 512^2), where the fused trade loses.
+[[nodiscard]] bool fused_mid_enabled() noexcept;
+
+/// Forces the fused-middle schedule choice at runtime (A/B, tests).
+void set_fused_mid(bool enabled) noexcept;
+
 /// Applies a 1D plan along the X (row) axis of `fields` row-major fields
 /// with DimY-contiguous layout: `in` holds fields x [nonzero_or_n, ny]
 /// and `out` receives fields x [keep_or_n, ny]; each of the ny columns of a
@@ -46,6 +71,38 @@ void set_fft2d_transpose(bool enabled) noexcept;
 /// fused 2D pipelines' X stages; in and out must not overlap.
 void fft2d_x_stage(const FftPlan& plan, const c32* in, c32* out, std::size_t fields,
                    std::size_t ny);
+
+/// Destination resolver for the tile-producing X stage: returns the buffer
+/// receiving the y-major row block of columns [y0, y0+g) of field `f`.
+/// Row r of the block holds the keep_or_n() spectrum of column y0+r,
+/// contiguous; block rows are packed keep_or_n() elements apart.
+using XStageTileDst = std::function<c32*(std::size_t f, std::size_t y0, std::size_t g)>;
+
+/// Source resolver for the tile-consuming inverse X stage: returns the
+/// y-major row block holding the nonzero_or_n()-element spectra of columns
+/// [y0, y0+g) of field `f`.  Row r is contiguous and rows are packed
+/// nonzero_or_n() elements apart — NOT keep_or_n(): for a zero-padding
+/// inverse plan the stored block rows are just the nonzero prefixes.
+using XStageTileSrc =
+    std::function<const c32*(std::size_t f, std::size_t y0, std::size_t g)>;
+
+/// Tile-granular X stage (producer half): transforms every column of the
+/// `fields` x [nonzero_or_n, ny] input, but instead of transposing the
+/// spectra back into an x-major field, writes each column slab's rows
+/// straight into the caller's y-major destination blocks.  This skips the
+/// scatter transpose and — when the destination is cache-resident staging —
+/// the full intermediate write that fft2d_x_stage would do.  Works under
+/// both X-stage schedules; bitwise-identical spectra either way.
+void fft2d_x_stage_to_tiles(const FftPlan& plan, const c32* in, std::size_t fields,
+                            std::size_t ny, const XStageTileDst& dst);
+
+/// Tile-granular X stage (consumer half): the inverse of _to_tiles.  Reads
+/// each column slab's spectra from the caller's y-major source blocks,
+/// transforms them, and scatters the resulting columns into the x-major
+/// `out` fields ([keep_or_n, ny] each).  Skips the gather transpose that
+/// fft2d_x_stage would need in front of the row transforms.
+void fft2d_x_stage_from_tiles(const FftPlan& plan, const XStageTileSrc& src, c32* out,
+                              std::size_t fields, std::size_t ny);
 
 struct Plan2dDesc {
   std::size_t nx = 0;       // DimX
@@ -61,6 +118,12 @@ struct Plan2dDesc {
 
 class FftPlan2d {
  public:
+  /// Throws std::invalid_argument unless nx and ny are powers of two >= 2
+  /// and keep_x <= nx, keep_y <= ny (0 keeps the full axis, per Plan2dDesc).
+  /// Validated here — before the per-axis plans are derived — so degenerate
+  /// descriptors (nx == 1, keep > n) fail with a 2D-level message instead
+  /// of surfacing from a half-built axis plan, and the tile API above can
+  /// never be handed an empty or undersized slab.
   explicit FftPlan2d(Plan2dDesc desc);
 
   [[nodiscard]] const Plan2dDesc& desc() const noexcept { return desc_; }
@@ -76,6 +139,8 @@ class FftPlan2d {
   [[nodiscard]] std::uint64_t flops_per_field() const noexcept;
 
  private:
+  void execute_fused(std::span<const c32> in, std::span<c32> out, std::size_t batch) const;
+
   Plan2dDesc desc_;
   FftPlan along_x_;  // strided stage over DimX
   FftPlan along_y_;  // contiguous stage over DimY

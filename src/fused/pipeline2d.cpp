@@ -1,22 +1,50 @@
 #include "fused/pipeline2d.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <stdexcept>
 
 #include "fft/fft2d.hpp"
 #include "fft/plan_cache.hpp"
 #include "gemm/batched.hpp"
 #include "gemm/config.hpp"
+#include "runtime/env.hpp"
 #include "runtime/parallel.hpp"
 #include "runtime/scratch.hpp"
 #include "runtime/timer.hpp"
 #include "tensor/simd.hpp"
+#include "tensor/transpose.hpp"
 
 namespace turbofno::fused {
 
 namespace {
 
 constexpr std::size_t kTb = gemm::FusedTiles::Ktb;
+
+// x-rows handled jointly by one fused middle task on the y-major staging
+// layout: 8 c32 x-columns span one 64-byte cache line of a staging row, so
+// the blocked SIMD transpose that feeds (or drains) the k-loop touches
+// every staging line exactly once per block.  Row-by-row strided gathers
+// would instead re-touch each k-tile's 8 channel tiles per x-row — a
+// ~512 KiB working set that measurably thrashes.  On the x-major unfused
+// layout rows are contiguous and blocking is pointless, so xb = 1 there
+// (bitwise identical either way; blocking is pure data movement).
+constexpr std::size_t kXBlock = 8;
+
+// Cache budget for one fused-middle batch group's staging tiles (input plus
+// output planes together).  Groups sized under this stay resident between
+// the X stage that fills them and the middle/inverse stages that drain
+// them, which is where the skipped mid_in_/mid_out_ round trip turns into
+// wall-clock.
+constexpr std::size_t kMidStagingBudgetBytes = 8u << 20;
+
+std::atomic<std::size_t> g_mid_group_override{0};
+
+std::size_t env_mid_group() noexcept {
+  static const std::size_t v = static_cast<std::size_t>(
+      runtime::env_long_clamped("TURBOFNO_FUSED_MID_GROUP", 0, 0, 1L << 20));
+  return v;
+}
 
 fft::PlanDesc x_trunc_desc(const baseline::Spectral2dProblem& p) {
   fft::PlanDesc d;
@@ -36,6 +64,16 @@ fft::PlanDesc x_pad_desc(const baseline::Spectral2dProblem& p) {
 
 }  // namespace
 
+void set_fused_mid_group(std::size_t g) noexcept {
+  g_mid_group_override.store(g, std::memory_order_relaxed);
+}
+
+std::size_t fused_mid_group_override() noexcept {
+  const std::size_t ov = g_mid_group_override.load(std::memory_order_relaxed);
+  if (ov > 0) return ov;
+  return env_mid_group();
+}
+
 Pipeline2dBase::Pipeline2dBase(baseline::Spectral2dProblem prob, const char* counters_name)
     : prob_(prob),
       fft_x_trunc_(fft::acquire_plan(x_trunc_desc(prob))),
@@ -44,8 +82,75 @@ Pipeline2dBase::Pipeline2dBase(baseline::Spectral2dProblem prob, const char* cou
       inv_y_(prob.ny, prob.modes_y),
       counters_(counters_name) {
   prob_.validate();
-  mid_in_.resize(prob_.batch * prob_.hidden * prob_.modes_x * prob_.ny);
-  mid_out_.resize(prob_.batch * prob_.out_dim * prob_.modes_x * prob_.ny);
+  // Schedule buffers (mid_in_/mid_out_ or the staging tiles) are sized
+  // lazily by run_mid, so a pipeline only ever holds the intermediates of
+  // the schedule it actually runs.
+}
+
+std::size_t Pipeline2dBase::mid_group(std::size_t batch) const noexcept {
+  if (batch == 0) return 1;
+  const std::size_t ov = fused_mid_group_override();
+  if (ov > 0) return std::min(ov, batch);
+  const std::size_t per_b =
+      (prob_.hidden + prob_.out_dim) * prob_.modes_x * prob_.ny * sizeof(c32);
+  const std::size_t bg = std::max<std::size_t>(kMidStagingBudgetBytes / per_b, 1);
+  return std::min(bg, batch);
+}
+
+void Pipeline2dBase::gather_xblock(const MidView& mv, std::size_t bl, std::size_t k0,
+                                   std::size_t kc, std::size_t x0, std::size_t xc,
+                                   std::size_t xb, std::size_t ny, c32* gbuf) noexcept {
+  // One line-efficient transpose per channel: staging columns [x0, x0+xc)
+  // become contiguous rows of gbuf.
+  for (std::size_t kk = 0; kk < kc; ++kk) {
+    simd::transpose(mv.in_row(bl, k0 + kk, x0), static_cast<std::size_t>(mv.in_y),
+                    gbuf + kk * xb * ny, ny, ny, xc);
+  }
+}
+
+void Pipeline2dBase::scatter_xblock(const MidView& mv, std::size_t bl, std::size_t o,
+                                    std::size_t x0, std::size_t xc, std::size_t ny,
+                                    const c32* sbuf) noexcept {
+  // Contiguous rows back into staging columns, one transpose per output
+  // channel block.
+  simd::transpose(sbuf, ny, mv.out_row(bl, o, x0), static_cast<std::size_t>(mv.out_y), xc,
+                  ny);
+}
+
+void Pipeline2dBase::y_forward_rows(const fft::FftPlan& plan, const MidView& mv,
+                                    std::size_t channels, std::size_t mx, std::size_t my,
+                                    c32* spectra) {
+  runtime::parallel_for(0, mv.count * channels * mx, 16,
+                        [&](std::size_t lo, std::size_t hi) {
+    auto& arena = runtime::tls_scratch();
+    const auto scope = arena.scope();
+    const std::span<c32> work = arena.alloc<c32>(plan.scratch_elems());
+    for (std::size_t r = lo; r < hi; ++r) {
+      const std::size_t bl = r / (channels * mx);
+      const std::size_t c = (r / mx) % channels;
+      const std::size_t x = r % mx;
+      plan.execute_one(mv.in_row(bl, c, x), mv.in_y,
+                       spectra + ((bl * channels + c) * mx + x) * my, 1, work);
+    }
+  });
+}
+
+void Pipeline2dBase::y_inverse_rows(const fft::FftPlan& plan, const MidView& mv,
+                                    std::size_t channels, std::size_t mx, std::size_t my,
+                                    const c32* spectra) {
+  runtime::parallel_for(0, mv.count * channels * mx, 16,
+                        [&](std::size_t lo, std::size_t hi) {
+    auto& arena = runtime::tls_scratch();
+    const auto scope = arena.scope();
+    const std::span<c32> work = arena.alloc<c32>(plan.scratch_elems());
+    for (std::size_t r = lo; r < hi; ++r) {
+      const std::size_t bl = r / (channels * mx);
+      const std::size_t c = (r / mx) % channels;
+      const std::size_t x = r % mx;
+      plan.execute_one(spectra + ((bl * channels + c) * mx + x) * my, 1,
+                       mv.out_row(bl, c, x), mv.out_y, work);
+    }
+  });
 }
 
 void Pipeline2dBase::check_batch(std::size_t batch) const {
@@ -92,13 +197,104 @@ void Pipeline2dBase::run_ifft_x_pad(std::span<const c32> src, std::span<c32> v,
   sc.kernel_launches = 1;
 }
 
+void Pipeline2dBase::run_mid(std::span<const c32> u, std::span<c32> v, std::size_t batch,
+                             bool fused_mid, std::size_t group,
+                             const std::function<void(const MidView&)>& middle) {
+  const std::size_t B = batch;
+  const std::size_t K = prob_.hidden;
+  const std::size_t O = prob_.out_dim;
+  const std::size_t NX = prob_.nx;
+  const std::size_t NY = prob_.ny;
+  const std::size_t MX = prob_.modes_x;
+
+  if (!fused_mid) {
+    // Unfused middle: materialize the x-major intermediates for the whole
+    // batch, exactly the PR-3 schedule.
+    ensure(mid_in_, B * K * MX * NY);
+    ensure(mid_out_, B * O * MX * NY);
+    run_fft_x_trunc(u, mid_in_.span(), B);
+    MidView mv;
+    mv.in = mid_in_.data();
+    mv.out = mid_out_.data();
+    mv.count = B;
+    mv.in_y = 1;
+    mv.out_y = 1;
+    mv.in_x = NY;
+    mv.out_x = NY;
+    mv.chan = MX * NY;
+    mv.in_b = K * MX * NY;
+    mv.out_b = O * MX * NY;
+    middle(mv);
+    run_ifft_x_pad(mid_out_.span(), v, B);
+    return;
+  }
+
+  // Fused middle: stage one batch group of y-major X-spectra tiles at a
+  // time.  Each group runs X -> middle -> inverse X back to back so the
+  // tiles are consumed while still cache-resident; the parallel_for inside
+  // each phase keeps the worker pool busy (group * K * slab tasks).
+  const std::size_t bg = std::max<std::size_t>(group, 1);
+  ensure(staging_in_, bg * K * NY * MX);
+  ensure(staging_out_, bg * O * NY * MX);
+
+  for (std::size_t b0 = 0; b0 < B; b0 += bg) {
+    const std::size_t g = std::min(bg, B - b0);
+    {
+      runtime::Timer t;
+      fft::fft2d_x_stage_to_tiles(
+          *fft_x_trunc_, u.data() + b0 * K * NX * NY, g * K, NY,
+          [this, MX, NY](std::size_t f, std::size_t y0, std::size_t) {
+            return staging_in_.data() + (f * NY + y0) * MX;
+          });
+      counters_.stage("fft-x-trunc").seconds += t.seconds();
+    }
+
+    MidView mv;
+    mv.in = staging_in_.data();
+    mv.out = staging_out_.data();
+    mv.count = g;
+    mv.in_y = static_cast<std::ptrdiff_t>(MX);
+    mv.out_y = static_cast<std::ptrdiff_t>(MX);
+    mv.in_x = 1;
+    mv.out_x = 1;
+    mv.chan = NY * MX;
+    mv.in_b = K * NY * MX;
+    mv.out_b = O * NY * MX;
+    middle(mv);
+
+    {
+      runtime::Timer t;
+      fft::fft2d_x_stage_from_tiles(
+          *ifft_x_pad_,
+          [this, MX, NY](std::size_t f, std::size_t y0, std::size_t) {
+            return static_cast<const c32*>(staging_out_.data() + (f * NY + y0) * MX);
+          },
+          v.data() + b0 * O * NX * NY, g * O, NY);
+      counters_.stage("ifft-x-pad").seconds += t.seconds();
+    }
+  }
+
+  // Closed-form per-run accounting.  The staging tiles are the CPU analogue
+  // of the paper's shared-memory residency, so — like the fused kernels'
+  // on-chip operands — they count zero global-memory traffic: the X stages
+  // touch only the true global tensors u and v.
+  const std::uint64_t e = sizeof(c32);
+  auto& sx = counters_.stage("fft-x-trunc");
+  sx.bytes_read = B * K * NX * NY * e;
+  sx.bytes_written = 0;
+  sx.flops = B * K * NY * fft_x_trunc_->flops_per_signal();
+  sx.kernel_launches = 1;
+  auto& si = counters_.stage("ifft-x-pad");
+  si.bytes_read = 0;
+  si.bytes_written = B * O * NX * NY * e;
+  si.flops = B * O * NY * ifft_x_pad_->flops_per_signal();
+  si.kernel_launches = 1;
+}
+
 // ---------------------------------------------------------------- FftOpt (A)
 
 FftOptPipeline2d::FftOptPipeline2d(baseline::Spectral2dProblem prob)
-    : Pipeline2dBase(prob, "fftopt-2d") {
-  freq_.resize(prob_.batch * prob_.hidden * prob_.modes_x * prob_.modes_y);
-  mixed_.resize(prob_.batch * prob_.out_dim * prob_.modes_x * prob_.modes_y);
-}
+    : Pipeline2dBase(prob, "fftopt-2d") {}
 
 void FftOptPipeline2d::run(std::span<const c32> u, std::span<const c32> w, std::span<c32> v) {
   run_batched(u, w, v, prob_.batch);
@@ -109,6 +305,7 @@ void FftOptPipeline2d::run_batched(std::span<const c32> u, std::span<const c32> 
   check_batch(batch);
   counters_.clear();
   if (batch == 0) return;
+  const bool fused_mid = fft::fused_mid_enabled();
   const std::size_t B = batch;
   const std::size_t K = prob_.hidden;
   const std::size_t O = prob_.out_dim;
@@ -117,58 +314,60 @@ void FftOptPipeline2d::run_batched(std::span<const c32> u, std::span<const c32> 
   const std::size_t MY = prob_.modes_y;
   const std::size_t modes = MX * MY;
 
-  run_fft_x_trunc(u, mid_in_.span(), B);
+  const std::size_t gcap = fused_mid ? mid_group(B) : B;
+  ensure(freq_, gcap * K * modes);
+  ensure(mixed_, gcap * O * modes);
 
-  // Stage 2: truncated FFT along Y (unfused).
-  {
-    runtime::Timer t;
-    fwd_y_.plan().execute(mid_in_.span(), freq_.span(), B * K * MX);
-    auto& sc = counters_.stage("fft-y-trunc");
-    sc.seconds = t.seconds();
-    sc.bytes_read = B * K * MX * NY * sizeof(c32);
-    sc.bytes_written = B * K * modes * sizeof(c32);
-    sc.flops = B * K * MX * fwd_y_.plan().flops_per_signal();
-    sc.kernel_launches = 1;
-  }
+  run_mid(u, v, B, fused_mid, gcap, [&](const MidView& mv) {
+    // Stage 2: truncated FFT along Y (unfused).
+    {
+      runtime::Timer t;
+      y_forward_rows(fwd_y_.plan(), mv, K, MX, MY, freq_.data());
+      counters_.stage("fft-y-trunc").seconds += t.seconds();
+    }
 
-  // Stage 3: batched CGEMM.
-  {
-    runtime::Timer t;
-    gemm::BatchedStrides strides;
-    strides.a = 0;
-    strides.b = static_cast<std::ptrdiff_t>(K * modes);
-    strides.c = static_cast<std::ptrdiff_t>(O * modes);
-    gemm::cgemm_batched(O, modes, K, c32{1.0f, 0.0f}, w.data(), K, freq_.data(), modes,
-                        c32{0.0f, 0.0f}, mixed_.data(), modes, B, strides);
-    auto& sc = counters_.stage("cgemm");
-    sc.seconds = t.seconds();
-    sc.bytes_read = (B * K * modes + O * K) * sizeof(c32);
-    sc.bytes_written = B * O * modes * sizeof(c32);
-    sc.flops = trace::cgemm_flops(B * modes, O, K);
-    sc.kernel_launches = 1;
-  }
+    // Stage 3: batched CGEMM over the group.
+    {
+      runtime::Timer t;
+      gemm::BatchedStrides strides;
+      strides.a = 0;
+      strides.b = static_cast<std::ptrdiff_t>(K * modes);
+      strides.c = static_cast<std::ptrdiff_t>(O * modes);
+      gemm::cgemm_batched(O, modes, K, c32{1.0f, 0.0f}, w.data(), K, freq_.data(), modes,
+                          c32{0.0f, 0.0f}, mixed_.data(), modes, mv.count, strides);
+      counters_.stage("cgemm").seconds += t.seconds();
+    }
 
-  // Stage 4: zero-padded iFFT along Y (unfused).
-  {
-    runtime::Timer t;
-    inv_y_.plan().execute(mixed_.span(), mid_out_.span(), B * O * MX);
-    auto& sc = counters_.stage("ifft-y-pad");
-    sc.seconds = t.seconds();
-    sc.bytes_read = B * O * modes * sizeof(c32);
-    sc.bytes_written = B * O * MX * NY * sizeof(c32);
-    sc.flops = B * O * MX * inv_y_.plan().flops_per_signal();
-    sc.kernel_launches = 1;
-  }
+    // Stage 4: zero-padded iFFT along Y (unfused).
+    {
+      runtime::Timer t;
+      y_inverse_rows(inv_y_.plan(), mv, O, MX, MY, mixed_.data());
+      counters_.stage("ifft-y-pad").seconds += t.seconds();
+    }
+  });
 
-  run_ifft_x_pad(mid_out_.span(), v, B);
+  const std::uint64_t e = sizeof(c32);
+  auto& sy = counters_.stage("fft-y-trunc");
+  sy.bytes_read = fused_mid ? 0 : B * K * MX * NY * e;
+  sy.bytes_written = B * K * modes * e;
+  sy.flops = B * K * MX * fwd_y_.plan().flops_per_signal();
+  sy.kernel_launches = 1;
+  auto& sg = counters_.stage("cgemm");
+  sg.bytes_read = (B * K * modes + O * K) * e;
+  sg.bytes_written = B * O * modes * e;
+  sg.flops = trace::cgemm_flops(B * modes, O, K);
+  sg.kernel_launches = 1;
+  auto& sp = counters_.stage("ifft-y-pad");
+  sp.bytes_read = B * O * modes * e;
+  sp.bytes_written = fused_mid ? 0 : B * O * MX * NY * e;
+  sp.flops = B * O * MX * inv_y_.plan().flops_per_signal();
+  sp.kernel_launches = 1;
 }
 
 // --------------------------------------------------------- FusedFftGemm (B)
 
 FusedFftGemmPipeline2d::FusedFftGemmPipeline2d(baseline::Spectral2dProblem prob)
-    : Pipeline2dBase(prob, "fused-fft-gemm-2d") {
-  mixed_.resize(prob_.batch * prob_.out_dim * prob_.modes_x * prob_.modes_y);
-}
+    : Pipeline2dBase(prob, "fused-fft-gemm-2d") {}
 
 void FusedFftGemmPipeline2d::run(std::span<const c32> u, std::span<const c32> w,
                                  std::span<c32> v) {
@@ -180,6 +379,7 @@ void FusedFftGemmPipeline2d::run_batched(std::span<const c32> u, std::span<const
   check_batch(batch);
   counters_.clear();
   if (batch == 0) return;
+  const bool fused_mid = fft::fused_mid_enabled();
   const std::size_t B = batch;
   const std::size_t K = prob_.hidden;
   const std::size_t O = prob_.out_dim;
@@ -188,77 +388,98 @@ void FusedFftGemmPipeline2d::run_batched(std::span<const c32> u, std::span<const
   const std::size_t MY = prob_.modes_y;
   const std::size_t modes = MX * MY;
 
-  run_fft_x_trunc(u, mid_in_.span(), B);
+  const std::size_t gcap = fused_mid ? mid_group(B) : B;
+  ensure(mixed_, gcap * O * modes);
 
-  // Fused FFT-Y + CGEMM: one task per (batch, x-row), iterating the hidden
-  // dim like the GEMM k-loop (Figure 6(c)).
-  {
-    runtime::Timer t;
-    const std::size_t ld = simd::round_up_lanes(MY);
-    runtime::parallel_for(0, B * MX, runtime::fused_grain(B * MX),
-                          [&](std::size_t lo, std::size_t hi) {
-      auto& arena = runtime::tls_scratch();
-      const auto scope = arena.scope();
-      const std::span<c32> tile = arena.alloc<c32>(kTb * ld);
-      const std::span<float> tsplit = arena.alloc<float>(2 * kTb * ld);
-      const std::span<float> acc = arena.alloc<float>(2 * O * ld);
-      const std::span<c32> work = arena.alloc<c32>(fwd_y_.plan().scratch_elems());
-      // rank_update_split streams whole ld-wide rows, so the tile planes'
-      // lane padding must be zero; the arena hands out raw storage.
-      std::fill(tsplit.begin(), tsplit.end(), 0.0f);
-      float* tre = tsplit.data();
-      float* tim = tre + kTb * ld;
-      float* are = acc.data();
-      float* aim = are + O * ld;
-      for (std::size_t i = lo; i < hi; ++i) {
-        const std::size_t b = i / MX;
-        const std::size_t x = i % MX;
-        std::fill(acc.begin(), acc.end(), 0.0f);
-        for (std::size_t k0 = 0; k0 < K; k0 += kTb) {
-          const std::size_t kc = std::min(kTb, K - k0);
-          // Channel k's row for this x sits at ((b*K + k) * MX + x) * NY.
-          fwd_y_.forward_tile(mid_in_.data() + ((b * K + k0) * MX + x) * NY, MX * NY, kc,
-                              tile.data(), ld, work);
-          for (std::size_t kk = 0; kk < kc; ++kk) {
-            simd::split_planes(tile.data() + kk * ld, tre + kk * ld, tim + kk * ld, MY);
+  run_mid(u, v, B, fused_mid, gcap, [&](const MidView& mv) {
+    // Fused FFT-Y + CGEMM: one task per (batch, x-block), iterating the
+    // hidden dim like the GEMM k-loop (Figure 6(c)).  On the y-major
+    // staging, each k-tile channel moves through one blocked SIMD
+    // transpose so the k-loop streams contiguous rows (see kXBlock).
+    {
+      runtime::Timer t;
+      const std::size_t ld = simd::round_up_lanes(MY);
+      const bool tiled = mv.in_y != 1;
+      const std::size_t xb = tiled ? std::min<std::size_t>(kXBlock, MX) : 1;
+      const std::size_t nblk = (MX + xb - 1) / xb;
+      runtime::parallel_for(0, mv.count * nblk, runtime::fused_grain(mv.count * nblk),
+                            [&](std::size_t lo, std::size_t hi) {
+        auto& arena = runtime::tls_scratch();
+        const auto scope = arena.scope();
+        const std::span<c32> tile = arena.alloc<c32>(kTb * ld);
+        const std::span<float> tsplit = arena.alloc<float>(2 * kTb * ld);
+        const std::span<float> acc = arena.alloc<float>(xb * 2 * O * ld);
+        const std::span<c32> gbuf =
+            tiled ? arena.alloc<c32>(kTb * xb * NY) : std::span<c32>{};
+        const std::span<c32> work = arena.alloc<c32>(fwd_y_.plan().scratch_elems());
+        // rank_update_split streams whole ld-wide rows, so the tile planes'
+        // lane padding must be zero; the arena hands out raw storage.
+        std::fill(tsplit.begin(), tsplit.end(), 0.0f);
+        float* tre = tsplit.data();
+        float* tim = tre + kTb * ld;
+        for (std::size_t i = lo; i < hi; ++i) {
+          const std::size_t bl = i / nblk;
+          const std::size_t x0 = (i % nblk) * xb;
+          const std::size_t xc = std::min(xb, MX - x0);
+          std::fill(acc.begin(), acc.end(), 0.0f);
+          for (std::size_t k0 = 0; k0 < K; k0 += kTb) {
+            const std::size_t kc = std::min(kTb, K - k0);
+            if (tiled) gather_xblock(mv, bl, k0, kc, x0, xc, xb, NY, gbuf.data());
+            for (std::size_t xi = 0; xi < xc; ++xi) {
+              float* are = acc.data() + xi * 2 * O * ld;
+              float* aim = are + O * ld;
+              if (tiled) {
+                fwd_y_.forward_tile(gbuf.data() + xi * NY, xb * NY, kc, tile.data(), ld,
+                                    work);
+              } else {
+                fwd_y_.forward_tile(mv.in_row(bl, k0, x0 + xi), mv.chan, kc, tile.data(),
+                                    ld, work, mv.in_y);
+              }
+              for (std::size_t kk = 0; kk < kc; ++kk) {
+                simd::split_planes(tile.data() + kk * ld, tre + kk * ld, tim + kk * ld, MY);
+              }
+              rank_update_split(are, aim, w.data(), K, k0, tre, tim, ld, O, kc);
+            }
           }
-          rank_update_split(are, aim, w.data(), K, k0, tre, tim, ld, O, kc);
+          for (std::size_t xi = 0; xi < xc; ++xi) {
+            const float* are = acc.data() + xi * 2 * O * ld;
+            const float* aim = are + O * ld;
+            for (std::size_t o = 0; o < O; ++o) {
+              simd::interleave_planes(are + o * ld, aim + o * ld,
+                                      mixed_.data() + ((bl * O + o) * MX + x0 + xi) * MY,
+                                      MY);
+            }
+          }
         }
-        for (std::size_t o = 0; o < O; ++o) {
-          simd::interleave_planes(are + o * ld, aim + o * ld,
-                                  mixed_.data() + ((b * O + o) * MX + x) * MY, MY);
-        }
-      }
-    });
-    auto& sc = counters_.stage("fused-fft-cgemm");
-    sc.seconds = t.seconds();
-    sc.bytes_read = (B * K * MX * NY + O * K) * sizeof(c32);
-    sc.bytes_written = B * O * modes * sizeof(c32);
-    sc.flops = B * K * MX * fwd_y_.plan().flops_per_signal() + trace::cgemm_flops(B * modes, O, K);
-    sc.kernel_launches = 1;
-  }
+      });
+      counters_.stage("fused-fft-cgemm").seconds += t.seconds();
+    }
 
-  // Separate zero-padded iFFT along Y.
-  {
-    runtime::Timer t;
-    inv_y_.plan().execute(mixed_.span(), mid_out_.span(), B * O * MX);
-    auto& sc = counters_.stage("ifft-y-pad");
-    sc.seconds = t.seconds();
-    sc.bytes_read = B * O * modes * sizeof(c32);
-    sc.bytes_written = B * O * MX * NY * sizeof(c32);
-    sc.flops = B * O * MX * inv_y_.plan().flops_per_signal();
-    sc.kernel_launches = 1;
-  }
+    // Separate zero-padded iFFT along Y.
+    {
+      runtime::Timer t;
+      y_inverse_rows(inv_y_.plan(), mv, O, MX, MY, mixed_.data());
+      counters_.stage("ifft-y-pad").seconds += t.seconds();
+    }
+  });
 
-  run_ifft_x_pad(mid_out_.span(), v, B);
+  const std::uint64_t e = sizeof(c32);
+  auto& sf = counters_.stage("fused-fft-cgemm");
+  sf.bytes_read = ((fused_mid ? 0 : B * K * MX * NY) + O * K) * e;
+  sf.bytes_written = B * O * modes * e;
+  sf.flops = B * K * MX * fwd_y_.plan().flops_per_signal() + trace::cgemm_flops(B * modes, O, K);
+  sf.kernel_launches = 1;
+  auto& sp = counters_.stage("ifft-y-pad");
+  sp.bytes_read = B * O * modes * e;
+  sp.bytes_written = fused_mid ? 0 : B * O * MX * NY * e;
+  sp.flops = B * O * MX * inv_y_.plan().flops_per_signal();
+  sp.kernel_launches = 1;
 }
 
 // --------------------------------------------------------- FusedGemmIfft (C)
 
 FusedGemmIfftPipeline2d::FusedGemmIfftPipeline2d(baseline::Spectral2dProblem prob)
-    : Pipeline2dBase(prob, "fused-gemm-ifft-2d") {
-  freq_.resize(prob_.batch * prob_.hidden * prob_.modes_x * prob_.modes_y);
-}
+    : Pipeline2dBase(prob, "fused-gemm-ifft-2d") {}
 
 void FusedGemmIfftPipeline2d::run(std::span<const c32> u, std::span<const c32> w,
                                   std::span<c32> v) {
@@ -270,6 +491,7 @@ void FusedGemmIfftPipeline2d::run_batched(std::span<const c32> u, std::span<cons
   check_batch(batch);
   counters_.clear();
   if (batch == 0) return;
+  const bool fused_mid = fft::fused_mid_enabled();
   const std::size_t B = batch;
   const std::size_t K = prob_.hidden;
   const std::size_t O = prob_.out_dim;
@@ -278,67 +500,89 @@ void FusedGemmIfftPipeline2d::run_batched(std::span<const c32> u, std::span<cons
   const std::size_t MY = prob_.modes_y;
   const std::size_t modes = MX * MY;
 
-  run_fft_x_trunc(u, mid_in_.span(), B);
+  const std::size_t gcap = fused_mid ? mid_group(B) : B;
+  ensure(freq_, gcap * K * modes);
 
-  // Separate truncated FFT along Y.
-  {
-    runtime::Timer t;
-    fwd_y_.plan().execute(mid_in_.span(), freq_.span(), B * K * MX);
-    auto& sc = counters_.stage("fft-y-trunc");
-    sc.seconds = t.seconds();
-    sc.bytes_read = B * K * MX * NY * sizeof(c32);
-    sc.bytes_written = B * K * modes * sizeof(c32);
-    sc.flops = B * K * MX * fwd_y_.plan().flops_per_signal();
-    sc.kernel_launches = 1;
-  }
+  run_mid(u, v, B, fused_mid, gcap, [&](const MidView& mv) {
+    // Separate truncated FFT along Y.
+    {
+      runtime::Timer t;
+      y_forward_rows(fwd_y_.plan(), mv, K, MX, MY, freq_.data());
+      counters_.stage("fft-y-trunc").seconds += t.seconds();
+    }
 
-  // Fused CGEMM + iFFT-Y epilogue per (batch, x-row).
-  {
-    runtime::Timer t;
-    const std::size_t ld = simd::round_up_lanes(MY);
-    runtime::parallel_for(0, B * MX, runtime::fused_grain(B * MX),
-                          [&](std::size_t lo, std::size_t hi) {
-      auto& arena = runtime::tls_scratch();
-      const auto scope = arena.scope();
-      const std::span<float> tsplit = arena.alloc<float>(2 * kTb * ld);
-      const std::span<float> acc = arena.alloc<float>(2 * O * ld);
-      const std::span<c32> row = arena.alloc<c32>(ld);
-      const std::span<c32> work = arena.alloc<c32>(inv_y_.plan().scratch_elems());
-      std::fill(tsplit.begin(), tsplit.end(), 0.0f);
-      float* tre = tsplit.data();
-      float* tim = tre + kTb * ld;
-      float* are = acc.data();
-      float* aim = are + O * ld;
-      for (std::size_t i = lo; i < hi; ++i) {
-        const std::size_t b = i / MX;
-        const std::size_t x = i % MX;
-        std::fill(acc.begin(), acc.end(), 0.0f);
-        for (std::size_t k0 = 0; k0 < K; k0 += kTb) {
-          const std::size_t kc = std::min(kTb, K - k0);
-          // Gather the k-major tile straight into SoA planes (rows are MY
-          // apart within a channel, channels MX*MY apart) — the split is
-          // the gather copy the seed already paid.
-          for (std::size_t kk = 0; kk < kc; ++kk) {
-            simd::split_planes(freq_.data() + ((b * K + k0 + kk) * MX + x) * MY, tre + kk * ld,
-                               tim + kk * ld, MY);
+    // Fused CGEMM + iFFT-Y epilogue per (batch, x-block).  The gather side
+    // reads freq_ rows contiguously; only the scatter into the y-major
+    // staging needs the blocked transpose (see kXBlock).
+    {
+      runtime::Timer t;
+      const std::size_t ld = simd::round_up_lanes(MY);
+      const bool tiled = mv.out_y != 1;
+      const std::size_t xb = tiled ? std::min<std::size_t>(kXBlock, MX) : 1;
+      const std::size_t nblk = (MX + xb - 1) / xb;
+      runtime::parallel_for(0, mv.count * nblk, runtime::fused_grain(mv.count * nblk),
+                            [&](std::size_t lo, std::size_t hi) {
+        auto& arena = runtime::tls_scratch();
+        const auto scope = arena.scope();
+        const std::span<float> tsplit = arena.alloc<float>(2 * kTb * ld);
+        const std::span<float> acc = arena.alloc<float>(xb * 2 * O * ld);
+        const std::span<c32> row = arena.alloc<c32>(ld);
+        const std::span<c32> sbuf = tiled ? arena.alloc<c32>(xb * NY) : std::span<c32>{};
+        const std::span<c32> work = arena.alloc<c32>(inv_y_.plan().scratch_elems());
+        std::fill(tsplit.begin(), tsplit.end(), 0.0f);
+        float* tre = tsplit.data();
+        float* tim = tre + kTb * ld;
+        for (std::size_t i = lo; i < hi; ++i) {
+          const std::size_t bl = i / nblk;
+          const std::size_t x0 = (i % nblk) * xb;
+          const std::size_t xc = std::min(xb, MX - x0);
+          std::fill(acc.begin(), acc.end(), 0.0f);
+          for (std::size_t k0 = 0; k0 < K; k0 += kTb) {
+            const std::size_t kc = std::min(kTb, K - k0);
+            for (std::size_t xi = 0; xi < xc; ++xi) {
+              float* are = acc.data() + xi * 2 * O * ld;
+              float* aim = are + O * ld;
+              // Gather the k-major tile straight into SoA planes (rows are
+              // MY apart within a channel, channels MX*MY apart) — the
+              // split is the gather copy the seed already paid.
+              for (std::size_t kk = 0; kk < kc; ++kk) {
+                simd::split_planes(
+                    freq_.data() + ((bl * K + k0 + kk) * MX + x0 + xi) * MY,
+                    tre + kk * ld, tim + kk * ld, MY);
+              }
+              rank_update_split(are, aim, w.data(), K, k0, tre, tim, ld, O, kc);
+            }
           }
-          rank_update_split(are, aim, w.data(), K, k0, tre, tim, ld, O, kc);
+          for (std::size_t o = 0; o < O; ++o) {
+            for (std::size_t xi = 0; xi < xc; ++xi) {
+              const float* are = acc.data() + xi * 2 * O * ld;
+              const float* aim = are + O * ld;
+              simd::interleave_planes(are + o * ld, aim + o * ld, row.data(), MY);
+              if (tiled) {
+                inv_y_.inverse_row(row.data(), sbuf.data() + xi * NY, work);
+              } else {
+                inv_y_.inverse_row(row.data(), mv.out_row(bl, o, x0 + xi), work, mv.out_y);
+              }
+            }
+            if (tiled) scatter_xblock(mv, bl, o, x0, xc, NY, sbuf.data());
+          }
         }
-        for (std::size_t o = 0; o < O; ++o) {
-          simd::interleave_planes(are + o * ld, aim + o * ld, row.data(), MY);
-          inv_y_.inverse_row(row.data(), mid_out_.data() + ((b * O + o) * MX + x) * NY, work);
-        }
-      }
-    });
-    auto& sc = counters_.stage("fused-cgemm-ifft");
-    sc.seconds = t.seconds();
-    sc.bytes_read = (B * K * modes + O * K) * sizeof(c32);
-    sc.bytes_written = B * O * MX * NY * sizeof(c32);
-    sc.flops = trace::cgemm_flops(B * modes, O, K) + B * O * MX * inv_y_.plan().flops_per_signal();
-    sc.kernel_launches = 1;
-  }
+      });
+      counters_.stage("fused-cgemm-ifft").seconds += t.seconds();
+    }
+  });
 
-  run_ifft_x_pad(mid_out_.span(), v, B);
+  const std::uint64_t e = sizeof(c32);
+  auto& sy = counters_.stage("fft-y-trunc");
+  sy.bytes_read = fused_mid ? 0 : B * K * MX * NY * e;
+  sy.bytes_written = B * K * modes * e;
+  sy.flops = B * K * MX * fwd_y_.plan().flops_per_signal();
+  sy.kernel_launches = 1;
+  auto& sf = counters_.stage("fused-cgemm-ifft");
+  sf.bytes_read = (B * K * modes + O * K) * e;
+  sf.bytes_written = fused_mid ? 0 : B * O * MX * NY * e;
+  sf.flops = trace::cgemm_flops(B * modes, O, K) + B * O * MX * inv_y_.plan().flops_per_signal();
+  sf.kernel_launches = 1;
 }
 
 // ------------------------------------------------------------ FullyFused (D)
@@ -355,6 +599,7 @@ void FullyFusedPipeline2d::run_batched(std::span<const c32> u, std::span<const c
   check_batch(batch);
   counters_.clear();
   if (batch == 0) return;
+  const bool fused_mid = fft::fused_mid_enabled();
   const std::size_t B = batch;
   const std::size_t K = prob_.hidden;
   const std::size_t O = prob_.out_dim;
@@ -363,57 +608,84 @@ void FullyFusedPipeline2d::run_batched(std::span<const c32> u, std::span<const c
   const std::size_t MY = prob_.modes_y;
   const std::size_t modes = MX * MY;
 
-  run_fft_x_trunc(u, mid_in_.span(), B);
-
-  // Fused FFT-Y + CGEMM + iFFT-Y per (batch, x-row): the middle of the
-  // pipeline never touches global memory (Figure 9's fused kernel).
-  {
+  const std::size_t gcap = fused_mid ? mid_group(B) : B;
+  run_mid(u, v, B, fused_mid, gcap, [&](const MidView& mv) {
+    // Fused FFT-Y + CGEMM + iFFT-Y per (batch, x-block): the middle of the
+    // pipeline never touches global memory (Figure 9's fused kernel).  On
+    // the fused y-major staging, a block of kXBlock x-rows moves through
+    // one SIMD transpose per k-tile channel (and back per output channel)
+    // so the k-loop always streams contiguous rows.
     runtime::Timer t;
     const std::size_t ld = simd::round_up_lanes(MY);
-    runtime::parallel_for(0, B * MX, runtime::fused_grain(B * MX),
+    const bool tiled = mv.in_y != 1;  // y-major staging on both sides
+    const std::size_t xb = tiled ? std::min<std::size_t>(kXBlock, MX) : 1;
+    const std::size_t nblk = (MX + xb - 1) / xb;
+    runtime::parallel_for(0, mv.count * nblk, runtime::fused_grain(mv.count * nblk),
                           [&](std::size_t lo, std::size_t hi) {
       auto& arena = runtime::tls_scratch();
       const auto scope = arena.scope();
       const std::span<c32> tile = arena.alloc<c32>(kTb * ld);
       const std::span<float> tsplit = arena.alloc<float>(2 * kTb * ld);
-      const std::span<float> acc = arena.alloc<float>(2 * O * ld);
+      const std::span<float> acc = arena.alloc<float>(xb * 2 * O * ld);
       const std::span<c32> row = arena.alloc<c32>(ld);
+      const std::span<c32> gbuf =
+          tiled ? arena.alloc<c32>(kTb * xb * NY) : std::span<c32>{};
+      const std::span<c32> sbuf = tiled ? arena.alloc<c32>(xb * NY) : std::span<c32>{};
       const std::span<c32> work = arena.alloc<c32>(fwd_y_.plan().scratch_elems());
+      // rank_update_split streams whole ld-wide rows, so the tile planes'
+      // lane padding must be zero; the arena hands out raw storage.
       std::fill(tsplit.begin(), tsplit.end(), 0.0f);
       float* tre = tsplit.data();
       float* tim = tre + kTb * ld;
-      float* are = acc.data();
-      float* aim = are + O * ld;
       for (std::size_t i = lo; i < hi; ++i) {
-        const std::size_t b = i / MX;
-        const std::size_t x = i % MX;
+        const std::size_t bl = i / nblk;
+        const std::size_t x0 = (i % nblk) * xb;
+        const std::size_t xc = std::min(xb, MX - x0);
         std::fill(acc.begin(), acc.end(), 0.0f);
         for (std::size_t k0 = 0; k0 < K; k0 += kTb) {
           const std::size_t kc = std::min(kTb, K - k0);
-          fwd_y_.forward_tile(mid_in_.data() + ((b * K + k0) * MX + x) * NY, MX * NY, kc,
-                              tile.data(), ld, work);
-          for (std::size_t kk = 0; kk < kc; ++kk) {
-            simd::split_planes(tile.data() + kk * ld, tre + kk * ld, tim + kk * ld, MY);
+          if (tiled) gather_xblock(mv, bl, k0, kc, x0, xc, xb, NY, gbuf.data());
+          for (std::size_t xi = 0; xi < xc; ++xi) {
+            float* are = acc.data() + xi * 2 * O * ld;
+            float* aim = are + O * ld;
+            if (tiled) {
+              fwd_y_.forward_tile(gbuf.data() + xi * NY, xb * NY, kc, tile.data(), ld, work);
+            } else {
+              fwd_y_.forward_tile(mv.in_row(bl, k0, x0 + xi), mv.chan, kc, tile.data(), ld,
+                                  work, mv.in_y);
+            }
+            for (std::size_t kk = 0; kk < kc; ++kk) {
+              simd::split_planes(tile.data() + kk * ld, tre + kk * ld, tim + kk * ld, MY);
+            }
+            rank_update_split(are, aim, w.data(), K, k0, tre, tim, ld, O, kc);
           }
-          rank_update_split(are, aim, w.data(), K, k0, tre, tim, ld, O, kc);
         }
         for (std::size_t o = 0; o < O; ++o) {
-          simd::interleave_planes(are + o * ld, aim + o * ld, row.data(), MY);
-          inv_y_.inverse_row(row.data(), mid_out_.data() + ((b * O + o) * MX + x) * NY, work);
+          for (std::size_t xi = 0; xi < xc; ++xi) {
+            const float* are = acc.data() + xi * 2 * O * ld;
+            const float* aim = are + O * ld;
+            simd::interleave_planes(are + o * ld, aim + o * ld, row.data(), MY);
+            if (tiled) {
+              inv_y_.inverse_row(row.data(), sbuf.data() + xi * NY, work);
+            } else {
+              inv_y_.inverse_row(row.data(), mv.out_row(bl, o, x0 + xi), work, mv.out_y);
+            }
+          }
+          if (tiled) scatter_xblock(mv, bl, o, x0, xc, NY, sbuf.data());
         }
       }
     });
-    auto& sc = counters_.stage("fused-fft-cgemm-ifft");
-    sc.seconds = t.seconds();
-    sc.bytes_read = (B * K * MX * NY + O * K) * sizeof(c32);
-    sc.bytes_written = B * O * MX * NY * sizeof(c32);
-    sc.flops = B * K * MX * fwd_y_.plan().flops_per_signal() +
-               trace::cgemm_flops(B * modes, O, K) +
-               B * O * MX * inv_y_.plan().flops_per_signal();
-    sc.kernel_launches = 1;
-  }
+    counters_.stage("fused-fft-cgemm-ifft").seconds += t.seconds();
+  });
 
-  run_ifft_x_pad(mid_out_.span(), v, B);
+  const std::uint64_t e = sizeof(c32);
+  auto& sf = counters_.stage("fused-fft-cgemm-ifft");
+  sf.bytes_read = ((fused_mid ? 0 : B * K * MX * NY) + O * K) * e;
+  sf.bytes_written = fused_mid ? 0 : B * O * MX * NY * e;
+  sf.flops = B * K * MX * fwd_y_.plan().flops_per_signal() +
+             trace::cgemm_flops(B * modes, O, K) +
+             B * O * MX * inv_y_.plan().flops_per_signal();
+  sf.kernel_launches = 1;
 }
 
 }  // namespace turbofno::fused

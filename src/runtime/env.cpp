@@ -1,6 +1,7 @@
 #include "runtime/env.hpp"
 
 #include <array>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -11,8 +12,19 @@ long env_long(const char* name, long fallback) noexcept {
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return fallback;
   char* end = nullptr;
+  errno = 0;
   const long parsed = std::strtol(v, &end, 10);
-  return (end != nullptr && *end == '\0') ? parsed : fallback;
+  if (end == v || *end != '\0') return fallback;  // empty or trailing garbage
+  // strtol saturates to LONG_MIN/LONG_MAX on overflow and only reports it via
+  // errno; treating the saturated value as configuration would turn a typo'd
+  // size knob into a near-infinite one, so out-of-range input falls back too.
+  if (errno == ERANGE) return fallback;
+  return parsed;
+}
+
+long env_long_clamped(const char* name, long fallback, long lo, long hi) noexcept {
+  const long v = env_long(name, fallback);
+  return v < lo ? lo : (v > hi ? hi : v);
 }
 
 bool env_flag(const char* name) noexcept {

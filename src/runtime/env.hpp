@@ -6,9 +6,15 @@
 
 namespace turbofno::runtime {
 
-/// Reads an integer environment variable, returning `fallback` when unset or
-/// unparsable.
+/// Reads an integer environment variable, returning `fallback` when unset,
+/// unparsable (trailing garbage), or out of `long`'s range (strtol ERANGE —
+/// the silently saturated LONG_MIN/LONG_MAX never escapes as configuration).
 long env_long(const char* name, long fallback) noexcept;
+
+/// env_long() with the result clamped to [lo, hi].  Size/count knobs use
+/// this so negative or absurd values degrade to the nearest sane bound
+/// instead of flowing into allocation sizes or thread counts.
+long env_long_clamped(const char* name, long fallback, long lo, long hi) noexcept;
 
 /// True when env var `name` is set to a truthy value (1/on/true/yes).
 bool env_flag(const char* name) noexcept;

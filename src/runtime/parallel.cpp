@@ -16,10 +16,10 @@ std::atomic<int> g_thread_override{0};
 std::atomic<std::size_t> g_fused_grain{0};
 
 std::size_t env_fused_grain() noexcept {
-  static const std::size_t v = [] {
-    const long g = env_long("TURBOFNO_FUSED_GRAIN", 0);
-    return g > 0 ? static_cast<std::size_t>(g) : std::size_t{0};
-  }();
+  // 0 means "no override"; negative or overflowing values clamp to 0 rather
+  // than poisoning the chunk size of every fused loop.
+  static const std::size_t v = static_cast<std::size_t>(
+      env_long_clamped("TURBOFNO_FUSED_GRAIN", 0, 0, 1L << 30));
   return v;
 }
 }  // namespace

@@ -17,6 +17,15 @@
 // Scopes nest (a parallel caller may hold one while worker chunks open their
 // own on other threads, or the master thread re-enters on its own arena);
 // each scope rewinds the bump pointer to where it was created.
+//
+// Sizing guidance: the arena is grow-only per thread, so only bounded,
+// per-task workspaces belong here — FFT ping-pong buffers (2n), transpose
+// slabs (16 columns x n), per-row accumulator planes, and the per-field
+// y-major staging tile of FftPlan2d's fused middle (ny * keep_x, the
+// largest steady resident at ~512 KiB for a 512^2 quarter-truncated
+// field).  Whole-batch intermediates must NOT be arena-held: they would be
+// retained per calling thread forever (see fft2d.cpp's unfused mid buffer
+// and the pipelines' lazily sized member buffers).
 #pragma once
 
 #include <cstddef>

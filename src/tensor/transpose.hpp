@@ -9,6 +9,11 @@
 // super-blocks so both the gather side and the scatter side stay resident
 // in L1/L2.  Backends without packed 4-wide vectors (planes != 4) fall back
 // to a scalar 4x4 tile, which keeps the blocked walk and its locality.
+//
+// The fused-middle schedule (fft2d_x_stage_to_tiles/_from_tiles) halves the
+// transpose count: only the side that faces the x-major global tensors (the
+// gather from u on forward, the scatter into v on inverse) remains; the
+// other side is replaced by y-major staging tiles consumed in place.
 #pragma once
 
 #include <cstddef>

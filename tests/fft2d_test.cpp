@@ -2,6 +2,7 @@
 // and the forward/inverse round trip the 2D FNO pipeline relies on.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <vector>
 
 #include "fft/fft2d.hpp"
@@ -163,6 +164,77 @@ TEST(Fft2dDesc, FieldElemCountsFollowDirection) {
   const auto inv = make2d(32, 64, Direction::Inverse, 8, 16);
   EXPECT_EQ(inv.in_field_elems(), 8u * 16u);
   EXPECT_EQ(inv.out_field_elems(), 32u * 64u);
+}
+
+TEST(Fft2dDesc, ValidationRejectsDegenerateDescriptors) {
+  // The tile-granular X stage must never be handed an empty or undersized
+  // slab, so the 2D descriptor is validated up front with 2D-level errors.
+  for (const auto dir : {Direction::Forward, Direction::Inverse}) {
+    EXPECT_THROW(make2d(1, 16, dir), std::invalid_argument);    // nx == 1
+    EXPECT_THROW(make2d(16, 1, dir), std::invalid_argument);    // ny == 1
+    EXPECT_THROW(make2d(0, 16, dir), std::invalid_argument);    // nx == 0
+    EXPECT_THROW(make2d(16, 0, dir), std::invalid_argument);    // ny == 0
+    EXPECT_THROW(make2d(12, 16, dir), std::invalid_argument);   // not pow2
+    EXPECT_THROW(make2d(16, 24, dir), std::invalid_argument);
+    EXPECT_THROW(make2d(16, 16, dir, 17, 4), std::invalid_argument);  // keep > n
+    EXPECT_THROW(make2d(16, 16, dir, 4, 17), std::invalid_argument);
+  }
+}
+
+TEST(Fft2dDesc, KeepZeroMeansFullAxisBitwise) {
+  // keep == 0 is the documented "keep everything" convention; it must be
+  // exactly the keep == n plan, not a near-miss.
+  const std::size_t nx = 8, ny = 16;
+  const auto in = random_signal(nx * ny, 241u);
+  std::vector<c32> a(nx * ny), b(nx * ny);
+  make2d(nx, ny, Direction::Forward, 0, 0).execute(in, a, 1);
+  make2d(nx, ny, Direction::Forward, nx, ny).execute(in, b, 1);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].re, b[i].re) << i;
+    EXPECT_EQ(a[i].im, b[i].im) << i;
+  }
+}
+
+TEST(Fft2dEdgeShapes, MinimalKeepAndMinimalDimsMatchReference) {
+  // The degenerate corners the fused tile API leans on: keep_x or keep_y of
+  // 1 (a single surviving row/bin) and the smallest legal dims (2).
+  struct Edge {
+    std::size_t nx, ny, kx, ky;
+  };
+  for (const auto& [nx, ny, kx, ky] :
+       {Edge{16, 16, 1, 4}, Edge{16, 16, 4, 1}, Edge{8, 8, 1, 1}, Edge{2, 16, 1, 4},
+        Edge{16, 2, 4, 1}, Edge{2, 2, 1, 1}, Edge{2, 2, 2, 2}}) {
+    const auto in = random_signal(nx * ny, 251u + static_cast<unsigned>(nx * ny + kx));
+    const auto full = reference_fft2d(in, nx, ny);
+    std::vector<c32> got(kx * ky);
+    make2d(nx, ny, Direction::Forward, kx, ky).execute(in, got, 1);
+    for (std::size_t x = 0; x < kx; ++x) {
+      for (std::size_t y = 0; y < ky; ++y) {
+        EXPECT_NEAR(got[x * ky + y].re, full[x * ny + y].re, fft_tol(nx * ny))
+            << nx << "x" << ny << " keep " << kx << "x" << ky << " @" << x << "," << y;
+        EXPECT_NEAR(got[x * ky + y].im, full[x * ny + y].im, fft_tol(nx * ny))
+            << nx << "x" << ny << " keep " << kx << "x" << ky << " @" << x << "," << y;
+      }
+    }
+
+    // And the padded inverse accepts the same degenerate spectra.
+    const auto spec = random_signal(kx * ky, 257u);
+    std::vector<c32> padded(nx * ny, c32{});
+    for (std::size_t x = 0; x < kx; ++x) {
+      for (std::size_t y = 0; y < ky; ++y) padded[x * ny + y] = spec[x * ky + y];
+    }
+    std::vector<c32> expect(nx * ny), back(nx * ny);
+    make2d(nx, ny, Direction::Inverse).execute(padded, expect, 1);
+    make2d(nx, ny, Direction::Inverse, kx, ky).execute(spec, back, 1);
+    EXPECT_LT(max_err(back, expect), fft_tol(nx * ny)) << nx << "x" << ny;
+  }
+}
+
+TEST(Fft2dEdgeShapes, ZeroBatchIsANoOp) {
+  const FftPlan2d plan = make2d(8, 8, Direction::Forward, 2, 2);
+  std::vector<c32> out(4, c32{1.0f, -1.0f});
+  plan.execute(std::span<const c32>{}, out, 0);
+  EXPECT_EQ(out[0].re, 1.0f);  // untouched
 }
 
 }  // namespace

@@ -107,6 +107,43 @@ TEST(Env, ParsesIntegersWithFallback) {
   EXPECT_EQ(env_long("TURBOFNO_TEST_ENV", 7), 7);
 }
 
+TEST(Env, RejectsOverflowAndPartialNumbers) {
+  // strtol saturates to LONG_MIN/LONG_MAX and signals only via errno;
+  // env_long must treat that as unparsable, not as a giant size knob.
+  ::setenv("TURBOFNO_TEST_ENV", "99999999999999999999999999", 1);
+  EXPECT_EQ(env_long("TURBOFNO_TEST_ENV", 5), 5);
+  ::setenv("TURBOFNO_TEST_ENV", "-99999999999999999999999999", 1);
+  EXPECT_EQ(env_long("TURBOFNO_TEST_ENV", 5), 5);
+  ::setenv("TURBOFNO_TEST_ENV", "12abc", 1);  // trailing garbage
+  EXPECT_EQ(env_long("TURBOFNO_TEST_ENV", 5), 5);
+  ::setenv("TURBOFNO_TEST_ENV", "-3", 1);  // in-range negatives still parse
+  EXPECT_EQ(env_long("TURBOFNO_TEST_ENV", 5), -3);
+  ::unsetenv("TURBOFNO_TEST_ENV");
+}
+
+TEST(Env, ClampedVariantBoundsSizeKnobs) {
+  ::setenv("TURBOFNO_TEST_ENV", "-8", 1);
+  EXPECT_EQ(env_long_clamped("TURBOFNO_TEST_ENV", 0, 0, 100), 0);  // negative -> lo
+  ::setenv("TURBOFNO_TEST_ENV", "1000", 1);
+  EXPECT_EQ(env_long_clamped("TURBOFNO_TEST_ENV", 0, 0, 100), 100);  // -> hi
+  ::setenv("TURBOFNO_TEST_ENV", "37", 1);
+  EXPECT_EQ(env_long_clamped("TURBOFNO_TEST_ENV", 0, 0, 100), 37);
+  ::setenv("TURBOFNO_TEST_ENV", "junk", 1);  // unparsable -> clamped fallback
+  EXPECT_EQ(env_long_clamped("TURBOFNO_TEST_ENV", -5, 1, 100), 1);
+  ::unsetenv("TURBOFNO_TEST_ENV");
+}
+
+TEST(FusedGrain, AlwaysAtLeastOneRowPerChunk) {
+  // Consumers divide by the grain, so every override path must clamp >= 1.
+  set_fused_grain(0);  // default policy
+  for (std::size_t total : {std::size_t{0}, std::size_t{1}, std::size_t{2}, std::size_t{64}}) {
+    EXPECT_GE(fused_grain(total), 1u) << total;
+  }
+  set_fused_grain(5);
+  EXPECT_EQ(fused_grain(64), 5u);
+  set_fused_grain(0);
+}
+
 TEST(Env, FlagRecognizesTruthyValues) {
   for (const char* v : {"1", "on", "true", "yes"}) {
     ::setenv("TURBOFNO_TEST_FLAG", v, 1);
