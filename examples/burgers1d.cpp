@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "core/api.hpp"
+#include "gpusim/pipeline_model.hpp"
 #include "runtime/env.hpp"
 #include "runtime/timer.hpp"
 

@@ -8,6 +8,8 @@
 #include <cstdio>
 
 #include "core/api.hpp"
+#include "gpusim/layouts.hpp"
+#include "gpusim/pipeline_model.hpp"
 #include "runtime/env.hpp"
 
 int main() {

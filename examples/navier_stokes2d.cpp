@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "core/api.hpp"
+#include "gpusim/pipeline_model.hpp"
 #include "runtime/env.hpp"
 #include "runtime/timer.hpp"
 
@@ -27,7 +28,8 @@ int main() {
   cfg.backend = core::Backend::FullyFused;
 
   const std::size_t batch = 8;
-  core::Fno2d model(cfg, batch);
+  core::Fno2d model(cfg);
+  model.reserve(batch);
   CTensor u(Shape{batch, cfg.in_channels, cfg.nx, cfg.ny});
   for (std::size_t b = 0; b < batch; ++b) {
     core::vorticity_field(u.span().subspan(b * cfg.nx * cfg.ny, cfg.nx * cfg.ny), cfg.nx,

@@ -22,7 +22,8 @@ int main() {
   cfg.backend = core::Backend::FullyFused;
 
   const std::size_t batch = 16;
-  core::Fno1d model(cfg, batch);
+  core::Fno1d model(cfg);  // capacity is elastic; reserve() ahead of time if desired
+  model.reserve(batch);
 
   // 2. Generate a batch of band-limited initial conditions.
   CTensor u(Shape{batch, cfg.in_channels, cfg.n});

@@ -1,39 +1,46 @@
-// Serving-layer demo: a long-lived InferenceServer coalescing a mixed
-// stream of small 1D and 2D FNO requests into dynamic micro-batches.
+// Serving-layer demo (API v2): a long-lived InferenceServer on a shared
+// Engine, coalescing a mixed stream of 1D and 2D FNO requests into dynamic
+// micro-batches with two-level QoS and zero-copy submission.
 //
 //   $ ./examples/serve_demo
 //
-// Two models are registered (a 1D Burgers-style operator and a small 2D
-// operator); 96 interleaved requests are submitted — most through futures,
-// some through completion callbacks — and the batching statistics plus the
-// per-stage latency counters are printed at the end.
+// Three models are registered — a 1D Burgers-style operator, a small 2D
+// operator, and a copy of the 1D operator restored from a serialized
+// WeightBundle checkpoint (it must agree bitwise with its source).  96
+// interleaved requests are submitted: one in four at Priority::High, some
+// zero-copy into caller-owned buffers, some through completion callbacks.
 #include <atomic>
 #include <cstdio>
+#include <cstring>
 #include <future>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "core/api.hpp"
-#include "core/workload.hpp"
 
 int main() {
   using namespace turbofno;
 
+  auto engine = std::make_shared<Engine>();
+
   serve::InferenceServer::Options opts;
   opts.policy.max_batch = 8;       // coalesce up to 8 requests per forward
   opts.policy.max_delay_s = 1e-3;  // ... or flush after 1 ms, whichever first
-  opts.workers = 2;                // the two models can execute concurrently
-  serve::InferenceServer server(opts);
+  opts.workers = 2;                // distinct models can execute concurrently
+  serve::InferenceServer server(opts, engine);
 
-  core::Fno1dConfig cfg1;
+  Fno1dConfig cfg1;
   cfg1.in_channels = 1;
   cfg1.hidden = 16;
   cfg1.out_channels = 1;
   cfg1.n = 256;
   cfg1.modes = 64;
   cfg1.layers = 2;
+  cfg1.backend = Backend::Auto;  // resolved from the problem shape
   const serve::ModelId burgers = server.load_model(cfg1);
 
-  core::Fno2dConfig cfg2;
+  Fno2dConfig cfg2;
   cfg2.in_channels = 1;
   cfg2.hidden = 8;
   cfg2.out_channels = 1;
@@ -44,22 +51,51 @@ int main() {
   cfg2.layers = 2;
   const serve::ModelId darcy = server.load_model(cfg2);
 
-  // A mixed request stream: two 1D requests for every 2D request.
+  // Checkpoint round trip: snapshot the burgers model's weights and load
+  // them into a differently seeded config — the serving results must be
+  // bitwise-identical to the source model's.
+  const WeightBundle checkpoint =
+      engine->create_session(engine->register_model(cfg1)).gather();
+  Fno1dConfig cfg1_restored = cfg1;
+  cfg1_restored.seed += 1u;  // would diverge without the checkpoint
+  const serve::ModelId burgers_restored = server.load_model(cfg1_restored, checkpoint);
+
   const std::size_t total = 96;
   std::vector<std::future<serve::InferResponse>> futures;
   std::atomic<std::size_t> callback_done{0};
+
+  // Zero-copy lane: caller-owned buffers for the restored model, paired
+  // with owning submissions of the same inputs to the source model.
+  std::vector<std::vector<c32>> zc_in;
+  std::vector<std::vector<c32>> zc_out;
+  std::vector<std::future<serve::InferResponse>> zc_futs;
+  std::vector<std::future<serve::InferResponse>> src_futs;
+
   for (std::size_t i = 0; i < total; ++i) {
     const bool is_2d = (i % 3 == 2);
     const serve::ModelId model = is_2d ? darcy : burgers;
     std::vector<c32> input(server.input_elems(model));
     core::fill_random(input, 0xd5eeu + static_cast<unsigned>(i));
-    if (i % 7 == 0) {
+    const serve::SubmitOptions so{i % 4 == 0 ? serve::Priority::High
+                                             : serve::Priority::Normal};
+    if (!is_2d && i % 6 == 1) {
+      // Same input through the restored checkpoint (zero-copy) and the
+      // source model (owning) — compared bitwise at the end.
+      zc_in.push_back(input);
+      zc_out.emplace_back(server.output_elems(burgers_restored));
+      src_futs.push_back(server.submit(burgers, std::move(input), so));
+      zc_futs.push_back(server.submit(burgers_restored,
+                                      std::span<const c32>(zc_in.back()),
+                                      std::span<c32>(zc_out.back()), so));
+    } else if (i % 7 == 0) {
       // Callback delivery: runs on an executor thread.
-      server.submit(model, std::move(input), [&callback_done](serve::InferResponse&& r) {
-        if (r.status == serve::Status::Ok) callback_done.fetch_add(1);
-      });
+      server.submit(model, std::move(input),
+                    [&callback_done](serve::InferResponse&& r) {
+                      if (r.status == serve::Status::Ok) callback_done.fetch_add(1);
+                    },
+                    so);
     } else {
-      futures.push_back(server.submit(model, std::move(input)));
+      futures.push_back(server.submit(model, std::move(input), so));
     }
   }
 
@@ -72,14 +108,27 @@ int main() {
     if (r.status == serve::Status::Ok) ++ok;
     max_total_ms = std::max(max_total_ms, r.timing.total_s * 1e3);
   }
+  std::size_t checkpoint_matches = 0;
+  for (std::size_t i = 0; i < zc_futs.size(); ++i) {
+    const auto zr = zc_futs[i].get();
+    const auto sr = src_futs[i].get();
+    if (zr.status == serve::Status::Ok && sr.status == serve::Status::Ok &&
+        std::memcmp(zc_out[i].data(), sr.output.data(),
+                    zc_out[i].size() * sizeof(c32)) == 0) {
+      ++checkpoint_matches;
+    }
+  }
 
   const auto st = server.stats();
-  std::printf("TurboFNO serve demo\n");
-  std::printf("  requests: %zu submitted (%zu futures ok, %zu callbacks ok)\n", total, ok,
-              callback_done.load());
-  std::printf("  micro-batches: %llu executed, avg size %.2f, max size %zu\n",
+  std::printf("TurboFNO serve demo (API v%d)\n", TURBOFNO_API_VERSION);
+  std::printf("  requests: %zu submitted (%zu futures ok, %zu callbacks ok, %zu high-QoS)\n",
+              total, ok, callback_done.load(), static_cast<std::size_t>(st.high_submitted));
+  std::printf("  zero-copy checkpoint lane: %zu/%zu bitwise-identical to the source model\n",
+              checkpoint_matches, zc_futs.size());
+  std::printf("  micro-batches: %llu executed, avg size %.2f, max size %zu"
+              " (%llu starvation promotions)\n",
               static_cast<unsigned long long>(st.batches), st.avg_micro_batch(),
-              st.max_micro_batch);
+              st.max_micro_batch, static_cast<unsigned long long>(st.starvation_promotions));
   std::printf("  worst request latency: %.3f ms\n", max_total_ms);
 
   std::printf("  per-stage serving counters:\n");
@@ -89,6 +138,6 @@ int main() {
                 s.seconds * 1e3, static_cast<unsigned long long>(s.kernel_launches),
                 static_cast<unsigned long long>(s.bytes_total()));
   }
-  std::printf("OK\n");
-  return 0;
+  std::printf("%s\n", checkpoint_matches == zc_futs.size() ? "OK" : "MISMATCH");
+  return checkpoint_matches == zc_futs.size() ? 0 : 1;
 }

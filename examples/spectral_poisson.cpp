@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "core/api.hpp"
+#include "fft/fft2d.hpp"
+#include "fft/plan.hpp"
 #include "fft/real.hpp"
 
 namespace {

@@ -18,6 +18,12 @@ fft::PlanDesc full_desc(std::size_t n, fft::Direction dir) {
   return d;
 }
 
+void check_spans(const Spectral1dProblem& prob, std::span<const c32> u, std::span<c32> v,
+                 std::size_t batch) {
+  check_batch_spans(u.size(), v.size(), prob.hidden * prob.n, prob.out_dim * prob.n, batch,
+                    "BaselinePipeline1d");
+}
+
 }  // namespace
 
 BaselinePipeline1d::BaselinePipeline1d(Spectral1dProblem prob)
@@ -35,11 +41,20 @@ void BaselinePipeline1d::run(std::span<const c32> u, std::span<const c32> w, std
   run_batched(u, w, v, prob_.batch);
 }
 
+void BaselinePipeline1d::reserve(std::size_t batch) {
+  if (batch <= prob_.batch) return;
+  // Grow before bumping the capacity mark (exception safety).
+  freq_full_.resize(batch * prob_.hidden * prob_.n);
+  freq_trunc_.resize(batch * prob_.hidden * prob_.modes);
+  mixed_.resize(batch * prob_.out_dim * prob_.modes);
+  mixed_full_.resize(batch * prob_.out_dim * prob_.n);
+  prob_.batch = batch;
+}
+
 void BaselinePipeline1d::run_batched(std::span<const c32> u, std::span<const c32> w,
                                      std::span<c32> v, std::size_t batch) {
-  if (batch > prob_.batch) {
-    throw std::invalid_argument("BaselinePipeline1d: micro-batch exceeds the planned capacity");
-  }
+  check_spans(prob_, u, v, batch);
+  reserve(batch);
   counters_.clear();
   if (batch == 0) return;
   const auto [B, K, O, N, M] =

@@ -23,9 +23,13 @@ class BaselinePipeline1d {
   /// u [batch, hidden, n] -> v [batch, out_dim, n]; w [out_dim, hidden].
   /// Refreshes counters() on every call.
   void run(std::span<const c32> u, std::span<const c32> w, std::span<c32> v);
-  /// Serving entry point: first `batch` (<= problem().batch) signals only.
+  /// Serving entry point: runs the first `batch` signals; capacities beyond
+  /// problem().batch grow the intermediates in place (see reserve).
   void run_batched(std::span<const c32> u, std::span<const c32> w, std::span<c32> v,
                    std::size_t batch);
+  /// Grows the full-size intermediates so micro-batches up to `batch` run
+  /// without a reallocation; problem().batch becomes the high-water capacity.
+  void reserve(std::size_t batch);
 
   [[nodiscard]] const trace::PipelineCounters& counters() const noexcept { return counters_; }
   [[nodiscard]] const Spectral1dProblem& problem() const noexcept { return prob_; }

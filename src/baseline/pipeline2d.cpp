@@ -18,6 +18,13 @@ fft::Plan2dDesc full2d(std::size_t nx, std::size_t ny, fft::Direction dir) {
   return d;
 }
 
+void check_spans(const Spectral2dProblem& prob, std::span<const c32> u, std::span<c32> v,
+                 std::size_t batch) {
+  const std::size_t field = prob.nx * prob.ny;
+  check_batch_spans(u.size(), v.size(), prob.hidden * field, prob.out_dim * field, batch,
+                    "BaselinePipeline2d");
+}
+
 }  // namespace
 
 BaselinePipeline2d::BaselinePipeline2d(Spectral2dProblem prob)
@@ -37,11 +44,22 @@ void BaselinePipeline2d::run(std::span<const c32> u, std::span<const c32> w, std
   run_batched(u, w, v, prob_.batch);
 }
 
+void BaselinePipeline2d::reserve(std::size_t batch) {
+  if (batch <= prob_.batch) return;
+  // Grow before bumping the capacity mark (exception safety).
+  const std::size_t field = prob_.nx * prob_.ny;
+  const std::size_t modes = prob_.modes_x * prob_.modes_y;
+  freq_full_.resize(batch * prob_.hidden * field);
+  freq_trunc_.resize(batch * prob_.hidden * modes);
+  mixed_.resize(batch * prob_.out_dim * modes);
+  mixed_full_.resize(batch * prob_.out_dim * field);
+  prob_.batch = batch;
+}
+
 void BaselinePipeline2d::run_batched(std::span<const c32> u, std::span<const c32> w,
                                      std::span<c32> v, std::size_t batch) {
-  if (batch > prob_.batch) {
-    throw std::invalid_argument("BaselinePipeline2d: micro-batch exceeds the planned capacity");
-  }
+  check_spans(prob_, u, v, batch);
+  reserve(batch);
   counters_.clear();
   if (batch == 0) return;
   const std::size_t B = batch;

@@ -21,9 +21,13 @@ class BaselinePipeline2d {
   /// u [batch, hidden, nx, ny] -> v [batch, out_dim, nx, ny];
   /// w [out_dim, hidden].  Refreshes counters() per call.
   void run(std::span<const c32> u, std::span<const c32> w, std::span<c32> v);
-  /// Serving entry point: first `batch` (<= problem().batch) fields only.
+  /// Serving entry point: runs the first `batch` fields; capacities beyond
+  /// problem().batch grow the intermediates in place (see reserve).
   void run_batched(std::span<const c32> u, std::span<const c32> w, std::span<c32> v,
                    std::size_t batch);
+  /// Grows the full-size intermediates so micro-batches up to `batch` run
+  /// without a reallocation; problem().batch becomes the high-water capacity.
+  void reserve(std::size_t batch);
 
   [[nodiscard]] const trace::PipelineCounters& counters() const noexcept { return counters_; }
   [[nodiscard]] const Spectral2dProblem& problem() const noexcept { return prob_; }

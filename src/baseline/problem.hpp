@@ -12,8 +12,23 @@
 
 #include <cstddef>
 #include <stdexcept>
+#include <string>
 
 namespace turbofno::baseline {
+
+/// Shared guard of the pipelines' batched entry points: capacity is
+/// elastic, so the only invalid batch is one the caller's own buffers
+/// cannot hold.  Division (not batch * per_item, which can wrap for
+/// absurd batch values) keeps the comparison overflow-safe; per-item
+/// counts are non-zero by problem validation.
+inline void check_batch_spans(std::size_t u_elems, std::size_t v_elems,
+                              std::size_t in_per_item, std::size_t out_per_item,
+                              std::size_t batch, const char* who) {
+  if (u_elems / in_per_item < batch || v_elems / out_per_item < batch) {
+    throw std::invalid_argument(std::string(who) +
+                                ": buffer smaller than batch * per-item elems");
+  }
+}
 
 struct Spectral1dProblem {
   std::size_t batch = 0;    // number of signals (paper's BS)

@@ -1,31 +1,68 @@
-// TurboFNO public API — single include for downstream users.
+// TurboFNO public API v2 — curated, versioned facade.
 //
 //   #include "core/api.hpp"
 //
-//   turbofno::core::Fno1dConfig cfg;
-//   turbofno::core::Fno1d model(cfg, /*batch=*/16);
-//   model.forward(input, output);
+//   turbofno::Engine engine;
+//   const auto model = engine.register_model(turbofno::Fno1dConfig{});
+//   auto session = engine.create_session(model, /*capacity_hint=*/8);
+//   session.run(input, output, /*batch=*/3);   // any batch; capacity is elastic
 //
-// Layers, pipelines, FFT plans, and the GEMM are also usable directly; see
-// the per-module headers pulled in below.
+// This header exports exactly the supported surface: Engine/Session, the
+// model configs (Backend::Auto included), the direct Fno models, weight
+// serialization, the serving layer, and the tracing vocabulary.  Deeper
+// layers (fft/, gemm/, fused/ pipelines, gpusim/) remain available through
+// their own headers but are not part of the v2 compatibility surface.
+//
+// v1 -> v2 migration (see README "Public API v2" for the full table):
+//   Fno1d(cfg, batch)                  -> Fno1d(cfg) + reserve(batch), or an
+//                                         Engine session (deprecated shim kept)
+//   make_pipeline1d(variant, prob)     -> unchanged, or Backend::Auto via configs
+//   InferenceServer::submit(id, vec)   -> unchanged (now a thin wrapper over the
+//                                         zero-copy span submission)
+//
+// Deprecated entry points compile with warnings until TURBOFNO_API_VERSION 3.
 #pragma once
 
-#include "baseline/pipeline1d.hpp"    // IWYU pragma: export
-#include "baseline/pipeline2d.hpp"    // IWYU pragma: export
-#include "baseline/problem.hpp"       // IWYU pragma: export
+// Major version of the public surface below.  Bumped when a deprecated
+// entry point is removed or an exported type changes incompatibly.
+#define TURBOFNO_API_VERSION 2
+
 #include "core/config.hpp"            // IWYU pragma: export
+#include "core/engine.hpp"            // IWYU pragma: export
 #include "core/fno.hpp"               // IWYU pragma: export
+#include "core/serialize.hpp"         // IWYU pragma: export
 #include "core/spectral_conv.hpp"     // IWYU pragma: export
 #include "core/workload.hpp"          // IWYU pragma: export
-#include "fft/fft2d.hpp"              // IWYU pragma: export
-#include "fft/plan.hpp"               // IWYU pragma: export
-#include "fft/plan_cache.hpp"         // IWYU pragma: export
 #include "fused/ladder.hpp"           // IWYU pragma: export
-#include "gemm/cgemm.hpp"             // IWYU pragma: export
-#include "gpusim/cost_model.hpp"      // IWYU pragma: export
-#include "gpusim/layouts.hpp"         // IWYU pragma: export
-#include "gpusim/pipeline_model.hpp"  // IWYU pragma: export
 #include "serve/server.hpp"           // IWYU pragma: export
+#include "tensor/complex.hpp"         // IWYU pragma: export
 #include "tensor/tensor.hpp"          // IWYU pragma: export
 #include "trace/counters.hpp"         // IWYU pragma: export
 #include "trace/table.hpp"            // IWYU pragma: export
+
+namespace turbofno {
+
+// The curated v2 surface, re-exported at the top level.
+using core::Backend;          // = fused::Variant, including Backend::Auto
+using core::Engine;
+using core::EngineOptions;
+using core::Fno1d;
+using core::Fno1dConfig;
+using core::Fno2d;
+using core::Fno2dConfig;
+using core::ModelHandle;
+using core::Session;
+using core::WeightBundle;
+using core::WeightScheme;
+using core::gather_weights;
+using core::load_bundle;
+using core::load_bundle_file;
+using core::save_bundle;
+using core::save_bundle_file;
+using core::scatter_weights;
+
+// The v1 entry points themselves (the batch-frozen Fno1d/Fno2d
+// constructors) keep compiling with [[deprecated]] warnings — see
+// core/fno.hpp.  Removal horizon: TURBOFNO_API_VERSION 3.
+
+}  // namespace turbofno

@@ -1,0 +1,129 @@
+#include "core/engine.hpp"
+
+#include <utility>
+
+#include "fft/plan_cache.hpp"
+#include "runtime/parallel.hpp"
+
+namespace turbofno::core {
+
+Engine::Engine(const EngineOptions& opts) : opts_(opts) {
+  if (opts_.threads > 0) runtime::set_thread_count(opts_.threads);
+  if (opts_.plan_cache_capacity > 0) fft::set_plan_cache_capacity(opts_.plan_cache_capacity);
+}
+
+ModelHandle Engine::add_spec(std::shared_ptr<const detail::ModelSpec> spec) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  specs_.push_back(std::move(spec));
+  return specs_.size() - 1;
+}
+
+std::shared_ptr<const detail::ModelSpec> Engine::spec(ModelHandle m) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return specs_.at(m);
+}
+
+ModelHandle Engine::register_model(const Fno1dConfig& cfg) {
+  auto s = std::make_shared<detail::ModelSpec>();
+  s->is_2d = false;
+  s->cfg1 = cfg;
+  s->in_elems = cfg.in_channels * cfg.n;
+  s->out_elems = cfg.out_channels * cfg.n;
+  return add_spec(std::move(s));
+}
+
+ModelHandle Engine::register_model(const Fno2dConfig& cfg) {
+  auto s = std::make_shared<detail::ModelSpec>();
+  s->is_2d = true;
+  s->cfg2 = cfg;
+  s->in_elems = cfg.in_channels * cfg.nx * cfg.ny;
+  s->out_elems = cfg.out_channels * cfg.nx * cfg.ny;
+  return add_spec(std::move(s));
+}
+
+ModelHandle Engine::load_model(const Fno1dConfig& cfg, const WeightBundle& weights) {
+  // Validate up front by scattering into a capacity-1 probe model: a
+  // missing tensor or architecture mismatch throws here instead of at
+  // first use.  Constructing the probe is not free (it builds the layer
+  // pipelines), but registration is a cold path and the probe guarantees
+  // validation can never drift from what scatter_weights actually needs.
+  Fno1d probe(cfg);
+  scatter_weights(probe, weights);
+  auto s = std::make_shared<detail::ModelSpec>();
+  s->is_2d = false;
+  s->cfg1 = cfg;
+  s->weights = weights;
+  s->has_weights = true;
+  s->in_elems = cfg.in_channels * cfg.n;
+  s->out_elems = cfg.out_channels * cfg.n;
+  return add_spec(std::move(s));
+}
+
+ModelHandle Engine::load_model(const Fno2dConfig& cfg, const WeightBundle& weights) {
+  Fno2d probe(cfg);
+  scatter_weights(probe, weights);
+  auto s = std::make_shared<detail::ModelSpec>();
+  s->is_2d = true;
+  s->cfg2 = cfg;
+  s->weights = weights;
+  s->has_weights = true;
+  s->in_elems = cfg.in_channels * cfg.nx * cfg.ny;
+  s->out_elems = cfg.out_channels * cfg.nx * cfg.ny;
+  return add_spec(std::move(s));
+}
+
+Session Engine::create_session(ModelHandle model, std::size_t capacity_hint) const {
+  return Session(spec(model), capacity_hint);
+}
+
+std::size_t Engine::model_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return specs_.size();
+}
+
+bool Engine::model_is_2d(ModelHandle m) const { return spec(m)->is_2d; }
+std::size_t Engine::input_elems(ModelHandle m) const { return spec(m)->in_elems; }
+std::size_t Engine::output_elems(ModelHandle m) const { return spec(m)->out_elems; }
+
+// ---------------------------------------------------------------- Session
+
+Session::Session(std::shared_ptr<const detail::ModelSpec> spec, std::size_t capacity_hint)
+    : spec_(std::move(spec)) {
+  if (spec_->is_2d) {
+    m2_ = std::make_unique<Fno2d>(spec_->cfg2);
+    if (spec_->has_weights) scatter_weights(*m2_, spec_->weights);
+    m2_->reserve(capacity_hint);
+  } else {
+    m1_ = std::make_unique<Fno1d>(spec_->cfg1);
+    if (spec_->has_weights) scatter_weights(*m1_, spec_->weights);
+    m1_->reserve(capacity_hint);
+  }
+}
+
+void Session::run(std::span<const c32> u, std::span<c32> v, std::size_t batch) {
+  // Buffer-vs-batch validation happens in the model's forward (one frame
+  // below) — one guard, one message, no drift.
+  if (m1_) {
+    m1_->forward(u, v, batch);
+  } else {
+    m2_->forward(u, v, batch);
+  }
+}
+
+void Session::reserve(std::size_t batch) {
+  if (m1_) {
+    m1_->reserve(batch);
+  } else {
+    m2_->reserve(batch);
+  }
+}
+
+std::size_t Session::capacity() const noexcept {
+  return m1_ ? m1_->capacity() : m2_->capacity();
+}
+
+WeightBundle Session::gather() const {
+  return m1_ ? gather_weights(*m1_) : gather_weights(*m2_);
+}
+
+}  // namespace turbofno::core

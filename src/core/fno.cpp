@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "baseline/problem.hpp"
+
 #include "runtime/parallel.hpp"
 
 namespace turbofno::core {
@@ -43,11 +45,17 @@ void relu_inplace(std::span<c32> x) {
 
 // ----------------------------------------------------------------- Fno1d
 
-Fno1d::Fno1d(const Fno1dConfig& cfg, std::size_t batch)
+Fno1d::Fno1d(const Fno1dConfig& cfg)
     : cfg_(cfg),
-      batch_(batch),
+      batch_(1),
       lift_(cfg.in_channels, cfg.hidden, cfg.seed),
       project_(cfg.hidden, cfg.out_channels, cfg.seed + 1000003u) {
+  // hidden/n/modes are validated by the spectral layers' problem; the
+  // physical channel counts are only consumed here, so guard them here
+  // (the per-item element counts divide the buffer checks).
+  if (cfg_.in_channels == 0 || cfg_.out_channels == 0) {
+    throw std::invalid_argument("Fno1d: in_channels/out_channels must be non-zero");
+  }
   spectral_.reserve(cfg_.layers);
   residual_.reserve(cfg_.layers);
   for (std::size_t l = 0; l < cfg_.layers; ++l) {
@@ -61,14 +69,25 @@ Fno1d::Fno1d(const Fno1dConfig& cfg, std::size_t batch)
   hres_.resize(hid);
 }
 
+void Fno1d::reserve(std::size_t batch) {
+  if (batch <= batch_) return;
+  // Grow everything before bumping the capacity mark (exception safety).
+  for (auto& layer : spectral_) layer.reserve(batch);
+  const std::size_t hid = batch * cfg_.hidden * cfg_.n;
+  h0_.resize(hid);
+  h1_.resize(hid);
+  hres_.resize(hid);
+  batch_ = batch;
+}
+
 void Fno1d::forward(std::span<const c32> u, std::span<c32> v) {
   forward(u, v, batch_);
 }
 
 void Fno1d::forward(std::span<const c32> u, std::span<c32> v, std::size_t batch) {
-  if (batch > batch_) {
-    throw std::invalid_argument("Fno1d: micro-batch exceeds the planned capacity");
-  }
+  baseline::check_batch_spans(u.size(), v.size(), cfg_.in_channels * cfg_.n,
+                              cfg_.out_channels * cfg_.n, batch, "Fno1d");
+  reserve(batch);
   if (batch == 0) return;
   const std::size_t spatial = cfg_.n;
   const std::size_t hid = batch * cfg_.hidden * spatial;
@@ -100,11 +119,14 @@ void Fno1d::forward(std::span<const c32> u, std::span<c32> v, std::size_t batch)
 
 // ----------------------------------------------------------------- Fno2d
 
-Fno2d::Fno2d(const Fno2dConfig& cfg, std::size_t batch)
+Fno2d::Fno2d(const Fno2dConfig& cfg)
     : cfg_(cfg),
-      batch_(batch),
+      batch_(1),
       lift_(cfg.in_channels, cfg.hidden, cfg.seed),
       project_(cfg.hidden, cfg.out_channels, cfg.seed + 1000003u) {
+  if (cfg_.in_channels == 0 || cfg_.out_channels == 0) {
+    throw std::invalid_argument("Fno2d: in_channels/out_channels must be non-zero");
+  }
   spectral_.reserve(cfg_.layers);
   residual_.reserve(cfg_.layers);
   for (std::size_t l = 0; l < cfg_.layers; ++l) {
@@ -119,16 +141,27 @@ Fno2d::Fno2d(const Fno2dConfig& cfg, std::size_t batch)
   hres_.resize(hid);
 }
 
+void Fno2d::reserve(std::size_t batch) {
+  if (batch <= batch_) return;
+  for (auto& layer : spectral_) layer.reserve(batch);
+  const std::size_t hid = batch * cfg_.hidden * cfg_.nx * cfg_.ny;
+  h0_.resize(hid);
+  h1_.resize(hid);
+  hres_.resize(hid);
+  batch_ = batch;
+}
+
 void Fno2d::forward(std::span<const c32> u, std::span<c32> v) {
   forward(u, v, batch_);
 }
 
 void Fno2d::forward(std::span<const c32> u, std::span<c32> v, std::size_t batch) {
-  if (batch > batch_) {
-    throw std::invalid_argument("Fno2d: micro-batch exceeds the planned capacity");
-  }
+  const std::size_t field = cfg_.nx * cfg_.ny;
+  baseline::check_batch_spans(u.size(), v.size(), cfg_.in_channels * field,
+                              cfg_.out_channels * field, batch, "Fno2d");
+  reserve(batch);
   if (batch == 0) return;
-  const std::size_t spatial = cfg_.nx * cfg_.ny;
+  const std::size_t spatial = field;
   const std::size_t hid = batch * cfg_.hidden * spatial;
   const auto h0 = h0_.span().first(hid);
   const auto h1 = h1_.span().first(hid);

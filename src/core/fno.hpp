@@ -31,7 +31,12 @@ class PointwiseLinear {
   void forward(std::span<const c32> u, std::span<c32> v, std::size_t batch,
                std::size_t spatial) const;
 
+  /// Mutable weight access [out, in].  Weight-invalidating: writing through
+  /// this span changes what subsequent forwards compute, and any derived
+  /// state a caller packed from the old values (split/SoA weight planes)
+  /// must be re-derived.  Use the const overload for read-only access.
   [[nodiscard]] std::span<c32> weights() noexcept { return w_.span(); }
+  [[nodiscard]] std::span<const c32> weights() const noexcept { return w_.span(); }
   [[nodiscard]] std::size_t in_channels() const noexcept { return in_; }
   [[nodiscard]] std::size_t out_channels() const noexcept { return out_; }
 
@@ -46,19 +51,51 @@ void relu_inplace(std::span<c32> x);
 
 class Fno1d {
  public:
-  /// `batch` is fixed at construction (pipelines pre-plan their workspaces).
-  Fno1d(const Fno1dConfig& cfg, std::size_t batch);
+  /// Capacity is elastic: the model starts sized for one signal and grows
+  /// its workspaces on demand (reserve / a larger forward micro-batch).
+  explicit Fno1d(const Fno1dConfig& cfg);
+  /// v1 spelling with an up-front capacity.  `batch` is now only a
+  /// reservation hint (equivalent to Fno1d(cfg) + reserve(batch)), not a
+  /// frozen contract.  Removal horizon: TURBOFNO_API_VERSION 3.
+  [[deprecated(
+      "TurboFNO API v2: batch capacity is elastic — use Fno1d(cfg) (+ reserve), or serve "
+      "through turbofno::Engine sessions")]]
+  Fno1d(const Fno1dConfig& cfg, std::size_t batch) : Fno1d(cfg) {
+    reserve(batch);
+  }
 
-  /// u [batch, in_channels, n] -> v [batch, out_channels, n].
+  /// u [batch, in_channels, n] -> v [batch, out_channels, n] over the
+  /// current capacity (see capacity()).
   void forward(std::span<const c32> u, std::span<c32> v);
-  /// Micro-batch variant for the serving layer: first `batch` (<= the
-  /// planned capacity) signals; per-signal results are bitwise-identical
-  /// to a batch-1 forward.
+  /// Micro-batch variant for the serving layer: first `batch` signals; a
+  /// batch beyond the current capacity grows the workspaces in place.
+  /// Per-signal results are bitwise-identical to a batch-1 forward.
   void forward(std::span<const c32> u, std::span<c32> v, std::size_t batch);
 
+  /// Grows the hidden-state workspaces (and every layer's) so forwards up
+  /// to `batch` run without reallocation.  Never shrinks; growth does not
+  /// perturb results or weights.
+  void reserve(std::size_t batch);
+
   [[nodiscard]] const Fno1dConfig& config() const noexcept { return cfg_; }
+  /// Current capacity high-water mark (grows, never shrinks).
+  [[nodiscard]] std::size_t capacity() const noexcept { return batch_; }
   [[nodiscard]] std::size_t batch() const noexcept { return batch_; }
+
+  /// Mutable layer access.  Weight-invalidating (see PointwiseLinear::
+  /// weights): use the const overloads when only reading.
   [[nodiscard]] std::vector<SpectralConv1d>& spectral_layers() noexcept { return spectral_; }
+  [[nodiscard]] const std::vector<SpectralConv1d>& spectral_layers() const noexcept {
+    return spectral_;
+  }
+  [[nodiscard]] PointwiseLinear& lift() noexcept { return lift_; }
+  [[nodiscard]] const PointwiseLinear& lift() const noexcept { return lift_; }
+  [[nodiscard]] std::vector<PointwiseLinear>& residual_layers() noexcept { return residual_; }
+  [[nodiscard]] const std::vector<PointwiseLinear>& residual_layers() const noexcept {
+    return residual_;
+  }
+  [[nodiscard]] PointwiseLinear& projection() noexcept { return project_; }
+  [[nodiscard]] const PointwiseLinear& projection() const noexcept { return project_; }
 
  private:
   Fno1dConfig cfg_;
@@ -74,16 +111,41 @@ class Fno1d {
 
 class Fno2d {
  public:
-  Fno2d(const Fno2dConfig& cfg, std::size_t batch);
+  /// Elastic capacity; see Fno1d.
+  explicit Fno2d(const Fno2dConfig& cfg);
+  /// v1 spelling; see the Fno1d two-argument constructor.
+  [[deprecated(
+      "TurboFNO API v2: batch capacity is elastic — use Fno2d(cfg) (+ reserve), or serve "
+      "through turbofno::Engine sessions")]]
+  Fno2d(const Fno2dConfig& cfg, std::size_t batch) : Fno2d(cfg) {
+    reserve(batch);
+  }
 
   /// u [batch, in_channels, nx, ny] -> v [batch, out_channels, nx, ny].
   void forward(std::span<const c32> u, std::span<c32> v);
-  /// Micro-batch variant; see Fno1d::forward.
+  /// Micro-batch variant; see Fno1d::forward (elastic growth included).
   void forward(std::span<const c32> u, std::span<c32> v, std::size_t batch);
 
+  /// Elastic capacity growth; see Fno1d::reserve.
+  void reserve(std::size_t batch);
+
   [[nodiscard]] const Fno2dConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return batch_; }
   [[nodiscard]] std::size_t batch() const noexcept { return batch_; }
+
+  /// Mutable layer access is weight-invalidating; see Fno1d.
   [[nodiscard]] std::vector<SpectralConv2d>& spectral_layers() noexcept { return spectral_; }
+  [[nodiscard]] const std::vector<SpectralConv2d>& spectral_layers() const noexcept {
+    return spectral_;
+  }
+  [[nodiscard]] PointwiseLinear& lift() noexcept { return lift_; }
+  [[nodiscard]] const PointwiseLinear& lift() const noexcept { return lift_; }
+  [[nodiscard]] std::vector<PointwiseLinear>& residual_layers() noexcept { return residual_; }
+  [[nodiscard]] const std::vector<PointwiseLinear>& residual_layers() const noexcept {
+    return residual_;
+  }
+  [[nodiscard]] PointwiseLinear& projection() noexcept { return project_; }
+  [[nodiscard]] const PointwiseLinear& projection() const noexcept { return project_; }
 
  private:
   Fno2dConfig cfg_;

@@ -122,20 +122,65 @@ void restore(std::span<c32> dst, const WeightBundle& bundle, const std::string& 
 
 }  // namespace
 
-WeightBundle gather_weights(Fno1d& model) {
+namespace {
+
+// Shared across Fno1d/Fno2d: both expose the same learnable surface
+// (lift / spectral.<l> / residual.<l> / project).
+template <class Model>
+WeightBundle gather_impl(const Model& model) {
   WeightBundle b;
-  auto& layers = model.spectral_layers();
+  b.entries.push_back(snapshot("lift", model.lift().weights()));
+  const auto& layers = model.spectral_layers();
   for (std::size_t l = 0; l < layers.size(); ++l) {
     b.entries.push_back(snapshot("spectral." + std::to_string(l), layers[l].weights()));
   }
+  const auto& residuals = model.residual_layers();
+  for (std::size_t l = 0; l < residuals.size(); ++l) {
+    b.entries.push_back(snapshot("residual." + std::to_string(l), residuals[l].weights()));
+  }
+  b.entries.push_back(snapshot("project", model.projection().weights()));
   return b;
 }
 
-void scatter_weights(Fno1d& model, const WeightBundle& bundle) {
+template <class Model>
+void scatter_impl(Model& model, const WeightBundle& bundle) {
+  // Bundles written before checkpoints were complete carried only the
+  // spectral tensors; surface that as a migration error, not a generic
+  // missing-tensor one.  (The container format itself is unchanged, so
+  // kBundleVersion stays at 1.)
+  if (bundle.find("lift") == nullptr && bundle.find("spectral.0") != nullptr) {
+    throw std::runtime_error(
+        "weight bundle: spectral-only checkpoint from an older writer; re-save it with "
+        "gather_weights to include the lift/residual/project tensors");
+  }
+  restore(model.lift().weights(), bundle, "lift");
   auto& layers = model.spectral_layers();
   for (std::size_t l = 0; l < layers.size(); ++l) {
     restore(layers[l].weights(), bundle, "spectral." + std::to_string(l));
   }
+  auto& residuals = model.residual_layers();
+  for (std::size_t l = 0; l < residuals.size(); ++l) {
+    restore(residuals[l].weights(), bundle, "residual." + std::to_string(l));
+  }
+  restore(model.projection().weights(), bundle, "project");
+  // Every restore above found its tensor; if the bundle holds MORE entries
+  // than the model consumes, it was gathered from a deeper architecture
+  // (e.g. more layers) — dropping the extras silently would serve weights
+  // matching no valid model, so reject it.
+  const std::size_t consumed = 2 + layers.size() + residuals.size();
+  if (bundle.entries.size() > consumed) {
+    throw std::runtime_error("weight bundle: " +
+                             std::to_string(bundle.entries.size() - consumed) +
+                             " unconsumed tensor(s) — checkpoint from a deeper architecture");
+  }
 }
+
+}  // namespace
+
+WeightBundle gather_weights(const Fno1d& model) { return gather_impl(model); }
+WeightBundle gather_weights(const Fno2d& model) { return gather_impl(model); }
+
+void scatter_weights(Fno1d& model, const WeightBundle& bundle) { scatter_impl(model, bundle); }
+void scatter_weights(Fno2d& model, const WeightBundle& bundle) { scatter_impl(model, bundle); }
 
 }  // namespace turbofno::core

@@ -38,11 +38,16 @@ WeightBundle load_bundle(std::span<const std::uint8_t> bytes);
 void save_bundle_file(const WeightBundle& bundle, const std::string& path);
 WeightBundle load_bundle_file(const std::string& path);
 
-/// Gathers every learnable tensor of a model ("spectral.0", "lift", ...).
-WeightBundle gather_weights(Fno1d& model);
+/// Gathers every learnable tensor of a model: "lift", "spectral.<l>",
+/// "residual.<l>", and "project".  A bundle produced here is a complete
+/// checkpoint — scattering it into a fresh model of the same architecture
+/// reproduces the source model's outputs bitwise.
+WeightBundle gather_weights(const Fno1d& model);
+WeightBundle gather_weights(const Fno2d& model);
 /// Writes a bundle's tensors back into the model; throws on any missing
 /// name or size mismatch (a checkpoint for a different architecture).
 void scatter_weights(Fno1d& model, const WeightBundle& bundle);
+void scatter_weights(Fno2d& model, const WeightBundle& bundle);
 
 inline constexpr std::uint32_t kBundleVersion = 1;
 

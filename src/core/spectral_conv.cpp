@@ -49,10 +49,27 @@ void SpectralConv1d::forward(std::span<const c32> u, std::span<c32> v) {
 
 void SpectralConv1d::forward(std::span<const c32> u, std::span<c32> v, std::size_t batch) {
   if (scheme_ == WeightScheme::Shared) {
+    // Validate before reserving so a wild batch value throws instead of
+    // attempting a batch-proportional allocation.
+    baseline::check_batch_spans(u.size(), v.size(), prob_.hidden * prob_.n,
+                                prob_.out_dim * prob_.n, batch, "SpectralConv1d");
+    reserve(batch);
     pipeline_->run_batched(u, weights_.span(), v, batch);
   } else {
     forward_per_mode(u, v, batch);
   }
+}
+
+void SpectralConv1d::reserve(std::size_t batch) {
+  if (batch <= prob_.batch) return;
+  if (scheme_ == WeightScheme::Shared) {
+    pipeline_->reserve(batch);
+  } else {
+    // Grow before bumping the capacity mark (exception safety).
+    freq_.resize(batch * prob_.hidden * prob_.modes);
+    mixed_.resize(batch * prob_.out_dim * prob_.modes);
+  }
+  prob_.batch = batch;
 }
 
 const trace::PipelineCounters& SpectralConv1d::counters() const {
@@ -61,9 +78,10 @@ const trace::PipelineCounters& SpectralConv1d::counters() const {
 
 void SpectralConv1d::forward_per_mode(std::span<const c32> u, std::span<c32> v,
                                       std::size_t batch) {
-  if (batch > prob_.batch) {
-    throw std::invalid_argument("SpectralConv1d: micro-batch exceeds the planned capacity");
-  }
+  baseline::check_batch_spans(u.size(), v.size(), prob_.hidden * prob_.n,
+                              prob_.out_dim * prob_.n, batch, "SpectralConv1d");
+  reserve(batch);
+  if (batch == 0) return;
   const std::size_t B = batch;
   const std::size_t K = prob_.hidden;
   const std::size_t O = prob_.out_dim;
@@ -141,7 +159,16 @@ void SpectralConv2d::forward(std::span<const c32> u, std::span<c32> v) {
 }
 
 void SpectralConv2d::forward(std::span<const c32> u, std::span<c32> v, std::size_t batch) {
+  const std::size_t field = prob_.nx * prob_.ny;
+  baseline::check_batch_spans(u.size(), v.size(), prob_.hidden * field, prob_.out_dim * field,
+                              batch, "SpectralConv2d");
+  reserve(batch);
   pipeline_->run_batched(u, weights_.span(), v, batch);
+}
+
+void SpectralConv2d::reserve(std::size_t batch) {
+  pipeline_->reserve(batch);
+  if (batch > prob_.batch) prob_.batch = batch;
 }
 
 const trace::PipelineCounters& SpectralConv2d::counters() const { return pipeline_->counters(); }

@@ -31,9 +31,16 @@ class SpectralConv1d {
 
   /// u [batch, hidden, n] -> v [batch, out_dim, n].
   void forward(std::span<const c32> u, std::span<c32> v);
-  /// Micro-batch variant: first `batch` (<= planned batch) signals only.
+  /// Micro-batch variant: first `batch` signals; a batch beyond the current
+  /// capacity grows the workspaces in place (elastic capacity).
   void forward(std::span<const c32> u, std::span<c32> v, std::size_t batch);
+  /// Grows the layer (pipeline workspaces / per-mode buffers) to serve
+  /// micro-batches up to `batch` without reallocation.  Never shrinks.
+  void reserve(std::size_t batch);
 
+  /// Mutable weight access is weight-invalidating (packed/split planes a
+  /// caller derived from the old values must be re-derived); prefer the
+  /// const overload for reads.
   [[nodiscard]] std::span<c32> weights() noexcept { return weights_.span(); }
   [[nodiscard]] std::span<const c32> weights() const noexcept { return weights_.span(); }
   [[nodiscard]] const baseline::Spectral1dProblem& problem() const noexcept { return prob_; }
@@ -65,9 +72,13 @@ class SpectralConv2d {
 
   /// u [batch, hidden, nx, ny] -> v [batch, out_dim, nx, ny].
   void forward(std::span<const c32> u, std::span<c32> v);
-  /// Micro-batch variant: first `batch` (<= planned batch) fields only.
+  /// Micro-batch variant: first `batch` fields; elastic capacity growth as
+  /// in SpectralConv1d.
   void forward(std::span<const c32> u, std::span<c32> v, std::size_t batch);
+  /// Elastic capacity growth; see SpectralConv1d::reserve.
+  void reserve(std::size_t batch);
 
+  /// Mutable weight access is weight-invalidating; see SpectralConv1d.
   [[nodiscard]] std::span<c32> weights() noexcept { return weights_.span(); }
   [[nodiscard]] std::span<const c32> weights() const noexcept { return weights_.span(); }
   [[nodiscard]] const baseline::Spectral2dProblem& problem() const noexcept { return prob_; }

@@ -4,6 +4,9 @@
 #include "baseline/pipeline2d.hpp"
 #include "fused/pipeline1d.hpp"
 #include "fused/pipeline2d.hpp"
+#include "gemm/config.hpp"
+#include "runtime/env.hpp"
+#include "tensor/simd.hpp"
 
 namespace turbofno::fused {
 
@@ -19,8 +22,81 @@ std::string_view variant_name(Variant v) noexcept {
       return "FFT+Fused_GEMM_iFFT";
     case Variant::FullyFused:
       return "Fused_FFT_GEMM_iFFT";
+    case Variant::Auto:
+      return "Auto";
   }
   return "?";
+}
+
+namespace {
+
+// Cache budget the Auto heuristic assumes for the fused per-task working
+// set.  Half of a typical 2 MiB per-core L2: the fused loops want their
+// accumulator planes resident *alongside* the streaming input tile.
+std::size_t auto_l2_budget() noexcept {
+  static const std::size_t budget = static_cast<std::size_t>(runtime::env_long_clamped(
+      "TURBOFNO_AUTO_L2", 1 << 20, 1 << 14, 1 << 28));
+  return budget;
+}
+
+// Bytes one fused 1D task keeps hot per signal: the split accumulator
+// planes (2 float planes of out_dim x ld), the k-tile and its split planes,
+// and the FFT scratch (2n c32).
+std::size_t fused_task_bytes_1d(const baseline::Spectral1dProblem& p) noexcept {
+  const std::size_t ld = simd::round_up_lanes(p.modes);
+  const std::size_t acc = 2 * p.out_dim * ld * sizeof(float);
+  const std::size_t tile =
+      gemm::FusedTiles::Ktb * ld * (sizeof(c32) + 2 * sizeof(float));
+  const std::size_t fft_work = 2 * p.n * sizeof(c32);
+  return acc + tile + fft_work;
+}
+
+// Bytes one fused 2D middle task keeps hot per (batch, x-row) group: the
+// Y-direction accumulator planes and k-tile (the 1D task shape with
+// modes_y rows), which is what iterates inside the staged middle.
+std::size_t fused_task_bytes_2d(const baseline::Spectral2dProblem& p) noexcept {
+  baseline::Spectral1dProblem mid;
+  mid.batch = 1;
+  mid.hidden = p.hidden;
+  mid.out_dim = p.out_dim;
+  mid.n = p.ny;
+  mid.modes = p.modes_y;
+  return fused_task_bytes_1d(mid);
+}
+
+}  // namespace
+
+Variant auto_variant_1d(const baseline::Spectral1dProblem& p) noexcept {
+  if (fused_task_bytes_1d(p) > auto_l2_budget()) {
+    return Variant::FftOpt;  // fused accumulator would thrash; stream instead
+  }
+  if (2 * p.modes > p.n) {
+    return Variant::FusedGemmIfft;  // shallow truncation: fuse the epilogue only
+  }
+  return Variant::FullyFused;
+}
+
+Variant auto_variant_2d(const baseline::Spectral2dProblem& p) noexcept {
+  // The fused middle stages a [K+O, ny, modes_x] tile group between the X
+  // stages; if even a single field's staging outgrows the budget, the tile
+  // gathers degrade to memory streams and the unfused schedule wins.
+  const std::size_t staging =
+      (p.hidden + p.out_dim) * p.modes_x * p.ny * sizeof(c32);
+  if (staging > auto_l2_budget() || fused_task_bytes_2d(p) > auto_l2_budget()) {
+    return Variant::FftOpt;
+  }
+  if (2 * p.modes_y > p.ny) {
+    return Variant::FusedGemmIfft;
+  }
+  return Variant::FullyFused;
+}
+
+Variant resolve_variant(Variant v, const baseline::Spectral1dProblem& prob) noexcept {
+  return v == Variant::Auto ? auto_variant_1d(prob) : v;
+}
+
+Variant resolve_variant(Variant v, const baseline::Spectral2dProblem& prob) noexcept {
+  return v == Variant::Auto ? auto_variant_2d(prob) : v;
 }
 
 namespace {
@@ -38,6 +114,7 @@ class Adapter1d final : public SpectralPipeline1d {
                    std::size_t batch) override {
     impl_.run_batched(u, w, v, batch);
   }
+  void reserve(std::size_t batch) override { impl_.reserve(batch); }
   [[nodiscard]] const trace::PipelineCounters& counters() const noexcept override {
     return impl_.counters();
   }
@@ -63,6 +140,7 @@ class Adapter2d final : public SpectralPipeline2d {
                    std::size_t batch) override {
     impl_.run_batched(u, w, v, batch);
   }
+  void reserve(std::size_t batch) override { impl_.reserve(batch); }
   [[nodiscard]] const trace::PipelineCounters& counters() const noexcept override {
     return impl_.counters();
   }
@@ -80,6 +158,7 @@ class Adapter2d final : public SpectralPipeline2d {
 
 std::unique_ptr<SpectralPipeline1d> make_pipeline1d(Variant v,
                                                     const baseline::Spectral1dProblem& prob) {
+  v = resolve_variant(v, prob);
   switch (v) {
     case Variant::PyTorch:
       return std::make_unique<Adapter1d<baseline::BaselinePipeline1d>>(prob, variant_name(v));
@@ -91,12 +170,15 @@ std::unique_ptr<SpectralPipeline1d> make_pipeline1d(Variant v,
       return std::make_unique<Adapter1d<FusedGemmIfftPipeline1d>>(prob, variant_name(v));
     case Variant::FullyFused:
       return std::make_unique<Adapter1d<FullyFusedPipeline1d>>(prob, variant_name(v));
+    case Variant::Auto:
+      break;  // unreachable: resolve_variant returned a concrete row
   }
   return nullptr;
 }
 
 std::unique_ptr<SpectralPipeline2d> make_pipeline2d(Variant v,
                                                     const baseline::Spectral2dProblem& prob) {
+  v = resolve_variant(v, prob);
   switch (v) {
     case Variant::PyTorch:
       return std::make_unique<Adapter2d<baseline::BaselinePipeline2d>>(prob, variant_name(v));
@@ -108,6 +190,8 @@ std::unique_ptr<SpectralPipeline2d> make_pipeline2d(Variant v,
       return std::make_unique<Adapter2d<FusedGemmIfftPipeline2d>>(prob, variant_name(v));
     case Variant::FullyFused:
       return std::make_unique<Adapter2d<FullyFusedPipeline2d>>(prob, variant_name(v));
+    case Variant::Auto:
+      break;  // unreachable: resolve_variant returned a concrete row
   }
   return nullptr;
 }

@@ -21,28 +21,57 @@
 
 namespace turbofno::fused {
 
-enum class Variant { PyTorch, FftOpt, FusedFftGemm, FusedGemmIfft, FullyFused };
+/// The five concrete ladder rows, plus Auto: a deterministic heuristic that
+/// resolves to one of the concrete rows from the problem shape alone (see
+/// auto_variant_1d/2d).  Auto never reaches a pipeline constructor — the
+/// factories resolve it first — so results are bitwise-identical to asking
+/// for the chosen concrete variant explicitly.
+enum class Variant { PyTorch, FftOpt, FusedFftGemm, FusedGemmIfft, FullyFused, Auto };
 
 [[nodiscard]] std::string_view variant_name(Variant v) noexcept;
 
-/// All five Table 2 rows, in ladder order.
+/// All five Table 2 rows, in ladder order (Auto is a selector, not a row).
 inline constexpr Variant kAllVariants[] = {Variant::PyTorch, Variant::FftOpt,
                                            Variant::FusedFftGemm, Variant::FusedGemmIfft,
                                            Variant::FullyFused};
+
+/// The concrete variant Variant::Auto resolves to for a problem shape.
+/// Deterministic and shape-only (no runtime probing): the decision weighs
+///   - L2 residency of the fused accumulator/middle tiles: when the per-task
+///     working set of the fused k-loop outgrows the cache budget, the
+///     streaming unfused kernels (FftOpt) win;
+///   - the modes ratio: with shallow truncation (modes > n/2) the per-tile
+///     pruned forward FFT saves little over the batched plan execution, so
+///     only the pad+iFFT epilogue is worth fusing (FusedGemmIfft);
+///   - otherwise the fully fused pass wins (FullyFused).
+/// The cache budget defaults to 1 MiB and is overridable via the
+/// TURBOFNO_AUTO_L2 environment variable (bytes).
+[[nodiscard]] Variant auto_variant_1d(const baseline::Spectral1dProblem& prob) noexcept;
+[[nodiscard]] Variant auto_variant_2d(const baseline::Spectral2dProblem& prob) noexcept;
+
+/// `v` itself for concrete variants; the auto_variant_* choice for Auto.
+[[nodiscard]] Variant resolve_variant(Variant v, const baseline::Spectral1dProblem& prob) noexcept;
+[[nodiscard]] Variant resolve_variant(Variant v, const baseline::Spectral2dProblem& prob) noexcept;
 
 class SpectralPipeline1d {
  public:
   virtual ~SpectralPipeline1d() = default;
   /// u [batch, hidden, n] -> v [batch, out_dim, n]; w [out_dim, hidden].
+  /// Runs at the current capacity (problem().batch).
   virtual void run(std::span<const c32> u, std::span<const c32> w, std::span<c32> v) = 0;
-  /// Batched serving entry point: runs on the first `batch` signals only
-  /// (batch <= problem().batch, which is the planned capacity).  Workspaces,
-  /// plans, and packed weight planes are reused across calls, so a server
-  /// can execute variable-size micro-batches on one pipeline instance.
-  /// Each signal's result is bitwise-identical to a batch-1 run (no
-  /// cross-request coupling); `batch == 0` is a no-op.
+  /// Batched serving entry point: runs on the first `batch` signals.
+  /// problem().batch is a capacity *hint*, not a contract: a larger
+  /// micro-batch grows the workspaces in place (see reserve) and runs.
+  /// Workspaces, plans, and packed weight planes are reused across calls,
+  /// so a server can execute variable-size micro-batches on one pipeline
+  /// instance.  Each signal's result is bitwise-identical to a batch-1 run
+  /// (no cross-request coupling); `batch == 0` is a no-op.
   virtual void run_batched(std::span<const c32> u, std::span<const c32> w, std::span<c32> v,
                            std::size_t batch) = 0;
+  /// Grows the workspaces to serve micro-batches up to `batch` without a
+  /// reallocation on the run path; problem().batch becomes the high-water
+  /// capacity.  Never shrinks.  Growth does not perturb results.
+  virtual void reserve(std::size_t batch) = 0;
   [[nodiscard]] virtual const trace::PipelineCounters& counters() const noexcept = 0;
   [[nodiscard]] virtual std::string_view name() const noexcept = 0;
   [[nodiscard]] virtual const baseline::Spectral1dProblem& problem() const noexcept = 0;
@@ -56,11 +85,16 @@ class SpectralPipeline2d {
   /// Batched serving entry point; see SpectralPipeline1d::run_batched.
   virtual void run_batched(std::span<const c32> u, std::span<const c32> w, std::span<c32> v,
                            std::size_t batch) = 0;
+  /// Elastic capacity growth; see SpectralPipeline1d::reserve.
+  virtual void reserve(std::size_t batch) = 0;
   [[nodiscard]] virtual const trace::PipelineCounters& counters() const noexcept = 0;
   [[nodiscard]] virtual std::string_view name() const noexcept = 0;
   [[nodiscard]] virtual const baseline::Spectral2dProblem& problem() const noexcept = 0;
 };
 
+/// Pipeline factories.  Variant::Auto is resolved (resolve_variant) before
+/// construction, so the returned pipeline is always a concrete row and its
+/// name() reports the resolved choice.
 std::unique_ptr<SpectralPipeline1d> make_pipeline1d(Variant v,
                                                     const baseline::Spectral1dProblem& prob);
 std::unique_ptr<SpectralPipeline2d> make_pipeline2d(Variant v,

@@ -16,10 +16,10 @@ namespace {
 
 constexpr std::size_t kTb = gemm::FusedTiles::Ktb;  // paper Table 1: k_tb = 8
 
-void check_batch(const baseline::Spectral1dProblem& prob, std::size_t batch) {
-  if (batch > prob.batch) {
-    throw std::invalid_argument("pipeline1d: micro-batch exceeds the planned capacity");
-  }
+void check_spans(const baseline::Spectral1dProblem& prob, std::span<const c32> u,
+                 std::span<c32> v, std::size_t batch) {
+  baseline::check_batch_spans(u.size(), v.size(), prob.hidden * prob.n, prob.out_dim * prob.n,
+                              batch, "pipeline1d");
 }
 
 }  // namespace
@@ -37,9 +37,19 @@ void FftOptPipeline1d::run(std::span<const c32> u, std::span<const c32> w, std::
   run_batched(u, w, v, prob_.batch);
 }
 
+void FftOptPipeline1d::reserve(std::size_t batch) {
+  if (batch <= prob_.batch) return;
+  // Grow before bumping the capacity mark: a bad_alloc mid-reserve must
+  // not leave problem().batch claiming never-grown workspaces.
+  freq_.resize(batch * prob_.hidden * prob_.modes);
+  mixed_.resize(batch * prob_.out_dim * prob_.modes);
+  prob_.batch = batch;
+}
+
 void FftOptPipeline1d::run_batched(std::span<const c32> u, std::span<const c32> w,
                                    std::span<c32> v, std::size_t batch) {
-  check_batch(prob_, batch);
+  check_spans(prob_, u, v, batch);
+  reserve(batch);
   counters_.clear();
   if (batch == 0) return;
   const std::size_t B = batch;
@@ -100,9 +110,16 @@ void FusedFftGemmPipeline1d::run(std::span<const c32> u, std::span<const c32> w,
   run_batched(u, w, v, prob_.batch);
 }
 
+void FusedFftGemmPipeline1d::reserve(std::size_t batch) {
+  if (batch <= prob_.batch) return;
+  mixed_.resize(batch * prob_.out_dim * prob_.modes);
+  prob_.batch = batch;
+}
+
 void FusedFftGemmPipeline1d::run_batched(std::span<const c32> u, std::span<const c32> w,
                                          std::span<c32> v, std::size_t batch) {
-  check_batch(prob_, batch);
+  check_spans(prob_, u, v, batch);
+  reserve(batch);
   counters_.clear();
   if (batch == 0) return;
   const std::size_t B = batch;
@@ -177,9 +194,16 @@ void FusedGemmIfftPipeline1d::run(std::span<const c32> u, std::span<const c32> w
   run_batched(u, w, v, prob_.batch);
 }
 
+void FusedGemmIfftPipeline1d::reserve(std::size_t batch) {
+  if (batch <= prob_.batch) return;
+  freq_.resize(batch * prob_.hidden * prob_.modes);
+  prob_.batch = batch;
+}
+
 void FusedGemmIfftPipeline1d::run_batched(std::span<const c32> u, std::span<const c32> w,
                                           std::span<c32> v, std::size_t batch) {
-  check_batch(prob_, batch);
+  check_spans(prob_, u, v, batch);
+  reserve(batch);
   counters_.clear();
   if (batch == 0) return;
   const std::size_t B = batch;
@@ -254,9 +278,15 @@ void FullyFusedPipeline1d::run(std::span<const c32> u, std::span<const c32> w, s
   run_batched(u, w, v, prob_.batch);
 }
 
+void FullyFusedPipeline1d::reserve(std::size_t batch) {
+  // No batch-sized workspaces: per-task state lives in the thread arenas.
+  if (batch > prob_.batch) prob_.batch = batch;
+}
+
 void FullyFusedPipeline1d::run_batched(std::span<const c32> u, std::span<const c32> w,
                                        std::span<c32> v, std::size_t batch) {
-  check_batch(prob_, batch);
+  check_spans(prob_, u, v, batch);
+  reserve(batch);
   counters_.clear();
   if (batch == 0) return;
   const std::size_t B = batch;

@@ -25,6 +25,9 @@ class FftOptPipeline1d {
   void run(std::span<const c32> u, std::span<const c32> w, std::span<c32> v);
   void run_batched(std::span<const c32> u, std::span<const c32> w, std::span<c32> v,
                    std::size_t batch);
+  /// Grows the workspaces so micro-batches up to `batch` run without a
+  /// reallocation; problem().batch becomes the high-water capacity.
+  void reserve(std::size_t batch);
   [[nodiscard]] const trace::PipelineCounters& counters() const noexcept { return counters_; }
   [[nodiscard]] const baseline::Spectral1dProblem& problem() const noexcept { return prob_; }
 
@@ -44,6 +47,9 @@ class FusedFftGemmPipeline1d {
   void run(std::span<const c32> u, std::span<const c32> w, std::span<c32> v);
   void run_batched(std::span<const c32> u, std::span<const c32> w, std::span<c32> v,
                    std::size_t batch);
+  /// Grows the workspaces so micro-batches up to `batch` run without a
+  /// reallocation; problem().batch becomes the high-water capacity.
+  void reserve(std::size_t batch);
   [[nodiscard]] const trace::PipelineCounters& counters() const noexcept { return counters_; }
   [[nodiscard]] const baseline::Spectral1dProblem& problem() const noexcept { return prob_; }
 
@@ -62,6 +68,9 @@ class FusedGemmIfftPipeline1d {
   void run(std::span<const c32> u, std::span<const c32> w, std::span<c32> v);
   void run_batched(std::span<const c32> u, std::span<const c32> w, std::span<c32> v,
                    std::size_t batch);
+  /// Grows the workspaces so micro-batches up to `batch` run without a
+  /// reallocation; problem().batch becomes the high-water capacity.
+  void reserve(std::size_t batch);
   [[nodiscard]] const trace::PipelineCounters& counters() const noexcept { return counters_; }
   [[nodiscard]] const baseline::Spectral1dProblem& problem() const noexcept { return prob_; }
 
@@ -81,6 +90,9 @@ class FullyFusedPipeline1d {
   void run(std::span<const c32> u, std::span<const c32> w, std::span<c32> v);
   void run_batched(std::span<const c32> u, std::span<const c32> w, std::span<c32> v,
                    std::size_t batch);
+  /// Grows the workspaces so micro-batches up to `batch` run without a
+  /// reallocation; problem().batch becomes the high-water capacity.
+  void reserve(std::size_t batch);
   [[nodiscard]] const trace::PipelineCounters& counters() const noexcept { return counters_; }
   [[nodiscard]] const baseline::Spectral1dProblem& problem() const noexcept { return prob_; }
 

@@ -87,6 +87,41 @@ Pipeline2dBase::Pipeline2dBase(baseline::Spectral2dProblem prob, const char* cou
   // the schedule it actually runs.
 }
 
+void Pipeline2dBase::ensure_mid_buffers(std::size_t batch, bool fused_mid, std::size_t group) {
+  const std::size_t K = prob_.hidden;
+  const std::size_t O = prob_.out_dim;
+  const std::size_t MX = prob_.modes_x;
+  const std::size_t NY = prob_.ny;
+  if (fused_mid) {
+    const std::size_t bg = std::max<std::size_t>(group, 1);
+    ensure(staging_in_, bg * K * NY * MX);
+    ensure(staging_out_, bg * O * NY * MX);
+  } else {
+    ensure(mid_in_, batch * K * MX * NY);
+    ensure(mid_out_, batch * O * MX * NY);
+  }
+}
+
+void Pipeline2dBase::reserve(std::size_t batch) {
+  if (batch != 0) {
+    // Pre-size the active middle schedule's buffers so a batch this large
+    // triggers no allocation on the run path (mid_group() caps the fused
+    // staging at one cache-budget group).  Grow the buffers BEFORE bumping
+    // the capacity mark: a bad_alloc here must not leave problem().batch
+    // claiming workspaces that were never grown.
+    const bool fused_mid = fft::fused_mid_enabled();
+    ensure_mid_buffers(batch, fused_mid, fused_mid ? mid_group(batch) : 0);
+  }
+  if (batch > prob_.batch) prob_.batch = batch;
+}
+
+void Pipeline2dBase::check_spans(std::span<const c32> u, std::span<c32> v,
+                                 std::size_t batch) const {
+  const std::size_t field = prob_.nx * prob_.ny;
+  baseline::check_batch_spans(u.size(), v.size(), prob_.hidden * field, prob_.out_dim * field,
+                              batch, "pipeline2d");
+}
+
 std::size_t Pipeline2dBase::mid_group(std::size_t batch) const noexcept {
   if (batch == 0) return 1;
   const std::size_t ov = fused_mid_group_override();
@@ -153,11 +188,6 @@ void Pipeline2dBase::y_inverse_rows(const fft::FftPlan& plan, const MidView& mv,
   });
 }
 
-void Pipeline2dBase::check_batch(std::size_t batch) const {
-  if (batch > prob_.batch) {
-    throw std::invalid_argument("pipeline2d: micro-batch exceeds the planned capacity");
-  }
-}
 
 void Pipeline2dBase::run_fft_x_trunc(std::span<const c32> u, std::span<c32> dst,
                                      std::size_t batch) {
@@ -210,8 +240,7 @@ void Pipeline2dBase::run_mid(std::span<const c32> u, std::span<c32> v, std::size
   if (!fused_mid) {
     // Unfused middle: materialize the x-major intermediates for the whole
     // batch, exactly the PR-3 schedule.
-    ensure(mid_in_, B * K * MX * NY);
-    ensure(mid_out_, B * O * MX * NY);
+    ensure_mid_buffers(B, false, 0);
     run_fft_x_trunc(u, mid_in_.span(), B);
     MidView mv;
     mv.in = mid_in_.data();
@@ -234,8 +263,7 @@ void Pipeline2dBase::run_mid(std::span<const c32> u, std::span<c32> v, std::size
   // tiles are consumed while still cache-resident; the parallel_for inside
   // each phase keeps the worker pool busy (group * K * slab tasks).
   const std::size_t bg = std::max<std::size_t>(group, 1);
-  ensure(staging_in_, bg * K * NY * MX);
-  ensure(staging_out_, bg * O * NY * MX);
+  ensure_mid_buffers(B, true, bg);
 
   for (std::size_t b0 = 0; b0 < B; b0 += bg) {
     const std::size_t g = std::min(bg, B - b0);
@@ -300,9 +328,23 @@ void FftOptPipeline2d::run(std::span<const c32> u, std::span<const c32> w, std::
   run_batched(u, w, v, prob_.batch);
 }
 
+void FftOptPipeline2d::ensure_variant_buffers(std::size_t gcap) {
+  const std::size_t modes = prob_.modes_x * prob_.modes_y;
+  ensure(freq_, gcap * prob_.hidden * modes);
+  ensure(mixed_, gcap * prob_.out_dim * modes);
+}
+
+void FftOptPipeline2d::reserve(std::size_t batch) {
+  if (batch != 0) {
+    ensure_variant_buffers(fft::fused_mid_enabled() ? mid_group(batch) : batch);
+  }
+  Pipeline2dBase::reserve(batch);
+}
+
 void FftOptPipeline2d::run_batched(std::span<const c32> u, std::span<const c32> w,
                         std::span<c32> v, std::size_t batch) {
-  check_batch(batch);
+  check_spans(u, v, batch);
+  reserve(batch);
   counters_.clear();
   if (batch == 0) return;
   const bool fused_mid = fft::fused_mid_enabled();
@@ -315,8 +357,7 @@ void FftOptPipeline2d::run_batched(std::span<const c32> u, std::span<const c32> 
   const std::size_t modes = MX * MY;
 
   const std::size_t gcap = fused_mid ? mid_group(B) : B;
-  ensure(freq_, gcap * K * modes);
-  ensure(mixed_, gcap * O * modes);
+  ensure_variant_buffers(gcap);
 
   run_mid(u, v, B, fused_mid, gcap, [&](const MidView& mv) {
     // Stage 2: truncated FFT along Y (unfused).
@@ -374,9 +415,21 @@ void FusedFftGemmPipeline2d::run(std::span<const c32> u, std::span<const c32> w,
   run_batched(u, w, v, prob_.batch);
 }
 
+void FusedFftGemmPipeline2d::ensure_variant_buffers(std::size_t gcap) {
+  ensure(mixed_, gcap * prob_.out_dim * prob_.modes_x * prob_.modes_y);
+}
+
+void FusedFftGemmPipeline2d::reserve(std::size_t batch) {
+  if (batch != 0) {
+    ensure_variant_buffers(fft::fused_mid_enabled() ? mid_group(batch) : batch);
+  }
+  Pipeline2dBase::reserve(batch);
+}
+
 void FusedFftGemmPipeline2d::run_batched(std::span<const c32> u, std::span<const c32> w,
                         std::span<c32> v, std::size_t batch) {
-  check_batch(batch);
+  check_spans(u, v, batch);
+  reserve(batch);
   counters_.clear();
   if (batch == 0) return;
   const bool fused_mid = fft::fused_mid_enabled();
@@ -389,7 +442,7 @@ void FusedFftGemmPipeline2d::run_batched(std::span<const c32> u, std::span<const
   const std::size_t modes = MX * MY;
 
   const std::size_t gcap = fused_mid ? mid_group(B) : B;
-  ensure(mixed_, gcap * O * modes);
+  ensure_variant_buffers(gcap);
 
   run_mid(u, v, B, fused_mid, gcap, [&](const MidView& mv) {
     // Fused FFT-Y + CGEMM: one task per (batch, x-block), iterating the
@@ -486,9 +539,21 @@ void FusedGemmIfftPipeline2d::run(std::span<const c32> u, std::span<const c32> w
   run_batched(u, w, v, prob_.batch);
 }
 
+void FusedGemmIfftPipeline2d::ensure_variant_buffers(std::size_t gcap) {
+  ensure(freq_, gcap * prob_.hidden * prob_.modes_x * prob_.modes_y);
+}
+
+void FusedGemmIfftPipeline2d::reserve(std::size_t batch) {
+  if (batch != 0) {
+    ensure_variant_buffers(fft::fused_mid_enabled() ? mid_group(batch) : batch);
+  }
+  Pipeline2dBase::reserve(batch);
+}
+
 void FusedGemmIfftPipeline2d::run_batched(std::span<const c32> u, std::span<const c32> w,
                         std::span<c32> v, std::size_t batch) {
-  check_batch(batch);
+  check_spans(u, v, batch);
+  reserve(batch);
   counters_.clear();
   if (batch == 0) return;
   const bool fused_mid = fft::fused_mid_enabled();
@@ -501,7 +566,7 @@ void FusedGemmIfftPipeline2d::run_batched(std::span<const c32> u, std::span<cons
   const std::size_t modes = MX * MY;
 
   const std::size_t gcap = fused_mid ? mid_group(B) : B;
-  ensure(freq_, gcap * K * modes);
+  ensure_variant_buffers(gcap);
 
   run_mid(u, v, B, fused_mid, gcap, [&](const MidView& mv) {
     // Separate truncated FFT along Y.
@@ -596,7 +661,8 @@ void FullyFusedPipeline2d::run(std::span<const c32> u, std::span<const c32> w, s
 
 void FullyFusedPipeline2d::run_batched(std::span<const c32> u, std::span<const c32> w,
                         std::span<c32> v, std::size_t batch) {
-  check_batch(batch);
+  check_spans(u, v, batch);
+  reserve(batch);
   counters_.clear();
   if (batch == 0) return;
   const bool fused_mid = fft::fused_mid_enabled();

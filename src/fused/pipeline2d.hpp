@@ -54,6 +54,14 @@ class Pipeline2dBase {
   [[nodiscard]] const trace::PipelineCounters& counters() const noexcept { return counters_; }
   [[nodiscard]] const baseline::Spectral2dProblem& problem() const noexcept { return prob_; }
 
+  /// Elastic capacity: problem().batch is a hint, not a contract.  Bumps
+  /// the high-water capacity and pre-sizes the schedule buffers of the
+  /// *currently active* middle schedule so a batch this large runs without
+  /// reallocating (the run itself still lazily grows buffers, grow-only,
+  /// if the schedule is flipped afterwards).  Variants with their own
+  /// batch-scaled buffers shadow this and pre-size those too.
+  void reserve(std::size_t batch);
+
  protected:
   /// Strided view of one batch group's middle-stage operands.  Rows are
   /// addressed as (bl, channel, x) with bl local to the group; `*_y` is the
@@ -128,13 +136,19 @@ class Pipeline2dBase {
   /// Unfused final stage: zero-padded inverse FFT along X: src [B,O,mx,ny]
   /// -> v [B,O,nx,ny].
   void run_ifft_x_pad(std::span<const c32> src, std::span<c32> v, std::size_t batch);
-  /// Throws when a micro-batch exceeds the planned capacity.
-  void check_batch(std::size_t batch) const;
+
+  /// Throws when the caller's buffers cannot hold `batch` fields (capacity
+  /// itself is elastic; see reserve).
+  void check_spans(std::span<const c32> u, std::span<c32> v, std::size_t batch) const;
 
   /// Grow-only (re)allocation for the lazily sized schedule buffers.
   static void ensure(AlignedBuffer<c32>& buf, std::size_t elems) {
     if (buf.size() < elems) buf.resize(elems);
   }
+
+  /// Single sizing authority for the middle-schedule buffers, shared by
+  /// reserve() and run_mid() so the two can never disagree on a formula.
+  void ensure_mid_buffers(std::size_t batch, bool fused_mid, std::size_t group);
 
   baseline::Spectral2dProblem prob_;
   // X-stage plans come from the process-wide cache so concurrent pipelines
@@ -160,8 +174,11 @@ class FftOptPipeline2d : public Pipeline2dBase {
   void run(std::span<const c32> u, std::span<const c32> w, std::span<c32> v);
   void run_batched(std::span<const c32> u, std::span<const c32> w, std::span<c32> v,
                    std::size_t batch);
+  void reserve(std::size_t batch);  // also pre-sizes freq_/mixed_
 
  private:
+  void ensure_variant_buffers(std::size_t gcap);  // single sizing authority
+
   AlignedBuffer<c32> freq_;   // [group, K, mx, my]
   AlignedBuffer<c32> mixed_;  // [group, O, mx, my]
 };
@@ -173,8 +190,11 @@ class FusedFftGemmPipeline2d : public Pipeline2dBase {
   void run(std::span<const c32> u, std::span<const c32> w, std::span<c32> v);
   void run_batched(std::span<const c32> u, std::span<const c32> w, std::span<c32> v,
                    std::size_t batch);
+  void reserve(std::size_t batch);  // also pre-sizes mixed_
 
  private:
+  void ensure_variant_buffers(std::size_t gcap);
+
   AlignedBuffer<c32> mixed_;  // [group, O, mx, my]
 };
 
@@ -185,8 +205,11 @@ class FusedGemmIfftPipeline2d : public Pipeline2dBase {
   void run(std::span<const c32> u, std::span<const c32> w, std::span<c32> v);
   void run_batched(std::span<const c32> u, std::span<const c32> w, std::span<c32> v,
                    std::size_t batch);
+  void reserve(std::size_t batch);  // also pre-sizes freq_
 
  private:
+  void ensure_variant_buffers(std::size_t gcap);
+
   AlignedBuffer<c32> freq_;  // [group, K, mx, my]
 };
 

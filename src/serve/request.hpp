@@ -27,20 +27,40 @@ enum class Status {
   Ok,            // output is valid
   Rejected,      // per-model backlog was full at submission
   ShutDown,      // server stopped before this request executed
-  InvalidInput,  // input size does not match the model's input shape
+  InvalidInput,  // input/output size does not match the model's shape
 };
 
 [[nodiscard]] std::string_view status_name(Status s) noexcept;
 
+/// Two-level QoS class of a request.  High requests pop ahead of Normal
+/// ones when a micro-batch is formed; a starvation guard bounds how long a
+/// Normal request can be overtaken (BatchingPolicy::starvation_s).
+enum class Priority { High, Normal };
+
+[[nodiscard]] std::string_view priority_name(Priority p) noexcept;
+
+/// Per-request submission options.
+struct SubmitOptions {
+  Priority priority = Priority::Normal;
+};
+
 /// Knobs of the dynamic micro-batcher.
 struct BatchingPolicy {
-  /// Largest micro-batch; also each model's planned pipeline capacity.
+  /// Largest micro-batch; also each model's initial session capacity
+  /// (sessions are elastic, so this is a reservation, not a ceiling on
+  /// correctness — just on micro-batch size).
   std::size_t max_batch = 8;
   /// Deadline: a queued request waits at most this long before its model's
   /// queue is flushed as a (possibly partial) micro-batch.
   double max_delay_s = 1e-3;
-  /// Per-model backlog bound; submissions beyond it are Rejected.
+  /// Per-model backlog bound (both QoS levels combined); submissions
+  /// beyond it are Rejected.
   std::size_t queue_capacity = 4096;
+  /// Starvation guard: a queued Normal request older than this pops ahead
+  /// of younger High requests when a batch is formed.  0 picks the default
+  /// of 8 * max_delay_s, floored at 1 ms (so max_delay_s == 0 — pure
+  /// flush/size-triggered serving — cannot invert the two-level ordering).
+  double starvation_s = 0.0;
 };
 
 /// Per-request latency breakdown (seconds).
@@ -54,9 +74,12 @@ struct RequestTiming {
 struct InferResponse {
   RequestId id = 0;
   Status status = Status::Ok;
-  /// [out_channels, spatial] result; empty unless status == Ok.
+  /// [out_channels, spatial] result for *owning* submissions; empty for
+  /// zero-copy submissions (the result is in the caller's output buffer)
+  /// and on any non-Ok status.
   std::vector<c32> output;
   RequestTiming timing;
+  Priority priority = Priority::Normal;
 };
 
 /// Monotonic whole-server tallies (snapshot).
@@ -67,6 +90,8 @@ struct ServerStats {
   std::uint64_t shut_down = 0;   // completed with Status::ShutDown
   std::uint64_t batches = 0;     // micro-batches executed
   std::uint64_t batched_requests = 0;  // sum of micro-batch sizes
+  std::uint64_t high_submitted = 0;    // accepted with Priority::High
+  std::uint64_t starvation_promotions = 0;  // Normal popped ahead of High
   std::size_t max_micro_batch = 0;
 
   [[nodiscard]] double avg_micro_batch() const noexcept {

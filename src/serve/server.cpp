@@ -4,7 +4,6 @@
 #include <chrono>
 #include <cstring>
 #include <limits>
-#include <span>
 #include <stdexcept>
 #include <utility>
 
@@ -32,8 +31,20 @@ std::string_view status_name(Status s) noexcept {
   return "?";
 }
 
-InferenceServer::InferenceServer(Options opts)
-    : opts_(opts), pool_(std::max<std::size_t>(opts.workers, 1)) {
+std::string_view priority_name(Priority p) noexcept {
+  switch (p) {
+    case Priority::High:
+      return "high";
+    case Priority::Normal:
+      return "normal";
+  }
+  return "?";
+}
+
+InferenceServer::InferenceServer(Options opts, std::shared_ptr<core::Engine> engine)
+    : opts_(std::move(opts)),
+      engine_(engine ? std::move(engine) : std::make_shared<core::Engine>()),
+      pool_(std::max<std::size_t>(opts_.workers, 1)) {
   opts_.policy.max_batch = std::max<std::size_t>(opts_.policy.max_batch, 1);
   opts_.policy.queue_capacity = std::max<std::size_t>(opts_.policy.queue_capacity, 1);
   timekeeper_ = std::thread([this] { timekeeper_loop(); });
@@ -41,7 +52,20 @@ InferenceServer::InferenceServer(Options opts)
 
 InferenceServer::~InferenceServer() { stop(StopMode::Drain); }
 
+double InferenceServer::starvation_s() const noexcept {
+  if (opts_.policy.starvation_s > 0.0) return opts_.policy.starvation_s;
+  // Floor the derived default: with max_delay_s == 0 (pure flush/size-
+  // triggered serving) a zero bound would mark every queued Normal request
+  // overdue and invert the two-level ordering.
+  return std::max(8.0 * opts_.policy.max_delay_s, 1e-3);
+}
+
 ModelId InferenceServer::register_model(std::unique_ptr<Model> m) {
+  m->session = engine_->create_session(m->handle, opts_.policy.max_batch);
+  m->in_elems = engine_->input_elems(m->handle);
+  m->out_elems = engine_->output_elems(m->handle);
+  m->batch_in.resize(opts_.policy.max_batch * m->in_elems);
+  m->batch_out.resize(opts_.policy.max_batch * m->out_elems);
   const std::lock_guard<std::mutex> lock(mu_);
   models_.push_back(std::move(m));
   return models_.size() - 1;
@@ -49,23 +73,27 @@ ModelId InferenceServer::register_model(std::unique_ptr<Model> m) {
 
 ModelId InferenceServer::load_model(const core::Fno1dConfig& cfg) {
   auto m = std::make_unique<Model>();
-  m->is_2d = false;
-  m->in_elems = cfg.in_channels * cfg.n;
-  m->out_elems = cfg.out_channels * cfg.n;
-  m->fno1 = std::make_unique<core::Fno1d>(cfg, opts_.policy.max_batch);
-  m->batch_in.resize(opts_.policy.max_batch * m->in_elems);
-  m->batch_out.resize(opts_.policy.max_batch * m->out_elems);
+  m->handle = engine_->register_model(cfg);
   return register_model(std::move(m));
 }
 
 ModelId InferenceServer::load_model(const core::Fno2dConfig& cfg) {
   auto m = std::make_unique<Model>();
-  m->is_2d = true;
-  m->in_elems = cfg.in_channels * cfg.nx * cfg.ny;
-  m->out_elems = cfg.out_channels * cfg.nx * cfg.ny;
-  m->fno2 = std::make_unique<core::Fno2d>(cfg, opts_.policy.max_batch);
-  m->batch_in.resize(opts_.policy.max_batch * m->in_elems);
-  m->batch_out.resize(opts_.policy.max_batch * m->out_elems);
+  m->handle = engine_->register_model(cfg);
+  return register_model(std::move(m));
+}
+
+ModelId InferenceServer::load_model(const core::Fno1dConfig& cfg,
+                                    const core::WeightBundle& weights) {
+  auto m = std::make_unique<Model>();
+  m->handle = engine_->load_model(cfg, weights);
+  return register_model(std::move(m));
+}
+
+ModelId InferenceServer::load_model(const core::Fno2dConfig& cfg,
+                                    const core::WeightBundle& weights) {
+  auto m = std::make_unique<Model>();
+  m->handle = engine_->load_model(cfg, weights);
   return register_model(std::move(m));
 }
 
@@ -81,6 +109,7 @@ std::size_t InferenceServer::output_elems(ModelId m) const {
 
 void InferenceServer::complete(Pending&& p, InferResponse&& r) {
   r.id = p.id;
+  r.priority = p.priority;
   if (p.has_promise) {
     p.promise.set_value(std::move(r));
   } else if (p.callback) {
@@ -88,23 +117,53 @@ void InferenceServer::complete(Pending&& p, InferResponse&& r) {
   }
 }
 
-std::future<InferResponse> InferenceServer::submit(ModelId model, std::vector<c32> input) {
+std::future<InferResponse> InferenceServer::submit(ModelId model, std::span<const c32> input,
+                                                   std::span<c32> output, SubmitOptions opts) {
   Pending p;
+  p.priority = opts.priority;
+  p.in_view = input;
+  p.out_view = output;
   p.has_promise = true;
   std::future<InferResponse> fut = p.promise.get_future();
-  submit_impl(model, std::move(input), std::move(p));
+  submit_impl(model, std::move(p));
+  return fut;
+}
+
+void InferenceServer::submit(ModelId model, std::span<const c32> input, std::span<c32> output,
+                             std::function<void(InferResponse&&)> on_done, SubmitOptions opts) {
+  Pending p;
+  p.priority = opts.priority;
+  p.in_view = input;
+  p.out_view = output;
+  p.callback = std::move(on_done);
+  submit_impl(model, std::move(p));
+}
+
+std::future<InferResponse> InferenceServer::submit(ModelId model, std::vector<c32> input,
+                                                   SubmitOptions opts) {
+  Pending p;
+  p.priority = opts.priority;
+  p.owned = std::move(input);
+  p.owning = true;
+  p.in_view = p.owned;
+  p.has_promise = true;
+  std::future<InferResponse> fut = p.promise.get_future();
+  submit_impl(model, std::move(p));
   return fut;
 }
 
 void InferenceServer::submit(ModelId model, std::vector<c32> input,
-                             std::function<void(InferResponse&&)> on_done) {
+                             std::function<void(InferResponse&&)> on_done, SubmitOptions opts) {
   Pending p;
+  p.priority = opts.priority;
+  p.owned = std::move(input);
+  p.owning = true;
+  p.in_view = p.owned;
   p.callback = std::move(on_done);
-  submit_impl(model, std::move(input), std::move(p));
+  submit_impl(model, std::move(p));
 }
 
-void InferenceServer::submit_impl(ModelId model, std::vector<c32> input, Pending&& p) {
-  p.input = std::move(input);
+void InferenceServer::submit_impl(ModelId model, Pending&& p) {
   InferResponse refusal;
   bool refuse = false;
   {
@@ -112,26 +171,31 @@ void InferenceServer::submit_impl(ModelId model, std::vector<c32> input, Pending
     Model& m = *models_.at(model);
     p.id = next_id_++;
     p.submit_s = clock_.seconds();
+    const bool bad_shape =
+        p.in_view.size() != m.in_elems || (!p.owning && p.out_view.size() != m.out_elems);
     if (!accepting_) {
       refusal.status = Status::ShutDown;
       ++stats_.shut_down;
       refuse = true;
-    } else if (p.input.size() != m.in_elems) {
+    } else if (bad_shape) {
       refusal.status = Status::InvalidInput;
       ++stats_.rejected;
       refuse = true;
-    } else if (m.queue.size() >= opts_.policy.queue_capacity) {
+    } else if (m.queued() >= opts_.policy.queue_capacity) {
       refusal.status = Status::Rejected;
       ++stats_.rejected;
       refuse = true;
     } else {
       ++stats_.submitted;
+      if (p.priority == Priority::High) ++stats_.high_submitted;
       ++inflight_;
-      m.queue.push_back(std::move(p));
-      if (!m.busy && m.queue.size() >= opts_.policy.max_batch) {
+      const std::size_t level = p.priority == Priority::High ? kHigh : kNormal;
+      const bool was_empty = m.queued() == 0;
+      m.queue[level].push_back(std::move(p));
+      if (!m.busy && m.queued() >= opts_.policy.max_batch) {
         launch_locked(m);
-      } else if (m.queue.size() == 1) {
-        deadline_cv_.notify_one();  // a new earliest deadline exists
+      } else if (was_empty || level == kHigh) {
+        deadline_cv_.notify_one();  // a new earliest deadline may exist
       }
       return;
     }
@@ -139,20 +203,43 @@ void InferenceServer::submit_impl(ModelId model, std::vector<c32> input, Pending
   if (refuse) complete(std::move(p), std::move(refusal));
 }
 
+double InferenceServer::earliest_submit(const Model& m) noexcept {
+  double earliest = std::numeric_limits<double>::infinity();
+  for (const auto& q : m.queue) {
+    if (!q.empty()) earliest = std::min(earliest, q.front().submit_s);
+  }
+  return earliest;
+}
+
 bool InferenceServer::deadline_due_locked(const Model& m, double now) const {
-  return !m.queue.empty() &&
-         now >= m.queue.front().submit_s + opts_.policy.max_delay_s - kDeadlineSlackS;
+  return m.queued() != 0 &&
+         now >= earliest_submit(m) + opts_.policy.max_delay_s - kDeadlineSlackS;
+}
+
+InferenceServer::Pending InferenceServer::pop_next_locked(Model& m, double now) {
+  auto& high = m.queue[kHigh];
+  auto& normal = m.queue[kNormal];
+  // Starvation guard first: an overdue Normal request outranks younger
+  // High work, bounding how long strict priority can delay it.
+  if (!normal.empty() && now >= normal.front().submit_s + starvation_s()) {
+    if (!high.empty()) ++stats_.starvation_promotions;
+    Pending p = std::move(normal.front());
+    normal.pop_front();
+    return p;
+  }
+  auto& q = high.empty() ? normal : high;
+  Pending p = std::move(q.front());
+  q.pop_front();
+  return p;
 }
 
 void InferenceServer::launch_locked(Model& m) {
   m.flush_requested = false;  // launching consumes any pending flush intent
-  const std::size_t n = std::min(m.queue.size(), opts_.policy.max_batch);
+  const double now = clock_.seconds();
+  const std::size_t n = std::min(m.queued(), opts_.policy.max_batch);
   auto batch = std::make_shared<std::vector<Pending>>();
   batch->reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    batch->push_back(std::move(m.queue.front()));
-    m.queue.pop_front();
-  }
+  for (std::size_t i = 0; i < n; ++i) batch->push_back(pop_next_locked(m, now));
   m.busy = true;
   // shared_ptr because std::function requires copyable callables; the
   // Model lives in a stable unique_ptr slot for the server's lifetime.
@@ -164,30 +251,58 @@ void InferenceServer::execute(Model& m, std::vector<Pending> batch) {
   const std::size_t B = batch.size();
   const double formed_s = clock_.seconds();
 
-  runtime::Timer gather_t;
-  for (std::size_t i = 0; i < B; ++i) {
-    std::memcpy(m.batch_in.data() + i * m.in_elems, batch[i].input.data(),
-                m.in_elems * sizeof(c32));
-  }
-  const double gather_s = gather_t.seconds();
+  double gather_s = 0.0;
+  double exec_s = 0.0;
+  std::size_t gather_bytes = 0;
+  std::size_t scatter_bytes = 0;
+  std::vector<InferResponse> responses(B);
 
-  runtime::Timer exec_t;
-  const std::span<const c32> in{m.batch_in.data(), B * m.in_elems};
-  const std::span<c32> out{m.batch_out.data(), B * m.out_elems};
-  if (m.is_2d) {
-    m.fno2->forward(in, out, B);
+  if (B == 1) {
+    // Single-request fast path: the session runs directly on the request's
+    // memory (the caller's buffers for zero-copy submissions, the moved-in
+    // vector and the response vector for owning ones).  Nothing is staged,
+    // so the gather/scatter counters see zero bytes.
+    Pending& p = batch.front();
+    InferResponse& r = responses.front();
+    std::span<c32> out = p.out_view;
+    if (p.owning) {
+      r.output.resize(m.out_elems);
+      out = r.output;
+    }
+    runtime::Timer exec_t;
+    m.session->run(p.in_view, out, 1);
+    exec_s = exec_t.seconds();
+    r.status = Status::Ok;
   } else {
-    m.fno1->forward(in, out, B);
+    runtime::Timer gather_t;
+    for (std::size_t i = 0; i < B; ++i) {
+      std::memcpy(m.batch_in.data() + i * m.in_elems, batch[i].in_view.data(),
+                  m.in_elems * sizeof(c32));
+    }
+    gather_s = gather_t.seconds();
+    gather_bytes = B * m.in_elems * sizeof(c32);
+
+    runtime::Timer exec_t;
+    const std::span<const c32> in{m.batch_in.data(), B * m.in_elems};
+    const std::span<c32> out{m.batch_out.data(), B * m.out_elems};
+    m.session->run(in, out, B);
+    exec_s = exec_t.seconds();
   }
-  const double exec_s = exec_t.seconds();
 
   runtime::Timer scatter_t;
   double queue_wait_sum = 0.0;
   for (std::size_t i = 0; i < B; ++i) {
-    InferResponse r;
+    InferResponse& r = responses[i];
     r.status = Status::Ok;
-    r.output.assign(m.batch_out.data() + i * m.out_elems,
-                    m.batch_out.data() + (i + 1) * m.out_elems);
+    if (B > 1) {
+      const c32* row = m.batch_out.data() + i * m.out_elems;
+      if (batch[i].owning) {
+        r.output.assign(row, row + m.out_elems);
+      } else {
+        std::memcpy(batch[i].out_view.data(), row, m.out_elems * sizeof(c32));
+      }
+      scatter_bytes += m.out_elems * sizeof(c32);
+    }
     r.timing.queue_s = formed_s - batch[i].submit_s;
     r.timing.exec_s = exec_s;
     r.timing.micro_batch = B;
@@ -202,13 +317,13 @@ void InferenceServer::execute(Model& m, std::vector<Pending> batch) {
     latency_.stage("queue-wait").seconds += queue_wait_sum;
     auto& g = latency_.stage("gather");
     g.seconds += gather_s;
-    g.bytes_read += B * m.in_elems * sizeof(c32);
+    g.bytes_read += gather_bytes;
     auto& e = latency_.stage("execute");
     e.seconds += exec_s;
     e.kernel_launches += 1;
     auto& s = latency_.stage("scatter");
     s.seconds += scatter_s;
-    s.bytes_written += B * m.out_elems * sizeof(c32);
+    s.bytes_written += scatter_bytes;
   }
 
   {
@@ -219,8 +334,8 @@ void InferenceServer::execute(Model& m, std::vector<Pending> batch) {
     stats_.batches += 1;
     stats_.batched_requests += B;
     stats_.max_micro_batch = std::max(stats_.max_micro_batch, B);
-    if (!m.queue.empty() &&
-        (m.queue.size() >= opts_.policy.max_batch || !accepting_ || m.flush_requested ||
+    if (m.queued() != 0 &&
+        (m.queued() >= opts_.policy.max_batch || !accepting_ || m.flush_requested ||
          deadline_due_locked(m, clock_.seconds()))) {
       launch_locked(m);
     }
@@ -234,8 +349,8 @@ void InferenceServer::timekeeper_loop() {
   while (!stopping_) {
     double earliest = std::numeric_limits<double>::infinity();
     for (const auto& m : models_) {
-      if (!m->busy && !m->queue.empty()) {
-        earliest = std::min(earliest, m->queue.front().submit_s + opts_.policy.max_delay_s);
+      if (!m->busy && m->queued() != 0) {
+        earliest = std::min(earliest, earliest_submit(*m) + opts_.policy.max_delay_s);
       }
     }
     if (earliest == std::numeric_limits<double>::infinity()) {
@@ -256,7 +371,7 @@ void InferenceServer::timekeeper_loop() {
 void InferenceServer::flush() {
   const std::lock_guard<std::mutex> lock(mu_);
   for (auto& m : models_) {
-    if (m->queue.empty()) continue;
+    if (m->queued() == 0) continue;
     if (!m->busy) {
       launch_locked(*m);
     } else {
@@ -270,7 +385,7 @@ void InferenceServer::flush() {
 void InferenceServer::drain_locked(std::unique_lock<std::mutex>& lock) {
   while (inflight_ > 0) {
     for (auto& m : models_) {
-      if (!m->busy && !m->queue.empty()) launch_locked(*m);
+      if (!m->busy && m->queued() != 0) launch_locked(*m);
     }
     drained_cv_.wait_for(lock, std::chrono::milliseconds(1));
   }
@@ -296,11 +411,13 @@ void InferenceServer::stop(StopMode mode) {
     accepting_ = false;
     if (mode == StopMode::Abort) {
       for (auto& m : models_) {
-        while (!m->queue.empty()) {
-          aborted.push_back(std::move(m->queue.front()));
-          m->queue.pop_front();
-          --inflight_;
-          ++stats_.shut_down;
+        for (auto& q : m->queue) {
+          while (!q.empty()) {
+            aborted.push_back(std::move(q.front()));
+            q.pop_front();
+            --inflight_;
+            ++stats_.shut_down;
+          }
         }
       }
     }

@@ -1,24 +1,39 @@
-// Batched inference serving front-end — the first step toward the
-// ROADMAP's heavy-traffic north star.
+// Batched inference serving front-end — QoS-aware, zero-copy capable, and
+// built on the Engine/Session API (TurboFNO API v2).
 //
 // Architecture:
 //
-//   submit() ──> per-model FIFO queue ──┐ size trigger (max_batch)
-//                                       ├──> micro-batch ──> ThreadPool
-//   timekeeper thread ──────────────────┘ deadline trigger     workers
-//                                                                │
-//   futures / callbacks <── scatter results <── Fno forward <────┘
+//   submit() ──> per-model two-level QoS queue ──┐ size trigger (max_batch)
+//                 (High / Normal + starvation    ├──> micro-batch ──> pool
+//   timekeeper ── guard, deadline-aware pops) ───┘ deadline trigger  workers
+//                                                                      │
+//   futures / callbacks / caller buffers <── scatter <── Session <─────┘
 //
 // Requests for the same model are coalesced into dynamic micro-batches and
-// executed through the model's batched forward (one fused FFT-CGEMM-iFFT
-// sweep per spectral layer for the whole batch), reusing one pre-planned
-// pipeline instance — FFT plans, packed weight planes, and workspaces —
-// across every micro-batch.  Results are bitwise-identical to running each
-// request alone, so batching is a pure throughput optimization.
+// executed through the model's elastic Engine session (one fused
+// FFT-CGEMM-iFFT sweep per spectral layer for the whole batch), reusing
+// FFT plans, packed weight planes, and workspaces across every
+// micro-batch.  Results are bitwise-identical to running each request
+// alone, so batching and QoS ordering are pure scheduling decisions.
+//
+// Submission comes in two flavors:
+//   - zero-copy: the caller passes `std::span` views of its own input and
+//     output buffers, which must stay valid (and the output must not be
+//     read) until the response is delivered.  A single-request micro-batch
+//     executes directly on the caller's memory — the server copies no
+//     input or output bytes (the serve.gather/scatter counters prove it);
+//     multi-request batches copy only into the batch staging area.
+//   - owning: the caller moves in a std::vector and receives the result in
+//     InferResponse::output.  Thin wrappers over the same path.
+//
+// QoS: each model has a two-level (High/Normal) queue.  Micro-batches pop
+// High first, except that a Normal request older than
+// BatchingPolicy::starvation_s is overdue and pops ahead of younger High
+// work (starvation guard).  Both levels share the deadline trigger.
 //
 // Thread safety: every public method may be called from any thread.
 // Determinism: response *values* never depend on how requests were grouped
-// into micro-batches; only timing metadata does.
+// or ordered; only timing metadata does.
 #pragma once
 
 #include <condition_variable>
@@ -28,11 +43,14 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <span>
 #include <thread>
 #include <vector>
 
 #include "core/config.hpp"
-#include "core/fno.hpp"
+#include "core/engine.hpp"
+#include "core/serialize.hpp"
 #include "runtime/thread_pool.hpp"
 #include "runtime/timer.hpp"
 #include "serve/request.hpp"
@@ -52,7 +70,11 @@ class InferenceServer {
   };
 
   InferenceServer() : InferenceServer(Options{}) {}
-  explicit InferenceServer(Options opts);
+  explicit InferenceServer(Options opts) : InferenceServer(std::move(opts), nullptr) {}
+  /// Serve on an existing (shared) engine; `engine == nullptr` creates a
+  /// private one.  Sharing an engine shares its runtime configuration and
+  /// model registry with other users of it.
+  InferenceServer(Options opts, std::shared_ptr<core::Engine> engine);
   /// Drains in-flight and queued work (StopMode::Drain), then joins.
   ~InferenceServer();
 
@@ -64,18 +86,32 @@ class InferenceServer {
   /// any time but models live for the server's lifetime.
   ModelId load_model(const core::Fno1dConfig& cfg);
   ModelId load_model(const core::Fno2dConfig& cfg);
+  /// Registers a model with weights from a serialized checkpoint; the
+  /// bundle is validated against the architecture up front (throws).
+  ModelId load_model(const core::Fno1dConfig& cfg, const core::WeightBundle& weights);
+  ModelId load_model(const core::Fno2dConfig& cfg, const core::WeightBundle& weights);
+
+  /// The engine this server executes on.
+  [[nodiscard]] const std::shared_ptr<core::Engine>& engine() const noexcept { return engine_; }
 
   /// Input/output element counts one request of `m` must carry.
   [[nodiscard]] std::size_t input_elems(ModelId m) const;
   [[nodiscard]] std::size_t output_elems(ModelId m) const;
 
-  /// Future-based submission.  The future is always eventually satisfied;
-  /// check InferResponse::status.
-  std::future<InferResponse> submit(ModelId model, std::vector<c32> input);
+  /// Zero-copy submission: `input` and `output` are caller-owned views
+  /// that must stay valid until the response is delivered; the result is
+  /// written into `output` and InferResponse::output stays empty.
+  std::future<InferResponse> submit(ModelId model, std::span<const c32> input,
+                                    std::span<c32> output, SubmitOptions opts = {});
+  void submit(ModelId model, std::span<const c32> input, std::span<c32> output,
+              std::function<void(InferResponse&&)> on_done, SubmitOptions opts = {});
 
-  /// Callback-based submission; `on_done` runs on an executor thread.
+  /// Owning submission (thin wrappers over the zero-copy path): the input
+  /// vector is moved in; the result arrives in InferResponse::output.
+  std::future<InferResponse> submit(ModelId model, std::vector<c32> input,
+                                    SubmitOptions opts = {});
   void submit(ModelId model, std::vector<c32> input,
-              std::function<void(InferResponse&&)> on_done);
+              std::function<void(InferResponse&&)> on_done, SubmitOptions opts = {});
 
   /// Flushes every non-empty queue as (possibly partial) micro-batches now,
   /// without waiting for size or deadline triggers.
@@ -97,39 +133,64 @@ class InferenceServer {
 
   /// Cumulative per-stage latency/traffic counters, trace-style:
   ///   serve.queue-wait   sum of request queueing seconds
-  ///   serve.gather       input coalescing (bytes_read = request bytes)
+  ///   serve.gather       input staging; bytes_read counts only bytes the
+  ///                      server actually copied (zero for single-request
+  ///                      micro-batches, which run on the request memory)
   ///   serve.execute      batched forwards (kernel_launches = micro-batches)
-  ///   serve.scatter      result scatter + delivery (bytes_written)
+  ///   serve.scatter      result delivery; bytes_written counts only bytes
+  ///                      copied out of the staging area
   [[nodiscard]] trace::PipelineCounters latency_counters() const;
 
  private:
   struct Pending {
     RequestId id = 0;
-    std::vector<c32> input;
+    Priority priority = Priority::Normal;
+    // Zero-copy views (always set for accepted requests; for owning
+    // submissions they view `owned`/the response vector).
+    std::span<const c32> in_view;
+    std::span<c32> out_view;
+    std::vector<c32> owned;       // backing storage for owning submissions
+    bool owning = false;
     std::promise<InferResponse> promise;
     std::function<void(InferResponse&&)> callback;  // used when no promise
     bool has_promise = false;
     double submit_s = 0.0;  // server-clock submission stamp
   };
 
+  // Queue levels, pop-priority order.
+  static constexpr std::size_t kHigh = 0;
+  static constexpr std::size_t kNormal = 1;
+  static constexpr std::size_t kLevels = 2;
+
   struct Model {
-    bool is_2d = false;
+    core::ModelHandle handle = 0;
     std::size_t in_elems = 0;   // per request
     std::size_t out_elems = 0;  // per request
-    std::unique_ptr<core::Fno1d> fno1;
-    std::unique_ptr<core::Fno2d> fno2;
+    std::optional<core::Session> session;
     // Guarded by the server mutex:
-    std::deque<Pending> queue;
+    std::deque<Pending> queue[kLevels];
     bool busy = false;  // an executor currently owns this model
     bool flush_requested = false;  // flush() arrived while busy; launch on completion
     // Owned by the executor holding busy == true:
     AlignedBuffer<c32> batch_in;   // [max_batch, in_elems]
     AlignedBuffer<c32> batch_out;  // [max_batch, out_elems]
+
+    [[nodiscard]] std::size_t queued() const noexcept {
+      return queue[kHigh].size() + queue[kNormal].size();
+    }
   };
 
   ModelId register_model(std::unique_ptr<Model> m);
-  void submit_impl(ModelId model, std::vector<c32> input, Pending&& p);
+  void submit_impl(ModelId model, Pending&& p);
   static void complete(Pending&& p, InferResponse&& r);
+  /// Effective starvation bound (policy.starvation_s or its default).
+  [[nodiscard]] double starvation_s() const noexcept;
+  /// Oldest submission stamp across both levels; +inf when empty.
+  [[nodiscard]] static double earliest_submit(const Model& m) noexcept;
+  /// Pops the next request per QoS order: overdue Normal first (starvation
+  /// guard), then High FIFO, then Normal FIFO.  Caller holds mu_ and has
+  /// checked the model has queued work.
+  Pending pop_next_locked(Model& m, double now);
   // Pops up to max_batch requests and hands them to the pool.  Caller holds
   // mu_ and has checked the model is idle with a non-empty queue.
   void launch_locked(Model& m);
@@ -141,6 +202,7 @@ class InferenceServer {
   void drain_locked(std::unique_lock<std::mutex>& lock);
 
   Options opts_;
+  std::shared_ptr<core::Engine> engine_;
   runtime::Timer clock_;  // server-lifetime monotonic clock
 
   mutable std::mutex mu_;

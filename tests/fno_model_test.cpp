@@ -31,7 +31,8 @@ Fno1dConfig small_1d_cfg(Backend backend) {
 TEST(Fno1dModel, ForwardProducesFiniteOutput) {
   const std::size_t batch = 3;
   const auto cfg = small_1d_cfg(Backend::FullyFused);
-  Fno1d model(cfg, batch);
+  Fno1d model(cfg);
+  model.reserve(batch);
   std::vector<c32> u(batch * cfg.in_channels * cfg.n);
   burgers_batch(u, batch, cfg.in_channels, cfg.n, 42u);
   std::vector<c32> v(batch * cfg.out_channels * cfg.n, c32{});
@@ -47,7 +48,8 @@ TEST(Fno1dModel, ForwardProducesFiniteOutput) {
 TEST(Fno1dModel, DeterministicAcrossRuns) {
   const std::size_t batch = 2;
   const auto cfg = small_1d_cfg(Backend::FullyFused);
-  Fno1d model(cfg, batch);
+  Fno1d model(cfg);
+  model.reserve(batch);
   std::vector<c32> u(batch * cfg.in_channels * cfg.n);
   burgers_batch(u, batch, cfg.in_channels, cfg.n, 7u);
   std::vector<c32> v1(batch * cfg.out_channels * cfg.n);
@@ -65,7 +67,8 @@ TEST(Fno1dModel, AllBackendsAgreeEndToEnd) {
   for (const auto backend :
        {Backend::PyTorch, Backend::FftOpt, Backend::FusedFftGemm, Backend::FusedGemmIfft,
         Backend::FullyFused}) {
-    Fno1d model(small_1d_cfg(backend), batch);
+    Fno1d model(small_1d_cfg(backend));
+    model.reserve(batch);
     std::vector<c32> v(batch * 1 * 64, c32{});
     model.forward(u, v);
     outs.push_back(std::move(v));
@@ -78,7 +81,7 @@ TEST(Fno1dModel, AllBackendsAgreeEndToEnd) {
 TEST(Fno1dModel, SingleLayerNoActivationIsLinearOperator) {
   Fno1dConfig cfg = small_1d_cfg(Backend::FullyFused);
   cfg.layers = 1;  // single layer => final layer => no activation
-  Fno1d model(cfg, 1);
+  Fno1d model(cfg);
   const auto u1 = random_signal(cfg.in_channels * cfg.n, 909u);
   const auto u2 = random_signal(cfg.in_channels * cfg.n, 911u);
   std::vector<c32> mix(u1.size());
@@ -106,7 +109,8 @@ TEST(Fno2dModel, ForwardProducesFiniteOutput) {
   cfg.layers = 2;
   cfg.backend = Backend::FullyFused;
   const std::size_t batch = 2;
-  Fno2d model(cfg, batch);
+  Fno2d model(cfg);
+  model.reserve(batch);
   std::vector<c32> u(batch * cfg.in_channels * cfg.nx * cfg.ny);
   darcy_batch(u, batch, cfg.in_channels, cfg.nx, cfg.ny, 5u);
   std::vector<c32> v(batch * cfg.out_channels * cfg.nx * cfg.ny, c32{});
@@ -129,7 +133,8 @@ TEST(Fno2dModel, BackendsAgreeEndToEnd) {
   std::vector<std::vector<c32>> outs;
   for (const auto backend : {Backend::PyTorch, Backend::FullyFused}) {
     cfg.backend = backend;
-    Fno2d model(cfg, batch);
+    Fno2d model(cfg);
+    model.reserve(batch);
     std::vector<c32> v(batch * cfg.out_channels * cfg.nx * cfg.ny, c32{});
     model.forward(u, v);
     outs.push_back(std::move(v));

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/api.hpp"
+#include "gpusim/pipeline_model.hpp"
 #include "test_util.hpp"
 
 namespace turbofno {
@@ -33,7 +34,8 @@ TEST(Integration, DeepModelAllBackendsAgree) {
   std::vector<std::vector<c32>> outs;
   for (const auto backend : {core::Backend::PyTorch, core::Backend::FullyFused}) {
     cfg.backend = backend;
-    core::Fno1d model(cfg, batch);
+    core::Fno1d model(cfg);
+    model.reserve(batch);
     std::vector<c32> v(batch * cfg.out_channels * cfg.n, c32{});
     model.forward(u, v);
     outs.push_back(std::move(v));

@@ -79,7 +79,8 @@ TEST(Serialize, ModelCheckpointRestoresExactOutputs) {
   const std::size_t batch = 2;
 
   // Model A: snapshot its spectral weights and output.
-  Fno1d a(cfg, batch);
+  Fno1d a(cfg);
+  a.reserve(batch);
   std::vector<c32> u(batch * cfg.in_channels * cfg.n);
   burgers_batch(u, batch, cfg.in_channels, cfg.n, 3u);
   std::vector<c32> va(batch * cfg.out_channels * cfg.n);
@@ -89,18 +90,76 @@ TEST(Serialize, ModelCheckpointRestoresExactOutputs) {
   // Model B: different seed (different weights), then restore A's.
   Fno1dConfig cfg_b = cfg;
   cfg_b.seed += 12345u;
-  Fno1d b(cfg_b, batch);
+  Fno1d b(cfg_b);
+  b.reserve(batch);
   std::vector<c32> vb(batch * cfg.out_channels * cfg.n);
   b.forward(u, vb);
   EXPECT_GT(max_err(vb, va), 0.0) << "different seeds must differ before restore";
 
   scatter_weights(b, bundle);
-  // Lifting/residual/projection weights still differ (they are not in the
-  // bundle), so compare the spectral layers directly instead of outputs.
+  // The bundle is a complete checkpoint (lift / spectral.* / residual.* /
+  // project), so the restored model's outputs match A's bitwise.
   for (std::size_t l = 0; l < a.spectral_layers().size(); ++l) {
     EXPECT_EQ(max_err(b.spectral_layers()[l].weights(), a.spectral_layers()[l].weights()), 0.0)
         << "layer " << l;
   }
+  b.forward(u, vb);
+  EXPECT_EQ(max_err(vb, va), 0.0) << "restored checkpoint must reproduce outputs bitwise";
+}
+
+TEST(Serialize, Fno2dCheckpointRoundTripsBitwise) {
+  Fno2dConfig cfg;
+  cfg.hidden = 8;
+  cfg.nx = 16;
+  cfg.ny = 16;
+  cfg.modes_x = 4;
+  cfg.modes_y = 4;
+  cfg.layers = 2;
+  Fno2d a(cfg);
+  std::vector<c32> u(cfg.in_channels * cfg.nx * cfg.ny);
+  vorticity_field(u, cfg.nx, cfg.ny, 11u);
+  std::vector<c32> va(cfg.out_channels * cfg.nx * cfg.ny);
+  a.forward(u, va);
+
+  // Through bytes, into a differently seeded model.
+  const auto bytes = save_bundle(gather_weights(a));
+  Fno2dConfig cfg_b = cfg;
+  cfg_b.seed += 999u;
+  Fno2d b(cfg_b);
+  std::vector<c32> vb(va.size());
+  b.forward(u, vb);
+  EXPECT_GT(max_err(vb, va), 0.0);
+  scatter_weights(b, load_bundle(bytes));
+  b.forward(u, vb);
+  EXPECT_EQ(max_err(vb, va), 0.0);
+}
+
+TEST(Serialize, Fno2dScatterRejectsWrongArchitecture) {
+  Fno2dConfig small;
+  small.hidden = 8;
+  small.nx = 16;
+  small.ny = 16;
+  small.modes_x = 4;
+  small.modes_y = 4;
+  small.layers = 1;
+  Fno2d a(small);
+  const auto bundle = gather_weights(a);
+
+  Fno2dConfig big = small;
+  big.hidden = 16;
+  Fno2d b(big);
+  EXPECT_THROW(scatter_weights(b, bundle), std::runtime_error);
+
+  Fno2dConfig more_layers = small;
+  more_layers.layers = 2;
+  Fno2d c(more_layers);
+  EXPECT_THROW(scatter_weights(c, bundle), std::runtime_error);
+
+  // The reverse direction must fail too: a deeper checkpoint's extra
+  // layer tensors cannot be dropped silently into a shallower model.
+  const auto deep_bundle = gather_weights(c);
+  Fno2d d(small);
+  EXPECT_THROW(scatter_weights(d, deep_bundle), std::runtime_error);
 }
 
 TEST(Serialize, ScatterRejectsWrongArchitecture) {
@@ -109,12 +168,12 @@ TEST(Serialize, ScatterRejectsWrongArchitecture) {
   small.n = 32;
   small.modes = 8;
   small.layers = 1;
-  Fno1d a(small, 1);
+  Fno1d a(small);
   auto bundle = gather_weights(a);
 
   Fno1dConfig big = small;
   big.hidden = 16;  // weight sizes differ
-  Fno1d b(big, 1);
+  Fno1d b(big);
   EXPECT_THROW(scatter_weights(b, bundle), std::runtime_error);
 
   bundle.entries[0].name = "spectral.7";  // missing expected name
