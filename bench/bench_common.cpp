@@ -78,9 +78,11 @@ void record_json(const std::string& title, const std::vector<PointResult>& point
         const double gflops =
             v.seconds > 0.0 ? static_cast<double>(v.flops) / v.seconds * 1e-9 : 0.0;
         std::fprintf(f,
-                     "          {\"name\": \"%s\", \"seconds\": %.9g, \"gflops\": %.6g, "
+                     "          {\"name\": \"%s\", \"spectral_path\": \"%s\", "
+                     "\"seconds\": %.9g, \"gflops\": %.6g, "
                      "\"model_seconds\": %.9g, \"bytes\": %llu, \"flops\": %llu}%s\n",
-                     json_escape(v.name).c_str(), v.seconds, gflops, v.model_seconds,
+                     json_escape(v.name).c_str(), json_escape(v.spectral_path).c_str(),
+                     v.seconds, gflops, v.model_seconds,
                      static_cast<unsigned long long>(v.bytes),
                      static_cast<unsigned long long>(v.flops),
                      vi + 1 < p.variants.size() ? "," : "");
@@ -141,6 +143,81 @@ PointResult run_point_1d(const baseline::Spectral1dProblem& prob,
   return pr;
 }
 
+namespace {
+
+// Complex-vs-real lane measurement: reuses measure() for the complex
+// baseline, then times the same ladder row's run_batched_real on float
+// buffers.  The real row reports the pipeline's own traffic counters, so
+// the JSON rows carry the halved half-spectrum bytes/flops too.
+void fill_random_real(std::span<float> x, unsigned seed) {
+  // Derive the real samples from the same generator the complex fills use
+  // (real parts only) so the two lanes see comparable signal content.
+  AlignedBuffer<c32> tmp(x.size());
+  core::fill_random(tmp.span(), seed);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = tmp[i].re;
+}
+
+template <typename Pipe>
+VariantResult measure_real(Pipe& pipe, fused::Variant variant, std::span<const float> u,
+                           std::span<const c32> w, std::span<float> v, std::size_t batch,
+                           std::size_t reps) {
+  VariantResult r;
+  r.variant = variant;
+  r.name = std::string(fused::variant_name(variant)) + " (real)";
+  r.spectral_path = "real";
+  r.seconds = runtime::time_best_of(reps, [&] { pipe.run_batched_real(u, w, v, batch); });
+  const auto total = pipe.counters().total();
+  r.bytes = total.bytes_total();
+  r.flops = total.flops;
+  r.launches = total.kernel_launches;
+  r.model_seconds = gpusim::predict(a100(), pipe.counters()).total_seconds;
+  return r;
+}
+
+}  // namespace
+
+PointResult run_point_1d_real(const baseline::Spectral1dProblem& prob, fused::Variant variant,
+                              std::size_t reps) {
+  AlignedBuffer<c32> u(prob.input_elems());
+  AlignedBuffer<c32> w(prob.weight_elems());
+  AlignedBuffer<c32> v(prob.output_elems());
+  core::fill_random(u.span(), 0xbeefu + static_cast<unsigned>(prob.hidden));
+  core::fill_random(w.span(), 0xfeedu);
+
+  PointResult pr;
+  auto cpipe = fused::make_pipeline1d(variant, prob);
+  pr.variants.push_back(measure(cpipe.get(), nullptr, variant, u.span(), w.span(), v.span(), reps));
+
+  AlignedBuffer<float> ur(prob.input_elems());
+  AlignedBuffer<float> vr(prob.output_elems());
+  fill_random_real(ur.span(), 0xbeefu + static_cast<unsigned>(prob.hidden));
+  auto rpipe = fused::make_pipeline1d(variant, prob, /*real_input=*/true);
+  pr.variants.push_back(
+      measure_real(*rpipe, variant, ur.span(), w.span(), vr.span(), prob.batch, reps));
+  return pr;
+}
+
+PointResult run_point_2d_real(const baseline::Spectral2dProblem& prob, fused::Variant variant,
+                              std::size_t reps) {
+  AlignedBuffer<c32> u(prob.input_elems());
+  AlignedBuffer<c32> w(prob.weight_elems());
+  AlignedBuffer<c32> v(prob.output_elems());
+  core::fill_random(u.span(), 0xabcdu + static_cast<unsigned>(prob.hidden));
+  core::fill_random(w.span(), 0xfeedu);
+
+  PointResult pr;
+  auto cpipe = fused::make_pipeline2d(variant, prob);
+  pr.variants.push_back(measure(nullptr, cpipe.get(), variant, u.span(), w.span(), v.span(), reps));
+
+  AlignedBuffer<float> ur(prob.input_elems());
+  AlignedBuffer<float> vr(prob.output_elems());
+  fill_random_real(ur.span(), 0xabcdu + static_cast<unsigned>(prob.hidden));
+  auto rpipe = fused::make_pipeline2d(variant, prob, /*real_input=*/true);
+  pr.variants.push_back(
+      measure_real(*rpipe, variant, ur.span(), w.span(), vr.span(), prob.batch, reps));
+  return pr;
+}
+
 PointResult run_point_2d(const baseline::Spectral2dProblem& prob,
                          const std::vector<fused::Variant>& variants, std::size_t reps) {
   AlignedBuffer<c32> u(prob.input_elems());
@@ -161,7 +238,7 @@ void print_figure_table(const std::string& title, const std::vector<PointResult>
   std::printf("%s\n", title.c_str());
   if (points.empty()) return;
 
-  std::vector<std::string> header = {"point", "PyTorch(ms)"};
+  std::vector<std::string> header = {"point", points[0].variants[0].name + "(ms)"};
   for (std::size_t i = 1; i < points[0].variants.size(); ++i) {
     header.push_back(points[0].variants[i].name + " cpu%");
     header.push_back(points[0].variants[i].name + " a100%");

@@ -34,6 +34,7 @@ struct VariantResult {
   std::uint64_t bytes = 0;
   std::uint64_t flops = 0;
   std::uint64_t launches = 0;
+  std::string spectral_path = "complex";  // "complex" (C2C) or "real" (RFFT lane)
 };
 
 struct PointResult {
@@ -56,6 +57,15 @@ PointResult run_point_1d(const baseline::Spectral1dProblem& prob,
 /// Same for 2D problems.
 PointResult run_point_2d(const baseline::Spectral2dProblem& prob,
                          const std::vector<fused::Variant>& variants, std::size_t reps);
+
+/// Times one variant's complex (C2C) lane against its real-input (RFFT)
+/// lane on the same problem: variants[0] is the complex run (the
+/// perf_vs_base baseline), variants[1] the half-spectrum real run, so
+/// perf_vs_base(1) reads as "real lane vs complex lane in percent".
+PointResult run_point_1d_real(const baseline::Spectral1dProblem& prob, fused::Variant variant,
+                              std::size_t reps);
+PointResult run_point_2d_real(const baseline::Spectral2dProblem& prob, fused::Variant variant,
+                              std::size_t reps);
 
 /// Prints the standard figure table: one row per point, one column pair
 /// (measured %, modeled %) per non-baseline variant.

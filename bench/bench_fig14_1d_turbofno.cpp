@@ -61,6 +61,34 @@ void heatmap(const Options& opt, std::size_t n, std::size_t modes) {
               sum / static_cast<double>(count), best);
 }
 
+// Real-input (RFFT) lane vs the complex lane on spectral-dominated shapes:
+// the half-spectrum schedule moves ~half the bytes through every stage, so
+// the real rows should land well above 100%.  Recorded as its own --json
+// figure with spectral_path-tagged variant rows.
+void real_vs_complex(const Options& opt) {
+  struct Shape {
+    std::size_t m, k, n, modes;
+  };
+  const std::vector<Shape> shapes = opt.full
+                                        ? std::vector<Shape>{{1u << 14, 32, 128, 64},
+                                                             {1u << 16, 32, 128, 64},
+                                                             {1u << 16, 64, 128, 64},
+                                                             {1u << 16, 32, 256, 128},
+                                                             {1u << 18, 64, 256, 128}}
+                                        : std::vector<Shape>{{1u << 14, 32, 128, 64},
+                                                             {1u << 16, 32, 128, 64},
+                                                             {1u << 16, 32, 256, 128}};
+  std::vector<PointResult> points;
+  for (const auto& s : shapes) {
+    auto pr = run_point_1d_real(make_1d(s.m, s.k, s.n, s.modes), Variant::FullyFused, opt.reps);
+    pr.label = "M=" + std::to_string(s.m) + ",K=" + std::to_string(s.k) + ",n=" +
+               std::to_string(s.n);
+    points.push_back(std::move(pr));
+  }
+  print_figure_table("Figure 14 real-vs-complex: RFFT lane vs C2C lane (1D fully fused)", points);
+  print_summary(points, 1);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -81,5 +109,6 @@ int main(int argc, char** argv) {
   } else {
     heatmap(opt, 256, 64);
   }
+  real_vs_complex(opt);
   return 0;
 }

@@ -83,6 +83,33 @@ void thread_scaling(const Options& opt) {
       points);
 }
 
+// Real-input (RFFT) lane vs the complex lane: the X axis carries the real
+// transform, so only modes_x/2+1 x-rows flow through the Y FFTs, the CGEMM
+// and the inverse — roughly half the traffic of the C2C schedule.
+void real_vs_complex(const Options& opt) {
+  struct Shape {
+    std::size_t bs, k, nx, ny, modes;
+  };
+  const std::vector<Shape> shapes = opt.full ? std::vector<Shape>{{4, 32, 256, 128, 64},
+                                                                  {8, 32, 256, 128, 64},
+                                                                  {8, 64, 256, 128, 64},
+                                                                  {4, 32, 256, 256, 128},
+                                                                  {8, 64, 256, 256, 128}}
+                                             : std::vector<Shape>{{4, 32, 256, 128, 64},
+                                                                  {8, 32, 256, 128, 64},
+                                                                  {4, 32, 256, 256, 128}};
+  std::vector<PointResult> points;
+  for (const auto& s : shapes) {
+    auto pr = run_point_2d_real(make_2d(s.bs, s.k, s.nx, s.ny, s.modes, s.modes),
+                                Variant::FullyFused, opt.reps);
+    pr.label = "BS=" + std::to_string(s.bs) + ",K=" + std::to_string(s.k) + "," +
+               std::to_string(s.nx) + "x" + std::to_string(s.ny);
+    points.push_back(std::move(pr));
+  }
+  print_figure_table("Figure 19 real-vs-complex: RFFT lane vs C2C lane (2D fully fused)", points);
+  print_summary(points, 1);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -95,5 +122,6 @@ int main(int argc, char** argv) {
     heatmap(opt, 256, 256, 128);
   }
   thread_scaling(opt);
+  real_vs_complex(opt);
   return 0;
 }

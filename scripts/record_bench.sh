@@ -1,9 +1,11 @@
 #!/usr/bin/env sh
 # Records the per-PR performance trajectory (ROADMAP item): runs the SIMD
 # micro bench, the serving-throughput bench, the FFT micro bench (including
-# the 2D schedule A/B pairs), and the fig15 2D-FFTopt pipeline bench, and
-# merges the results into BENCH_PR<N>.json at the repo root, so perf
-# regressions show up in review as a diffable artifact.
+# the 2D schedule A/B pairs), the fig15 2D-FFTopt pipeline bench, and the
+# fig14/fig19 TurboFNO benches (whose trailing figures record the
+# real-vs-complex RFFT-lane A/B with spectral_path-tagged rows), and merges
+# the results into BENCH_PR<N>.json at the repo root, so perf regressions
+# show up in review as a diffable artifact.
 #
 # Usage: scripts/record_bench.sh <pr-number> [build-dir] [extra bench args]
 #   scripts/record_bench.sh 2            # writes BENCH_PR2.json from ./build
@@ -36,15 +38,18 @@ OUT="$ROOT/BENCH_PR$PR.json"
 TMP_SIMD=$(mktemp)
 TMP_SERVE=$(mktemp)
 TMP_FIG15=$(mktemp)
+TMP_FIG14=$(mktemp)
+TMP_FIG19=$(mktemp)
 TMP_FFT=$(mktemp)
 # The merged artifact's temp file must live on the SAME filesystem as $OUT:
 # mv is only an atomic rename within one filesystem, and a /tmp tempfile
 # would degrade it to copy-then-unlink — killable mid-copy, leaving exactly
 # the truncated BENCH_PR<N>.json this script promises never to write.
 TMP_OUT=$(mktemp "$ROOT/BENCH_PR$PR.json.XXXXXX")
-trap 'rm -f "$TMP_SIMD" "$TMP_SERVE" "$TMP_FIG15" "$TMP_FFT" "$TMP_OUT"' EXIT
+trap 'rm -f "$TMP_SIMD" "$TMP_SERVE" "$TMP_FIG15" "$TMP_FIG14" "$TMP_FIG19" "$TMP_FFT" "$TMP_OUT"' EXIT
 
-for exe in bench_micro_simd bench_serve_throughput bench_fig15_2d_fftopt; do
+for exe in bench_micro_simd bench_serve_throughput bench_fig15_2d_fftopt \
+           bench_fig14_1d_turbofno bench_fig19_2d_turbofno; do
   if [ ! -x "$BIN/$exe" ]; then
     echo "record_bench.sh: $BIN/$exe not built (run the tier-1 cmake build first)" >&2
     exit 1
@@ -74,6 +79,8 @@ run_bench() {
 run_bench bench_micro_simd "$TMP_SIMD" "$@"
 run_bench bench_serve_throughput "$TMP_SERVE" "$@"
 run_bench bench_fig15_2d_fftopt "$TMP_FIG15" "$@"
+run_bench bench_fig14_1d_turbofno "$TMP_FIG14" "$@"
+run_bench bench_fig19_2d_turbofno "$TMP_FIG19" "$@"
 
 # bench_micro_fft is optional (needs google-benchmark at configure time).
 if [ -x "$BIN/bench_micro_fft" ]; then
@@ -100,6 +107,10 @@ fi
   cat "$TMP_SERVE"
   printf ',\n"bench_fig15_2d_fftopt":\n'
   cat "$TMP_FIG15"
+  printf ',\n"bench_fig14_1d_turbofno":\n'
+  cat "$TMP_FIG14"
+  printf ',\n"bench_fig19_2d_turbofno":\n'
+  cat "$TMP_FIG19"
   printf ',\n"bench_micro_fft":\n'
   cat "$TMP_FFT"
   printf '}\n'

@@ -118,4 +118,78 @@ void BaselinePipeline1d::run_batched(std::span<const c32> u, std::span<const c32
   }
 }
 
+void BaselinePipeline1d::run_batched_real(std::span<const float> u, std::span<const c32> w,
+                                          std::span<float> v, std::size_t batch) {
+  check_batch_spans(u.size(), v.size(), prob_.hidden * prob_.n, prob_.out_dim * prob_.n, batch,
+                    "BaselinePipeline1d(real)");
+  if (!rfwd_full_) {
+    rinv_full_ = fft::acquire_irfft_plan(prob_.n);  // all n/2+1 bins stored
+    rfwd_full_ = fft::acquire_rfft_plan(prob_.n);
+  }
+  reserve(batch);
+  counters_.clear();
+  if (batch == 0) return;
+  const auto [B, K, O, N, M] =
+      std::tuple{batch, prob_.hidden, prob_.out_dim, prob_.n, prob_.modes};
+  const std::size_t HALF = N / 2 + 1;   // full RFFT output per signal
+  const std::size_t MR = M / 2 + 1;     // bins the real lane keeps
+
+  // Stage 1: full forward RFFT (no built-in filtering, all bins stored).
+  {
+    runtime::Timer t;
+    rfwd_full_->execute(u.first(B * K * N), freq_full_.span().first(B * K * HALF), B * K);
+    auto& sc = counters_.stage("fft");
+    sc.seconds = t.seconds();
+    sc.bytes_read = B * K * N * sizeof(float);
+    sc.bytes_written = B * K * HALF * sizeof(c32);
+    sc.flops = B * K * rfwd_full_->flops_per_signal();
+    sc.kernel_launches = 1;
+  }
+
+  // Stage 2: truncate memcopy down to the kept half-spectrum prefix.
+  {
+    runtime::Timer t;
+    truncate_copy(freq_full_.span().first(B * K * HALF), freq_trunc_.span().first(B * K * MR),
+                  B * K, HALF, MR, &counters_.stage("truncate-copy"));
+    counters_.stage("truncate-copy").seconds = t.seconds();
+  }
+
+  // Stage 3: batched CGEMM over the retained bins.
+  {
+    runtime::Timer t;
+    gemm::BatchedStrides strides;
+    strides.a = 0;
+    strides.b = static_cast<std::ptrdiff_t>(K * MR);
+    strides.c = static_cast<std::ptrdiff_t>(O * MR);
+    gemm::cgemm_batched(O, MR, K, c32{1.0f, 0.0f}, w.data(), K, freq_trunc_.data(), MR,
+                        c32{0.0f, 0.0f}, mixed_.data(), MR, B, strides);
+    auto& sc = counters_.stage("cgemm");
+    sc.seconds = t.seconds();
+    sc.bytes_read = (B * K * MR + O * K) * sizeof(c32);
+    sc.bytes_written = B * O * MR * sizeof(c32);
+    sc.flops = trace::cgemm_flops(B * MR, O, K);
+    sc.kernel_launches = 1;
+  }
+
+  // Stage 4: zero-pad memcopy back to the full half-spectrum.
+  {
+    runtime::Timer t;
+    pad_copy(mixed_.span().first(B * O * MR), mixed_full_.span().first(B * O * HALF), B * O, MR,
+             HALF, &counters_.stage("pad-copy"));
+    counters_.stage("pad-copy").seconds = t.seconds();
+  }
+
+  // Stage 5: full C2R inverse (Hermitian extension + half-length transform).
+  {
+    runtime::Timer t;
+    rinv_full_->execute(mixed_full_.span().first(B * O * HALF), v.first(B * O * N), B * O);
+    auto& sc = counters_.stage("ifft");
+    sc.seconds = t.seconds();
+    sc.bytes_read = B * O * HALF * sizeof(c32);
+    sc.bytes_written = B * O * N * sizeof(float);
+    sc.flops = B * O * rinv_full_->flops_per_signal();
+    sc.kernel_launches = 1;
+  }
+}
+
 }  // namespace turbofno::baseline

@@ -10,6 +10,7 @@
 
 #include "baseline/problem.hpp"
 #include "fft/plan.hpp"
+#include "fft/real.hpp"
 #include "tensor/aligned_buffer.hpp"
 #include "tensor/complex.hpp"
 #include "trace/counters.hpp"
@@ -27,6 +28,11 @@ class BaselinePipeline1d {
   /// problem().batch grow the intermediates in place (see reserve).
   void run_batched(std::span<const c32> u, std::span<const c32> w, std::span<c32> v,
                    std::size_t batch);
+  /// Real-spectral lane: the same five unfused kernels on real samples —
+  /// full RFFT (all n/2+1 bins), truncate to modes/2+1, CGEMM, zero-pad
+  /// back to n/2+1, full C2R inverse.  Requires n >= 4.
+  void run_batched_real(std::span<const float> u, std::span<const c32> w, std::span<float> v,
+                        std::size_t batch);
   /// Grows the full-size intermediates so micro-batches up to `batch` run
   /// without a reallocation; problem().batch becomes the high-water capacity.
   void reserve(std::size_t batch);
@@ -38,6 +44,8 @@ class BaselinePipeline1d {
   Spectral1dProblem prob_;
   std::shared_ptr<const fft::FftPlan> fwd_full_;
   std::shared_ptr<const fft::FftPlan> inv_full_;
+  std::shared_ptr<const fft::RfftPlan> rfwd_full_;   // lazy: real lane only
+  std::shared_ptr<const fft::IrfftPlan> rinv_full_;  // lazy: real lane only
   // Full-size intermediates: the global-memory round trips fusion removes.
   AlignedBuffer<c32> freq_full_;   // [batch, hidden, n]
   AlignedBuffer<c32> freq_trunc_;  // [batch, hidden, modes]

@@ -2,7 +2,11 @@
 
 #include <stdexcept>
 
+#include <algorithm>
+
 #include "baseline/memcopy_stages.hpp"
+#include "fft/plan_cache.hpp"
+#include "fft/real2d.hpp"
 #include "gemm/batched.hpp"
 #include "runtime/timer.hpp"
 
@@ -128,6 +132,100 @@ void BaselinePipeline2d::run_batched(std::span<const c32> u, std::span<const c32
     sc.bytes_written = 2 * B * O * field * sizeof(c32);
     sc.flops = B * O * inv_full_.flops_per_field();
     sc.kernel_launches = 1;
+  }
+}
+
+void BaselinePipeline2d::run_batched_real(std::span<const float> u, std::span<const c32> w,
+                                          std::span<float> v, std::size_t batch) {
+  const std::size_t field = prob_.nx * prob_.ny;
+  check_batch_spans(u.size(), v.size(), prob_.hidden * field, prob_.out_dim * field, batch,
+                    "BaselinePipeline2d(real)");
+  if (!fwd_y_full_) {
+    inv_y_full_ = fft::acquire_plan({prob_.ny, fft::Direction::Inverse});
+    fwd_y_full_ = fft::acquire_plan({prob_.ny, fft::Direction::Forward});
+  }
+  reserve(batch);
+  counters_.clear();
+  if (batch == 0) return;
+  const std::size_t B = batch;
+  const std::size_t K = prob_.hidden;
+  const std::size_t O = prob_.out_dim;
+  const std::size_t NX = prob_.nx;
+  const std::size_t NY = prob_.ny;
+  const std::size_t MY = prob_.modes_y;
+  const std::size_t KEEPX = NX / 2 + 1;       // full X half-spectrum
+  const std::size_t MXR = prob_.modes_x / 2 + 1;  // kept X rows after truncation
+  const std::size_t modes = MXR * MY;
+
+  const std::size_t half = std::max(K, O) * KEEPX * NY;
+  if (rbufA_.size() < B * half) rbufA_.resize(B * half);
+  if (rbufB_.size() < B * half) rbufB_.resize(B * half);
+
+  // Stage 1: full forward transform — R2C along X, then full C2C along Y.
+  // Both passes go through global memory, mirroring cuFFT's 2D R2C.
+  {
+    runtime::Timer t;
+    fft::rfft2d_x_stage(NX, KEEPX, u.data(), rbufA_.data(), B * K, NY);
+    fwd_y_full_->execute(rbufA_.span().first(B * K * KEEPX * NY),
+                         rbufB_.span().first(B * K * KEEPX * NY), B * K * KEEPX);
+    auto& sc = counters_.stage("fft2d");
+    sc.seconds = t.seconds();
+    sc.bytes_read = B * K * field * sizeof(float) + B * K * KEEPX * NY * sizeof(c32);
+    sc.bytes_written = 2 * B * K * KEEPX * NY * sizeof(c32);
+    const auto fx = fft::acquire_plan({NX, fft::Direction::Forward});
+    sc.flops = B * K * (NY / 2) * fx->flops_per_signal() + B * K * NY * 8 * KEEPX +
+               B * K * KEEPX * fwd_y_full_->flops_per_signal();
+    sc.kernel_launches = 2;
+  }
+
+  // Stage 2: truncate memcopy of the low-frequency half-spectrum corner.
+  {
+    runtime::Timer t;
+    truncate_copy_2d(rbufB_.span().first(B * K * KEEPX * NY),
+                     freq_trunc_.span().first(B * K * modes), B * K, KEEPX, NY, MXR, MY,
+                     &counters_.stage("truncate-copy"));
+    counters_.stage("truncate-copy").seconds = t.seconds();
+  }
+
+  // Stage 3: batched CGEMM over the retained half-spectrum.
+  {
+    runtime::Timer t;
+    gemm::BatchedStrides strides;
+    strides.a = 0;
+    strides.b = static_cast<std::ptrdiff_t>(K * modes);
+    strides.c = static_cast<std::ptrdiff_t>(O * modes);
+    gemm::cgemm_batched(O, modes, K, c32{1.0f, 0.0f}, w.data(), K, freq_trunc_.data(), modes,
+                        c32{0.0f, 0.0f}, mixed_.data(), modes, B, strides);
+    auto& sc = counters_.stage("cgemm");
+    sc.seconds = t.seconds();
+    sc.bytes_read = (B * K * modes + O * K) * sizeof(c32);
+    sc.bytes_written = B * O * modes * sizeof(c32);
+    sc.flops = trace::cgemm_flops(B * modes, O, K);
+    sc.kernel_launches = 1;
+  }
+
+  // Stage 4: zero-pad memcopy back to the full half-spectrum.
+  {
+    runtime::Timer t;
+    pad_copy_2d(mixed_.span().first(B * O * modes), rbufA_.span().first(B * O * KEEPX * NY),
+                B * O, MXR, MY, KEEPX, NY, &counters_.stage("pad-copy"));
+    counters_.stage("pad-copy").seconds = t.seconds();
+  }
+
+  // Stage 5: full inverse — C2C along Y, then C2R along X.
+  {
+    runtime::Timer t;
+    inv_y_full_->execute(rbufA_.span().first(B * O * KEEPX * NY),
+                         rbufB_.span().first(B * O * KEEPX * NY), B * O * KEEPX);
+    fft::irfft2d_x_stage(NX, KEEPX, rbufB_.data(), v.data(), B * O, NY);
+    auto& sc = counters_.stage("ifft2d");
+    sc.seconds = t.seconds();
+    sc.bytes_read = 2 * B * O * KEEPX * NY * sizeof(c32);
+    sc.bytes_written = B * O * KEEPX * NY * sizeof(c32) + B * O * field * sizeof(float);
+    const auto ix = fft::acquire_plan({NX, fft::Direction::Inverse});
+    sc.flops = B * O * KEEPX * inv_y_full_->flops_per_signal() +
+               B * O * (NY / 2) * ix->flops_per_signal() + B * O * NY * 8 * KEEPX;
+    sc.kernel_launches = 2;
   }
 }
 

@@ -4,10 +4,12 @@
 // copy of the low-frequency corner, batched CGEMM, pad copy, full 2D iFFT.
 #pragma once
 
+#include <memory>
 #include <span>
 
 #include "baseline/problem.hpp"
 #include "fft/fft2d.hpp"
+#include "fft/plan.hpp"
 #include "tensor/aligned_buffer.hpp"
 #include "tensor/complex.hpp"
 #include "trace/counters.hpp"
@@ -25,6 +27,12 @@ class BaselinePipeline2d {
   /// problem().batch grow the intermediates in place (see reserve).
   void run_batched(std::span<const c32> u, std::span<const c32> w, std::span<c32> v,
                    std::size_t batch);
+  /// Real-spectral lane: the same five unfused kernels on real samples —
+  /// full R2C along X (nx/2+1 rows kept), full C2C along Y, truncate the
+  /// [modes_x/2+1, modes_y] corner, CGEMM, zero-pad, full C2C-Y + C2R-X
+  /// inverse.  Requires nx >= 4 and ny a power of two.
+  void run_batched_real(std::span<const float> u, std::span<const c32> w, std::span<float> v,
+                        std::size_t batch);
   /// Grows the full-size intermediates so micro-batches up to `batch` run
   /// without a reallocation; problem().batch becomes the high-water capacity.
   void reserve(std::size_t batch);
@@ -36,6 +44,11 @@ class BaselinePipeline2d {
   Spectral2dProblem prob_;
   fft::FftPlan2d fwd_full_;
   fft::FftPlan2d inv_full_;
+  std::shared_ptr<const fft::FftPlan> fwd_y_full_;  // lazy: real lane only
+  std::shared_ptr<const fft::FftPlan> inv_y_full_;  // lazy: real lane only
+  // Real-lane half-spectrum ping/pong buffers, [batch, max(K,O), nx/2+1, ny].
+  AlignedBuffer<c32> rbufA_;  // lazy: real lane only
+  AlignedBuffer<c32> rbufB_;  // lazy: real lane only
   AlignedBuffer<c32> freq_full_;   // [batch, hidden, nx, ny]
   AlignedBuffer<c32> freq_trunc_;  // [batch, hidden, mx, my]
   AlignedBuffer<c32> mixed_;       // [batch, out_dim, mx, my]

@@ -33,6 +33,7 @@
 #include "core/serialize.hpp"         // IWYU pragma: export
 #include "core/spectral_conv.hpp"     // IWYU pragma: export
 #include "core/workload.hpp"          // IWYU pragma: export
+#include "fft/real.hpp"               // IWYU pragma: export
 #include "fused/ladder.hpp"           // IWYU pragma: export
 #include "serve/server.hpp"           // IWYU pragma: export
 #include "tensor/complex.hpp"         // IWYU pragma: export
@@ -60,6 +61,13 @@ using core::load_bundle_file;
 using core::save_bundle;
 using core::save_bundle_file;
 using core::scatter_weights;
+
+// Real-spectral (RFFT) lane knob: routes SpectralConv*::forward_real /
+// Session::run_real between the half-spectrum RFFT schedule (default) and
+// the complex C2C reference of the same truncation.  Mirrors the
+// TURBOFNO_REAL_SPECTRAL environment variable.
+using fft::real_spectral_enabled;
+using fft::set_real_spectral;
 
 // The v1 entry points themselves (the batch-frozen Fno1d/Fno2d
 // constructors) keep compiling with [[deprecated]] warnings — see

@@ -110,6 +110,14 @@ void Session::run(std::span<const c32> u, std::span<c32> v, std::size_t batch) {
   }
 }
 
+void Session::run_real(std::span<const float> u, std::span<float> v, std::size_t batch) {
+  if (m1_) {
+    m1_->forward_real(u, v, batch);
+  } else {
+    m2_->forward_real(u, v, batch);
+  }
+}
+
 void Session::reserve(std::size_t batch) {
   if (m1_) {
     m1_->reserve(batch);

@@ -126,6 +126,12 @@ class Session {
   /// grow in place.  Bitwise-identical to a direct core::Fno forward.
   void run(std::span<const c32> u, std::span<c32> v, std::size_t batch = 1);
 
+  /// Real-input run: u/v hold real samples and the spectral layers execute
+  /// their RFFT half-spectrum lane (TURBOFNO_REAL_SPECTRAL routes the
+  /// internals; see SpectralConv1d::forward_real).  Requires the spatial
+  /// leading axis (n / nx) >= 4.  Same elastic-capacity semantics as run().
+  void run_real(std::span<const float> u, std::span<float> v, std::size_t batch = 1);
+
   /// Grows the workspaces so runs up to `batch` need no reallocation.
   void reserve(std::size_t batch);
   /// Current capacity high-water mark.

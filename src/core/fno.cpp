@@ -34,11 +34,40 @@ void PointwiseLinear::forward(std::span<const c32> u, std::span<c32> v, std::siz
   });
 }
 
+void PointwiseLinear::forward_real(std::span<const float> u, std::span<float> v,
+                                   std::size_t batch, std::size_t spatial) const {
+  runtime::parallel_for(0, batch, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t b = lo; b < hi; ++b) {
+      const float* ub = u.data() + b * in_ * spatial;
+      float* vb = v.data() + b * out_ * spatial;
+      for (std::size_t o = 0; o < out_; ++o) {
+        float* vrow = vb + o * spatial;
+        for (std::size_t s = 0; s < spatial; ++s) vrow[s] = 0.0f;
+        for (std::size_t k = 0; k < in_; ++k) {
+          const float w = w_[o * in_ + k].re;
+          const float* urow = ub + k * spatial;
+          for (std::size_t s = 0; s < spatial; ++s) {
+            vrow[s] += w * urow[s];
+          }
+        }
+      }
+    }
+  });
+}
+
 void relu_inplace(std::span<c32> x) {
   runtime::parallel_for(0, x.size(), 1 << 16, [&](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) {
       x[i].re = x[i].re > 0.0f ? x[i].re : 0.0f;
       x[i].im = x[i].im > 0.0f ? x[i].im : 0.0f;
+    }
+  });
+}
+
+void relu_inplace(std::span<float> x) {
+  runtime::parallel_for(0, x.size(), 1 << 16, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      x[i] = x[i] > 0.0f ? x[i] : 0.0f;
     }
   });
 }
@@ -117,6 +146,41 @@ void Fno1d::forward(std::span<const c32> u, std::span<c32> v, std::size_t batch)
   project_.forward(h0, v, batch, spatial);
 }
 
+void Fno1d::forward_real(std::span<const float> u, std::span<float> v, std::size_t batch) {
+  baseline::check_batch_spans(u.size(), v.size(), cfg_.in_channels * cfg_.n,
+                              cfg_.out_channels * cfg_.n, batch, "Fno1d(real)");
+  reserve(batch);
+  if (batch == 0) return;
+  const std::size_t spatial = cfg_.n;
+  const std::size_t hid = batch * cfg_.hidden * spatial;
+  if (r0_.size() < hid) {
+    r0_.resize(hid);
+    r1_.resize(hid);
+    rres_.resize(hid);
+  }
+  const auto r0 = r0_.span().first(hid);
+  const auto r1 = r1_.span().first(hid);
+  const auto rres = rres_.span().first(hid);
+  lift_.forward_real(u, r0, batch, spatial);
+  for (std::size_t l = 0; l < cfg_.layers; ++l) {
+    spectral_[l].forward_real(r0, r1, batch);
+    residual_[l].forward_real(r0, rres, batch, spatial);
+    // r0 <- act(spectral + residual); last layer skips the activation.
+    auto* a = r1_.data();
+    const auto* r = rres_.data();
+    auto* dst = r0_.data();
+    const bool last = (l + 1 == cfg_.layers);
+    runtime::parallel_for(0, hid, 1 << 16, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        float s = a[i] + r[i];
+        if (!last) s = s > 0.0f ? s : 0.0f;
+        dst[i] = s;
+      }
+    });
+  }
+  project_.forward_real(r0, v, batch, spatial);
+}
+
 // ----------------------------------------------------------------- Fno2d
 
 Fno2d::Fno2d(const Fno2dConfig& cfg)
@@ -186,6 +250,41 @@ void Fno2d::forward(std::span<const c32> u, std::span<c32> v, std::size_t batch)
     });
   }
   project_.forward(h0, v, batch, spatial);
+}
+
+void Fno2d::forward_real(std::span<const float> u, std::span<float> v, std::size_t batch) {
+  const std::size_t field = cfg_.nx * cfg_.ny;
+  baseline::check_batch_spans(u.size(), v.size(), cfg_.in_channels * field,
+                              cfg_.out_channels * field, batch, "Fno2d(real)");
+  reserve(batch);
+  if (batch == 0) return;
+  const std::size_t spatial = field;
+  const std::size_t hid = batch * cfg_.hidden * spatial;
+  if (r0_.size() < hid) {
+    r0_.resize(hid);
+    r1_.resize(hid);
+    rres_.resize(hid);
+  }
+  const auto r0 = r0_.span().first(hid);
+  const auto r1 = r1_.span().first(hid);
+  const auto rres = rres_.span().first(hid);
+  lift_.forward_real(u, r0, batch, spatial);
+  for (std::size_t l = 0; l < cfg_.layers; ++l) {
+    spectral_[l].forward_real(r0, r1, batch);
+    residual_[l].forward_real(r0, rres, batch, spatial);
+    auto* a = r1_.data();
+    const auto* r = rres_.data();
+    auto* dst = r0_.data();
+    const bool last = (l + 1 == cfg_.layers);
+    runtime::parallel_for(0, hid, 1 << 16, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        float s = a[i] + r[i];
+        if (!last) s = s > 0.0f ? s : 0.0f;
+        dst[i] = s;
+      }
+    });
+  }
+  project_.forward_real(r0, v, batch, spatial);
 }
 
 }  // namespace turbofno::core

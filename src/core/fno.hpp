@@ -30,6 +30,11 @@ class PointwiseLinear {
   /// u [batch, in_ch, spatial] -> v [batch, out_ch, spatial].
   void forward(std::span<const c32> u, std::span<c32> v, std::size_t batch,
                std::size_t spatial) const;
+  /// Real-field variant: mixes with the real parts of the weights (the real
+  /// model keeps every spatial tensor in floats; only the retained spectra
+  /// are complex).
+  void forward_real(std::span<const float> u, std::span<float> v, std::size_t batch,
+                    std::size_t spatial) const;
 
   /// Mutable weight access [out, in].  Weight-invalidating: writing through
   /// this span changes what subsequent forwards compute, and any derived
@@ -48,6 +53,8 @@ class PointwiseLinear {
 
 /// Component-wise ReLU (acts on re and im independently).
 void relu_inplace(std::span<c32> x);
+/// ReLU on a real field.
+void relu_inplace(std::span<float> x);
 
 class Fno1d {
  public:
@@ -71,6 +78,12 @@ class Fno1d {
   /// batch beyond the current capacity grows the workspaces in place.
   /// Per-signal results are bitwise-identical to a batch-1 forward.
   void forward(std::span<const c32> u, std::span<c32> v, std::size_t batch);
+  /// Real-input forward: u [batch, in_channels, n] and v [batch,
+  /// out_channels, n] hold real samples; every hidden field stays in floats
+  /// and each spectral layer runs its RFFT half-spectrum lane (see
+  /// SpectralConv1d::forward_real for the TURBOFNO_REAL_SPECTRAL knob
+  /// semantics).  Requires n >= 4.
+  void forward_real(std::span<const float> u, std::span<float> v, std::size_t batch);
 
   /// Grows the hidden-state workspaces (and every layer's) so forwards up
   /// to `batch` run without reallocation.  Never shrinks; growth does not
@@ -107,6 +120,10 @@ class Fno1d {
   AlignedBuffer<c32> h0_;
   AlignedBuffer<c32> h1_;
   AlignedBuffer<c32> hres_;
+  // Real-lane hidden fields (lazy, grow-only; half the complex footprint).
+  AlignedBuffer<float> r0_;
+  AlignedBuffer<float> r1_;
+  AlignedBuffer<float> rres_;
 };
 
 class Fno2d {
@@ -125,6 +142,8 @@ class Fno2d {
   void forward(std::span<const c32> u, std::span<c32> v);
   /// Micro-batch variant; see Fno1d::forward (elastic growth included).
   void forward(std::span<const c32> u, std::span<c32> v, std::size_t batch);
+  /// Real-input forward; see Fno1d::forward_real.  Requires nx >= 4.
+  void forward_real(std::span<const float> u, std::span<float> v, std::size_t batch);
 
   /// Elastic capacity growth; see Fno1d::reserve.
   void reserve(std::size_t batch);
@@ -157,6 +176,10 @@ class Fno2d {
   AlignedBuffer<c32> h0_;
   AlignedBuffer<c32> h1_;
   AlignedBuffer<c32> hres_;
+  // Real-lane hidden fields (lazy, grow-only; half the complex footprint).
+  AlignedBuffer<float> r0_;
+  AlignedBuffer<float> r1_;
+  AlignedBuffer<float> rres_;
 };
 
 }  // namespace turbofno::core

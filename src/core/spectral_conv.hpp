@@ -34,6 +34,14 @@ class SpectralConv1d {
   /// Micro-batch variant: first `batch` signals; a batch beyond the current
   /// capacity grows the workspaces in place (elastic capacity).
   void forward(std::span<const c32> u, std::span<c32> v, std::size_t batch);
+  /// Real-input forward: u/v hold real samples and the spectral schedule
+  /// runs on the RFFT half-spectrum (modes/2+1 retained bins,
+  /// torch.fft.rfft/irfft semantics).  Requires n >= 4.  When the
+  /// real-spectral knob is off (TURBOFNO_REAL_SPECTRAL=0 /
+  /// fft::set_real_spectral(false)), the same truncation executes through
+  /// the complex C2C plans instead (A/B reference); the two routes agree
+  /// within float rounding.
+  void forward_real(std::span<const float> u, std::span<float> v, std::size_t batch);
   /// Grows the layer (pipeline workspaces / per-mode buffers) to serve
   /// micro-batches up to `batch` without reallocation.  Never shrinks.
   void reserve(std::size_t batch);
@@ -49,15 +57,31 @@ class SpectralConv1d {
 
  private:
   void forward_per_mode(std::span<const c32> u, std::span<c32> v, std::size_t batch);
+  void forward_per_mode_real(std::span<const float> u, std::span<float> v, std::size_t batch);
+  /// The pipeline serving the real lane: `pipeline_` when Auto resolves to
+  /// the same row for both lanes, else a lazily built real-tuned sibling.
+  fused::SpectralPipeline1d& real_pipeline();
+  /// Knob-off A/B reference: the identical half-spectrum truncation routed
+  /// through the complex C2C plans (pack, keep=modes/2+1 forward, CGEMM,
+  /// Hermitian extension, full inverse, take the real part).
+  void forward_real_reference(std::span<const float> u, std::span<float> v, std::size_t batch);
 
   baseline::Spectral1dProblem prob_;
   WeightScheme scheme_;
+  Backend backend_ = Backend::FullyFused;
   // Shared: [out, hidden].  PerMode: [modes, out, hidden].
   AlignedBuffer<c32> weights_;
   std::unique_ptr<fused::SpectralPipeline1d> pipeline_;
+  std::unique_ptr<fused::SpectralPipeline1d> pipeline_real_;  // lazy: real-lane Auto sibling
   // PerMode path state.
   AlignedBuffer<c32> freq_;
   AlignedBuffer<c32> mixed_;
+  // Knob-off reference-lane scratch (lazy, grow-only).
+  AlignedBuffer<c32> emu_in_;
+  AlignedBuffer<c32> emu_freq_;
+  AlignedBuffer<c32> emu_mixed_;
+  AlignedBuffer<c32> emu_full_;
+  AlignedBuffer<c32> emu_out_;
   trace::PipelineCounters permode_counters_{"per-mode-1d"};
 };
 
@@ -75,6 +99,11 @@ class SpectralConv2d {
   /// Micro-batch variant: first `batch` fields; elastic capacity growth as
   /// in SpectralConv1d.
   void forward(std::span<const c32> u, std::span<c32> v, std::size_t batch);
+  /// Real-input forward on the RFFT half-spectrum: modes_x/2+1 retained
+  /// x-rows (the X axis carries the real transform), modes_y unchanged.
+  /// Requires nx >= 4.  See SpectralConv1d::forward_real for the knob-off
+  /// A/B reference semantics.
+  void forward_real(std::span<const float> u, std::span<float> v, std::size_t batch);
   /// Elastic capacity growth; see SpectralConv1d::reserve.
   void reserve(std::size_t batch);
 
@@ -85,10 +114,21 @@ class SpectralConv2d {
   [[nodiscard]] const trace::PipelineCounters& counters() const;
 
  private:
+  fused::SpectralPipeline2d& real_pipeline();
+  void forward_real_reference(std::span<const float> u, std::span<float> v, std::size_t batch);
+
   baseline::Spectral2dProblem prob_;
   WeightScheme scheme_;
+  Backend backend_ = Backend::FullyFused;
   AlignedBuffer<c32> weights_;
   std::unique_ptr<fused::SpectralPipeline2d> pipeline_;
+  std::unique_ptr<fused::SpectralPipeline2d> pipeline_real_;  // lazy: real-lane Auto sibling
+  // Knob-off reference-lane scratch (lazy, grow-only).
+  AlignedBuffer<c32> emu_in_;
+  AlignedBuffer<c32> emu_xf_;
+  AlignedBuffer<c32> emu_freq_;
+  AlignedBuffer<c32> emu_mixed_;
+  AlignedBuffer<c32> emu_xi_;
 };
 
 /// Glorot-uniform complex init used by every layer (deterministic).

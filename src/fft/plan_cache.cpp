@@ -10,14 +10,20 @@ namespace turbofno::fft {
 
 namespace {
 
-using Key = std::tuple<std::size_t, int, std::size_t, std::size_t, bool>;
+// The leading int discriminates the transform kind (kC2c / kR2c / kC2r),
+// so real plans can never alias a complex plan of equal shape.
+using Key = std::tuple<int, std::size_t, int, std::size_t, std::size_t, bool>;
+
+enum Kind : int { kC2c = 0, kR2c = 1, kC2r = 2 };
 
 Key key_of(const PlanDesc& d) {
-  return {d.n, static_cast<int>(d.dir), d.keep_or_n(), d.nonzero_or_n(), d.scale_inverse};
+  return {kC2c, d.n, static_cast<int>(d.dir), d.keep_or_n(), d.nonzero_or_n(), d.scale_inverse};
 }
 
 struct Entry {
-  std::shared_ptr<const FftPlan> plan;
+  // Type-erased so complex and real plans share one cache (the key's kind
+  // field fixes the concrete type each entry was built as).
+  std::shared_ptr<const void> plan;
   // Approximate-LRU stamp: refreshed under the reader lock, so hits never
   // serialize on the writer lock.  Eviction scans for the minimum.
   std::atomic<std::uint64_t> last_use{0};
@@ -56,10 +62,14 @@ void evict_over_capacity_locked() {
   }
 }
 
-}  // namespace
-
-std::shared_ptr<const FftPlan> acquire_plan(const PlanDesc& desc) {
-  const Key k = key_of(desc);
+// Shared lookup/insert path: `build` runs only on a miss, OUTSIDE any lock,
+// so concurrent readers never stall behind a plan construction (op-count
+// analysis + twiddle warm-up); insertion re-checks.  Racing threads may
+// build the same descriptor twice; the loser's build is discarded and
+// counted as a hit, so the miss counter still equals the number of distinct
+// plans ever inserted.
+template <class Build>
+std::shared_ptr<const void> acquire_entry(const Key& k, const Build& build) {
   {
     const std::shared_lock<std::shared_mutex> lock(g_mu);
     auto& c = cache();
@@ -70,12 +80,7 @@ std::shared_ptr<const FftPlan> acquire_plan(const PlanDesc& desc) {
       return it->second->plan;
     }
   }
-  // Miss: build OUTSIDE any lock so concurrent readers never stall behind a
-  // plan construction (op-count analysis + twiddle warm-up), then insert
-  // with a re-check.  Racing threads may build the same descriptor twice;
-  // the loser's build is discarded and counted as a hit, so the miss
-  // counter still equals the number of distinct plans ever inserted.
-  auto built = std::make_shared<const FftPlan>(desc);
+  std::shared_ptr<const void> built = build();
   const std::unique_lock<std::shared_mutex> lock(g_mu);
   auto& c = cache();
   auto it = c.find(k);
@@ -91,6 +96,27 @@ std::shared_ptr<const FftPlan> acquire_plan(const PlanDesc& desc) {
     g_hits.fetch_add(1, std::memory_order_relaxed);
   }
   return it->second->plan;
+}
+
+}  // namespace
+
+std::shared_ptr<const FftPlan> acquire_plan(const PlanDesc& desc) {
+  return std::static_pointer_cast<const FftPlan>(acquire_entry(
+      key_of(desc), [&] { return std::make_shared<const FftPlan>(desc); }));
+}
+
+std::shared_ptr<const RfftPlan> acquire_rfft_plan(std::size_t n, std::size_t keep) {
+  const std::size_t stored = keep == 0 ? n / 2 + 1 : keep;
+  const Key k{kR2c, n, static_cast<int>(Direction::Forward), stored, n, true};
+  return std::static_pointer_cast<const RfftPlan>(
+      acquire_entry(k, [&] { return std::make_shared<const RfftPlan>(n, keep); }));
+}
+
+std::shared_ptr<const IrfftPlan> acquire_irfft_plan(std::size_t n, std::size_t nonzero) {
+  const std::size_t stored = nonzero == 0 ? n / 2 + 1 : nonzero;
+  const Key k{kC2r, n, static_cast<int>(Direction::Inverse), n, stored, true};
+  return std::static_pointer_cast<const IrfftPlan>(
+      acquire_entry(k, [&] { return std::make_shared<const IrfftPlan>(n, nonzero); }));
 }
 
 const FftPlan& cached_plan(const PlanDesc& desc) {

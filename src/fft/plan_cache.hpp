@@ -19,6 +19,7 @@
 #include <memory>
 
 #include "fft/plan.hpp"
+#include "fft/real.hpp"
 
 namespace turbofno::fft {
 
@@ -37,6 +38,14 @@ struct PlanCacheStats {
 /// evicted.  This is what long-lived holders (pipelines, the serving
 /// layer) should use.
 std::shared_ptr<const FftPlan> acquire_plan(const PlanDesc& desc);
+
+/// Real-transform flavors of acquire_plan, sharing the same cache, stats
+/// and LRU machinery.  The cache key carries a transform-kind discriminant,
+/// so an n-point RFFT never aliases an n-point C2C plan of equal shape.
+/// `keep`/`nonzero` follow the RfftPlan/IrfftPlan conventions (0 = all
+/// n/2+1 bins).
+std::shared_ptr<const RfftPlan> acquire_rfft_plan(std::size_t n, std::size_t keep = 0);
+std::shared_ptr<const IrfftPlan> acquire_irfft_plan(std::size_t n, std::size_t nonzero = 0);
 
 /// Returns a shared plan for `desc`, constructing it on first use.  The
 /// reference stays valid for the process lifetime: plans handed out here

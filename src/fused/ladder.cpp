@@ -41,9 +41,14 @@ std::size_t auto_l2_budget() noexcept {
 
 // Bytes one fused 1D task keeps hot per signal: the split accumulator
 // planes (2 float planes of out_dim x ld), the k-tile and its split planes,
-// and the FFT scratch (2n c32).
-std::size_t fused_task_bytes_1d(const baseline::Spectral1dProblem& p) noexcept {
-  const std::size_t ld = simd::round_up_lanes(p.modes);
+// and the FFT scratch (2n c32).  The real lane retains modes/2+1 bins, so
+// its accumulator and tile rows are roughly half as wide; the FFT scratch
+// term stays 2n c32 (the C2R inverse needs the full extended spectrum plus
+// the packed half-length transform's workspace).
+std::size_t fused_task_bytes_1d(const baseline::Spectral1dProblem& p,
+                                bool real_input) noexcept {
+  const std::size_t m = real_input ? p.modes / 2 + 1 : p.modes;
+  const std::size_t ld = simd::round_up_lanes(m);
   const std::size_t acc = 2 * p.out_dim * ld * sizeof(float);
   const std::size_t tile =
       gemm::FusedTiles::Ktb * ld * (sizeof(c32) + 2 * sizeof(float));
@@ -53,7 +58,8 @@ std::size_t fused_task_bytes_1d(const baseline::Spectral1dProblem& p) noexcept {
 
 // Bytes one fused 2D middle task keeps hot per (batch, x-row) group: the
 // Y-direction accumulator planes and k-tile (the 1D task shape with
-// modes_y rows), which is what iterates inside the staged middle.
+// modes_y rows), which is what iterates inside the staged middle.  The
+// real lane halves the X extent, not the Y task, so it is unchanged here.
 std::size_t fused_task_bytes_2d(const baseline::Spectral2dProblem& p) noexcept {
   baseline::Spectral1dProblem mid;
   mid.batch = 1;
@@ -61,27 +67,33 @@ std::size_t fused_task_bytes_2d(const baseline::Spectral2dProblem& p) noexcept {
   mid.out_dim = p.out_dim;
   mid.n = p.ny;
   mid.modes = p.modes_y;
-  return fused_task_bytes_1d(mid);
+  return fused_task_bytes_1d(mid, false);
 }
 
 }  // namespace
 
-Variant auto_variant_1d(const baseline::Spectral1dProblem& p) noexcept {
-  if (fused_task_bytes_1d(p) > auto_l2_budget()) {
+Variant auto_variant_1d(const baseline::Spectral1dProblem& p, bool real_input) noexcept {
+  if (fused_task_bytes_1d(p, real_input) > auto_l2_budget()) {
     return Variant::FftOpt;  // fused accumulator would thrash; stream instead
   }
+  // Shallow truncation: fuse the epilogue only.  The same 2*modes > n test
+  // serves both lanes — the real forward is an n/2-point packed transform
+  // keeping modes/2+1 of n/2+1 bins, so the kept-to-produced ratio matches
+  // the complex lane's modes / n.
   if (2 * p.modes > p.n) {
-    return Variant::FusedGemmIfft;  // shallow truncation: fuse the epilogue only
+    return Variant::FusedGemmIfft;
   }
   return Variant::FullyFused;
 }
 
-Variant auto_variant_2d(const baseline::Spectral2dProblem& p) noexcept {
-  // The fused middle stages a [K+O, ny, modes_x] tile group between the X
+Variant auto_variant_2d(const baseline::Spectral2dProblem& p, bool real_input) noexcept {
+  // The fused middle stages a [K+O, ny, mx] tile group between the X
   // stages; if even a single field's staging outgrows the budget, the tile
-  // gathers degrade to memory streams and the unfused schedule wins.
-  const std::size_t staging =
-      (p.hidden + p.out_dim) * p.modes_x * p.ny * sizeof(c32);
+  // gathers degrade to memory streams and the unfused schedule wins.  The
+  // real lane stages modes_x/2+1 x-rows instead of modes_x — the halved
+  // footprint lets shapes that spill in the complex lane stay fused.
+  const std::size_t mx = real_input ? p.modes_x / 2 + 1 : p.modes_x;
+  const std::size_t staging = (p.hidden + p.out_dim) * mx * p.ny * sizeof(c32);
   if (staging > auto_l2_budget() || fused_task_bytes_2d(p) > auto_l2_budget()) {
     return Variant::FftOpt;
   }
@@ -91,12 +103,14 @@ Variant auto_variant_2d(const baseline::Spectral2dProblem& p) noexcept {
   return Variant::FullyFused;
 }
 
-Variant resolve_variant(Variant v, const baseline::Spectral1dProblem& prob) noexcept {
-  return v == Variant::Auto ? auto_variant_1d(prob) : v;
+Variant resolve_variant(Variant v, const baseline::Spectral1dProblem& prob,
+                        bool real_input) noexcept {
+  return v == Variant::Auto ? auto_variant_1d(prob, real_input) : v;
 }
 
-Variant resolve_variant(Variant v, const baseline::Spectral2dProblem& prob) noexcept {
-  return v == Variant::Auto ? auto_variant_2d(prob) : v;
+Variant resolve_variant(Variant v, const baseline::Spectral2dProblem& prob,
+                        bool real_input) noexcept {
+  return v == Variant::Auto ? auto_variant_2d(prob, real_input) : v;
 }
 
 namespace {
@@ -113,6 +127,10 @@ class Adapter1d final : public SpectralPipeline1d {
   void run_batched(std::span<const c32> u, std::span<const c32> w, std::span<c32> v,
                    std::size_t batch) override {
     impl_.run_batched(u, w, v, batch);
+  }
+  void run_batched_real(std::span<const float> u, std::span<const c32> w, std::span<float> v,
+                        std::size_t batch) override {
+    impl_.run_batched_real(u, w, v, batch);
   }
   void reserve(std::size_t batch) override { impl_.reserve(batch); }
   [[nodiscard]] const trace::PipelineCounters& counters() const noexcept override {
@@ -140,6 +158,10 @@ class Adapter2d final : public SpectralPipeline2d {
                    std::size_t batch) override {
     impl_.run_batched(u, w, v, batch);
   }
+  void run_batched_real(std::span<const float> u, std::span<const c32> w, std::span<float> v,
+                        std::size_t batch) override {
+    impl_.run_batched_real(u, w, v, batch);
+  }
   void reserve(std::size_t batch) override { impl_.reserve(batch); }
   [[nodiscard]] const trace::PipelineCounters& counters() const noexcept override {
     return impl_.counters();
@@ -157,8 +179,9 @@ class Adapter2d final : public SpectralPipeline2d {
 }  // namespace
 
 std::unique_ptr<SpectralPipeline1d> make_pipeline1d(Variant v,
-                                                    const baseline::Spectral1dProblem& prob) {
-  v = resolve_variant(v, prob);
+                                                    const baseline::Spectral1dProblem& prob,
+                                                    bool real_input) {
+  v = resolve_variant(v, prob, real_input);
   switch (v) {
     case Variant::PyTorch:
       return std::make_unique<Adapter1d<baseline::BaselinePipeline1d>>(prob, variant_name(v));
@@ -177,8 +200,9 @@ std::unique_ptr<SpectralPipeline1d> make_pipeline1d(Variant v,
 }
 
 std::unique_ptr<SpectralPipeline2d> make_pipeline2d(Variant v,
-                                                    const baseline::Spectral2dProblem& prob) {
-  v = resolve_variant(v, prob);
+                                                    const baseline::Spectral2dProblem& prob,
+                                                    bool real_input) {
+  v = resolve_variant(v, prob, real_input);
   switch (v) {
     case Variant::PyTorch:
       return std::make_unique<Adapter2d<baseline::BaselinePipeline2d>>(prob, variant_name(v));

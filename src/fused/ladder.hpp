@@ -46,12 +46,21 @@ inline constexpr Variant kAllVariants[] = {Variant::PyTorch, Variant::FftOpt,
 ///   - otherwise the fully fused pass wins (FullyFused).
 /// The cache budget defaults to 1 MiB and is overridable via the
 /// TURBOFNO_AUTO_L2 environment variable (bytes).
-[[nodiscard]] Variant auto_variant_1d(const baseline::Spectral1dProblem& prob) noexcept;
-[[nodiscard]] Variant auto_variant_2d(const baseline::Spectral2dProblem& prob) noexcept;
+///
+/// `real_input` sizes the working set for the real-spectral (RFFT) lane:
+/// the retained spectra shrink to modes/2+1 bins (1D) / modes_x/2+1 x-rows
+/// (2D), so a shape whose complex working set spills the budget can still
+/// resolve to a fused row when run through run_batched_real.
+[[nodiscard]] Variant auto_variant_1d(const baseline::Spectral1dProblem& prob,
+                                      bool real_input = false) noexcept;
+[[nodiscard]] Variant auto_variant_2d(const baseline::Spectral2dProblem& prob,
+                                      bool real_input = false) noexcept;
 
 /// `v` itself for concrete variants; the auto_variant_* choice for Auto.
-[[nodiscard]] Variant resolve_variant(Variant v, const baseline::Spectral1dProblem& prob) noexcept;
-[[nodiscard]] Variant resolve_variant(Variant v, const baseline::Spectral2dProblem& prob) noexcept;
+[[nodiscard]] Variant resolve_variant(Variant v, const baseline::Spectral1dProblem& prob,
+                                      bool real_input = false) noexcept;
+[[nodiscard]] Variant resolve_variant(Variant v, const baseline::Spectral2dProblem& prob,
+                                      bool real_input = false) noexcept;
 
 class SpectralPipeline1d {
  public:
@@ -68,6 +77,15 @@ class SpectralPipeline1d {
   /// (no cross-request coupling); `batch == 0` is a no-op.
   virtual void run_batched(std::span<const c32> u, std::span<const c32> w, std::span<c32> v,
                            std::size_t batch) = 0;
+  /// Real-spectral lane: u [batch, hidden, n] and v [batch, out_dim, n] hold
+  /// real samples, and the whole spectral schedule runs on the RFFT
+  /// half-spectrum — modes/2+1 retained bins instead of modes, a half-length
+  /// packed complex transform per signal, and a Hermitian-projecting inverse
+  /// (torch.fft.irfft semantics).  Requires n >= 4.  Shares every workspace
+  /// with the complex lane (the half-spectrum is a capacity subset), so the
+  /// two lanes may be interleaved on one pipeline instance.
+  virtual void run_batched_real(std::span<const float> u, std::span<const c32> w,
+                                std::span<float> v, std::size_t batch) = 0;
   /// Grows the workspaces to serve micro-batches up to `batch` without a
   /// reallocation on the run path; problem().batch becomes the high-water
   /// capacity.  Never shrinks.  Growth does not perturb results.
@@ -85,6 +103,12 @@ class SpectralPipeline2d {
   /// Batched serving entry point; see SpectralPipeline1d::run_batched.
   virtual void run_batched(std::span<const c32> u, std::span<const c32> w, std::span<c32> v,
                            std::size_t batch) = 0;
+  /// Real-spectral lane; see SpectralPipeline1d::run_batched_real.  The
+  /// X axis carries the real transform (modes_x/2+1 retained x-rows via the
+  /// two-for-one column-pair X stage); the Y axis stays complex with the
+  /// usual modes_y truncation.  Requires nx >= 4.
+  virtual void run_batched_real(std::span<const float> u, std::span<const c32> w,
+                                std::span<float> v, std::size_t batch) = 0;
   /// Elastic capacity growth; see SpectralPipeline1d::reserve.
   virtual void reserve(std::size_t batch) = 0;
   [[nodiscard]] virtual const trace::PipelineCounters& counters() const noexcept = 0;
@@ -94,10 +118,14 @@ class SpectralPipeline2d {
 
 /// Pipeline factories.  Variant::Auto is resolved (resolve_variant) before
 /// construction, so the returned pipeline is always a concrete row and its
-/// name() reports the resolved choice.
+/// name() reports the resolved choice.  `real_input` only steers that Auto
+/// resolution (half-spectrum working set); every returned pipeline serves
+/// both the complex and the real lane.
 std::unique_ptr<SpectralPipeline1d> make_pipeline1d(Variant v,
-                                                    const baseline::Spectral1dProblem& prob);
+                                                    const baseline::Spectral1dProblem& prob,
+                                                    bool real_input = false);
 std::unique_ptr<SpectralPipeline2d> make_pipeline2d(Variant v,
-                                                    const baseline::Spectral2dProblem& prob);
+                                                    const baseline::Spectral2dProblem& prob,
+                                                    bool real_input = false);
 
 }  // namespace turbofno::fused

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "fft/plan_cache.hpp"
 #include "gemm/batched.hpp"
 #include "gemm/config.hpp"
 #include "runtime/parallel.hpp"
@@ -20,6 +21,28 @@ void check_spans(const baseline::Spectral1dProblem& prob, std::span<const c32> u
                  std::span<c32> v, std::size_t batch) {
   baseline::check_batch_spans(u.size(), v.size(), prob.hidden * prob.n, prob.out_dim * prob.n,
                               batch, "pipeline1d");
+}
+
+void check_spans_real(const baseline::Spectral1dProblem& prob, std::span<const float> u,
+                      std::span<float> v, std::size_t batch) {
+  baseline::check_batch_spans(u.size(), v.size(), prob.hidden * prob.n, prob.out_dim * prob.n,
+                              batch, "pipeline1d(real)");
+}
+
+// The real lane retains the RFFT half-spectrum: modes/2+1 of the modes
+// lowest bins.  Always <= modes, so the complex lane's workspaces cover it.
+std::size_t real_modes(std::size_t modes) noexcept { return modes / 2 + 1; }
+
+// Lazy acquisition keeps complex-only pipelines free of the RFFT's n >= 4
+// requirement.  rfwd is assigned last so it doubles as the "ready" flag
+// even if the inverse acquisition throws.
+void ensure_real_plans(const baseline::Spectral1dProblem& prob,
+                       std::shared_ptr<const fft::RfftPlan>& rfwd,
+                       std::shared_ptr<const fft::IrfftPlan>& rinv) {
+  if (rfwd) return;
+  const std::size_t mr = real_modes(prob.modes);
+  rinv = fft::acquire_irfft_plan(prob.n, mr);
+  rfwd = fft::acquire_rfft_plan(prob.n, mr);
 }
 
 }  // namespace
@@ -93,6 +116,58 @@ void FftOptPipeline1d::run_batched(std::span<const c32> u, std::span<const c32> 
     sc.bytes_read = B * O * M * sizeof(c32);  // only the stored prefix
     sc.bytes_written = B * O * N * sizeof(c32);
     sc.flops = B * O * inv_.plan().flops_per_signal();
+    sc.kernel_launches = 1;
+  }
+}
+
+void FftOptPipeline1d::run_batched_real(std::span<const float> u, std::span<const c32> w,
+                                        std::span<float> v, std::size_t batch) {
+  check_spans_real(prob_, u, v, batch);
+  ensure_real_plans(prob_, rfwd_, rinv_);
+  reserve(batch);
+  counters_.clear();
+  if (batch == 0) return;
+  const std::size_t B = batch;
+  const std::size_t K = prob_.hidden;
+  const std::size_t O = prob_.out_dim;
+  const std::size_t N = prob_.n;
+  const std::size_t MR = real_modes(prob_.modes);
+
+  {
+    runtime::Timer t;
+    rfwd_->execute(u.first(B * K * N), freq_.span().first(B * K * MR), B * K);
+    auto& sc = counters_.stage("fft-trunc");
+    sc.seconds = t.seconds();
+    sc.bytes_read = B * K * N * sizeof(float);
+    sc.bytes_written = B * K * MR * sizeof(c32);  // only the kept half-spectrum
+    sc.flops = B * K * rfwd_->flops_per_signal();
+    sc.kernel_launches = 1;
+  }
+
+  {
+    runtime::Timer t;
+    gemm::BatchedStrides strides;
+    strides.a = 0;
+    strides.b = static_cast<std::ptrdiff_t>(K * MR);
+    strides.c = static_cast<std::ptrdiff_t>(O * MR);
+    gemm::cgemm_batched(O, MR, K, c32{1.0f, 0.0f}, w.data(), K, freq_.data(), MR,
+                        c32{0.0f, 0.0f}, mixed_.data(), MR, B, strides);
+    auto& sc = counters_.stage("cgemm");
+    sc.seconds = t.seconds();
+    sc.bytes_read = (B * K * MR + O * K) * sizeof(c32);
+    sc.bytes_written = B * O * MR * sizeof(c32);
+    sc.flops = trace::cgemm_flops(B * MR, O, K);
+    sc.kernel_launches = 1;
+  }
+
+  {
+    runtime::Timer t;
+    rinv_->execute(mixed_.span().first(B * O * MR), v.first(B * O * N), B * O);
+    auto& sc = counters_.stage("ifft-pad");
+    sc.seconds = t.seconds();
+    sc.bytes_read = B * O * MR * sizeof(c32);  // only the stored prefix
+    sc.bytes_written = B * O * N * sizeof(float);
+    sc.flops = B * O * rinv_->flops_per_signal();
     sc.kernel_launches = 1;
   }
 }
@@ -177,6 +252,73 @@ void FusedFftGemmPipeline1d::run_batched(std::span<const c32> u, std::span<const
     sc.bytes_read = B * O * M * sizeof(c32);
     sc.bytes_written = B * O * N * sizeof(c32);
     sc.flops = B * O * inv_.plan().flops_per_signal();
+    sc.kernel_launches = 1;
+  }
+}
+
+void FusedFftGemmPipeline1d::run_batched_real(std::span<const float> u, std::span<const c32> w,
+                                              std::span<float> v, std::size_t batch) {
+  check_spans_real(prob_, u, v, batch);
+  ensure_real_plans(prob_, rfwd_, rinv_);
+  reserve(batch);
+  counters_.clear();
+  if (batch == 0) return;
+  const std::size_t B = batch;
+  const std::size_t K = prob_.hidden;
+  const std::size_t O = prob_.out_dim;
+  const std::size_t N = prob_.n;
+  const std::size_t MR = real_modes(prob_.modes);
+
+  {
+    runtime::Timer t;
+    const std::size_t ld = simd::round_up_lanes(MR);
+    runtime::parallel_for(0, B, 1, [&](std::size_t lo, std::size_t hi) {
+      auto& arena = runtime::tls_scratch();
+      const auto scope = arena.scope();
+      const std::span<c32> tile = arena.alloc<c32>(kTb * ld);
+      const std::span<float> tsplit = arena.alloc<float>(2 * kTb * ld);
+      const std::span<float> acc = arena.alloc<float>(2 * O * ld);
+      const std::span<c32> work = arena.alloc<c32>(rfwd_->scratch_elems());
+      std::fill(tsplit.begin(), tsplit.end(), 0.0f);  // lane padding must stay zero
+      float* tre = tsplit.data();
+      float* tim = tre + kTb * ld;
+      float* are = acc.data();
+      float* aim = are + O * ld;
+      for (std::size_t b = lo; b < hi; ++b) {
+        std::fill(acc.begin(), acc.end(), 0.0f);
+        for (std::size_t k0 = 0; k0 < K; k0 += kTb) {
+          const std::size_t kc = std::min(kTb, K - k0);
+          // RFFT directly into the GEMM operand tile: one packed half-length
+          // transform per channel, untangled to the MR kept bins.
+          for (std::size_t kk = 0; kk < kc; ++kk) {
+            rfwd_->execute_one(u.data() + (b * K + k0 + kk) * N, 1, tile.data() + kk * ld, 1,
+                               work);
+            simd::split_planes(tile.data() + kk * ld, tre + kk * ld, tim + kk * ld, MR);
+          }
+          rank_update_split(are, aim, w.data(), K, k0, tre, tim, ld, O, kc);
+        }
+        for (std::size_t o = 0; o < O; ++o) {
+          simd::interleave_planes(are + o * ld, aim + o * ld, mixed_.data() + (b * O + o) * MR,
+                                  MR);
+        }
+      }
+    });
+    auto& sc = counters_.stage("fused-fft-cgemm");
+    sc.seconds = t.seconds();
+    sc.bytes_read = B * K * N * sizeof(float) + O * K * sizeof(c32);
+    sc.bytes_written = B * O * MR * sizeof(c32);
+    sc.flops = B * K * rfwd_->flops_per_signal() + trace::cgemm_flops(B * MR, O, K);
+    sc.kernel_launches = 1;
+  }
+
+  {
+    runtime::Timer t;
+    rinv_->execute(mixed_.span().first(B * O * MR), v.first(B * O * N), B * O);
+    auto& sc = counters_.stage("ifft-pad");
+    sc.seconds = t.seconds();
+    sc.bytes_read = B * O * MR * sizeof(c32);
+    sc.bytes_written = B * O * N * sizeof(float);
+    sc.flops = B * O * rinv_->flops_per_signal();
     sc.kernel_launches = 1;
   }
 }
@@ -267,6 +409,72 @@ void FusedGemmIfftPipeline1d::run_batched(std::span<const c32> u, std::span<cons
   }
 }
 
+void FusedGemmIfftPipeline1d::run_batched_real(std::span<const float> u, std::span<const c32> w,
+                                               std::span<float> v, std::size_t batch) {
+  check_spans_real(prob_, u, v, batch);
+  ensure_real_plans(prob_, rfwd_, rinv_);
+  reserve(batch);
+  counters_.clear();
+  if (batch == 0) return;
+  const std::size_t B = batch;
+  const std::size_t K = prob_.hidden;
+  const std::size_t O = prob_.out_dim;
+  const std::size_t N = prob_.n;
+  const std::size_t MR = real_modes(prob_.modes);
+
+  {
+    runtime::Timer t;
+    rfwd_->execute(u.first(B * K * N), freq_.span().first(B * K * MR), B * K);
+    auto& sc = counters_.stage("fft-trunc");
+    sc.seconds = t.seconds();
+    sc.bytes_read = B * K * N * sizeof(float);
+    sc.bytes_written = B * K * MR * sizeof(c32);
+    sc.flops = B * K * rfwd_->flops_per_signal();
+    sc.kernel_launches = 1;
+  }
+
+  {
+    runtime::Timer t;
+    const std::size_t ld = simd::round_up_lanes(MR);
+    runtime::parallel_for(0, B, 1, [&](std::size_t lo, std::size_t hi) {
+      auto& arena = runtime::tls_scratch();
+      const auto scope = arena.scope();
+      const std::span<float> tsplit = arena.alloc<float>(2 * kTb * ld);
+      const std::span<float> acc = arena.alloc<float>(2 * O * ld);
+      const std::span<c32> row = arena.alloc<c32>(ld);
+      const std::span<c32> work = arena.alloc<c32>(rinv_->scratch_elems());
+      std::fill(tsplit.begin(), tsplit.end(), 0.0f);
+      float* tre = tsplit.data();
+      float* tim = tre + kTb * ld;
+      float* are = acc.data();
+      float* aim = are + O * ld;
+      for (std::size_t b = lo; b < hi; ++b) {
+        std::fill(acc.begin(), acc.end(), 0.0f);
+        for (std::size_t k0 = 0; k0 < K; k0 += kTb) {
+          const std::size_t kc = std::min(kTb, K - k0);
+          for (std::size_t kk = 0; kk < kc; ++kk) {
+            simd::split_planes(freq_.data() + (b * K + k0 + kk) * MR, tre + kk * ld,
+                               tim + kk * ld, MR);
+          }
+          rank_update_split(are, aim, w.data(), K, k0, tre, tim, ld, O, kc);
+        }
+        // C2R epilogue straight out of the accumulator tile: Hermitian
+        // extension + half-length inverse, real samples out.
+        for (std::size_t o = 0; o < O; ++o) {
+          simd::interleave_planes(are + o * ld, aim + o * ld, row.data(), MR);
+          rinv_->execute_one(row.data(), 1, v.data() + (b * O + o) * N, 1, work);
+        }
+      }
+    });
+    auto& sc = counters_.stage("fused-cgemm-ifft");
+    sc.seconds = t.seconds();
+    sc.bytes_read = (B * K * MR + O * K) * sizeof(c32);
+    sc.bytes_written = B * O * N * sizeof(float);
+    sc.flops = trace::cgemm_flops(B * MR, O, K) + B * O * rinv_->flops_per_signal();
+    sc.kernel_launches = 1;
+  }
+}
+
 // ------------------------------------------------------------ FullyFused (D)
 
 FullyFusedPipeline1d::FullyFusedPipeline1d(baseline::Spectral1dProblem prob)
@@ -333,6 +541,62 @@ void FullyFusedPipeline1d::run_batched(std::span<const c32> u, std::span<const c
   sc.bytes_written = B * O * N * sizeof(c32);
   sc.flops = B * K * fwd_.plan().flops_per_signal() + trace::cgemm_flops(B * M, O, K) +
              B * O * inv_.plan().flops_per_signal();
+  sc.kernel_launches = 1;
+}
+
+void FullyFusedPipeline1d::run_batched_real(std::span<const float> u, std::span<const c32> w,
+                                            std::span<float> v, std::size_t batch) {
+  check_spans_real(prob_, u, v, batch);
+  ensure_real_plans(prob_, rfwd_, rinv_);
+  reserve(batch);
+  counters_.clear();
+  if (batch == 0) return;
+  const std::size_t B = batch;
+  const std::size_t K = prob_.hidden;
+  const std::size_t O = prob_.out_dim;
+  const std::size_t N = prob_.n;
+  const std::size_t MR = real_modes(prob_.modes);
+
+  runtime::Timer t;
+  const std::size_t ld = simd::round_up_lanes(MR);
+  const std::size_t work_elems = std::max(rfwd_->scratch_elems(), rinv_->scratch_elems());
+  runtime::parallel_for(0, B, 1, [&](std::size_t lo, std::size_t hi) {
+    auto& arena = runtime::tls_scratch();
+    const auto scope = arena.scope();
+    const std::span<c32> tile = arena.alloc<c32>(kTb * ld);  // RFFT out == GEMM A tile
+    const std::span<float> tsplit = arena.alloc<float>(2 * kTb * ld);
+    const std::span<float> acc = arena.alloc<float>(2 * O * ld);
+    const std::span<c32> row = arena.alloc<c32>(ld);
+    const std::span<c32> work = arena.alloc<c32>(work_elems);
+    std::fill(tsplit.begin(), tsplit.end(), 0.0f);
+    float* tre = tsplit.data();
+    float* tim = tre + kTb * ld;
+    float* are = acc.data();
+    float* aim = are + O * ld;
+    for (std::size_t b = lo; b < hi; ++b) {
+      std::fill(acc.begin(), acc.end(), 0.0f);
+      for (std::size_t k0 = 0; k0 < K; k0 += kTb) {
+        const std::size_t kc = std::min(kTb, K - k0);
+        for (std::size_t kk = 0; kk < kc; ++kk) {
+          rfwd_->execute_one(u.data() + (b * K + k0 + kk) * N, 1, tile.data() + kk * ld, 1,
+                             work);
+          simd::split_planes(tile.data() + kk * ld, tre + kk * ld, tim + kk * ld, MR);
+        }
+        rank_update_split(are, aim, w.data(), K, k0, tre, tim, ld, O, kc);
+      }
+      for (std::size_t o = 0; o < O; ++o) {
+        simd::interleave_planes(are + o * ld, aim + o * ld, row.data(), MR);
+        rinv_->execute_one(row.data(), 1, v.data() + (b * O + o) * N, 1, work);
+      }
+    }
+  });
+
+  auto& sc = counters_.stage("fused-fft-cgemm-ifft");
+  sc.seconds = t.seconds();
+  sc.bytes_read = B * K * N * sizeof(float) + O * K * sizeof(c32);
+  sc.bytes_written = B * O * N * sizeof(float);
+  sc.flops = B * K * rfwd_->flops_per_signal() + trace::cgemm_flops(B * MR, O, K) +
+             B * O * rinv_->flops_per_signal();
   sc.kernel_launches = 1;
 }
 

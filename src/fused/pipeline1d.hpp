@@ -6,15 +6,24 @@
 // stage boundaries still round-trip through (simulated) global memory.
 #pragma once
 
+#include <memory>
 #include <span>
 
 #include "baseline/problem.hpp"
+#include "fft/real.hpp"
 #include "fused/fft_variant.hpp"
 #include "tensor/aligned_buffer.hpp"
 #include "tensor/complex.hpp"
 #include "trace/counters.hpp"
 
 namespace turbofno::fused {
+
+// Every variant carries a second, real-spectral lane (run_batched_real):
+// real samples in/out, modes/2+1 retained RFFT bins instead of modes, and
+// the C2R Hermitian-projecting inverse.  The half-spectrum is a capacity
+// subset of the complex lane's workspaces, so both lanes share buffers; the
+// real plans are acquired lazily on first use (they require n >= 4, which a
+// complex-only pipeline must not be forced to satisfy).
 
 /// Stage A: built-in truncation/zero-padding/pruning, kernels unfused.
 /// Three launches: truncated FFT -> batched CGEMM -> zero-padded iFFT; the
@@ -25,6 +34,8 @@ class FftOptPipeline1d {
   void run(std::span<const c32> u, std::span<const c32> w, std::span<c32> v);
   void run_batched(std::span<const c32> u, std::span<const c32> w, std::span<c32> v,
                    std::size_t batch);
+  void run_batched_real(std::span<const float> u, std::span<const c32> w, std::span<float> v,
+                        std::size_t batch);
   /// Grows the workspaces so micro-batches up to `batch` run without a
   /// reallocation; problem().batch becomes the high-water capacity.
   void reserve(std::size_t batch);
@@ -35,6 +46,8 @@ class FftOptPipeline1d {
   baseline::Spectral1dProblem prob_;
   KLoopFft fwd_;
   EpilogueIfft inv_;
+  std::shared_ptr<const fft::RfftPlan> rfwd_;   // lazy: real lane only
+  std::shared_ptr<const fft::IrfftPlan> rinv_;  // lazy: real lane only
   AlignedBuffer<c32> freq_;   // [batch, hidden, modes]
   AlignedBuffer<c32> mixed_;  // [batch, out_dim, modes]
   trace::PipelineCounters counters_{"fftopt-1d"};
@@ -47,6 +60,8 @@ class FusedFftGemmPipeline1d {
   void run(std::span<const c32> u, std::span<const c32> w, std::span<c32> v);
   void run_batched(std::span<const c32> u, std::span<const c32> w, std::span<c32> v,
                    std::size_t batch);
+  void run_batched_real(std::span<const float> u, std::span<const c32> w, std::span<float> v,
+                        std::size_t batch);
   /// Grows the workspaces so micro-batches up to `batch` run without a
   /// reallocation; problem().batch becomes the high-water capacity.
   void reserve(std::size_t batch);
@@ -57,6 +72,8 @@ class FusedFftGemmPipeline1d {
   baseline::Spectral1dProblem prob_;
   KLoopFft fwd_;
   EpilogueIfft inv_;
+  std::shared_ptr<const fft::RfftPlan> rfwd_;
+  std::shared_ptr<const fft::IrfftPlan> rinv_;
   AlignedBuffer<c32> mixed_;  // [batch, out_dim, modes]
   trace::PipelineCounters counters_{"fused-fft-gemm-1d"};
 };
@@ -68,6 +85,8 @@ class FusedGemmIfftPipeline1d {
   void run(std::span<const c32> u, std::span<const c32> w, std::span<c32> v);
   void run_batched(std::span<const c32> u, std::span<const c32> w, std::span<c32> v,
                    std::size_t batch);
+  void run_batched_real(std::span<const float> u, std::span<const c32> w, std::span<float> v,
+                        std::size_t batch);
   /// Grows the workspaces so micro-batches up to `batch` run without a
   /// reallocation; problem().batch becomes the high-water capacity.
   void reserve(std::size_t batch);
@@ -78,6 +97,8 @@ class FusedGemmIfftPipeline1d {
   baseline::Spectral1dProblem prob_;
   KLoopFft fwd_;
   EpilogueIfft inv_;
+  std::shared_ptr<const fft::RfftPlan> rfwd_;
+  std::shared_ptr<const fft::IrfftPlan> rinv_;
   AlignedBuffer<c32> freq_;  // [batch, hidden, modes]
   trace::PipelineCounters counters_{"fused-gemm-ifft-1d"};
 };
@@ -90,6 +111,8 @@ class FullyFusedPipeline1d {
   void run(std::span<const c32> u, std::span<const c32> w, std::span<c32> v);
   void run_batched(std::span<const c32> u, std::span<const c32> w, std::span<c32> v,
                    std::size_t batch);
+  void run_batched_real(std::span<const float> u, std::span<const c32> w, std::span<float> v,
+                        std::size_t batch);
   /// Grows the workspaces so micro-batches up to `batch` run without a
   /// reallocation; problem().batch becomes the high-water capacity.
   void reserve(std::size_t batch);
@@ -100,6 +123,8 @@ class FullyFusedPipeline1d {
   baseline::Spectral1dProblem prob_;
   KLoopFft fwd_;
   EpilogueIfft inv_;
+  std::shared_ptr<const fft::RfftPlan> rfwd_;
+  std::shared_ptr<const fft::IrfftPlan> rinv_;
   trace::PipelineCounters counters_{"fully-fused-1d"};
 };
 

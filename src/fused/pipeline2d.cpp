@@ -6,6 +6,7 @@
 
 #include "fft/fft2d.hpp"
 #include "fft/plan_cache.hpp"
+#include "fft/real2d.hpp"
 #include "gemm/batched.hpp"
 #include "gemm/config.hpp"
 #include "runtime/env.hpp"
@@ -120,6 +121,13 @@ void Pipeline2dBase::check_spans(std::span<const c32> u, std::span<c32> v,
   const std::size_t field = prob_.nx * prob_.ny;
   baseline::check_batch_spans(u.size(), v.size(), prob_.hidden * field, prob_.out_dim * field,
                               batch, "pipeline2d");
+}
+
+void Pipeline2dBase::check_spans_real(std::span<const float> u, std::span<float> v,
+                                      std::size_t batch) const {
+  const std::size_t field = prob_.nx * prob_.ny;
+  baseline::check_batch_spans(u.size(), v.size(), prob_.hidden * field, prob_.out_dim * field,
+                              batch, "pipeline2d(real)");
 }
 
 std::size_t Pipeline2dBase::mid_group(std::size_t batch) const noexcept {
@@ -319,6 +327,105 @@ void Pipeline2dBase::run_mid(std::span<const c32> u, std::span<c32> v, std::size
   si.kernel_launches = 1;
 }
 
+void Pipeline2dBase::run_mid_real(std::span<const float> u, std::span<float> v,
+                                  std::size_t batch, bool fused_mid, std::size_t group,
+                                  const std::function<void(const MidView&)>& middle) {
+  const std::size_t B = batch;
+  const std::size_t K = prob_.hidden;
+  const std::size_t O = prob_.out_dim;
+  const std::size_t NX = prob_.nx;
+  const std::size_t NY = prob_.ny;
+  const std::size_t MXR = real_modes_x();
+
+  if (!fused_mid) {
+    // Unfused middle: the MX-sized intermediates are a capacity superset of
+    // the MXR-packed real layout the view strides describe.
+    ensure_mid_buffers(B, false, 0);
+    {
+      runtime::Timer t;
+      fft::rfft2d_x_stage(NX, MXR, u.data(), mid_in_.data(), B * K, NY);
+      counters_.stage("fft-x-trunc").seconds += t.seconds();
+    }
+    MidView mv;
+    mv.in = mid_in_.data();
+    mv.out = mid_out_.data();
+    mv.count = B;
+    mv.in_y = 1;
+    mv.out_y = 1;
+    mv.in_x = NY;
+    mv.out_x = NY;
+    mv.chan = MXR * NY;
+    mv.in_b = K * MXR * NY;
+    mv.out_b = O * MXR * NY;
+    middle(mv);
+    {
+      runtime::Timer t;
+      fft::irfft2d_x_stage(NX, MXR, mid_out_.data(), v.data(), B * O, NY);
+      counters_.stage("ifft-x-pad").seconds += t.seconds();
+    }
+  } else {
+    // Fused middle: identical group staging to run_mid, with the tiles'
+    // column spectra packed MXR apart.
+    const std::size_t bg = std::max<std::size_t>(group, 1);
+    ensure_mid_buffers(B, true, bg);
+
+    for (std::size_t b0 = 0; b0 < B; b0 += bg) {
+      const std::size_t g = std::min(bg, B - b0);
+      {
+        runtime::Timer t;
+        fft::rfft2d_x_stage_to_tiles(
+            NX, MXR, u.data() + b0 * K * NX * NY, g * K, NY,
+            [this, MXR, NY](std::size_t f, std::size_t y0, std::size_t) {
+              return staging_in_.data() + (f * NY + y0) * MXR;
+            });
+        counters_.stage("fft-x-trunc").seconds += t.seconds();
+      }
+
+      MidView mv;
+      mv.in = staging_in_.data();
+      mv.out = staging_out_.data();
+      mv.count = g;
+      mv.in_y = static_cast<std::ptrdiff_t>(MXR);
+      mv.out_y = static_cast<std::ptrdiff_t>(MXR);
+      mv.in_x = 1;
+      mv.out_x = 1;
+      mv.chan = NY * MXR;
+      mv.in_b = K * NY * MXR;
+      mv.out_b = O * NY * MXR;
+      middle(mv);
+
+      {
+        runtime::Timer t;
+        fft::irfft2d_x_stage_from_tiles(
+            NX, MXR,
+            [this, MXR, NY](std::size_t f, std::size_t y0, std::size_t) {
+              return static_cast<const c32*>(staging_out_.data() + (f * NY + y0) * MXR);
+            },
+            v.data() + b0 * O * NX * NY, g * O, NY);
+        counters_.stage("ifft-x-pad").seconds += t.seconds();
+      }
+    }
+  }
+
+  // Closed-form per-run accounting.  The real X stages run one full-length
+  // packed C2C transform per column *pair* plus an O(MXR) untangle per
+  // column; field traffic is real floats, and — as in run_mid — the fused
+  // staging tiles count as on-chip (zero global bytes).
+  const std::uint64_t e = sizeof(c32);
+  const auto fx = fft::acquire_plan({NX, fft::Direction::Forward});
+  const auto ix = fft::acquire_plan({NX, fft::Direction::Inverse});
+  auto& sx = counters_.stage("fft-x-trunc");
+  sx.bytes_read = B * K * NX * NY * sizeof(float);
+  sx.bytes_written = fused_mid ? 0 : B * K * MXR * NY * e;
+  sx.flops = B * K * (NY / 2) * fx->flops_per_signal() + B * K * NY * 8 * MXR;
+  sx.kernel_launches = 1;
+  auto& si = counters_.stage("ifft-x-pad");
+  si.bytes_read = fused_mid ? 0 : B * O * MXR * NY * e;
+  si.bytes_written = B * O * NX * NY * sizeof(float);
+  si.flops = B * O * (NY / 2) * ix->flops_per_signal() + B * O * NY * 8 * MXR;
+  si.kernel_launches = 1;
+}
+
 // ---------------------------------------------------------------- FftOpt (A)
 
 FftOptPipeline2d::FftOptPipeline2d(baseline::Spectral2dProblem prob)
@@ -341,6 +448,40 @@ void FftOptPipeline2d::reserve(std::size_t batch) {
   Pipeline2dBase::reserve(batch);
 }
 
+void FftOptPipeline2d::middle_group(const MidView& mv, std::span<const c32> w,
+                                    std::size_t mx) {
+  const std::size_t K = prob_.hidden;
+  const std::size_t O = prob_.out_dim;
+  const std::size_t MY = prob_.modes_y;
+  const std::size_t modes = mx * MY;
+
+  // Stage 2: truncated FFT along Y (unfused).
+  {
+    runtime::Timer t;
+    y_forward_rows(fwd_y_.plan(), mv, K, mx, MY, freq_.data());
+    counters_.stage("fft-y-trunc").seconds += t.seconds();
+  }
+
+  // Stage 3: batched CGEMM over the group.
+  {
+    runtime::Timer t;
+    gemm::BatchedStrides strides;
+    strides.a = 0;
+    strides.b = static_cast<std::ptrdiff_t>(K * modes);
+    strides.c = static_cast<std::ptrdiff_t>(O * modes);
+    gemm::cgemm_batched(O, modes, K, c32{1.0f, 0.0f}, w.data(), K, freq_.data(), modes,
+                        c32{0.0f, 0.0f}, mixed_.data(), modes, mv.count, strides);
+    counters_.stage("cgemm").seconds += t.seconds();
+  }
+
+  // Stage 4: zero-padded iFFT along Y (unfused).
+  {
+    runtime::Timer t;
+    y_inverse_rows(inv_y_.plan(), mv, O, mx, MY, mixed_.data());
+    counters_.stage("ifft-y-pad").seconds += t.seconds();
+  }
+}
+
 void FftOptPipeline2d::run_batched(std::span<const c32> u, std::span<const c32> w,
                         std::span<c32> v, std::size_t batch) {
   check_spans(u, v, batch);
@@ -353,39 +494,13 @@ void FftOptPipeline2d::run_batched(std::span<const c32> u, std::span<const c32> 
   const std::size_t O = prob_.out_dim;
   const std::size_t NY = prob_.ny;
   const std::size_t MX = prob_.modes_x;
-  const std::size_t MY = prob_.modes_y;
-  const std::size_t modes = MX * MY;
+  const std::size_t modes = MX * prob_.modes_y;
 
   const std::size_t gcap = fused_mid ? mid_group(B) : B;
   ensure_variant_buffers(gcap);
 
-  run_mid(u, v, B, fused_mid, gcap, [&](const MidView& mv) {
-    // Stage 2: truncated FFT along Y (unfused).
-    {
-      runtime::Timer t;
-      y_forward_rows(fwd_y_.plan(), mv, K, MX, MY, freq_.data());
-      counters_.stage("fft-y-trunc").seconds += t.seconds();
-    }
-
-    // Stage 3: batched CGEMM over the group.
-    {
-      runtime::Timer t;
-      gemm::BatchedStrides strides;
-      strides.a = 0;
-      strides.b = static_cast<std::ptrdiff_t>(K * modes);
-      strides.c = static_cast<std::ptrdiff_t>(O * modes);
-      gemm::cgemm_batched(O, modes, K, c32{1.0f, 0.0f}, w.data(), K, freq_.data(), modes,
-                          c32{0.0f, 0.0f}, mixed_.data(), modes, mv.count, strides);
-      counters_.stage("cgemm").seconds += t.seconds();
-    }
-
-    // Stage 4: zero-padded iFFT along Y (unfused).
-    {
-      runtime::Timer t;
-      y_inverse_rows(inv_y_.plan(), mv, O, MX, MY, mixed_.data());
-      counters_.stage("ifft-y-pad").seconds += t.seconds();
-    }
-  });
+  run_mid(u, v, B, fused_mid, gcap,
+          [&](const MidView& mv) { middle_group(mv, w, MX); });
 
   const std::uint64_t e = sizeof(c32);
   auto& sy = counters_.stage("fft-y-trunc");
@@ -402,6 +517,44 @@ void FftOptPipeline2d::run_batched(std::span<const c32> u, std::span<const c32> 
   sp.bytes_read = B * O * modes * e;
   sp.bytes_written = fused_mid ? 0 : B * O * MX * NY * e;
   sp.flops = B * O * MX * inv_y_.plan().flops_per_signal();
+  sp.kernel_launches = 1;
+}
+
+void FftOptPipeline2d::run_batched_real(std::span<const float> u, std::span<const c32> w,
+                                        std::span<float> v, std::size_t batch) {
+  check_spans_real(u, v, batch);
+  reserve(batch);
+  counters_.clear();
+  if (batch == 0) return;
+  const bool fused_mid = fft::fused_mid_enabled();
+  const std::size_t B = batch;
+  const std::size_t K = prob_.hidden;
+  const std::size_t O = prob_.out_dim;
+  const std::size_t NY = prob_.ny;
+  const std::size_t MXR = real_modes_x();
+  const std::size_t modes = MXR * prob_.modes_y;
+
+  const std::size_t gcap = fused_mid ? mid_group(B) : B;
+  ensure_variant_buffers(gcap);
+
+  run_mid_real(u, v, B, fused_mid, gcap,
+               [&](const MidView& mv) { middle_group(mv, w, MXR); });
+
+  const std::uint64_t e = sizeof(c32);
+  auto& sy = counters_.stage("fft-y-trunc");
+  sy.bytes_read = fused_mid ? 0 : B * K * MXR * NY * e;
+  sy.bytes_written = B * K * modes * e;
+  sy.flops = B * K * MXR * fwd_y_.plan().flops_per_signal();
+  sy.kernel_launches = 1;
+  auto& sg = counters_.stage("cgemm");
+  sg.bytes_read = (B * K * modes + O * K) * e;
+  sg.bytes_written = B * O * modes * e;
+  sg.flops = trace::cgemm_flops(B * modes, O, K);
+  sg.kernel_launches = 1;
+  auto& sp = counters_.stage("ifft-y-pad");
+  sp.bytes_read = B * O * modes * e;
+  sp.bytes_written = fused_mid ? 0 : B * O * MXR * NY * e;
+  sp.flops = B * O * MXR * inv_y_.plan().flops_per_signal();
   sp.kernel_launches = 1;
 }
 
@@ -426,6 +579,84 @@ void FusedFftGemmPipeline2d::reserve(std::size_t batch) {
   Pipeline2dBase::reserve(batch);
 }
 
+void FusedFftGemmPipeline2d::middle_group(const MidView& mv, std::span<const c32> w,
+                                          std::size_t mx) {
+  const std::size_t K = prob_.hidden;
+  const std::size_t O = prob_.out_dim;
+  const std::size_t NY = prob_.ny;
+  const std::size_t MY = prob_.modes_y;
+
+  // Fused FFT-Y + CGEMM: one task per (batch, x-block), iterating the
+  // hidden dim like the GEMM k-loop (Figure 6(c)).  On the y-major
+  // staging, each k-tile channel moves through one blocked SIMD
+  // transpose so the k-loop streams contiguous rows (see kXBlock).
+  {
+    runtime::Timer t;
+    const std::size_t ld = simd::round_up_lanes(MY);
+    const bool tiled = mv.in_y != 1;
+    const std::size_t xb = tiled ? std::min<std::size_t>(kXBlock, mx) : 1;
+    const std::size_t nblk = (mx + xb - 1) / xb;
+    runtime::parallel_for(0, mv.count * nblk, runtime::fused_grain(mv.count * nblk),
+                          [&](std::size_t lo, std::size_t hi) {
+      auto& arena = runtime::tls_scratch();
+      const auto scope = arena.scope();
+      const std::span<c32> tile = arena.alloc<c32>(kTb * ld);
+      const std::span<float> tsplit = arena.alloc<float>(2 * kTb * ld);
+      const std::span<float> acc = arena.alloc<float>(xb * 2 * O * ld);
+      const std::span<c32> gbuf =
+          tiled ? arena.alloc<c32>(kTb * xb * NY) : std::span<c32>{};
+      const std::span<c32> work = arena.alloc<c32>(fwd_y_.plan().scratch_elems());
+      // rank_update_split streams whole ld-wide rows, so the tile planes'
+      // lane padding must be zero; the arena hands out raw storage.
+      std::fill(tsplit.begin(), tsplit.end(), 0.0f);
+      float* tre = tsplit.data();
+      float* tim = tre + kTb * ld;
+      for (std::size_t i = lo; i < hi; ++i) {
+        const std::size_t bl = i / nblk;
+        const std::size_t x0 = (i % nblk) * xb;
+        const std::size_t xc = std::min(xb, mx - x0);
+        std::fill(acc.begin(), acc.end(), 0.0f);
+        for (std::size_t k0 = 0; k0 < K; k0 += kTb) {
+          const std::size_t kc = std::min(kTb, K - k0);
+          if (tiled) gather_xblock(mv, bl, k0, kc, x0, xc, xb, NY, gbuf.data());
+          for (std::size_t xi = 0; xi < xc; ++xi) {
+            float* are = acc.data() + xi * 2 * O * ld;
+            float* aim = are + O * ld;
+            if (tiled) {
+              fwd_y_.forward_tile(gbuf.data() + xi * NY, xb * NY, kc, tile.data(), ld,
+                                  work);
+            } else {
+              fwd_y_.forward_tile(mv.in_row(bl, k0, x0 + xi), mv.chan, kc, tile.data(),
+                                  ld, work, mv.in_y);
+            }
+            for (std::size_t kk = 0; kk < kc; ++kk) {
+              simd::split_planes(tile.data() + kk * ld, tre + kk * ld, tim + kk * ld, MY);
+            }
+            rank_update_split(are, aim, w.data(), K, k0, tre, tim, ld, O, kc);
+          }
+        }
+        for (std::size_t xi = 0; xi < xc; ++xi) {
+          const float* are = acc.data() + xi * 2 * O * ld;
+          const float* aim = are + O * ld;
+          for (std::size_t o = 0; o < O; ++o) {
+            simd::interleave_planes(are + o * ld, aim + o * ld,
+                                    mixed_.data() + ((bl * O + o) * mx + x0 + xi) * MY,
+                                    MY);
+          }
+        }
+      }
+    });
+    counters_.stage("fused-fft-cgemm").seconds += t.seconds();
+  }
+
+  // Separate zero-padded iFFT along Y.
+  {
+    runtime::Timer t;
+    y_inverse_rows(inv_y_.plan(), mv, O, mx, MY, mixed_.data());
+    counters_.stage("ifft-y-pad").seconds += t.seconds();
+  }
+}
+
 void FusedFftGemmPipeline2d::run_batched(std::span<const c32> u, std::span<const c32> w,
                         std::span<c32> v, std::size_t batch) {
   check_spans(u, v, batch);
@@ -438,83 +669,13 @@ void FusedFftGemmPipeline2d::run_batched(std::span<const c32> u, std::span<const
   const std::size_t O = prob_.out_dim;
   const std::size_t NY = prob_.ny;
   const std::size_t MX = prob_.modes_x;
-  const std::size_t MY = prob_.modes_y;
-  const std::size_t modes = MX * MY;
+  const std::size_t modes = MX * prob_.modes_y;
 
   const std::size_t gcap = fused_mid ? mid_group(B) : B;
   ensure_variant_buffers(gcap);
 
-  run_mid(u, v, B, fused_mid, gcap, [&](const MidView& mv) {
-    // Fused FFT-Y + CGEMM: one task per (batch, x-block), iterating the
-    // hidden dim like the GEMM k-loop (Figure 6(c)).  On the y-major
-    // staging, each k-tile channel moves through one blocked SIMD
-    // transpose so the k-loop streams contiguous rows (see kXBlock).
-    {
-      runtime::Timer t;
-      const std::size_t ld = simd::round_up_lanes(MY);
-      const bool tiled = mv.in_y != 1;
-      const std::size_t xb = tiled ? std::min<std::size_t>(kXBlock, MX) : 1;
-      const std::size_t nblk = (MX + xb - 1) / xb;
-      runtime::parallel_for(0, mv.count * nblk, runtime::fused_grain(mv.count * nblk),
-                            [&](std::size_t lo, std::size_t hi) {
-        auto& arena = runtime::tls_scratch();
-        const auto scope = arena.scope();
-        const std::span<c32> tile = arena.alloc<c32>(kTb * ld);
-        const std::span<float> tsplit = arena.alloc<float>(2 * kTb * ld);
-        const std::span<float> acc = arena.alloc<float>(xb * 2 * O * ld);
-        const std::span<c32> gbuf =
-            tiled ? arena.alloc<c32>(kTb * xb * NY) : std::span<c32>{};
-        const std::span<c32> work = arena.alloc<c32>(fwd_y_.plan().scratch_elems());
-        // rank_update_split streams whole ld-wide rows, so the tile planes'
-        // lane padding must be zero; the arena hands out raw storage.
-        std::fill(tsplit.begin(), tsplit.end(), 0.0f);
-        float* tre = tsplit.data();
-        float* tim = tre + kTb * ld;
-        for (std::size_t i = lo; i < hi; ++i) {
-          const std::size_t bl = i / nblk;
-          const std::size_t x0 = (i % nblk) * xb;
-          const std::size_t xc = std::min(xb, MX - x0);
-          std::fill(acc.begin(), acc.end(), 0.0f);
-          for (std::size_t k0 = 0; k0 < K; k0 += kTb) {
-            const std::size_t kc = std::min(kTb, K - k0);
-            if (tiled) gather_xblock(mv, bl, k0, kc, x0, xc, xb, NY, gbuf.data());
-            for (std::size_t xi = 0; xi < xc; ++xi) {
-              float* are = acc.data() + xi * 2 * O * ld;
-              float* aim = are + O * ld;
-              if (tiled) {
-                fwd_y_.forward_tile(gbuf.data() + xi * NY, xb * NY, kc, tile.data(), ld,
-                                    work);
-              } else {
-                fwd_y_.forward_tile(mv.in_row(bl, k0, x0 + xi), mv.chan, kc, tile.data(),
-                                    ld, work, mv.in_y);
-              }
-              for (std::size_t kk = 0; kk < kc; ++kk) {
-                simd::split_planes(tile.data() + kk * ld, tre + kk * ld, tim + kk * ld, MY);
-              }
-              rank_update_split(are, aim, w.data(), K, k0, tre, tim, ld, O, kc);
-            }
-          }
-          for (std::size_t xi = 0; xi < xc; ++xi) {
-            const float* are = acc.data() + xi * 2 * O * ld;
-            const float* aim = are + O * ld;
-            for (std::size_t o = 0; o < O; ++o) {
-              simd::interleave_planes(are + o * ld, aim + o * ld,
-                                      mixed_.data() + ((bl * O + o) * MX + x0 + xi) * MY,
-                                      MY);
-            }
-          }
-        }
-      });
-      counters_.stage("fused-fft-cgemm").seconds += t.seconds();
-    }
-
-    // Separate zero-padded iFFT along Y.
-    {
-      runtime::Timer t;
-      y_inverse_rows(inv_y_.plan(), mv, O, MX, MY, mixed_.data());
-      counters_.stage("ifft-y-pad").seconds += t.seconds();
-    }
-  });
+  run_mid(u, v, B, fused_mid, gcap,
+          [&](const MidView& mv) { middle_group(mv, w, MX); });
 
   const std::uint64_t e = sizeof(c32);
   auto& sf = counters_.stage("fused-fft-cgemm");
@@ -526,6 +687,40 @@ void FusedFftGemmPipeline2d::run_batched(std::span<const c32> u, std::span<const
   sp.bytes_read = B * O * modes * e;
   sp.bytes_written = fused_mid ? 0 : B * O * MX * NY * e;
   sp.flops = B * O * MX * inv_y_.plan().flops_per_signal();
+  sp.kernel_launches = 1;
+}
+
+void FusedFftGemmPipeline2d::run_batched_real(std::span<const float> u, std::span<const c32> w,
+                                              std::span<float> v, std::size_t batch) {
+  check_spans_real(u, v, batch);
+  reserve(batch);
+  counters_.clear();
+  if (batch == 0) return;
+  const bool fused_mid = fft::fused_mid_enabled();
+  const std::size_t B = batch;
+  const std::size_t K = prob_.hidden;
+  const std::size_t O = prob_.out_dim;
+  const std::size_t NY = prob_.ny;
+  const std::size_t MXR = real_modes_x();
+  const std::size_t modes = MXR * prob_.modes_y;
+
+  const std::size_t gcap = fused_mid ? mid_group(B) : B;
+  ensure_variant_buffers(gcap);
+
+  run_mid_real(u, v, B, fused_mid, gcap,
+               [&](const MidView& mv) { middle_group(mv, w, MXR); });
+
+  const std::uint64_t e = sizeof(c32);
+  auto& sf = counters_.stage("fused-fft-cgemm");
+  sf.bytes_read = ((fused_mid ? 0 : B * K * MXR * NY) + O * K) * e;
+  sf.bytes_written = B * O * modes * e;
+  sf.flops =
+      B * K * MXR * fwd_y_.plan().flops_per_signal() + trace::cgemm_flops(B * modes, O, K);
+  sf.kernel_launches = 1;
+  auto& sp = counters_.stage("ifft-y-pad");
+  sp.bytes_read = B * O * modes * e;
+  sp.bytes_written = fused_mid ? 0 : B * O * MXR * NY * e;
+  sp.flops = B * O * MXR * inv_y_.plan().flops_per_signal();
   sp.kernel_launches = 1;
 }
 
@@ -550,178 +745,58 @@ void FusedGemmIfftPipeline2d::reserve(std::size_t batch) {
   Pipeline2dBase::reserve(batch);
 }
 
-void FusedGemmIfftPipeline2d::run_batched(std::span<const c32> u, std::span<const c32> w,
-                        std::span<c32> v, std::size_t batch) {
-  check_spans(u, v, batch);
-  reserve(batch);
-  counters_.clear();
-  if (batch == 0) return;
-  const bool fused_mid = fft::fused_mid_enabled();
-  const std::size_t B = batch;
+void FusedGemmIfftPipeline2d::middle_group(const MidView& mv, std::span<const c32> w,
+                                           std::size_t mx) {
   const std::size_t K = prob_.hidden;
   const std::size_t O = prob_.out_dim;
   const std::size_t NY = prob_.ny;
-  const std::size_t MX = prob_.modes_x;
   const std::size_t MY = prob_.modes_y;
-  const std::size_t modes = MX * MY;
 
-  const std::size_t gcap = fused_mid ? mid_group(B) : B;
-  ensure_variant_buffers(gcap);
+  // Separate truncated FFT along Y.
+  {
+    runtime::Timer t;
+    y_forward_rows(fwd_y_.plan(), mv, K, mx, MY, freq_.data());
+    counters_.stage("fft-y-trunc").seconds += t.seconds();
+  }
 
-  run_mid(u, v, B, fused_mid, gcap, [&](const MidView& mv) {
-    // Separate truncated FFT along Y.
-    {
-      runtime::Timer t;
-      y_forward_rows(fwd_y_.plan(), mv, K, MX, MY, freq_.data());
-      counters_.stage("fft-y-trunc").seconds += t.seconds();
-    }
-
-    // Fused CGEMM + iFFT-Y epilogue per (batch, x-block).  The gather side
-    // reads freq_ rows contiguously; only the scatter into the y-major
-    // staging needs the blocked transpose (see kXBlock).
-    {
-      runtime::Timer t;
-      const std::size_t ld = simd::round_up_lanes(MY);
-      const bool tiled = mv.out_y != 1;
-      const std::size_t xb = tiled ? std::min<std::size_t>(kXBlock, MX) : 1;
-      const std::size_t nblk = (MX + xb - 1) / xb;
-      runtime::parallel_for(0, mv.count * nblk, runtime::fused_grain(mv.count * nblk),
-                            [&](std::size_t lo, std::size_t hi) {
-        auto& arena = runtime::tls_scratch();
-        const auto scope = arena.scope();
-        const std::span<float> tsplit = arena.alloc<float>(2 * kTb * ld);
-        const std::span<float> acc = arena.alloc<float>(xb * 2 * O * ld);
-        const std::span<c32> row = arena.alloc<c32>(ld);
-        const std::span<c32> sbuf = tiled ? arena.alloc<c32>(xb * NY) : std::span<c32>{};
-        const std::span<c32> work = arena.alloc<c32>(inv_y_.plan().scratch_elems());
-        std::fill(tsplit.begin(), tsplit.end(), 0.0f);
-        float* tre = tsplit.data();
-        float* tim = tre + kTb * ld;
-        for (std::size_t i = lo; i < hi; ++i) {
-          const std::size_t bl = i / nblk;
-          const std::size_t x0 = (i % nblk) * xb;
-          const std::size_t xc = std::min(xb, MX - x0);
-          std::fill(acc.begin(), acc.end(), 0.0f);
-          for (std::size_t k0 = 0; k0 < K; k0 += kTb) {
-            const std::size_t kc = std::min(kTb, K - k0);
-            for (std::size_t xi = 0; xi < xc; ++xi) {
-              float* are = acc.data() + xi * 2 * O * ld;
-              float* aim = are + O * ld;
-              // Gather the k-major tile straight into SoA planes (rows are
-              // MY apart within a channel, channels MX*MY apart) — the
-              // split is the gather copy the seed already paid.
-              for (std::size_t kk = 0; kk < kc; ++kk) {
-                simd::split_planes(
-                    freq_.data() + ((bl * K + k0 + kk) * MX + x0 + xi) * MY,
-                    tre + kk * ld, tim + kk * ld, MY);
-              }
-              rank_update_split(are, aim, w.data(), K, k0, tre, tim, ld, O, kc);
-            }
-          }
-          for (std::size_t o = 0; o < O; ++o) {
-            for (std::size_t xi = 0; xi < xc; ++xi) {
-              const float* are = acc.data() + xi * 2 * O * ld;
-              const float* aim = are + O * ld;
-              simd::interleave_planes(are + o * ld, aim + o * ld, row.data(), MY);
-              if (tiled) {
-                inv_y_.inverse_row(row.data(), sbuf.data() + xi * NY, work);
-              } else {
-                inv_y_.inverse_row(row.data(), mv.out_row(bl, o, x0 + xi), work, mv.out_y);
-              }
-            }
-            if (tiled) scatter_xblock(mv, bl, o, x0, xc, NY, sbuf.data());
-          }
-        }
-      });
-      counters_.stage("fused-cgemm-ifft").seconds += t.seconds();
-    }
-  });
-
-  const std::uint64_t e = sizeof(c32);
-  auto& sy = counters_.stage("fft-y-trunc");
-  sy.bytes_read = fused_mid ? 0 : B * K * MX * NY * e;
-  sy.bytes_written = B * K * modes * e;
-  sy.flops = B * K * MX * fwd_y_.plan().flops_per_signal();
-  sy.kernel_launches = 1;
-  auto& sf = counters_.stage("fused-cgemm-ifft");
-  sf.bytes_read = (B * K * modes + O * K) * e;
-  sf.bytes_written = fused_mid ? 0 : B * O * MX * NY * e;
-  sf.flops = trace::cgemm_flops(B * modes, O, K) + B * O * MX * inv_y_.plan().flops_per_signal();
-  sf.kernel_launches = 1;
-}
-
-// ------------------------------------------------------------ FullyFused (D)
-
-FullyFusedPipeline2d::FullyFusedPipeline2d(baseline::Spectral2dProblem prob)
-    : Pipeline2dBase(prob, "fully-fused-2d") {}
-
-void FullyFusedPipeline2d::run(std::span<const c32> u, std::span<const c32> w, std::span<c32> v) {
-  run_batched(u, w, v, prob_.batch);
-}
-
-void FullyFusedPipeline2d::run_batched(std::span<const c32> u, std::span<const c32> w,
-                        std::span<c32> v, std::size_t batch) {
-  check_spans(u, v, batch);
-  reserve(batch);
-  counters_.clear();
-  if (batch == 0) return;
-  const bool fused_mid = fft::fused_mid_enabled();
-  const std::size_t B = batch;
-  const std::size_t K = prob_.hidden;
-  const std::size_t O = prob_.out_dim;
-  const std::size_t NY = prob_.ny;
-  const std::size_t MX = prob_.modes_x;
-  const std::size_t MY = prob_.modes_y;
-  const std::size_t modes = MX * MY;
-
-  const std::size_t gcap = fused_mid ? mid_group(B) : B;
-  run_mid(u, v, B, fused_mid, gcap, [&](const MidView& mv) {
-    // Fused FFT-Y + CGEMM + iFFT-Y per (batch, x-block): the middle of the
-    // pipeline never touches global memory (Figure 9's fused kernel).  On
-    // the fused y-major staging, a block of kXBlock x-rows moves through
-    // one SIMD transpose per k-tile channel (and back per output channel)
-    // so the k-loop always streams contiguous rows.
+  // Fused CGEMM + iFFT-Y epilogue per (batch, x-block).  The gather side
+  // reads freq_ rows contiguously; only the scatter into the y-major
+  // staging needs the blocked transpose (see kXBlock).
+  {
     runtime::Timer t;
     const std::size_t ld = simd::round_up_lanes(MY);
-    const bool tiled = mv.in_y != 1;  // y-major staging on both sides
-    const std::size_t xb = tiled ? std::min<std::size_t>(kXBlock, MX) : 1;
-    const std::size_t nblk = (MX + xb - 1) / xb;
+    const bool tiled = mv.out_y != 1;
+    const std::size_t xb = tiled ? std::min<std::size_t>(kXBlock, mx) : 1;
+    const std::size_t nblk = (mx + xb - 1) / xb;
     runtime::parallel_for(0, mv.count * nblk, runtime::fused_grain(mv.count * nblk),
                           [&](std::size_t lo, std::size_t hi) {
       auto& arena = runtime::tls_scratch();
       const auto scope = arena.scope();
-      const std::span<c32> tile = arena.alloc<c32>(kTb * ld);
       const std::span<float> tsplit = arena.alloc<float>(2 * kTb * ld);
       const std::span<float> acc = arena.alloc<float>(xb * 2 * O * ld);
       const std::span<c32> row = arena.alloc<c32>(ld);
-      const std::span<c32> gbuf =
-          tiled ? arena.alloc<c32>(kTb * xb * NY) : std::span<c32>{};
       const std::span<c32> sbuf = tiled ? arena.alloc<c32>(xb * NY) : std::span<c32>{};
-      const std::span<c32> work = arena.alloc<c32>(fwd_y_.plan().scratch_elems());
-      // rank_update_split streams whole ld-wide rows, so the tile planes'
-      // lane padding must be zero; the arena hands out raw storage.
+      const std::span<c32> work = arena.alloc<c32>(inv_y_.plan().scratch_elems());
       std::fill(tsplit.begin(), tsplit.end(), 0.0f);
       float* tre = tsplit.data();
       float* tim = tre + kTb * ld;
       for (std::size_t i = lo; i < hi; ++i) {
         const std::size_t bl = i / nblk;
         const std::size_t x0 = (i % nblk) * xb;
-        const std::size_t xc = std::min(xb, MX - x0);
+        const std::size_t xc = std::min(xb, mx - x0);
         std::fill(acc.begin(), acc.end(), 0.0f);
         for (std::size_t k0 = 0; k0 < K; k0 += kTb) {
           const std::size_t kc = std::min(kTb, K - k0);
-          if (tiled) gather_xblock(mv, bl, k0, kc, x0, xc, xb, NY, gbuf.data());
           for (std::size_t xi = 0; xi < xc; ++xi) {
             float* are = acc.data() + xi * 2 * O * ld;
             float* aim = are + O * ld;
-            if (tiled) {
-              fwd_y_.forward_tile(gbuf.data() + xi * NY, xb * NY, kc, tile.data(), ld, work);
-            } else {
-              fwd_y_.forward_tile(mv.in_row(bl, k0, x0 + xi), mv.chan, kc, tile.data(), ld,
-                                  work, mv.in_y);
-            }
+            // Gather the k-major tile straight into SoA planes (rows are
+            // MY apart within a channel, channels mx*MY apart) — the
+            // split is the gather copy the seed already paid.
             for (std::size_t kk = 0; kk < kc; ++kk) {
-              simd::split_planes(tile.data() + kk * ld, tre + kk * ld, tim + kk * ld, MY);
+              simd::split_planes(
+                  freq_.data() + ((bl * K + k0 + kk) * mx + x0 + xi) * MY,
+                  tre + kk * ld, tim + kk * ld, MY);
             }
             rank_update_split(are, aim, w.data(), K, k0, tre, tim, ld, O, kc);
           }
@@ -741,8 +816,177 @@ void FullyFusedPipeline2d::run_batched(std::span<const c32> u, std::span<const c
         }
       }
     });
-    counters_.stage("fused-fft-cgemm-ifft").seconds += t.seconds();
+    counters_.stage("fused-cgemm-ifft").seconds += t.seconds();
+  }
+}
+
+void FusedGemmIfftPipeline2d::run_batched(std::span<const c32> u, std::span<const c32> w,
+                        std::span<c32> v, std::size_t batch) {
+  check_spans(u, v, batch);
+  reserve(batch);
+  counters_.clear();
+  if (batch == 0) return;
+  const bool fused_mid = fft::fused_mid_enabled();
+  const std::size_t B = batch;
+  const std::size_t K = prob_.hidden;
+  const std::size_t O = prob_.out_dim;
+  const std::size_t NY = prob_.ny;
+  const std::size_t MX = prob_.modes_x;
+  const std::size_t modes = MX * prob_.modes_y;
+
+  const std::size_t gcap = fused_mid ? mid_group(B) : B;
+  ensure_variant_buffers(gcap);
+
+  run_mid(u, v, B, fused_mid, gcap,
+          [&](const MidView& mv) { middle_group(mv, w, MX); });
+
+  const std::uint64_t e = sizeof(c32);
+  auto& sy = counters_.stage("fft-y-trunc");
+  sy.bytes_read = fused_mid ? 0 : B * K * MX * NY * e;
+  sy.bytes_written = B * K * modes * e;
+  sy.flops = B * K * MX * fwd_y_.plan().flops_per_signal();
+  sy.kernel_launches = 1;
+  auto& sf = counters_.stage("fused-cgemm-ifft");
+  sf.bytes_read = (B * K * modes + O * K) * e;
+  sf.bytes_written = fused_mid ? 0 : B * O * MX * NY * e;
+  sf.flops = trace::cgemm_flops(B * modes, O, K) + B * O * MX * inv_y_.plan().flops_per_signal();
+  sf.kernel_launches = 1;
+}
+
+void FusedGemmIfftPipeline2d::run_batched_real(std::span<const float> u, std::span<const c32> w,
+                                               std::span<float> v, std::size_t batch) {
+  check_spans_real(u, v, batch);
+  reserve(batch);
+  counters_.clear();
+  if (batch == 0) return;
+  const bool fused_mid = fft::fused_mid_enabled();
+  const std::size_t B = batch;
+  const std::size_t K = prob_.hidden;
+  const std::size_t O = prob_.out_dim;
+  const std::size_t NY = prob_.ny;
+  const std::size_t MXR = real_modes_x();
+  const std::size_t modes = MXR * prob_.modes_y;
+
+  const std::size_t gcap = fused_mid ? mid_group(B) : B;
+  ensure_variant_buffers(gcap);
+
+  run_mid_real(u, v, B, fused_mid, gcap,
+               [&](const MidView& mv) { middle_group(mv, w, MXR); });
+
+  const std::uint64_t e = sizeof(c32);
+  auto& sy = counters_.stage("fft-y-trunc");
+  sy.bytes_read = fused_mid ? 0 : B * K * MXR * NY * e;
+  sy.bytes_written = B * K * modes * e;
+  sy.flops = B * K * MXR * fwd_y_.plan().flops_per_signal();
+  sy.kernel_launches = 1;
+  auto& sf = counters_.stage("fused-cgemm-ifft");
+  sf.bytes_read = (B * K * modes + O * K) * e;
+  sf.bytes_written = fused_mid ? 0 : B * O * MXR * NY * e;
+  sf.flops = trace::cgemm_flops(B * modes, O, K) + B * O * MXR * inv_y_.plan().flops_per_signal();
+  sf.kernel_launches = 1;
+}
+
+// ------------------------------------------------------------ FullyFused (D)
+
+FullyFusedPipeline2d::FullyFusedPipeline2d(baseline::Spectral2dProblem prob)
+    : Pipeline2dBase(prob, "fully-fused-2d") {}
+
+void FullyFusedPipeline2d::run(std::span<const c32> u, std::span<const c32> w, std::span<c32> v) {
+  run_batched(u, w, v, prob_.batch);
+}
+
+void FullyFusedPipeline2d::middle_group(const MidView& mv, std::span<const c32> w,
+                                        std::size_t mx) {
+  const std::size_t K = prob_.hidden;
+  const std::size_t O = prob_.out_dim;
+  const std::size_t NY = prob_.ny;
+  const std::size_t MY = prob_.modes_y;
+
+  // Fused FFT-Y + CGEMM + iFFT-Y per (batch, x-block): the middle of the
+  // pipeline never touches global memory (Figure 9's fused kernel).  On
+  // the fused y-major staging, a block of kXBlock x-rows moves through
+  // one SIMD transpose per k-tile channel (and back per output channel)
+  // so the k-loop always streams contiguous rows.
+  runtime::Timer t;
+  const std::size_t ld = simd::round_up_lanes(MY);
+  const bool tiled = mv.in_y != 1;  // y-major staging on both sides
+  const std::size_t xb = tiled ? std::min<std::size_t>(kXBlock, mx) : 1;
+  const std::size_t nblk = (mx + xb - 1) / xb;
+  runtime::parallel_for(0, mv.count * nblk, runtime::fused_grain(mv.count * nblk),
+                        [&](std::size_t lo, std::size_t hi) {
+    auto& arena = runtime::tls_scratch();
+    const auto scope = arena.scope();
+    const std::span<c32> tile = arena.alloc<c32>(kTb * ld);
+    const std::span<float> tsplit = arena.alloc<float>(2 * kTb * ld);
+    const std::span<float> acc = arena.alloc<float>(xb * 2 * O * ld);
+    const std::span<c32> row = arena.alloc<c32>(ld);
+    const std::span<c32> gbuf =
+        tiled ? arena.alloc<c32>(kTb * xb * NY) : std::span<c32>{};
+    const std::span<c32> sbuf = tiled ? arena.alloc<c32>(xb * NY) : std::span<c32>{};
+    const std::span<c32> work = arena.alloc<c32>(fwd_y_.plan().scratch_elems());
+    // rank_update_split streams whole ld-wide rows, so the tile planes'
+    // lane padding must be zero; the arena hands out raw storage.
+    std::fill(tsplit.begin(), tsplit.end(), 0.0f);
+    float* tre = tsplit.data();
+    float* tim = tre + kTb * ld;
+    for (std::size_t i = lo; i < hi; ++i) {
+      const std::size_t bl = i / nblk;
+      const std::size_t x0 = (i % nblk) * xb;
+      const std::size_t xc = std::min(xb, mx - x0);
+      std::fill(acc.begin(), acc.end(), 0.0f);
+      for (std::size_t k0 = 0; k0 < K; k0 += kTb) {
+        const std::size_t kc = std::min(kTb, K - k0);
+        if (tiled) gather_xblock(mv, bl, k0, kc, x0, xc, xb, NY, gbuf.data());
+        for (std::size_t xi = 0; xi < xc; ++xi) {
+          float* are = acc.data() + xi * 2 * O * ld;
+          float* aim = are + O * ld;
+          if (tiled) {
+            fwd_y_.forward_tile(gbuf.data() + xi * NY, xb * NY, kc, tile.data(), ld, work);
+          } else {
+            fwd_y_.forward_tile(mv.in_row(bl, k0, x0 + xi), mv.chan, kc, tile.data(), ld,
+                                work, mv.in_y);
+          }
+          for (std::size_t kk = 0; kk < kc; ++kk) {
+            simd::split_planes(tile.data() + kk * ld, tre + kk * ld, tim + kk * ld, MY);
+          }
+          rank_update_split(are, aim, w.data(), K, k0, tre, tim, ld, O, kc);
+        }
+      }
+      for (std::size_t o = 0; o < O; ++o) {
+        for (std::size_t xi = 0; xi < xc; ++xi) {
+          const float* are = acc.data() + xi * 2 * O * ld;
+          const float* aim = are + O * ld;
+          simd::interleave_planes(are + o * ld, aim + o * ld, row.data(), MY);
+          if (tiled) {
+            inv_y_.inverse_row(row.data(), sbuf.data() + xi * NY, work);
+          } else {
+            inv_y_.inverse_row(row.data(), mv.out_row(bl, o, x0 + xi), work, mv.out_y);
+          }
+        }
+        if (tiled) scatter_xblock(mv, bl, o, x0, xc, NY, sbuf.data());
+      }
+    }
   });
+  counters_.stage("fused-fft-cgemm-ifft").seconds += t.seconds();
+}
+
+void FullyFusedPipeline2d::run_batched(std::span<const c32> u, std::span<const c32> w,
+                        std::span<c32> v, std::size_t batch) {
+  check_spans(u, v, batch);
+  reserve(batch);
+  counters_.clear();
+  if (batch == 0) return;
+  const bool fused_mid = fft::fused_mid_enabled();
+  const std::size_t B = batch;
+  const std::size_t K = prob_.hidden;
+  const std::size_t O = prob_.out_dim;
+  const std::size_t NY = prob_.ny;
+  const std::size_t MX = prob_.modes_x;
+  const std::size_t modes = MX * prob_.modes_y;
+
+  const std::size_t gcap = fused_mid ? mid_group(B) : B;
+  run_mid(u, v, B, fused_mid, gcap,
+          [&](const MidView& mv) { middle_group(mv, w, MX); });
 
   const std::uint64_t e = sizeof(c32);
   auto& sf = counters_.stage("fused-fft-cgemm-ifft");
@@ -751,6 +995,34 @@ void FullyFusedPipeline2d::run_batched(std::span<const c32> u, std::span<const c
   sf.flops = B * K * MX * fwd_y_.plan().flops_per_signal() +
              trace::cgemm_flops(B * modes, O, K) +
              B * O * MX * inv_y_.plan().flops_per_signal();
+  sf.kernel_launches = 1;
+}
+
+void FullyFusedPipeline2d::run_batched_real(std::span<const float> u, std::span<const c32> w,
+                                            std::span<float> v, std::size_t batch) {
+  check_spans_real(u, v, batch);
+  reserve(batch);
+  counters_.clear();
+  if (batch == 0) return;
+  const bool fused_mid = fft::fused_mid_enabled();
+  const std::size_t B = batch;
+  const std::size_t K = prob_.hidden;
+  const std::size_t O = prob_.out_dim;
+  const std::size_t NY = prob_.ny;
+  const std::size_t MXR = real_modes_x();
+  const std::size_t modes = MXR * prob_.modes_y;
+
+  const std::size_t gcap = fused_mid ? mid_group(B) : B;
+  run_mid_real(u, v, B, fused_mid, gcap,
+               [&](const MidView& mv) { middle_group(mv, w, MXR); });
+
+  const std::uint64_t e = sizeof(c32);
+  auto& sf = counters_.stage("fused-fft-cgemm-ifft");
+  sf.bytes_read = ((fused_mid ? 0 : B * K * MXR * NY) + O * K) * e;
+  sf.bytes_written = fused_mid ? 0 : B * O * MXR * NY * e;
+  sf.flops = B * K * MXR * fwd_y_.plan().flops_per_signal() +
+             trace::cgemm_flops(B * modes, O, K) +
+             B * O * MXR * inv_y_.plan().flops_per_signal();
   sf.kernel_launches = 1;
 }
 

@@ -101,6 +101,19 @@ class Pipeline2dBase {
   void run_mid(std::span<const c32> u, std::span<c32> v, std::size_t batch, bool fused_mid,
                std::size_t group, const std::function<void(const MidView&)>& middle);
 
+  /// Real-spectral twin of run_mid: the X stages are the two-for-one R2C /
+  /// C2R column-pair stages (fft/real2d.hpp) keeping real_modes_x() x-rows,
+  /// and the MidView strides are laid out for that narrower extent.  The
+  /// same `middle` callables work on both lanes — they read every extent
+  /// from the view (plus the mx the variant passes alongside).
+  void run_mid_real(std::span<const float> u, std::span<float> v, std::size_t batch,
+                    bool fused_mid, std::size_t group,
+                    const std::function<void(const MidView&)>& middle);
+
+  /// X-rows the real lane keeps: modes_x/2+1 RFFT bins (<= modes_x, so
+  /// every MX-sized workspace covers the real layout).
+  [[nodiscard]] std::size_t real_modes_x() const noexcept { return prob_.modes_x / 2 + 1; }
+
   /// Batch elements staged per fused-middle group: the override when one is
   /// set, otherwise as many as keep the in+out staging tiles within a cache
   /// budget (always >= 1).
@@ -140,6 +153,7 @@ class Pipeline2dBase {
   /// Throws when the caller's buffers cannot hold `batch` fields (capacity
   /// itself is elastic; see reserve).
   void check_spans(std::span<const c32> u, std::span<c32> v, std::size_t batch) const;
+  void check_spans_real(std::span<const float> u, std::span<float> v, std::size_t batch) const;
 
   /// Grow-only (re)allocation for the lazily sized schedule buffers.
   static void ensure(AlignedBuffer<c32>& buf, std::size_t elems) {
@@ -174,10 +188,16 @@ class FftOptPipeline2d : public Pipeline2dBase {
   void run(std::span<const c32> u, std::span<const c32> w, std::span<c32> v);
   void run_batched(std::span<const c32> u, std::span<const c32> w, std::span<c32> v,
                    std::size_t batch);
+  void run_batched_real(std::span<const float> u, std::span<const c32> w, std::span<float> v,
+                        std::size_t batch);
   void reserve(std::size_t batch);  // also pre-sizes freq_/mixed_
 
  private:
   void ensure_variant_buffers(std::size_t gcap);  // single sizing authority
+  // One group's Y-FFT -> CGEMM -> Y-iFFT middle, shared by both spectral
+  // lanes: `mx` is the x-extent of the group's spectra (modes_x on the
+  // complex lane, real_modes_x() on the real lane).
+  void middle_group(const MidView& mv, std::span<const c32> w, std::size_t mx);
 
   AlignedBuffer<c32> freq_;   // [group, K, mx, my]
   AlignedBuffer<c32> mixed_;  // [group, O, mx, my]
@@ -190,10 +210,13 @@ class FusedFftGemmPipeline2d : public Pipeline2dBase {
   void run(std::span<const c32> u, std::span<const c32> w, std::span<c32> v);
   void run_batched(std::span<const c32> u, std::span<const c32> w, std::span<c32> v,
                    std::size_t batch);
+  void run_batched_real(std::span<const float> u, std::span<const c32> w, std::span<float> v,
+                        std::size_t batch);
   void reserve(std::size_t batch);  // also pre-sizes mixed_
 
  private:
   void ensure_variant_buffers(std::size_t gcap);
+  void middle_group(const MidView& mv, std::span<const c32> w, std::size_t mx);
 
   AlignedBuffer<c32> mixed_;  // [group, O, mx, my]
 };
@@ -205,10 +228,13 @@ class FusedGemmIfftPipeline2d : public Pipeline2dBase {
   void run(std::span<const c32> u, std::span<const c32> w, std::span<c32> v);
   void run_batched(std::span<const c32> u, std::span<const c32> w, std::span<c32> v,
                    std::size_t batch);
+  void run_batched_real(std::span<const float> u, std::span<const c32> w, std::span<float> v,
+                        std::size_t batch);
   void reserve(std::size_t batch);  // also pre-sizes freq_
 
  private:
   void ensure_variant_buffers(std::size_t gcap);
+  void middle_group(const MidView& mv, std::span<const c32> w, std::size_t mx);
 
   AlignedBuffer<c32> freq_;  // [group, K, mx, my]
 };
@@ -221,6 +247,11 @@ class FullyFusedPipeline2d : public Pipeline2dBase {
   void run(std::span<const c32> u, std::span<const c32> w, std::span<c32> v);
   void run_batched(std::span<const c32> u, std::span<const c32> w, std::span<c32> v,
                    std::size_t batch);
+  void run_batched_real(std::span<const float> u, std::span<const c32> w, std::span<float> v,
+                        std::size_t batch);
+
+ private:
+  void middle_group(const MidView& mv, std::span<const c32> w, std::size_t mx);
 };
 
 }  // namespace turbofno::fused

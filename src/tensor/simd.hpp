@@ -107,6 +107,11 @@ struct ScalarBackend {
   }
   static pvec pmul_neg_i(pvec a) noexcept { return {a.im, -a.re}; }
   static pvec pmul_pos_i(pvec a) noexcept { return {-a.im, a.re}; }
+  static pvec pscale(pvec a, float s) noexcept { return {a.re * s, a.im * s}; }
+  static pvec pconj(pvec a) noexcept { return {a.re, -a.im}; }
+  /// Reverses the complex-lane order (lane k <- lane planes-1-k); the
+  /// descending-index operand of conjugate-symmetric untangle loops.
+  static pvec preverse(pvec a) noexcept { return a; }
 };
 
 // --------------------------------------------------------------------- avx2
@@ -276,6 +281,15 @@ struct Avx2Backend {
     // (re, im) -> (-im, re): negate im first, then swap within each pair.
     const __m256 negated = _mm256_xor_ps(a.v, odd_sign_mask());
     return {_mm256_permute_ps(negated, 0b10110001)};
+  }
+  static pvec pscale(pvec a, float s) noexcept {
+    return {_mm256_mul_ps(a.v, _mm256_set1_ps(s))};
+  }
+  static pvec pconj(pvec a) noexcept { return {_mm256_xor_ps(a.v, odd_sign_mask())}; }
+  /// Reverses the complex-lane order: (a0,a1,a2,a3) -> (a3,a2,a1,a0).  Each
+  /// c32 is one 64-bit lane, so this is a single cross-lane double permute.
+  static pvec preverse(pvec a) noexcept {
+    return {_mm256_castpd_ps(_mm256_permute4x64_pd(_mm256_castps_pd(a.v), 0b00011011))};
   }
 
  private:

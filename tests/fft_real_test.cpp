@@ -1,11 +1,16 @@
 // Real-input FFT plans (R2C / C2R): reference equivalence, conjugate
-// symmetry, truncation, and round trips.
+// symmetry, truncation, round trips, strided entry points, the shared plan
+// cache, and the 2D real X stage.
 #include <gtest/gtest.h>
 
 #include <random>
 #include <vector>
 
+#include "fft/fft2d.hpp"
+#include "fft/plan.hpp"
+#include "fft/plan_cache.hpp"
 #include "fft/real.hpp"
+#include "fft/real2d.hpp"
 #include "fft/reference.hpp"
 #include "test_util.hpp"
 
@@ -153,6 +158,176 @@ TEST(Rfft, LowpassRoundTripIsProjection) {
   fwd.execute(once, spec, 1);
   inv.execute(spec, twice, 1);
   for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(twice[i], once[i], 1e-4);
+}
+
+TEST(Rfft, StridedExecuteOneMatchesDense) {
+  const std::size_t n = 64;
+  const std::size_t keep = 20;
+  const auto x = random_reals(2 * n, 1153u);  // column 0 of a 2-wide field
+  const RfftPlan plan(n, keep);
+
+  std::vector<float> col(n);
+  for (std::size_t j = 0; j < n; ++j) col[j] = x[2 * j];
+  std::vector<c32> dense(keep);
+  plan.execute(col, dense, 1);
+
+  std::vector<c32> work(plan.scratch_elems());
+  for (const std::ptrdiff_t out_stride : {std::ptrdiff_t{1}, std::ptrdiff_t{3}}) {
+    std::vector<c32> strided(keep * 3);
+    plan.execute_one(x.data(), 2, strided.data(), out_stride, work);
+    for (std::size_t k = 0; k < keep; ++k) {
+      const c32 got = strided[k * static_cast<std::size_t>(out_stride)];
+      EXPECT_NEAR(got.re, dense[k].re, 1e-5) << "k=" << k << " stride=" << out_stride;
+      EXPECT_NEAR(got.im, dense[k].im, 1e-5) << "k=" << k << " stride=" << out_stride;
+    }
+  }
+}
+
+TEST(Irfft, StridedExecuteOneMatchesDense) {
+  const std::size_t n = 64;
+  const std::size_t nonzero = 12;
+  const auto x = random_reals(n, 1163u);
+  std::vector<c32> spec(n / 2 + 1);
+  RfftPlan(n).execute(x, spec, 1);
+
+  const IrfftPlan inv(n, nonzero);
+  std::vector<float> dense(n);
+  inv.execute(std::span<const c32>(spec.data(), nonzero), dense, 1);
+
+  std::vector<c32> specs(nonzero * 2);
+  for (std::size_t k = 0; k < nonzero; ++k) specs[2 * k] = spec[k];
+  std::vector<float> strided(n * 2);
+  std::vector<c32> work(inv.scratch_elems());
+  inv.execute_one(specs.data(), 2, strided.data(), 2, work);
+  for (std::size_t j = 0; j < n; ++j) {
+    EXPECT_NEAR(strided[2 * j], dense[j], 1e-5) << "j=" << j;
+  }
+}
+
+TEST(PlanCache, RealKeysDoNotAliasComplexPlans) {
+  const std::size_t n = 128;
+  PlanDesc cd;
+  cd.n = n;
+  const auto complex_fwd = acquire_plan(cd);
+  const auto rfwd = acquire_rfft_plan(n);
+  const auto rinv = acquire_irfft_plan(n);
+  // Distinct transform kinds under one shape: three distinct objects.
+  EXPECT_NE(static_cast<const void*>(complex_fwd.get()), static_cast<const void*>(rfwd.get()));
+  EXPECT_NE(static_cast<const void*>(rfwd.get()), static_cast<const void*>(rinv.get()));
+  // Re-acquiring is a cache hit yielding the same plan instance.
+  plan_cache_reset_stats();
+  const auto again = acquire_rfft_plan(n);
+  EXPECT_EQ(again.get(), rfwd.get());
+  EXPECT_GE(plan_cache_stats().hits, 1u);
+  // Truncated flavors key separately from the full-bin ones.
+  const auto trunc = acquire_rfft_plan(n, 10);
+  EXPECT_NE(trunc.get(), rfwd.get());
+  EXPECT_EQ(trunc->keep(), 10u);
+}
+
+// ---------------------------------------------------------------- 2D X stage
+
+std::vector<c32> complex_x_stage_reference(std::size_t nx, std::size_t keep_x,
+                                           const std::vector<float>& fields_in,
+                                           std::size_t fields, std::size_t ny) {
+  std::vector<c32> packed(fields_in.size());
+  for (std::size_t i = 0; i < fields_in.size(); ++i) packed[i] = {fields_in[i], 0.0f};
+  PlanDesc d;
+  d.n = nx;
+  d.keep = keep_x;
+  const FftPlan plan(d);
+  std::vector<c32> out(fields * keep_x * ny);
+  fft2d_x_stage(plan, packed.data(), out.data(), fields, ny);
+  return out;
+}
+
+TEST(Rfft2dXStage, MatchesComplexXStageOnRealInput) {
+  const std::size_t nx = 32;
+  const std::size_t ny = 16;
+  const std::size_t fields = 3;
+  for (const std::size_t keep_x : {std::size_t{5}, nx / 2 + 1}) {
+    const auto in = random_reals(fields * nx * ny, 1171u);
+    const auto ref = complex_x_stage_reference(nx, keep_x, in, fields, ny);
+    std::vector<c32> got(fields * keep_x * ny);
+    rfft2d_x_stage(nx, keep_x, in.data(), got.data(), fields, ny);
+    EXPECT_LT(max_err(got, ref), fft_tol(nx)) << "keep_x=" << keep_x;
+  }
+}
+
+TEST(Rfft2dXStage, TilesMatchWholeField) {
+  const std::size_t nx = 16;
+  const std::size_t ny = 8;
+  const std::size_t fields = 2;
+  const std::size_t keep_x = 5;
+  const auto in = random_reals(fields * nx * ny, 1181u);
+
+  std::vector<c32> whole(fields * keep_x * ny);
+  rfft2d_x_stage(nx, keep_x, in.data(), whole.data(), fields, ny);
+
+  // y-major tile layout: column y of field f lives at rows [y*keep_x, ...).
+  std::vector<c32> tiles(fields * ny * keep_x);
+  rfft2d_x_stage_to_tiles(nx, keep_x, in.data(), fields, ny,
+                          [&](std::size_t f, std::size_t y0, std::size_t) {
+                            return tiles.data() + (f * ny + y0) * keep_x;
+                          });
+  for (std::size_t f = 0; f < fields; ++f) {
+    for (std::size_t y = 0; y < ny; ++y) {
+      for (std::size_t k = 0; k < keep_x; ++k) {
+        const c32 a = tiles[(f * ny + y) * keep_x + k];
+        const c32 b = whole[(f * keep_x + k) * ny + y];
+        EXPECT_NEAR(a.re, b.re, 1e-5) << f << "," << y << "," << k;
+        EXPECT_NEAR(a.im, b.im, 1e-5) << f << "," << y << "," << k;
+      }
+    }
+  }
+}
+
+TEST(Irfft2dXStage, RoundTripRecoversField) {
+  const std::size_t nx = 32;
+  const std::size_t ny = 8;
+  const std::size_t fields = 2;
+  const std::size_t keep_x = nx / 2 + 1;
+  const auto in = random_reals(fields * nx * ny, 1187u);
+  std::vector<c32> spec(fields * keep_x * ny);
+  rfft2d_x_stage(nx, keep_x, in.data(), spec.data(), fields, ny);
+  std::vector<float> back(fields * nx * ny);
+  irfft2d_x_stage(nx, keep_x, spec.data(), back.data(), fields, ny);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_NEAR(back[i], in[i], fft_tol(nx)) << "i=" << i;
+  }
+}
+
+TEST(Irfft2dXStage, FromTilesMatchesWholeField) {
+  const std::size_t nx = 16;
+  const std::size_t ny = 8;
+  const std::size_t fields = 2;
+  const std::size_t nonzero_x = 5;
+  const auto in = random_reals(fields * nx * ny, 1193u);
+  std::vector<c32> spec(fields * nonzero_x * ny);
+  rfft2d_x_stage(nx, nonzero_x, in.data(), spec.data(), fields, ny);
+
+  std::vector<float> whole(fields * nx * ny);
+  irfft2d_x_stage(nx, nonzero_x, spec.data(), whole.data(), fields, ny);
+
+  // Repack the x-major spectrum into the y-major tile layout and scatter.
+  std::vector<c32> tiles(fields * ny * nonzero_x);
+  for (std::size_t f = 0; f < fields; ++f) {
+    for (std::size_t y = 0; y < ny; ++y) {
+      for (std::size_t k = 0; k < nonzero_x; ++k) {
+        tiles[(f * ny + y) * nonzero_x + k] = spec[(f * nonzero_x + k) * ny + y];
+      }
+    }
+  }
+  std::vector<float> from_tiles(fields * nx * ny);
+  irfft2d_x_stage_from_tiles(nx, nonzero_x,
+                             [&](std::size_t f, std::size_t y0, std::size_t) {
+                               return static_cast<const c32*>(tiles.data() +
+                                                              (f * ny + y0) * nonzero_x);
+                             },
+                             from_tiles.data(), fields, ny);
+  for (std::size_t i = 0; i < whole.size(); ++i) {
+    EXPECT_NEAR(from_tiles[i], whole[i], 1e-5) << "i=" << i;
+  }
 }
 
 }  // namespace
