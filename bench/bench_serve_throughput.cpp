@@ -16,6 +16,11 @@
 // the win of priority scheduling is a lower high-class p95 at equal
 // throughput.
 //
+// A loopback-socket axis prices the wire: the same request stream is pushed
+// through net::SocketServer over 127.0.0.1 (framed protocol, CRC, epoll,
+// pipelined client) and its req/s is compared against the in-process
+// serve-8 mode — the gap is the full cost of the network front-end.
+//
 //   bench_serve_throughput [--full] [--reps N] [--json PATH]
 #include <algorithm>
 #include <cstdio>
@@ -62,6 +67,14 @@ struct QosMix {
   double rps = 0.0;  // whole-mix throughput
   std::uint64_t promotions = 0;
   QosResult cls[2];  // [0] high, [1] normal
+};
+
+/// The same stream over a loopback TCP socket (framed wire protocol).
+struct SocketResult {
+  double rps = 0.0;
+  double p50_ms = 0.0;       // server-side total (queue + exec), from the wire
+  double p95_ms = 0.0;
+  double avg_micro_batch = 1.0;
 };
 
 std::vector<ShapeCase> shapes(bool full) {
@@ -218,9 +231,65 @@ QosMix run_qos(const ShapeCase& s, const std::vector<std::vector<c32>>& reqs,
   return mix;
 }
 
+SocketResult run_socket(const ShapeCase& s, const std::vector<std::vector<c32>>& reqs,
+                        std::size_t reps) {
+  net::SocketServer::Options so;
+  so.port = 0;  // ephemeral: the bench must not collide with a real server
+  so.serve.policy.max_batch = 8;
+  so.serve.policy.max_delay_s = 200e-6;
+  so.serve.policy.queue_capacity = reqs.size();
+  so.serve.workers = 1;
+  net::SocketServer srv(so);
+  const serve::ModelId model = s.is_2d ? srv.load_model(s.c2) : srv.load_model(s.c1);
+  srv.start();
+
+  std::vector<std::uint32_t> dims;
+  if (s.is_2d) {
+    dims = {static_cast<std::uint32_t>(s.c2.in_channels), static_cast<std::uint32_t>(s.c2.nx),
+            static_cast<std::uint32_t>(s.c2.ny)};
+  } else {
+    dims = {static_cast<std::uint32_t>(s.c1.in_channels), static_cast<std::uint32_t>(s.c1.n)};
+  }
+
+  net::Client cli;
+  cli.connect(srv.port());
+
+  // Pipelined client: keep a bounded window in flight so the stream stays
+  // busy without tripping the server's per-connection write backpressure.
+  const std::size_t window = 16;
+  std::vector<double> totals;
+  net::Client::Result resp;
+  const double secs = runtime::time_best_of(reps, [&] {
+    totals.clear();
+    std::size_t sent = 0, received = 0;
+    while (received < reqs.size()) {
+      while (sent < reqs.size() && sent - received < window) {
+        cli.send_request(static_cast<std::uint32_t>(model), net::Dtype::C32, dims,
+                         std::as_bytes(std::span<const c32>(reqs[sent])));
+        ++sent;
+      }
+      if (!cli.recv_response(resp)) break;
+      totals.push_back(resp.head.total_us * 1e-6);
+      ++received;
+    }
+  });
+
+  SocketResult r;
+  r.rps = static_cast<double>(reqs.size()) / secs;
+  r.avg_micro_batch = srv.server()->stats().avg_micro_batch();
+  std::sort(totals.begin(), totals.end());
+  if (!totals.empty()) {
+    r.p50_ms = totals[totals.size() / 2] * 1e3;
+    r.p95_ms = totals[(totals.size() * 95) / 100] * 1e3;
+  }
+  cli.close();
+  srv.stop();
+  return r;
+}
+
 void write_json(const std::string& path, std::size_t requests,
                 const std::vector<std::pair<ShapeCase, std::vector<ModeResult>>>& results,
-                const std::vector<QosMix>& qos) {
+                const std::vector<QosMix>& qos, const std::vector<SocketResult>& socket) {
   if (path.empty()) return;
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
@@ -254,7 +323,15 @@ void write_json(const std::string& path, std::size_t requests,
                    serve::priority_name(q.cls[c].priority).data(), q.cls[c].requests,
                    q.cls[c].p50_ms, q.cls[c].p95_ms, c == 0 ? "," : "");
     }
-    std::fprintf(f, "    ]}}%s\n", i + 1 < results.size() ? "," : "");
+    // serve-8 is modes[4]: serial + serve-{1,2,4,8,...}.
+    const double serve8_rps = modes.size() > 4 ? modes[4].rps : modes.back().rps;
+    const auto& sk = socket[i];
+    std::fprintf(f,
+                 "    ]},\n    \"socket_loopback\": {\"mode\": \"socket\", \"max_batch\": 8, "
+                 "\"rps\": %.1f, \"relative_to_serve8\": %.3f, \"avg_micro_batch\": %.2f, "
+                 "\"p50_ms\": %.4f, \"p95_ms\": %.4f}}%s\n",
+                 sk.rps, sk.rps / serve8_rps, sk.avg_micro_batch, sk.p50_ms, sk.p95_ms,
+                 i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -273,12 +350,14 @@ int main(int argc, char** argv) {
 
   std::vector<std::pair<ShapeCase, std::vector<ModeResult>>> results;
   std::vector<QosMix> qos;
+  std::vector<SocketResult> socket;
   for (const auto& s : shapes(opt.full)) {
     const auto reqs = make_requests(s, requests);
     std::vector<ModeResult> modes;
     modes.push_back(run_serial(s, reqs, opt.reps));
     for (const auto b : batches) modes.push_back(run_served(s, reqs, b, opt.reps));
     qos.push_back(run_qos(s, reqs, opt.reps));
+    socket.push_back(run_socket(s, reqs, opt.reps));
 
     trace::TextTable table({"mode", "req/s", "vs serial", "vs serve-1", "avg batch", "p50 ms",
                             "p95 ms"});
@@ -297,12 +376,17 @@ int main(int argc, char** argv) {
     std::printf("%s\n%s\n", s.label.c_str(), table.str().c_str());
     const auto& q = qos.back();
     std::printf("  qos mix 25%% high / 75%% normal @ max_batch=8: %.0f req/s, "
-                "high p95 %.3f ms vs normal p95 %.3f ms (%llu promotions)\n\n",
+                "high p95 %.3f ms vs normal p95 %.3f ms (%llu promotions)\n",
                 q.rps, q.cls[0].p95_ms, q.cls[1].p95_ms,
                 static_cast<unsigned long long>(q.promotions));
+    const auto& sk = socket.back();
+    const double serve8_rps = modes.size() > 4 ? modes[4].rps : modes.back().rps;
+    std::printf("  loopback socket @ max_batch=8: %.0f req/s (%.2fx of in-process serve-8), "
+                "server-side p95 %.3f ms, avg batch %.2f\n\n",
+                sk.rps, sk.rps / serve8_rps, sk.p95_ms, sk.avg_micro_batch);
     results.emplace_back(s, std::move(modes));
   }
 
-  write_json(opt.json, requests, results, qos);
+  write_json(opt.json, requests, results, qos, socket);
   return 0;
 }

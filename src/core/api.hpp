@@ -9,7 +9,9 @@
 //
 // This header exports exactly the supported surface: Engine/Session, the
 // model configs (Backend::Auto included), the direct Fno models, weight
-// serialization, the serving layer, and the tracing vocabulary.  Deeper
+// serialization, the serving layer (in-process turbofno::serve and the
+// socket front-end turbofno::net — wire protocol, SocketServer, Client),
+// and the tracing vocabulary.  Deeper
 // layers (fft/, gemm/, fused/ pipelines, gpusim/) remain available through
 // their own headers but are not part of the v2 compatibility surface.
 //
@@ -35,6 +37,9 @@
 #include "core/workload.hpp"          // IWYU pragma: export
 #include "fft/real.hpp"               // IWYU pragma: export
 #include "fused/ladder.hpp"           // IWYU pragma: export
+#include "net/client.hpp"             // IWYU pragma: export
+#include "net/protocol.hpp"           // IWYU pragma: export
+#include "net/socket_server.hpp"      // IWYU pragma: export
 #include "serve/server.hpp"           // IWYU pragma: export
 #include "tensor/complex.hpp"         // IWYU pragma: export
 #include "tensor/tensor.hpp"          // IWYU pragma: export

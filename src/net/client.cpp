@@ -1,0 +1,187 @@
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+
+namespace turbofno::net {
+
+namespace {
+
+[[nodiscard]] std::system_error sys_error(const char* what) {
+  return {errno, std::generic_category(), what};
+}
+
+void write_all(int fd, const std::byte* p, std::size_t n) {
+  while (n > 0) {
+    const auto w = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw sys_error("send");
+    }
+    p += static_cast<std::size_t>(w);
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+/// Reads exactly n bytes; returns false on EOF before the first byte,
+/// throws if the stream ends mid-read (a torn frame is never silent).
+[[nodiscard]] bool read_exact(int fd, std::byte* p, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const auto r = ::read(fd, p + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw sys_error("read");
+    }
+    if (r == 0) {
+      if (got == 0) return false;
+      throw std::runtime_error("net::Client: stream ended mid-frame");
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+Client::~Client() { close(); }
+
+void Client::connect(std::uint16_t port, const std::string& host) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) throw sys_error("socket");
+  if (rcvbuf_ > 0) {
+    // Before connect(), so the clamp also bounds the advertised window.
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf_, sizeof rcvbuf_);
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close();
+    throw std::runtime_error("net::Client: bad IPv4 host: " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const auto err = sys_error("connect");
+    close();
+    throw err;
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+void Client::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::uint64_t Client::send_request(std::uint32_t model, Dtype dtype,
+                                   std::span<const std::uint32_t> dims,
+                                   std::span<const std::byte> payload, Qos qos,
+                                   std::uint32_t deadline_us) {
+  if (dims.empty() || dims.size() > kMaxDims) {
+    throw std::invalid_argument("net::Client: ndim out of range");
+  }
+  RequestHead h;
+  h.correlation = next_correlation_++;
+  h.model = model;
+  h.dtype = dtype;
+  h.qos = qos;
+  h.deadline_us = deadline_us;
+  h.ndim = static_cast<std::uint16_t>(dims.size());
+  for (std::size_t i = 0; i < dims.size(); ++i) h.dims[i] = dims[i];
+  scratch_.resize(encoded_request_bytes(h.ndim, payload.size()));
+  const std::size_t len = encode_request(scratch_, h, payload);
+  write_all(fd_, scratch_.data(), len);
+  return h.correlation;
+}
+
+bool Client::recv_response(Result& out) {
+  std::byte hdr[kHeaderBytes];
+  if (!read_exact(fd_, hdr, kHeaderBytes)) return false;
+  FrameHeader fh;
+  // The client trusts its server on size (it asked for this response).
+  if (decode_header({hdr, kHeaderBytes}, fh, kMaxMaxFrameBytes) != DecodeError::None) {
+    throw std::runtime_error("net::Client: malformed response header");
+  }
+  out.body.resize(fh.body_len);
+  if (fh.body_len > 0 && !read_exact(fd_, out.body.data(), fh.body_len)) {
+    throw std::runtime_error("net::Client: stream ended mid-frame");
+  }
+  if (verify_body(fh, out.body) != DecodeError::None) {
+    throw std::runtime_error("net::Client: response checksum mismatch");
+  }
+  if (fh.type != FrameType::Response) {
+    throw std::runtime_error("net::Client: expected a response frame");
+  }
+  std::span<const std::byte> payload;
+  if (decode_response(out.body, out.head, payload) != DecodeError::None) {
+    throw std::runtime_error("net::Client: malformed response body");
+  }
+  return true;
+}
+
+Client::Result Client::infer(std::uint32_t model, Dtype dtype,
+                             std::span<const std::uint32_t> dims,
+                             std::span<const std::byte> payload, Qos qos,
+                             std::uint32_t deadline_us) {
+  const std::uint64_t corr = send_request(model, dtype, dims, payload, qos, deadline_us);
+  Result r;
+  if (!recv_response(r)) {
+    throw std::runtime_error("net::Client: server closed before responding");
+  }
+  if (r.head.correlation != corr && r.head.correlation != 0) {
+    throw std::runtime_error("net::Client: correlation mismatch (pipelining misuse?)");
+  }
+  return r;
+}
+
+Client::Result Client::infer_c32(std::uint32_t model, std::span<const std::uint32_t> dims,
+                                 std::span<const c32> input, Qos qos,
+                                 std::uint32_t deadline_us) {
+  return infer(model, Dtype::C32, dims,
+               {reinterpret_cast<const std::byte*>(input.data()), input.size_bytes()}, qos,
+               deadline_us);
+}
+
+Client::Result Client::infer_real(std::uint32_t model, std::span<const std::uint32_t> dims,
+                                  std::span<const float> input, Qos qos,
+                                  std::uint32_t deadline_us) {
+  return infer(model, Dtype::F32, dims,
+               {reinterpret_cast<const std::byte*>(input.data()), input.size_bytes()}, qos,
+               deadline_us);
+}
+
+void Client::send_bytes(std::span<const std::byte> bytes) {
+  write_all(fd_, bytes.data(), bytes.size());
+}
+
+bool Client::recv_closed(double timeout_s) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout_s);
+  tv.tv_usec = static_cast<suseconds_t>((timeout_s - std::floor(timeout_s)) * 1e6);
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  std::byte buf[4096];
+  while (true) {
+    const auto r = ::read(fd_, buf, sizeof buf);
+    if (r == 0) return true;  // clean EOF
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (errno == ECONNRESET) return true;  // peer terminated the stream
+      return false;  // timeout (EAGAIN): the stream is still open
+    }
+  }
+}
+
+}  // namespace turbofno::net

@@ -1,0 +1,102 @@
+// Blocking TCP client for the TurboFNO wire protocol (net/protocol.hpp).
+//
+// Deliberately small: one synchronous request/response call for the common
+// case, split send/recv for pipelining, and raw byte-level escape hatches
+// (send_bytes / recv_closed) that the protocol fault-injection tests use
+// to feed the server malformed frames and observe how the stream ends.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/protocol.hpp"
+#include "tensor/complex.hpp"
+
+namespace turbofno::net {
+
+class Client {
+ public:
+  /// One decoded response frame.  `body` owns the bytes; payload views are
+  /// valid as long as the Result is alive (the response prefix keeps the
+  /// payload 4-byte aligned, so the typed views are alignment-safe).
+  struct Result {
+    ResponseHead head;
+    std::vector<std::byte> body;
+
+    [[nodiscard]] std::span<const std::byte> payload() const noexcept {
+      return std::span<const std::byte>(body).subspan(kResponsePrefixBytes);
+    }
+    [[nodiscard]] std::span<const c32> payload_c32() const noexcept {
+      const auto p = payload();
+      return {reinterpret_cast<const c32*>(p.data()), p.size() / sizeof(c32)};
+    }
+    [[nodiscard]] std::span<const float> payload_f32() const noexcept {
+      const auto p = payload();
+      return {reinterpret_cast<const float*>(p.data()), p.size() / sizeof(float)};
+    }
+  };
+
+  Client() = default;
+  /// Closes the socket if still open.
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Clamps the socket's receive buffer (set before connect, so it also
+  /// caps the advertised TCP window).  Tests use a tiny value to make the
+  /// server's write backpressure deterministic; 0 keeps the OS default.
+  void set_recv_buffer(int bytes) noexcept { rcvbuf_ = bytes; }
+
+  /// Connects to host:port (numeric IPv4 host).  Throws std::system_error.
+  void connect(std::uint16_t port, const std::string& host = "127.0.0.1");
+  void close() noexcept;
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+
+  /// Sends one request frame and blocks for its response.  The returned
+  /// frame's correlation is chosen by the client and echoed by the server.
+  /// Throws std::system_error on transport failure, std::runtime_error
+  /// when the stream ends or the response frame is itself malformed.
+  Result infer(std::uint32_t model, Dtype dtype, std::span<const std::uint32_t> dims,
+               std::span<const std::byte> payload, Qos qos = Qos::Normal,
+               std::uint32_t deadline_us = 0);
+
+  /// Typed conveniences over infer().
+  Result infer_c32(std::uint32_t model, std::span<const std::uint32_t> dims,
+                   std::span<const c32> input, Qos qos = Qos::Normal,
+                   std::uint32_t deadline_us = 0);
+  Result infer_real(std::uint32_t model, std::span<const std::uint32_t> dims,
+                    std::span<const float> input, Qos qos = Qos::Normal,
+                    std::uint32_t deadline_us = 0);
+
+  /// Pipelining: send without waiting.  Returns the frame's correlation id.
+  std::uint64_t send_request(std::uint32_t model, Dtype dtype,
+                             std::span<const std::uint32_t> dims,
+                             std::span<const std::byte> payload, Qos qos = Qos::Normal,
+                             std::uint32_t deadline_us = 0);
+
+  /// Receives the next response frame.  Returns false on a clean EOF
+  /// (server closed the stream); throws on transport errors or when the
+  /// response bytes themselves fail to decode.
+  bool recv_response(Result& out);
+
+  // ---- fault-injection escape hatches ------------------------------------
+
+  /// Writes raw bytes on the stream, framing be damned.
+  void send_bytes(std::span<const std::byte> bytes);
+
+  /// Drains and discards the stream until EOF; true when the peer closed.
+  /// `timeout_s` bounds the wait (SO_RCVTIMEO); false on timeout.
+  bool recv_closed(double timeout_s = 5.0);
+
+ private:
+  int fd_ = -1;
+  int rcvbuf_ = 0;
+  std::uint64_t next_correlation_ = 1;
+  std::vector<std::byte> scratch_;  // request encode buffer, reused
+};
+
+}  // namespace turbofno::net

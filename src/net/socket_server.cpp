@@ -1,0 +1,627 @@
+#include "net/socket_server.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <stdexcept>
+#include <system_error>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+namespace turbofno::net {
+
+namespace {
+
+// epoll_event.data.u64 sentinels for the two non-connection fds; every
+// other event carries a Connection* in data.ptr.
+constexpr std::uint64_t kEventFdTag = 0;
+constexpr std::uint64_t kListenFdTag = 1;
+
+[[nodiscard]] WireStatus wire_status(serve::Status s) noexcept {
+  switch (s) {
+    case serve::Status::Ok:
+      return WireStatus::Ok;
+    case serve::Status::Rejected:
+      return WireStatus::Rejected;
+    case serve::Status::ShutDown:
+      return WireStatus::ShutDown;
+    case serve::Status::InvalidInput:
+      return WireStatus::InvalidInput;
+    case serve::Status::Shed:
+      return WireStatus::Shed;
+  }
+  return WireStatus::InvalidInput;
+}
+
+[[nodiscard]] std::uint32_t saturate_us(double seconds) noexcept {
+  const double us = seconds * 1e6;
+  if (us <= 0.0) return 0;
+  if (us >= 4294967295.0) return 0xFFFFFFFFu;
+  return static_cast<std::uint32_t>(us);
+}
+
+[[nodiscard]] std::system_error sys_error(const char* what) {
+  return {errno, std::generic_category(), what};
+}
+
+}  // namespace
+
+/// One queued outbound frame (logical length `len`, already written `off`).
+struct OutBuf {
+  std::vector<std::byte> data;
+  std::size_t len = 0;
+  std::size_t off = 0;
+};
+
+/// Everything a single in-flight request owns: the received request body
+/// (the submitted input span views its payload bytes) and the response
+/// frame the session writes its output payload into.  Held alive by the
+/// completion callback, so a mid-request client disconnect never leaves
+/// the inference server writing into freed memory.
+struct SocketServer::Inflight {
+  std::vector<std::byte> request_body;
+  std::vector<std::byte> frame;          // header + prefix + payload area
+  std::size_t payload_bytes = 0;
+  RequestHead head;
+};
+
+struct SocketServer::Connection {
+  int fd = -1;
+  std::size_t io_index = 0;
+
+  // ---- io-thread-owned read state (frame reassembly state machine)
+  std::array<std::byte, kHeaderBytes> hdr{};
+  std::size_t hdr_got = 0;
+  bool have_header = false;
+  FrameHeader fh;
+  std::vector<std::byte> body;
+  std::size_t body_got = 0;
+
+  // ---- io-thread-owned write state
+  std::deque<OutBuf> out_q;
+  std::size_t out_bytes = 0;
+  bool epollout_armed = false;
+  bool reading_paused = false;  // backpressure parked EPOLLIN
+  bool want_close = false;      // close after the outbound queue flushes
+
+  // ---- cross-thread state
+  std::atomic<bool> dead{false};
+  std::mutex ready_mu;           // guards `ready` (serve-callback handoff)
+  std::vector<OutBuf> ready;     // completed frames awaiting the io thread
+  bool ready_close = false;      // a ready frame asked for close-after-send
+};
+
+struct SocketServer::IoThread {
+  int ep = -1;
+  int event_fd = -1;
+  std::size_t index = 0;
+  std::thread thread;
+
+  std::mutex mu;  // guards pending/woken (producers: acceptor, serve callbacks)
+  std::vector<std::shared_ptr<Connection>> pending;  // accepted, not yet registered
+  std::vector<std::shared_ptr<Connection>> woken;    // have fresh `ready` frames
+
+  // io-thread-private registry of live connections (keeps them alive).
+  std::unordered_map<int, std::shared_ptr<Connection>> conns;
+  // Connections closed mid-batch, kept alive until the batch ends so a
+  // stale epoll data.ptr later in the same batch stays dereferenceable
+  // (its dead flag and the registry identity check reject it safely).
+  std::vector<std::shared_ptr<Connection>> dying;
+};
+
+SocketServer::SocketServer(Options opts)
+    : SocketServer(std::move(opts), nullptr) {}
+
+SocketServer::SocketServer(Options opts, std::shared_ptr<serve::InferenceServer> server)
+    : opts_(std::move(opts)),
+      server_(server ? std::move(server)
+                     : std::make_shared<serve::InferenceServer>(opts_.serve)) {
+  max_frame_ = opts_.max_frame_bytes != 0 ? opts_.max_frame_bytes : default_max_frame_bytes();
+  opts_.io_threads = std::max<std::size_t>(opts_.io_threads, 1);
+  opts_.max_buffered_bytes = std::max<std::size_t>(opts_.max_buffered_bytes, kHeaderBytes);
+}
+
+SocketServer::~SocketServer() { stop(); }
+
+void SocketServer::start() {
+  if (started_) throw std::logic_error("SocketServer::start called twice");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) throw sys_error("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  const int port = opts_.port >= 0 ? opts_.port : default_port();
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const auto err = sys_error("bind");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw err;
+  }
+  if (::listen(listen_fd_, opts_.backlog) != 0) {
+    const auto err = sys_error("listen");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw err;
+  }
+  socklen_t alen = sizeof addr;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &alen);
+  bound_port_ = ntohs(addr.sin_port);
+
+  io_.clear();
+  for (std::size_t i = 0; i < opts_.io_threads; ++i) {
+    auto t = std::make_unique<IoThread>();
+    t->index = i;
+    t->ep = ::epoll_create1(EPOLL_CLOEXEC);
+    t->event_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (t->ep < 0 || t->event_fd < 0) throw sys_error("epoll/eventfd");
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = kEventFdTag;
+    ::epoll_ctl(t->ep, EPOLL_CTL_ADD, t->event_fd, &ev);
+    io_.push_back(std::move(t));
+  }
+  // The listen socket lives on io thread 0; accepted connections are dealt
+  // round-robin across all io threads.
+  {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = kListenFdTag;
+    ::epoll_ctl(io_[0]->ep, EPOLL_CTL_ADD, listen_fd_, &ev);
+  }
+  reads_off_ = false;
+  flush_exit_ = false;
+  for (auto& t : io_) {
+    IoThread* tp = t.get();
+    t->thread = std::thread([this, tp] { io_loop(*tp); });
+  }
+  started_ = true;
+  running_ = true;
+}
+
+void SocketServer::stop() {
+  if (!started_ || !running_) return;
+  running_ = false;
+
+  // 1. Stop intake: no new connections, no new frames.  Existing
+  //    connections stay registered so queued responses still flush.
+  if (listen_fd_ >= 0) {
+    ::epoll_ctl(io_[0]->ep, EPOLL_CTL_DEL, listen_fd_, nullptr);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  reads_off_ = true;
+  for (auto& t : io_) wake(*t);
+
+  // 2. Complete every request already accepted; their response frames are
+  //    enqueued by the completion callbacks and written by the (still
+  //    running) io threads.
+  server_->drain();
+
+  // 3. Tell the io threads to exit once their write queues are empty (or
+  //    the flush deadline passes — a client that never reads cannot hold
+  //    shutdown hostage), then join and tear down.
+  flush_exit_ = true;
+  for (auto& t : io_) wake(*t);
+  for (auto& t : io_) {
+    if (t->thread.joinable()) t->thread.join();
+  }
+  for (auto& t : io_) {
+    for (auto& [fd, c] : t->conns) {
+      c->dead = true;
+      ::close(c->fd);
+      const std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.connections_closed;
+    }
+    t->conns.clear();
+    if (t->ep >= 0) ::close(t->ep);
+    if (t->event_fd >= 0) ::close(t->event_fd);
+  }
+  io_.clear();
+}
+
+SocketServer::Stats SocketServer::stats() const {
+  const std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void SocketServer::wake(IoThread& t) {
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const auto n = ::write(t.event_fd, &one, sizeof one);
+}
+
+void SocketServer::update_read_interest(IoThread& t, const std::shared_ptr<Connection>& c) {
+  if (c->dead) return;
+  epoll_event ev{};
+  ev.data.ptr = c.get();
+  const bool read_on = !c->reading_paused && !c->want_close && !reads_off_;
+  ev.events = (read_on ? EPOLLIN : 0u) | (c->epollout_armed ? EPOLLOUT : 0u) | EPOLLRDHUP;
+  ::epoll_ctl(t.ep, EPOLL_CTL_MOD, c->fd, &ev);
+}
+
+void SocketServer::accept_ready(IoThread& /*t*/) {
+  while (true) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN, or the listen fd is gone (shutdown race)
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    if (opts_.socket_sndbuf_bytes > 0) {
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &opts_.socket_sndbuf_bytes,
+                   sizeof opts_.socket_sndbuf_bytes);
+    }
+    auto c = std::make_shared<Connection>();
+    c->fd = fd;
+    c->io_index = next_io_.fetch_add(1) % io_.size();
+    {
+      const std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.connections_accepted;
+    }
+    IoThread& owner = *io_[c->io_index];
+    {
+      const std::lock_guard<std::mutex> lock(owner.mu);
+      owner.pending.push_back(std::move(c));
+    }
+    wake(owner);
+  }
+}
+
+void SocketServer::close_conn(IoThread& t, const std::shared_ptr<Connection>& c) {
+  if (c->dead.exchange(true)) return;
+  ::epoll_ctl(t.ep, EPOLL_CTL_DEL, c->fd, nullptr);
+  // Best-effort bounded drain of unread input before closing: leftover
+  // received bytes (e.g. the body of a frame whose header already failed)
+  // would otherwise turn the close into a TCP RST, which can destroy the
+  // typed error response still in flight.  Bounded so an abusive peer
+  // cannot stall the io thread.
+  {
+    std::array<std::byte, 4096> sink;
+    for (int i = 0; i < 64; ++i) {
+      if (::read(c->fd, sink.data(), sink.size()) <= 0) break;
+    }
+  }
+  ::close(c->fd);
+  t.conns.erase(c->fd);
+  t.dying.push_back(c);
+  const std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.connections_closed;
+}
+
+void SocketServer::enqueue_out(IoThread& t, const std::shared_ptr<Connection>& c,
+                               std::vector<std::byte>&& frame, std::size_t len,
+                               bool close_after) {
+  OutBuf b;
+  b.data = std::move(frame);
+  b.len = len;
+  c->out_q.push_back(std::move(b));
+  c->out_bytes += len;
+  if (close_after) c->want_close = true;
+  handle_write(t, c);  // opportunistic immediate write
+  if (c->dead) return;
+  // Backpressure: a slow reader's queue grows past the cap — park its
+  // reads until the queue drains below half (hysteresis, handled in
+  // handle_write), bounding per-connection server memory.
+  if (!c->reading_paused && c->out_bytes > opts_.max_buffered_bytes) {
+    c->reading_paused = true;
+    {
+      const std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.backpressure_pauses;
+    }
+  }
+  update_read_interest(t, c);
+}
+
+void SocketServer::handle_write(IoThread& t, const std::shared_ptr<Connection>& c) {
+  while (!c->out_q.empty()) {
+    OutBuf& b = c->out_q.front();
+    const auto n = ::send(c->fd, b.data.data() + b.off, b.len - b.off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      close_conn(t, c);
+      return;
+    }
+    b.off += static_cast<std::size_t>(n);
+    c->out_bytes -= static_cast<std::size_t>(n);
+    if (b.off < b.len) break;  // kernel buffer full mid-frame
+    c->out_q.pop_front();
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.responses_sent;
+  }
+  if (c->out_q.empty() && c->want_close) {
+    close_conn(t, c);
+    return;
+  }
+  const bool want_out = !c->out_q.empty();
+  if (c->reading_paused && c->out_bytes < opts_.max_buffered_bytes / 2) {
+    c->reading_paused = false;
+  }
+  if (want_out != c->epollout_armed) c->epollout_armed = want_out;
+  update_read_interest(t, c);
+}
+
+void SocketServer::queue_error_response(IoThread& t, const std::shared_ptr<Connection>& c,
+                                        std::uint64_t correlation, std::uint8_t dtype,
+                                        WireStatus status, bool close_after) {
+  ResponseHead rh;
+  rh.correlation = correlation;
+  rh.status = status;
+  rh.dtype = static_cast<Dtype>(dtype);
+  std::vector<std::byte> frame(encoded_response_bytes(0));
+  const std::size_t len = encode_response(frame, rh);
+  {
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.protocol_errors;
+  }
+  enqueue_out(t, c, std::move(frame), len, close_after);
+}
+
+void SocketServer::handle_read(IoThread& t, const std::shared_ptr<Connection>& c) {
+  while (!c->dead && !c->want_close && !c->reading_paused && !reads_off_) {
+    if (!c->have_header) {
+      const auto n =
+          ::read(c->fd, c->hdr.data() + c->hdr_got, kHeaderBytes - c->hdr_got);
+      if (n == 0) {
+        close_conn(t, c);  // peer closed (possibly mid-request: clean teardown)
+        return;
+      }
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        close_conn(t, c);
+        return;
+      }
+      c->hdr_got += static_cast<std::size_t>(n);
+      if (c->hdr_got < kHeaderBytes) continue;
+      const DecodeError e = decode_header({c->hdr.data(), kHeaderBytes}, c->fh, max_frame_);
+      if (e != DecodeError::None) {
+        // Framing is untrustworthy from here on: typed error, then close.
+        queue_error_response(t, c, 0, 0, decode_error_status(e), /*close_after=*/true);
+        return;
+      }
+      c->have_header = true;
+      c->body.resize(c->fh.body_len);
+      c->body_got = 0;
+      if (c->fh.body_len == 0) process_frame(t, c);
+      continue;
+    }
+    const auto n = ::read(c->fd, c->body.data() + c->body_got, c->fh.body_len - c->body_got);
+    if (n == 0) {
+      close_conn(t, c);  // disconnected mid-body; in-flight work is unaffected
+      return;
+    }
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      close_conn(t, c);
+      return;
+    }
+    c->body_got += static_cast<std::size_t>(n);
+    if (c->body_got == c->fh.body_len) process_frame(t, c);
+  }
+}
+
+void SocketServer::process_frame(IoThread& t, const std::shared_ptr<Connection>& c) {
+  // Reset the reassembly state first: process may queue a response and the
+  // next frame starts with a fresh header either way.
+  std::vector<std::byte> body = std::move(c->body);
+  const FrameHeader fh = c->fh;
+  c->have_header = false;
+  c->hdr_got = 0;
+  c->body = {};
+  c->body_got = 0;
+
+  if (const DecodeError e = verify_body(fh, body); e != DecodeError::None) {
+    queue_error_response(t, c, 0, 0, decode_error_status(e), /*close_after=*/true);
+    return;
+  }
+  if (fh.type != FrameType::Request) {
+    // A response frame sent at a server is a confused peer; the stream is
+    // well-formed, so answer typed and keep the connection.
+    queue_error_response(t, c, 0, 0, WireStatus::BadFrame, /*close_after=*/false);
+    return;
+  }
+  auto inf = std::make_shared<Inflight>();
+  std::span<const std::byte> payload;
+  const DecodeError e = decode_request(body, inf->head, payload);
+  if (e != DecodeError::None) {
+    queue_error_response(t, c, e == DecodeError::ShapeMismatch ? inf->head.correlation : 0, 0,
+                         decode_error_status(e), decode_error_closes(e));
+    return;
+  }
+  std::size_t out_elems = 0;
+  try {
+    out_elems = server_->output_elems(inf->head.model);
+  } catch (const std::out_of_range&) {
+    queue_error_response(t, c, inf->head.correlation,
+                         static_cast<std::uint8_t>(inf->head.dtype), WireStatus::UnknownModel,
+                         /*close_after=*/false);
+    return;
+  }
+  inf->request_body = std::move(body);
+  inf->payload_bytes = out_elems * dtype_bytes(inf->head.dtype);
+  inf->frame.resize(encoded_response_bytes(inf->payload_bytes));
+  {
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.frames_decoded;
+  }
+  submit_request(t, c, std::move(inf));
+}
+
+void SocketServer::submit_request(IoThread& t, const std::shared_ptr<Connection>& c,
+                                  std::shared_ptr<Inflight> inf) {
+  (void)t;
+  serve::SubmitOptions so;
+  so.priority = inf->head.qos == Qos::High ? serve::Priority::High : serve::Priority::Normal;
+  so.deadline_s = static_cast<double>(inf->head.deadline_us) * 1e-6;
+
+  // Zero-copy hand-off: the input span views the request payload inside
+  // the received body; the output span views the response frame's payload
+  // area, so a single-request micro-batch writes its result straight into
+  // the bytes that go out on the wire.  Both prefixes keep the payloads
+  // 4-byte aligned (see protocol.hpp), which satisfies f32/c32 alignment.
+  std::byte* const in_bytes = inf->request_body.data() + request_prefix_bytes(inf->head.ndim);
+  std::byte* const out_bytes = inf->frame.data() + kHeaderBytes + kResponsePrefixBytes;
+  const auto elems = static_cast<std::size_t>(inf->head.elems());
+  const auto model = static_cast<serve::ModelId>(inf->head.model);
+  const Dtype dtype = inf->head.dtype;
+  auto on_done = [this, c, inf](serve::InferResponse&& r) {
+    on_inference_done(c, inf, std::move(r));
+  };
+  if (dtype == Dtype::C32) {
+    server_->submit(model,
+                    std::span<const c32>(reinterpret_cast<const c32*>(in_bytes), elems),
+                    std::span<c32>(reinterpret_cast<c32*>(out_bytes),
+                                   inf->payload_bytes / sizeof(c32)),
+                    std::move(on_done), so);
+  } else {
+    server_->submit_real(model,
+                         std::span<const float>(reinterpret_cast<const float*>(in_bytes), elems),
+                         std::span<float>(reinterpret_cast<float*>(out_bytes),
+                                          inf->payload_bytes / sizeof(float)),
+                         std::move(on_done), so);
+  }
+}
+
+void SocketServer::on_inference_done(const std::shared_ptr<Connection>& c,
+                                     const std::shared_ptr<Inflight>& f,
+                                     serve::InferResponse&& r) {
+  ResponseHead rh;
+  rh.correlation = f->head.correlation;
+  rh.status = wire_status(r.status);
+  rh.dtype = f->head.dtype;
+  rh.queue_us = saturate_us(r.timing.queue_s);
+  rh.exec_us = saturate_us(r.timing.exec_s);
+  rh.total_us = saturate_us(r.timing.total_s);
+  rh.micro_batch = static_cast<std::uint32_t>(r.timing.micro_batch);
+  const std::size_t payload = rh.status == WireStatus::Ok ? f->payload_bytes : 0;
+  encode_response_prefix(f->frame, rh, payload);
+  const std::size_t len = seal_response(f->frame);
+
+  if (c->dead) {
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.dropped_responses;
+    return;
+  }
+  IoThread& owner = *io_[c->io_index];
+  {
+    const std::lock_guard<std::mutex> lock(c->ready_mu);
+    OutBuf b;
+    b.data = std::move(f->frame);
+    b.len = len;
+    c->ready.push_back(std::move(b));
+  }
+  {
+    const std::lock_guard<std::mutex> lock(owner.mu);
+    owner.woken.push_back(c);
+  }
+  wake(owner);
+}
+
+void SocketServer::io_loop(IoThread& t) {
+  std::array<epoll_event, 64> evs;
+  const auto flush_deadline_at = [&] {
+    return std::chrono::steady_clock::now() +
+           std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+               std::chrono::duration<double>(opts_.stop_flush_s));
+  };
+  std::chrono::steady_clock::time_point flush_deadline{};
+  bool flushing = false;
+
+  while (true) {
+    const int timeout_ms = flushing ? 10 : -1;
+    const int n = ::epoll_wait(t.ep, evs.data(), static_cast<int>(evs.size()), timeout_ms);
+
+    // Collect closes to the end of the batch: a connection freed by an
+    // earlier event in this batch must not be touched through a stale
+    // data.ptr of a later one (shared_ptrs in t.conns keep them alive
+    // until the erase, and the dead flag guards the stale handling).
+    for (int i = 0; i < n; ++i) {
+      const epoll_event& ev = evs[static_cast<std::size_t>(i)];
+      if (ev.data.u64 == kEventFdTag) {
+        std::uint64_t drain = 0;
+        while (::read(t.event_fd, &drain, sizeof drain) > 0) {
+        }
+        std::vector<std::shared_ptr<Connection>> pending;
+        std::vector<std::shared_ptr<Connection>> woken;
+        {
+          const std::lock_guard<std::mutex> lock(t.mu);
+          pending.swap(t.pending);
+          woken.swap(t.woken);
+        }
+        for (auto& c : pending) {
+          epoll_event add{};
+          add.data.ptr = c.get();
+          add.events = (reads_off_ ? 0u : EPOLLIN) | EPOLLRDHUP;
+          t.conns.emplace(c->fd, c);
+          ::epoll_ctl(t.ep, EPOLL_CTL_ADD, c->fd, &add);
+        }
+        for (auto& c : woken) {
+          if (c->dead) continue;
+          std::vector<OutBuf> ready;
+          {
+            const std::lock_guard<std::mutex> lock(c->ready_mu);
+            ready.swap(c->ready);
+          }
+          for (auto& b : ready) {
+            const std::size_t len = b.len;
+            enqueue_out(t, c, std::move(b.data), len, /*close_after=*/false);
+            if (c->dead) break;
+          }
+        }
+        continue;
+      }
+      if (ev.data.u64 == kListenFdTag) {
+        if (listen_fd_ >= 0) accept_ready(t);
+        continue;
+      }
+      auto* cp = static_cast<Connection*>(ev.data.ptr);
+      const auto it = t.conns.find(cp->fd);
+      if (it == t.conns.end() || it->second.get() != cp || cp->dead) continue;
+      const std::shared_ptr<Connection> c = it->second;
+      if ((ev.events & (EPOLLERR | EPOLLHUP)) != 0) {
+        // Flush what we can on HUP (half-close peers still read), then
+        // fall through to read/write which will observe the real state.
+        if ((ev.events & EPOLLERR) != 0) {
+          close_conn(t, c);
+          continue;
+        }
+      }
+      if ((ev.events & EPOLLOUT) != 0) handle_write(t, c);
+      if (c->dead) continue;
+      if ((ev.events & (EPOLLIN | EPOLLRDHUP)) != 0) handle_read(t, c);
+    }
+    t.dying.clear();
+
+    if (reads_off_ && !flushing) {
+      // Quiesce: stop consuming frames on every connection.
+      for (auto& [fd, c] : t.conns) update_read_interest(t, c);
+    }
+    if (flush_exit_) {
+      if (!flushing) {
+        flushing = true;
+        flush_deadline = flush_deadline_at();
+      }
+      bool empty = true;
+      for (auto& [fd, c] : t.conns) {
+        if (!c->out_q.empty()) {
+          empty = false;
+          break;
+        }
+      }
+      if (empty || std::chrono::steady_clock::now() >= flush_deadline) return;
+    }
+  }
+}
+
+}  // namespace turbofno::net

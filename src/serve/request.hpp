@@ -28,6 +28,7 @@ enum class Status {
   Rejected,      // per-model backlog was full at submission
   ShutDown,      // server stopped before this request executed
   InvalidInput,  // input/output size does not match the model's shape
+  Shed,          // admission control: the deadline was infeasible at submission
 };
 
 [[nodiscard]] std::string_view status_name(Status s) noexcept;
@@ -42,6 +43,14 @@ enum class Priority { High, Normal };
 /// Per-request submission options.
 struct SubmitOptions {
   Priority priority = Priority::Normal;
+  /// Relative completion deadline in seconds (0 = none).  A deadline arms
+  /// admission control: if the model's estimated wait at submission already
+  /// exceeds it, the request is refused with Status::Shed instead of
+  /// queueing doomed work.  Feasibility is judged per QoS class — High
+  /// requests count only the High backlog ahead of them, Normal requests
+  /// count the whole backlog — so under saturation Normal work sheds first
+  /// while feasible High work keeps being admitted.
+  double deadline_s = 0.0;
 };
 
 /// Knobs of the dynamic micro-batcher.
@@ -88,6 +97,9 @@ struct ServerStats {
   std::uint64_t completed = 0;   // delivered with Status::Ok
   std::uint64_t rejected = 0;    // backlog-full or bad-input refusals
   std::uint64_t shut_down = 0;   // completed with Status::ShutDown
+  std::uint64_t shed_normal = 0;  // Normal refusals by admission control
+  std::uint64_t shed_high = 0;    // High refusals by admission control
+  std::uint64_t exec_errors = 0;  // batches failed inside the model forward
   std::uint64_t batches = 0;     // micro-batches executed
   std::uint64_t batched_requests = 0;  // sum of micro-batch sizes
   std::uint64_t high_submitted = 0;    // accepted with Priority::High

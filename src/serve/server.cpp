@@ -27,6 +27,8 @@ std::string_view status_name(Status s) noexcept {
       return "shut-down";
     case Status::InvalidInput:
       return "invalid-input";
+    case Status::Shed:
+      return "shed";
   }
   return "?";
 }
@@ -107,6 +109,21 @@ std::size_t InferenceServer::output_elems(ModelId m) const {
   return models_.at(m)->out_elems;
 }
 
+std::size_t InferenceServer::queue_depth(ModelId m) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return models_.at(m)->queued();
+}
+
+double InferenceServer::exec_estimate(ModelId m) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return models_.at(m)->exec_ewma_s;
+}
+
+void InferenceServer::set_exec_estimate(ModelId m, double seconds) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  models_.at(m)->exec_ewma_s = seconds;
+}
+
 void InferenceServer::complete(Pending&& p, InferResponse&& r) {
   r.id = p.id;
   r.priority = p.priority;
@@ -121,6 +138,7 @@ std::future<InferResponse> InferenceServer::submit(ModelId model, std::span<cons
                                                    std::span<c32> output, SubmitOptions opts) {
   Pending p;
   p.priority = opts.priority;
+  p.deadline_s = opts.deadline_s;
   p.in_view = input;
   p.out_view = output;
   p.has_promise = true;
@@ -133,6 +151,7 @@ void InferenceServer::submit(ModelId model, std::span<const c32> input, std::spa
                              std::function<void(InferResponse&&)> on_done, SubmitOptions opts) {
   Pending p;
   p.priority = opts.priority;
+  p.deadline_s = opts.deadline_s;
   p.in_view = input;
   p.out_view = output;
   p.callback = std::move(on_done);
@@ -143,6 +162,7 @@ std::future<InferResponse> InferenceServer::submit(ModelId model, std::vector<c3
                                                    SubmitOptions opts) {
   Pending p;
   p.priority = opts.priority;
+  p.deadline_s = opts.deadline_s;
   p.owned = std::move(input);
   p.owning = true;
   p.in_view = p.owned;
@@ -156,9 +176,40 @@ void InferenceServer::submit(ModelId model, std::vector<c32> input,
                              std::function<void(InferResponse&&)> on_done, SubmitOptions opts) {
   Pending p;
   p.priority = opts.priority;
+  p.deadline_s = opts.deadline_s;
   p.owned = std::move(input);
   p.owning = true;
   p.in_view = p.owned;
+  p.callback = std::move(on_done);
+  submit_impl(model, std::move(p));
+}
+
+std::future<InferResponse> InferenceServer::submit_real(ModelId model,
+                                                        std::span<const float> input,
+                                                        std::span<float> output,
+                                                        SubmitOptions opts) {
+  Pending p;
+  p.priority = opts.priority;
+  p.deadline_s = opts.deadline_s;
+  p.fin_view = input;
+  p.fout_view = output;
+  p.real = true;
+  p.has_promise = true;
+  std::future<InferResponse> fut = p.promise.get_future();
+  submit_impl(model, std::move(p));
+  return fut;
+}
+
+void InferenceServer::submit_real(ModelId model, std::span<const float> input,
+                                  std::span<float> output,
+                                  std::function<void(InferResponse&&)> on_done,
+                                  SubmitOptions opts) {
+  Pending p;
+  p.priority = opts.priority;
+  p.deadline_s = opts.deadline_s;
+  p.fin_view = input;
+  p.fout_view = output;
+  p.real = true;
   p.callback = std::move(on_done);
   submit_impl(model, std::move(p));
 }
@@ -171,8 +222,9 @@ void InferenceServer::submit_impl(ModelId model, Pending&& p) {
     Model& m = *models_.at(model);
     p.id = next_id_++;
     p.submit_s = clock_.seconds();
-    const bool bad_shape =
-        p.in_view.size() != m.in_elems || (!p.owning && p.out_view.size() != m.out_elems);
+    const std::size_t in_n = p.real ? p.fin_view.size() : p.in_view.size();
+    const std::size_t out_n = p.real ? p.fout_view.size() : p.out_view.size();
+    const bool bad_shape = in_n != m.in_elems || (!p.owning && out_n != m.out_elems);
     if (!accepting_) {
       refusal.status = Status::ShutDown;
       ++stats_.shut_down;
@@ -184,6 +236,14 @@ void InferenceServer::submit_impl(ModelId model, Pending&& p) {
     } else if (m.queued() >= opts_.policy.queue_capacity) {
       refusal.status = Status::Rejected;
       ++stats_.rejected;
+      refuse = true;
+    } else if (p.deadline_s > 0.0 && !deadline_feasible_locked(m, p)) {
+      refusal.status = Status::Shed;
+      if (p.priority == Priority::High) {
+        ++stats_.shed_high;
+      } else {
+        ++stats_.shed_normal;
+      }
       refuse = true;
     } else {
       ++stats_.submitted;
@@ -216,18 +276,33 @@ bool InferenceServer::deadline_due_locked(const Model& m, double now) const {
          now >= earliest_submit(m) + opts_.policy.max_delay_s - kDeadlineSlackS;
 }
 
-InferenceServer::Pending InferenceServer::pop_next_locked(Model& m, double now) {
+bool InferenceServer::deadline_feasible_locked(const Model& m, const Pending& p) const noexcept {
+  const double per = m.exec_ewma_s;
+  if (per <= 0.0) return true;  // no estimate yet — admit and learn
+  // Work that pops before this request, per QoS class: High requests wait
+  // only on the High backlog (plus the batch in flight); Normal requests
+  // wait on everything.  One-at-a-time execution is assumed — a deliberate
+  // overestimate, since batching only shortens the wait.
+  const std::size_t ahead =
+      (p.priority == Priority::High ? m.queue[kHigh].size() : m.queued()) + (m.busy ? 1 : 0);
+  return static_cast<double>(ahead + 1) * per <= p.deadline_s;
+}
+
+std::deque<InferenceServer::Pending>& InferenceServer::next_queue_locked(Model& m, double now,
+                                                                         bool count_promotion) {
   auto& high = m.queue[kHigh];
   auto& normal = m.queue[kNormal];
   // Starvation guard first: an overdue Normal request outranks younger
   // High work, bounding how long strict priority can delay it.
   if (!normal.empty() && now >= normal.front().submit_s + starvation_s()) {
-    if (!high.empty()) ++stats_.starvation_promotions;
-    Pending p = std::move(normal.front());
-    normal.pop_front();
-    return p;
+    if (count_promotion && !high.empty()) ++stats_.starvation_promotions;
+    return normal;
   }
-  auto& q = high.empty() ? normal : high;
+  return high.empty() ? normal : high;
+}
+
+InferenceServer::Pending InferenceServer::pop_next_locked(Model& m, double now) {
+  auto& q = next_queue_locked(m, now, /*count_promotion=*/true);
   Pending p = std::move(q.front());
   q.pop_front();
   return p;
@@ -239,7 +314,18 @@ void InferenceServer::launch_locked(Model& m) {
   const std::size_t n = std::min(m.queued(), opts_.policy.max_batch);
   auto batch = std::make_shared<std::vector<Pending>>();
   batch->reserve(n);
-  for (std::size_t i = 0; i < n; ++i) batch->push_back(pop_next_locked(m, now));
+  batch->push_back(pop_next_locked(m, now));
+  // Micro-batches are lane-homogeneous: stop at the first queued request
+  // whose lane (run vs run_real) differs from the batch leader's.  The
+  // remainder launches in the relaunch chain, exactly like an over-full
+  // queue would.
+  for (std::size_t i = 1; i < n; ++i) {
+    if (next_queue_locked(m, now, /*count_promotion=*/false).front().real !=
+        batch->front().real) {
+      break;
+    }
+    batch->push_back(pop_next_locked(m, now));
+  }
   m.busy = true;
   // shared_ptr because std::function requires copyable callables; the
   // Model lives in a stable unique_ptr slot for the server's lifetime.
@@ -249,13 +335,29 @@ void InferenceServer::launch_locked(Model& m) {
 
 void InferenceServer::execute(Model& m, std::vector<Pending> batch) {
   const std::size_t B = batch.size();
+  const bool real = batch.front().real;  // batches are lane-homogeneous
   const double formed_s = clock_.seconds();
+  const std::size_t elem_bytes = real ? sizeof(float) : sizeof(c32);
 
   double gather_s = 0.0;
   double exec_s = 0.0;
   std::size_t gather_bytes = 0;
   std::size_t scatter_bytes = 0;
+  bool exec_ok = true;
   std::vector<InferResponse> responses(B);
+
+  // Runs one lane of the session, mapping a model-side failure (e.g. a
+  // shape the requested lane cannot support) to typed InvalidInput
+  // responses instead of tearing down the serving process.
+  const auto guarded_run = [&](auto&& fn) {
+    runtime::Timer exec_t;
+    try {
+      fn();
+    } catch (const std::exception&) {
+      exec_ok = false;
+    }
+    exec_s = exec_t.seconds();
+  };
 
   if (B == 1) {
     // Single-request fast path: the session runs directly on the request's
@@ -264,15 +366,34 @@ void InferenceServer::execute(Model& m, std::vector<Pending> batch) {
     // so the gather/scatter counters see zero bytes.
     Pending& p = batch.front();
     InferResponse& r = responses.front();
-    std::span<c32> out = p.out_view;
-    if (p.owning) {
-      r.output.resize(m.out_elems);
-      out = r.output;
+    if (real) {
+      guarded_run([&] { m.session->run_real(p.fin_view, p.fout_view, 1); });
+    } else {
+      std::span<c32> out = p.out_view;
+      if (p.owning) {
+        r.output.resize(m.out_elems);
+        out = r.output;
+      }
+      guarded_run([&] { m.session->run(p.in_view, out, 1); });
     }
-    runtime::Timer exec_t;
-    m.session->run(p.in_view, out, 1);
-    exec_s = exec_t.seconds();
-    r.status = Status::Ok;
+  } else if (real) {
+    // The float staging area is sized lazily on the first multi-request
+    // real micro-batch (many deployments never submit this lane).
+    if (m.batch_in_f.size() < opts_.policy.max_batch * m.in_elems) {
+      m.batch_in_f.resize(opts_.policy.max_batch * m.in_elems);
+      m.batch_out_f.resize(opts_.policy.max_batch * m.out_elems);
+    }
+    runtime::Timer gather_t;
+    for (std::size_t i = 0; i < B; ++i) {
+      std::memcpy(m.batch_in_f.data() + i * m.in_elems, batch[i].fin_view.data(),
+                  m.in_elems * sizeof(float));
+    }
+    gather_s = gather_t.seconds();
+    gather_bytes = B * m.in_elems * sizeof(float);
+
+    const std::span<const float> in{m.batch_in_f.data(), B * m.in_elems};
+    const std::span<float> out{m.batch_out_f.data(), B * m.out_elems};
+    guarded_run([&] { m.session->run_real(in, out, B); });
   } else {
     runtime::Timer gather_t;
     for (std::size_t i = 0; i < B; ++i) {
@@ -282,26 +403,30 @@ void InferenceServer::execute(Model& m, std::vector<Pending> batch) {
     gather_s = gather_t.seconds();
     gather_bytes = B * m.in_elems * sizeof(c32);
 
-    runtime::Timer exec_t;
     const std::span<const c32> in{m.batch_in.data(), B * m.in_elems};
     const std::span<c32> out{m.batch_out.data(), B * m.out_elems};
-    m.session->run(in, out, B);
-    exec_s = exec_t.seconds();
+    guarded_run([&] { m.session->run(in, out, B); });
   }
 
   runtime::Timer scatter_t;
   double queue_wait_sum = 0.0;
   for (std::size_t i = 0; i < B; ++i) {
     InferResponse& r = responses[i];
-    r.status = Status::Ok;
-    if (B > 1) {
-      const c32* row = m.batch_out.data() + i * m.out_elems;
-      if (batch[i].owning) {
-        r.output.assign(row, row + m.out_elems);
+    r.status = exec_ok ? Status::Ok : Status::InvalidInput;
+    if (!exec_ok) r.output.clear();
+    if (exec_ok && B > 1) {
+      if (real) {
+        std::memcpy(batch[i].fout_view.data(), m.batch_out_f.data() + i * m.out_elems,
+                    m.out_elems * sizeof(float));
       } else {
-        std::memcpy(batch[i].out_view.data(), row, m.out_elems * sizeof(c32));
+        const c32* row = m.batch_out.data() + i * m.out_elems;
+        if (batch[i].owning) {
+          r.output.assign(row, row + m.out_elems);
+        } else {
+          std::memcpy(batch[i].out_view.data(), row, m.out_elems * sizeof(c32));
+        }
       }
-      scatter_bytes += m.out_elems * sizeof(c32);
+      scatter_bytes += m.out_elems * elem_bytes;
     }
     r.timing.queue_s = formed_s - batch[i].submit_s;
     r.timing.exec_s = exec_s;
@@ -330,7 +455,16 @@ void InferenceServer::execute(Model& m, std::vector<Pending> batch) {
     const std::lock_guard<std::mutex> lock(mu_);
     m.busy = false;
     inflight_ -= B;
-    stats_.completed += B;
+    if (exec_ok) {
+      stats_.completed += B;
+      // Admission control learns from every successful batch: an EWMA of
+      // per-request execution seconds (stable enough to judge deadline
+      // feasibility, reactive enough to follow load-dependent drift).
+      const double per_req = exec_s / static_cast<double>(B);
+      m.exec_ewma_s = m.exec_ewma_s == 0.0 ? per_req : 0.75 * m.exec_ewma_s + 0.25 * per_req;
+    } else {
+      ++stats_.exec_errors;
+    }
     stats_.batches += 1;
     stats_.batched_requests += B;
     stats_.max_micro_batch = std::max(stats_.max_micro_batch, B);

@@ -113,6 +113,28 @@ class InferenceServer {
   void submit(ModelId model, std::vector<c32> input,
               std::function<void(InferResponse&&)> on_done, SubmitOptions opts = {});
 
+  /// Real-input (RFFT half-spectrum lane) zero-copy submission: the spans
+  /// hold real samples and the request executes through Session::run_real.
+  /// Same element counts and lifetime rules as the complex spans.  Requests
+  /// of both lanes share one QoS queue; micro-batches are formed
+  /// lane-homogeneous (a batch never mixes run and run_real requests).
+  std::future<InferResponse> submit_real(ModelId model, std::span<const float> input,
+                                         std::span<float> output, SubmitOptions opts = {});
+  void submit_real(ModelId model, std::span<const float> input, std::span<float> output,
+                   std::function<void(InferResponse&&)> on_done, SubmitOptions opts = {});
+
+  /// Requests currently queued for `m` (both QoS levels, excluding the
+  /// micro-batch in flight).  Admission-control visibility for front-ends.
+  [[nodiscard]] std::size_t queue_depth(ModelId m) const;
+
+  /// Per-request execution-time estimate (seconds) the admission control
+  /// uses for `m`: an EWMA learned from completed micro-batches, 0 until
+  /// the first batch finishes.
+  [[nodiscard]] double exec_estimate(ModelId m) const;
+  /// Overrides the learned estimate — a calibration/ops hook (and what
+  /// makes admission-control tests deterministic).
+  void set_exec_estimate(ModelId m, double seconds);
+
   /// Flushes every non-empty queue as (possibly partial) micro-batches now,
   /// without waiting for size or deadline triggers.
   void flush();
@@ -149,12 +171,18 @@ class InferenceServer {
     // submissions they view `owned`/the response vector).
     std::span<const c32> in_view;
     std::span<c32> out_view;
+    // Real-lane views (set instead of the complex ones when real == true;
+    // the real lane is span-only, never owning).
+    std::span<const float> fin_view;
+    std::span<float> fout_view;
+    bool real = false;            // executes through Session::run_real
     std::vector<c32> owned;       // backing storage for owning submissions
     bool owning = false;
     std::promise<InferResponse> promise;
     std::function<void(InferResponse&&)> callback;  // used when no promise
     bool has_promise = false;
-    double submit_s = 0.0;  // server-clock submission stamp
+    double submit_s = 0.0;   // server-clock submission stamp
+    double deadline_s = 0.0;  // relative admission deadline (0 = none)
   };
 
   // Queue levels, pop-priority order.
@@ -174,6 +202,11 @@ class InferenceServer {
     // Owned by the executor holding busy == true:
     AlignedBuffer<c32> batch_in;   // [max_batch, in_elems]
     AlignedBuffer<c32> batch_out;  // [max_batch, out_elems]
+    AlignedBuffer<float> batch_in_f;   // real-lane staging, sized lazily
+    AlignedBuffer<float> batch_out_f;
+    // Guarded by the server mutex: EWMA of per-request execution seconds,
+    // learned from completed micro-batches (0 until the first completes).
+    double exec_ewma_s = 0.0;
 
     [[nodiscard]] std::size_t queued() const noexcept {
       return queue[kHigh].size() + queue[kNormal].size();
@@ -187,10 +220,18 @@ class InferenceServer {
   [[nodiscard]] double starvation_s() const noexcept;
   /// Oldest submission stamp across both levels; +inf when empty.
   [[nodiscard]] static double earliest_submit(const Model& m) noexcept;
-  /// Pops the next request per QoS order: overdue Normal first (starvation
-  /// guard), then High FIFO, then Normal FIFO.  Caller holds mu_ and has
+  /// The queue the next pop (per QoS order: overdue Normal first, then
+  /// High FIFO, then Normal FIFO) would come from.  Caller holds mu_ and
+  /// has checked the model has queued work.  `count_promotion` tallies a
+  /// starvation promotion when an overdue Normal outranks queued High work
+  /// — pass it only when the front is actually popped.
+  std::deque<Pending>& next_queue_locked(Model& m, double now, bool count_promotion);
+  /// Pops the next request per QoS order.  Caller holds mu_ and has
   /// checked the model has queued work.
   Pending pop_next_locked(Model& m, double now);
+  /// Admission control: can `p` still meet its deadline given the backlog
+  /// ahead of it (per QoS class) and the learned per-request estimate?
+  [[nodiscard]] bool deadline_feasible_locked(const Model& m, const Pending& p) const noexcept;
   // Pops up to max_batch requests and hands them to the pool.  Caller holds
   // mu_ and has checked the model is idle with a non-empty queue.
   void launch_locked(Model& m);

@@ -9,11 +9,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <future>
 #include <mutex>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/fno.hpp"
@@ -509,6 +511,103 @@ TEST(ServeQos, PriorityNeverChangesValuesOnlyOrder) {
     ref.forward(inputs[i], expect);
     EXPECT_TRUE(bitwise_equal(resp.output, expect)) << i;
   }
+}
+
+// The admission-control contract (SubmitOptions::deadline_s): a deadline
+// the backlog makes infeasible is refused as Status::Shed at submission,
+// judged per QoS class — Normal counts the whole backlog, High counts
+// only the High backlog — so under saturation Normal sheds first while
+// feasible High work keeps being admitted.  set_exec_estimate() pins the
+// learned per-request estimate, making these tests deterministic.
+
+TEST(ServeAdmission, InfeasibleNormalShedsWhileFeasibleHighAdmits) {
+  InferenceServer::Options so;
+  so.policy.max_batch = 1;
+  so.policy.max_delay_s = 10.0;
+  so.workers = 1;
+  InferenceServer server(so);
+
+  // The blocker pins the only worker so the small model's backlog holds
+  // still while the probes below are judged.
+  core::Fno1dConfig heavy = wide_1d();
+  heavy.n = 512;
+  heavy.modes = 128;
+  heavy.layers = 3;
+  const ModelId blocker_model = server.load_model(heavy);
+  const ModelId m = server.load_model(small_1d());
+
+  server.submit(blocker_model, random_signal(server.input_elems(blocker_model), 1u),
+                [](InferResponse&& r) { ASSERT_EQ(r.status, Status::Ok); });
+  // Saturate m: the first request launches (model busy, parked behind the
+  // blocker in the worker queue); five more queue up.  None carry
+  // deadlines, so none of these shed.
+  std::vector<std::future<InferResponse>> admitted;
+  for (int i = 0; i < 6; ++i) {
+    admitted.push_back(server.submit(m, random_signal(server.input_elems(m), 50u + i)));
+  }
+  EXPECT_GE(server.queue_depth(m), 4u);
+
+  // Teach admission that m costs ~1 s per request.  Backlog ahead of a
+  // Normal probe is >= 5 (queue + busy), so a 2 s deadline is hopeless;
+  // a High probe only competes with the (empty) High backlog, so the
+  // same 2 s deadline is feasible.
+  server.set_exec_estimate(m, 1.0);
+  EXPECT_DOUBLE_EQ(server.exec_estimate(m), 1.0);
+
+  auto shed_normal = server.submit(m, random_signal(server.input_elems(m), 90u),
+                                   SubmitOptions{Priority::Normal, 2.0});
+  EXPECT_EQ(shed_normal.get().status, Status::Shed);
+
+  server.set_exec_estimate(m, 1.0);
+  auto high_ok = server.submit(m, random_signal(server.input_elems(m), 91u),
+                               SubmitOptions{Priority::High, 2.0});
+
+  // A High deadline below even its own class's wait sheds too.
+  server.set_exec_estimate(m, 1.0);
+  auto shed_high = server.submit(m, random_signal(server.input_elems(m), 92u),
+                                 SubmitOptions{Priority::High, 0.5});
+  EXPECT_EQ(shed_high.get().status, Status::Shed);
+
+  const auto mid = server.stats();
+  EXPECT_EQ(mid.shed_normal, 1u);
+  EXPECT_EQ(mid.shed_high, 1u);
+
+  // Every admitted request — including the deadline-armed High one —
+  // completes normally; shedding refused doomed work, nothing else.
+  server.drain();
+  EXPECT_EQ(high_ok.get().status, Status::Ok);
+  for (auto& f : admitted) EXPECT_EQ(f.get().status, Status::Ok);
+  EXPECT_EQ(server.stats().completed, 8u);  // blocker + 6 + high_ok
+}
+
+TEST(ServeAdmission, NoDeadlineNeverShedsAndEstimateIsLearned) {
+  InferenceServer::Options so;
+  so.workers = 1;
+  InferenceServer server(so);
+  const ModelId m = server.load_model(small_1d());
+
+  // Before anything completes there is no estimate: deadline-armed work
+  // is admitted optimistically ("admit and learn").
+  EXPECT_DOUBLE_EQ(server.exec_estimate(m), 0.0);
+  auto first = server.submit(m, random_signal(server.input_elems(m), 1u),
+                             SubmitOptions{Priority::Normal, 1e-9});
+  EXPECT_EQ(first.get().status, Status::Ok);
+  // ... and completing it taught the server a positive estimate.  The
+  // response is delivered just before the executor's bookkeeping, so give
+  // the update a moment to land.
+  server.drain();
+  for (int i = 0; i < 1000 && server.exec_estimate(m) == 0.0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GT(server.exec_estimate(m), 0.0);
+
+  // An absurd estimate cannot shed deadline-less work.
+  server.set_exec_estimate(m, 3600.0);
+  auto second = server.submit(m, random_signal(server.input_elems(m), 2u));
+  EXPECT_EQ(second.get().status, Status::Ok);
+  EXPECT_EQ(server.stats().shed_normal, 0u);
+  EXPECT_EQ(server.stats().shed_high, 0u);
+  EXPECT_EQ(server.queue_depth(m), 0u);
 }
 
 }  // namespace
