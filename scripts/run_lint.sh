@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Runs the repo-invariant linter (tools/lint/check_invariants.py) and its
+# fixture self-test.  The same entry point serves three callers:
+#   - developers:  scripts/run_lint.sh
+#   - ctest:       the `lint_invariants` / `lint_selftest` tests (CMake
+#                  wires them when a python3 is found)
+#   - CI:          the lint step of .github/workflows/ci.yml
+#
+# Exit status: 0 when every invariant holds and the self-test passes.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+linter="$repo_root/tools/lint/check_invariants.py"
+
+python=${PYTHON:-python3}
+if ! command -v "$python" >/dev/null 2>&1; then
+  echo "run_lint.sh: no python3 on PATH (set PYTHON=...)" >&2
+  exit 2
+fi
+
+"$python" "$linter" --self-test
+"$python" "$linter" --root "$repo_root"

@@ -13,13 +13,13 @@ Engine::Engine(const EngineOptions& opts) : opts_(opts) {
 }
 
 ModelHandle Engine::add_spec(std::shared_ptr<const detail::ModelSpec> spec) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const runtime::MutexLock lock(mu_);
   specs_.push_back(std::move(spec));
   return specs_.size() - 1;
 }
 
 std::shared_ptr<const detail::ModelSpec> Engine::spec(ModelHandle m) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const runtime::MutexLock lock(mu_);
   return specs_.at(m);
 }
 
@@ -77,7 +77,7 @@ Session Engine::create_session(ModelHandle model, std::size_t capacity_hint) con
 }
 
 std::size_t Engine::model_count() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const runtime::MutexLock lock(mu_);
   return specs_.size();
 }
 

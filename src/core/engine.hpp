@@ -27,9 +27,10 @@
 
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
+
+#include "runtime/thread_annotations.hpp"
 
 #include "core/config.hpp"
 #include "core/fno.hpp"
@@ -111,8 +112,8 @@ class Engine {
   [[nodiscard]] std::shared_ptr<const detail::ModelSpec> spec(ModelHandle m) const;
 
   EngineOptions opts_;
-  mutable std::mutex mu_;
-  std::vector<std::shared_ptr<const detail::ModelSpec>> specs_;
+  mutable runtime::Mutex mu_;
+  std::vector<std::shared_ptr<const detail::ModelSpec>> specs_ TFNO_GUARDED_BY(mu_);
 };
 
 /// One executable instance of a registered model.  Movable, not copyable.

@@ -165,6 +165,7 @@ void fft2d_x_stage(const FftPlan& plan, const c32* in, c32* out, std::size_t fie
     runtime::parallel_for(0, fields * ny, 64, [&](std::size_t lo, std::size_t hi) {
       auto& arena = runtime::tls_scratch();
       const auto scope = arena.scope();
+      // tfno-hot-begin: arena-scoped worker body (heap allocation forbidden)
       const std::span<c32> work = arena.alloc<c32>(plan.scratch_elems());
       for (std::size_t i = lo; i < hi; ++i) {
         const std::size_t f = i / ny;
@@ -173,6 +174,7 @@ void fft2d_x_stage(const FftPlan& plan, const c32* in, c32* out, std::size_t fie
                          out + f * rows_out * ny + y, static_cast<std::ptrdiff_t>(ny),
                          work);
       }
+      // tfno-hot-end
     });
     return;
   }
@@ -187,6 +189,7 @@ void fft2d_x_stage(const FftPlan& plan, const c32* in, c32* out, std::size_t fie
                         [&](std::size_t lo, std::size_t hi) {
     auto& arena = runtime::tls_scratch();
     const auto scope = arena.scope();
+    // tfno-hot-begin: arena-scoped worker body (heap allocation forbidden)
     const std::span<c32> slab_in = arena.alloc<c32>(grid.cols * rows_in);
     const std::span<c32> slab_out = arena.alloc<c32>(grid.cols * rows_out);
     const std::span<c32> work = arena.alloc<c32>(plan.scratch_elems());
@@ -199,6 +202,7 @@ void fft2d_x_stage(const FftPlan& plan, const c32* in, c32* out, std::size_t fie
       simd::transpose(slab_out.data(), rows_out, out + f * rows_out * ny + y0, ny, g,
                       rows_out);
     }
+    // tfno-hot-end
   });
 }
 
@@ -214,6 +218,7 @@ void fft2d_x_stage_to_tiles(const FftPlan& plan, const c32* in, std::size_t fiel
                         [&](std::size_t lo, std::size_t hi) {
     auto& arena = runtime::tls_scratch();
     const auto scope = arena.scope();
+    // tfno-hot-begin: arena-scoped worker body (heap allocation forbidden)
     // The slab gather buffer is only needed on the transpose schedule; the
     // per-column schedule gathers inside execute_one.  Either way there is
     // no slab_out: transformed rows land straight in the caller's block.
@@ -227,6 +232,7 @@ void fft2d_x_stage_to_tiles(const FftPlan& plan, const c32* in, std::size_t fiel
       x_slab_to_rows(plan, transposed, in + f * rows_in * ny, ny, y0, g, rows_in, rows_out,
                      dst(f, y0, g), slab_in, work);
     }
+    // tfno-hot-end
   });
 }
 
@@ -242,6 +248,7 @@ void fft2d_x_stage_from_tiles(const FftPlan& plan, const XStageTileSrc& src, c32
                         [&](std::size_t lo, std::size_t hi) {
     auto& arena = runtime::tls_scratch();
     const auto scope = arena.scope();
+    // tfno-hot-begin: arena-scoped worker body (heap allocation forbidden)
     const std::span<c32> slab_out =
         transposed ? arena.alloc<c32>(grid.cols * rows_out) : std::span<c32>{};
     const std::span<c32> work = arena.alloc<c32>(plan.scratch_elems());
@@ -252,6 +259,7 @@ void fft2d_x_stage_from_tiles(const FftPlan& plan, const XStageTileSrc& src, c32
       x_rows_to_slab(plan, transposed, src(f, y0, g), out + f * rows_out * ny, ny, y0, g,
                      rows_in, rows_out, slab_out, work);
     }
+    // tfno-hot-end
   });
 }
 
@@ -303,6 +311,7 @@ void FftPlan2d::execute_fused(std::span<const c32> in, std::span<c32> out,
   runtime::parallel_for(0, batch, 1, [&](std::size_t lo, std::size_t hi) {
     auto& arena = runtime::tls_scratch();
     const auto scope = arena.scope();
+    // tfno-hot-begin: arena-scoped worker body (heap allocation forbidden)
     const std::span<c32> staging = arena.alloc<c32>(ny * kx);
     const std::span<c32> slab =
         transposed ? arena.alloc<c32>(grid.cols * desc_.nx) : std::span<c32>{};
@@ -338,6 +347,7 @@ void FftPlan2d::execute_fused(std::span<const c32> in, std::span<c32> out,
         }
       }
     }
+    // tfno-hot-end
   });
 }
 

@@ -114,12 +114,14 @@ void FftPlan::execute_strided(const c32* in, c32* out, std::size_t batch,
   runtime::parallel_for(0, batch, grain, [&](std::size_t lo, std::size_t hi) {
     auto& arena = runtime::tls_scratch();
     const auto scope = arena.scope();
+    // tfno-hot-begin: arena-scoped worker body (heap allocation forbidden)
     const std::span<c32> work = arena.alloc<c32>(scratch_elems());
     for (std::size_t b = lo; b < hi; ++b) {
       execute_one(in + static_cast<std::ptrdiff_t>(b) * ibs, layout.in_elem_stride,
                   out + static_cast<std::ptrdiff_t>(b) * obs, layout.out_elem_stride,
                   work);
     }
+    // tfno-hot-end
   });
 }
 

@@ -2,9 +2,9 @@
 
 #include <atomic>
 #include <map>
-#include <mutex>
-#include <shared_mutex>
 #include <tuple>
+
+#include "runtime/thread_annotations.hpp"
 
 namespace turbofno::fft {
 
@@ -24,40 +24,35 @@ struct Entry {
   // Type-erased so complex and real plans share one cache (the key's kind
   // field fixes the concrete type each entry was built as).
   std::shared_ptr<const void> plan;
-  // Approximate-LRU stamp: refreshed under the reader lock, so hits never
-  // serialize on the writer lock.  Eviction scans for the minimum.
-  std::atomic<std::uint64_t> last_use{0};
+  // Approximate-LRU stamp: refreshed under the reader lock (mutable: hits
+  // reach entries through const accessors), so hits never serialize on the
+  // writer lock.  Eviction scans for the minimum.
+  mutable std::atomic<std::uint64_t> last_use{0};
 };
 
-std::shared_mutex g_mu;
+runtime::SharedMutex g_mu;
 std::atomic<std::uint64_t> g_tick{0};
 std::atomic<std::uint64_t> g_hits{0};
 std::atomic<std::uint64_t> g_misses{0};
 std::atomic<std::uint64_t> g_evictions{0};
-std::size_t g_capacity = 0;  // guarded by g_mu (exclusive)
+std::size_t g_capacity TFNO_GUARDED_BY(g_mu) = 0;
+std::map<Key, std::unique_ptr<Entry>> g_cache TFNO_GUARDED_BY(g_mu);
 
-std::map<Key, std::unique_ptr<Entry>>& cache() {
-  static std::map<Key, std::unique_ptr<Entry>> c;
-  return c;
-}
-
-void touch(Entry& e) noexcept {
+void touch(const Entry& e) noexcept {
   e.last_use.store(g_tick.fetch_add(1, std::memory_order_relaxed) + 1,
                    std::memory_order_relaxed);
 }
 
-// Caller holds g_mu exclusively.
-void evict_over_capacity_locked() {
-  auto& c = cache();
-  while (g_capacity != 0 && c.size() > g_capacity) {
-    auto victim = c.begin();
-    for (auto it = c.begin(); it != c.end(); ++it) {
+void evict_over_capacity_locked() TFNO_REQUIRES(g_mu) {
+  while (g_capacity != 0 && g_cache.size() > g_capacity) {
+    auto victim = g_cache.begin();
+    for (auto it = g_cache.begin(); it != g_cache.end(); ++it) {
       if (it->second->last_use.load(std::memory_order_relaxed) <
           victim->second->last_use.load(std::memory_order_relaxed)) {
         victim = it;
       }
     }
-    c.erase(victim);
+    g_cache.erase(victim);
     g_evictions.fetch_add(1, std::memory_order_relaxed);
   }
 }
@@ -71,8 +66,9 @@ void evict_over_capacity_locked() {
 template <class Build>
 std::shared_ptr<const void> acquire_entry(const Key& k, const Build& build) {
   {
-    const std::shared_lock<std::shared_mutex> lock(g_mu);
-    auto& c = cache();
+    const runtime::ReaderLock lock(g_mu);
+    // Const access: readers may only touch() (an atomic) through the map.
+    const auto& c = g_cache;
     const auto it = c.find(k);
     if (it != c.end()) {
       touch(*it->second);
@@ -81,15 +77,14 @@ std::shared_ptr<const void> acquire_entry(const Key& k, const Build& build) {
     }
   }
   std::shared_ptr<const void> built = build();
-  const std::unique_lock<std::shared_mutex> lock(g_mu);
-  auto& c = cache();
-  auto it = c.find(k);
-  if (it == c.end()) {
+  const runtime::WriterLock lock(g_mu);
+  auto it = g_cache.find(k);
+  if (it == g_cache.end()) {
     g_misses.fetch_add(1, std::memory_order_relaxed);
     auto e = std::make_unique<Entry>();
     e->plan = std::move(built);
     touch(*e);
-    it = c.emplace(k, std::move(e)).first;
+    it = g_cache.emplace(k, std::move(e)).first;
     evict_over_capacity_locked();
   } else {
     touch(*it->second);
@@ -119,23 +114,31 @@ std::shared_ptr<const IrfftPlan> acquire_irfft_plan(std::size_t n, std::size_t n
       acquire_entry(k, [&] { return std::make_shared<const IrfftPlan>(n, nonzero); }));
 }
 
+namespace {
+// Pins for cached_plan's process-lifetime contract.  Function-local statics
+// are invisible to the thread-safety analysis, so they live here, guarded.
+runtime::Mutex g_pin_mu;
+std::map<Key, std::shared_ptr<const FftPlan>>& pins() TFNO_REQUIRES(g_pin_mu) {
+  static std::map<Key, std::shared_ptr<const FftPlan>>& p =
+      *new std::map<Key, std::shared_ptr<const FftPlan>>();
+  return p;
+}
+}  // namespace
+
 const FftPlan& cached_plan(const PlanDesc& desc) {
   // Preserve the historical contract — references from this function stay
   // valid for the process lifetime — even when an eviction capacity is set:
   // the first plan handed out per descriptor is pinned here, immune to LRU
   // eviction and plan_cache_clear().  New code should prefer acquire_plan.
-  static std::mutex pin_mu;
-  static std::map<Key, std::shared_ptr<const FftPlan>>& pins =
-      *new std::map<Key, std::shared_ptr<const FftPlan>>();
   auto p = acquire_plan(desc);  // counts stats and refreshes the LRU stamp
-  const std::lock_guard<std::mutex> lock(pin_mu);
-  const auto [it, inserted] = pins.emplace(key_of(desc), std::move(p));
+  const runtime::MutexLock lock(g_pin_mu);
+  const auto [it, inserted] = pins().emplace(key_of(desc), std::move(p));
   return *it->second;
 }
 
 std::size_t cached_plan_count() noexcept {
-  const std::shared_lock<std::shared_mutex> lock(g_mu);
-  return cache().size();
+  const runtime::ReaderLock lock(g_mu);
+  return g_cache.size();
 }
 
 PlanCacheStats plan_cache_stats() noexcept {
@@ -143,8 +146,8 @@ PlanCacheStats plan_cache_stats() noexcept {
   s.hits = g_hits.load(std::memory_order_relaxed);
   s.misses = g_misses.load(std::memory_order_relaxed);
   s.evictions = g_evictions.load(std::memory_order_relaxed);
-  const std::shared_lock<std::shared_mutex> lock(g_mu);
-  s.size = cache().size();
+  const runtime::ReaderLock lock(g_mu);
+  s.size = g_cache.size();
   s.capacity = g_capacity;
   return s;
 }
@@ -156,15 +159,15 @@ void plan_cache_reset_stats() noexcept {
 }
 
 void set_plan_cache_capacity(std::size_t max_plans) noexcept {
-  const std::unique_lock<std::shared_mutex> lock(g_mu);
+  const runtime::WriterLock lock(g_mu);
   g_capacity = max_plans;
   evict_over_capacity_locked();
 }
 
 void plan_cache_clear() noexcept {
-  const std::unique_lock<std::shared_mutex> lock(g_mu);
-  g_evictions.fetch_add(cache().size(), std::memory_order_relaxed);
-  cache().clear();
+  const runtime::WriterLock lock(g_mu);
+  g_evictions.fetch_add(g_cache.size(), std::memory_order_relaxed);
+  g_cache.clear();
 }
 
 }  // namespace turbofno::fft

@@ -2,11 +2,19 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <stdexcept>
 
+#include "runtime/thread_annotations.hpp"
+
 namespace turbofno::fft {
+
+namespace {
+// Hoisted out of twiddles_for: function-local statics cannot carry
+// guarded_by annotations, namespace-scope globals can.
+runtime::SharedMutex g_twiddle_mu;
+std::map<std::size_t, std::unique_ptr<TwiddleTable>> g_twiddle_cache
+    TFNO_GUARDED_BY(g_twiddle_mu);
+}  // namespace
 
 TwiddleTable::TwiddleTable(std::size_t n) : n_(n) {
   if (!is_pow2(n)) throw std::invalid_argument("TwiddleTable: size must be a power of two >= 2");
@@ -26,17 +34,16 @@ const TwiddleTable& twiddles_for(std::size_t n) {
   // Every butterfly kernel calls this, so the hit path must not serialize:
   // concurrent server workers each run thousands of transforms per second.
   // Entries are never removed, so a reference is stable once returned.
-  static std::shared_mutex mu;
-  static std::map<std::size_t, std::unique_ptr<TwiddleTable>> cache;
   {
-    const std::shared_lock<std::shared_mutex> lock(mu);
-    const auto it = cache.find(n);
-    if (it != cache.end()) return *it->second;
+    const runtime::ReaderLock lock(g_twiddle_mu);
+    const auto& c = g_twiddle_cache;  // const find: shared lock suffices
+    const auto it = c.find(n);
+    if (it != c.end()) return *it->second;
   }
-  const std::unique_lock<std::shared_mutex> lock(mu);
-  auto it = cache.find(n);
-  if (it == cache.end()) {
-    it = cache.emplace(n, std::make_unique<TwiddleTable>(n)).first;
+  const runtime::WriterLock lock(g_twiddle_mu);
+  auto it = g_twiddle_cache.find(n);
+  if (it == g_twiddle_cache.end()) {
+    it = g_twiddle_cache.emplace(n, std::make_unique<TwiddleTable>(n)).first;
   }
   return *it->second;
 }

@@ -209,6 +209,7 @@ void FusedFftGemmPipeline1d::run_batched(std::span<const c32> u, std::span<const
     runtime::parallel_for(0, B, 1, [&](std::size_t lo, std::size_t hi) {
       auto& arena = runtime::tls_scratch();
       const auto scope = arena.scope();
+      // tfno-hot-begin: arena-scoped worker body (heap allocation forbidden)
       const std::span<c32> tile = arena.alloc<c32>(kTb * ld);
       const std::span<float> tsplit = arena.alloc<float>(2 * kTb * ld);  // split tile planes
       const std::span<float> acc = arena.alloc<float>(2 * O * ld);  // split accumulator planes
@@ -235,6 +236,7 @@ void FusedFftGemmPipeline1d::run_batched(std::span<const c32> u, std::span<const
           simd::interleave_planes(are + o * ld, aim + o * ld, mixed_.data() + (b * O + o) * M, M);
         }
       }
+      // tfno-hot-end
     });
     auto& sc = counters_.stage("fused-fft-cgemm");
     sc.seconds = t.seconds();
@@ -275,6 +277,7 @@ void FusedFftGemmPipeline1d::run_batched_real(std::span<const float> u, std::spa
     runtime::parallel_for(0, B, 1, [&](std::size_t lo, std::size_t hi) {
       auto& arena = runtime::tls_scratch();
       const auto scope = arena.scope();
+      // tfno-hot-begin: arena-scoped worker body (heap allocation forbidden)
       const std::span<c32> tile = arena.alloc<c32>(kTb * ld);
       const std::span<float> tsplit = arena.alloc<float>(2 * kTb * ld);
       const std::span<float> acc = arena.alloc<float>(2 * O * ld);
@@ -302,6 +305,7 @@ void FusedFftGemmPipeline1d::run_batched_real(std::span<const float> u, std::spa
                                   MR);
         }
       }
+      // tfno-hot-end
     });
     auto& sc = counters_.stage("fused-fft-cgemm");
     sc.seconds = t.seconds();
@@ -371,6 +375,7 @@ void FusedGemmIfftPipeline1d::run_batched(std::span<const c32> u, std::span<cons
     runtime::parallel_for(0, B, 1, [&](std::size_t lo, std::size_t hi) {
       auto& arena = runtime::tls_scratch();
       const auto scope = arena.scope();
+      // tfno-hot-begin: arena-scoped worker body (heap allocation forbidden)
       const std::span<float> tsplit = arena.alloc<float>(2 * kTb * ld);
       const std::span<float> acc = arena.alloc<float>(2 * O * ld);
       const std::span<c32> row = arena.alloc<c32>(ld);
@@ -399,6 +404,7 @@ void FusedGemmIfftPipeline1d::run_batched(std::span<const c32> u, std::span<cons
           inv_.inverse_row(row.data(), v.data() + (b * O + o) * N, work);
         }
       }
+      // tfno-hot-end
     });
     auto& sc = counters_.stage("fused-cgemm-ifft");
     sc.seconds = t.seconds();
@@ -439,6 +445,7 @@ void FusedGemmIfftPipeline1d::run_batched_real(std::span<const float> u, std::sp
     runtime::parallel_for(0, B, 1, [&](std::size_t lo, std::size_t hi) {
       auto& arena = runtime::tls_scratch();
       const auto scope = arena.scope();
+      // tfno-hot-begin: arena-scoped worker body (heap allocation forbidden)
       const std::span<float> tsplit = arena.alloc<float>(2 * kTb * ld);
       const std::span<float> acc = arena.alloc<float>(2 * O * ld);
       const std::span<c32> row = arena.alloc<c32>(ld);
@@ -465,6 +472,7 @@ void FusedGemmIfftPipeline1d::run_batched_real(std::span<const float> u, std::sp
           rinv_->execute_one(row.data(), 1, v.data() + (b * O + o) * N, 1, work);
         }
       }
+      // tfno-hot-end
     });
     auto& sc = counters_.stage("fused-cgemm-ifft");
     sc.seconds = t.seconds();
@@ -508,6 +516,7 @@ void FullyFusedPipeline1d::run_batched(std::span<const c32> u, std::span<const c
   runtime::parallel_for(0, B, 1, [&](std::size_t lo, std::size_t hi) {
     auto& arena = runtime::tls_scratch();
     const auto scope = arena.scope();
+    // tfno-hot-begin: arena-scoped worker body (heap allocation forbidden)
     const std::span<c32> tile = arena.alloc<c32>(kTb * ld);  // FFT out == GEMM A tile
     const std::span<float> tsplit = arena.alloc<float>(2 * kTb * ld);  // its SoA planes
     const std::span<float> acc = arena.alloc<float>(2 * O * ld);  // C planes, cache-resident
@@ -533,6 +542,7 @@ void FullyFusedPipeline1d::run_batched(std::span<const c32> u, std::span<const c
         inv_.inverse_row(row.data(), v.data() + (b * O + o) * N, work);
       }
     }
+    // tfno-hot-end
   });
 
   auto& sc = counters_.stage("fused-fft-cgemm-ifft");
@@ -563,6 +573,7 @@ void FullyFusedPipeline1d::run_batched_real(std::span<const float> u, std::span<
   runtime::parallel_for(0, B, 1, [&](std::size_t lo, std::size_t hi) {
     auto& arena = runtime::tls_scratch();
     const auto scope = arena.scope();
+    // tfno-hot-begin: arena-scoped worker body (heap allocation forbidden)
     const std::span<c32> tile = arena.alloc<c32>(kTb * ld);  // RFFT out == GEMM A tile
     const std::span<float> tsplit = arena.alloc<float>(2 * kTb * ld);
     const std::span<float> acc = arena.alloc<float>(2 * O * ld);
@@ -589,6 +600,7 @@ void FullyFusedPipeline1d::run_batched_real(std::span<const float> u, std::span<
         rinv_->execute_one(row.data(), 1, v.data() + (b * O + o) * N, 1, work);
       }
     }
+    // tfno-hot-end
   });
 
   auto& sc = counters_.stage("fused-fft-cgemm-ifft");

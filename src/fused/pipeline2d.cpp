@@ -167,6 +167,7 @@ void Pipeline2dBase::y_forward_rows(const fft::FftPlan& plan, const MidView& mv,
                         [&](std::size_t lo, std::size_t hi) {
     auto& arena = runtime::tls_scratch();
     const auto scope = arena.scope();
+    // tfno-hot-begin: arena-scoped worker body (heap allocation forbidden)
     const std::span<c32> work = arena.alloc<c32>(plan.scratch_elems());
     for (std::size_t r = lo; r < hi; ++r) {
       const std::size_t bl = r / (channels * mx);
@@ -175,6 +176,7 @@ void Pipeline2dBase::y_forward_rows(const fft::FftPlan& plan, const MidView& mv,
       plan.execute_one(mv.in_row(bl, c, x), mv.in_y,
                        spectra + ((bl * channels + c) * mx + x) * my, 1, work);
     }
+    // tfno-hot-end
   });
 }
 
@@ -185,6 +187,7 @@ void Pipeline2dBase::y_inverse_rows(const fft::FftPlan& plan, const MidView& mv,
                         [&](std::size_t lo, std::size_t hi) {
     auto& arena = runtime::tls_scratch();
     const auto scope = arena.scope();
+    // tfno-hot-begin: arena-scoped worker body (heap allocation forbidden)
     const std::span<c32> work = arena.alloc<c32>(plan.scratch_elems());
     for (std::size_t r = lo; r < hi; ++r) {
       const std::size_t bl = r / (channels * mx);
@@ -193,6 +196,7 @@ void Pipeline2dBase::y_inverse_rows(const fft::FftPlan& plan, const MidView& mv,
       plan.execute_one(spectra + ((bl * channels + c) * mx + x) * my, 1,
                        mv.out_row(bl, c, x), mv.out_y, work);
     }
+    // tfno-hot-end
   });
 }
 
@@ -600,6 +604,7 @@ void FusedFftGemmPipeline2d::middle_group(const MidView& mv, std::span<const c32
                           [&](std::size_t lo, std::size_t hi) {
       auto& arena = runtime::tls_scratch();
       const auto scope = arena.scope();
+      // tfno-hot-begin: arena-scoped worker body (heap allocation forbidden)
       const std::span<c32> tile = arena.alloc<c32>(kTb * ld);
       const std::span<float> tsplit = arena.alloc<float>(2 * kTb * ld);
       const std::span<float> acc = arena.alloc<float>(xb * 2 * O * ld);
@@ -645,6 +650,7 @@ void FusedFftGemmPipeline2d::middle_group(const MidView& mv, std::span<const c32
           }
         }
       }
+      // tfno-hot-end
     });
     counters_.stage("fused-fft-cgemm").seconds += t.seconds();
   }
@@ -772,6 +778,7 @@ void FusedGemmIfftPipeline2d::middle_group(const MidView& mv, std::span<const c3
                           [&](std::size_t lo, std::size_t hi) {
       auto& arena = runtime::tls_scratch();
       const auto scope = arena.scope();
+      // tfno-hot-begin: arena-scoped worker body (heap allocation forbidden)
       const std::span<float> tsplit = arena.alloc<float>(2 * kTb * ld);
       const std::span<float> acc = arena.alloc<float>(xb * 2 * O * ld);
       const std::span<c32> row = arena.alloc<c32>(ld);
@@ -815,6 +822,7 @@ void FusedGemmIfftPipeline2d::middle_group(const MidView& mv, std::span<const c3
           if (tiled) scatter_xblock(mv, bl, o, x0, xc, NY, sbuf.data());
         }
       }
+      // tfno-hot-end
     });
     counters_.stage("fused-cgemm-ifft").seconds += t.seconds();
   }
@@ -916,6 +924,7 @@ void FullyFusedPipeline2d::middle_group(const MidView& mv, std::span<const c32> 
                         [&](std::size_t lo, std::size_t hi) {
     auto& arena = runtime::tls_scratch();
     const auto scope = arena.scope();
+    // tfno-hot-begin: arena-scoped worker body (heap allocation forbidden)
     const std::span<c32> tile = arena.alloc<c32>(kTb * ld);
     const std::span<float> tsplit = arena.alloc<float>(2 * kTb * ld);
     const std::span<float> acc = arena.alloc<float>(xb * 2 * O * ld);
@@ -966,6 +975,7 @@ void FullyFusedPipeline2d::middle_group(const MidView& mv, std::span<const c32> 
         if (tiled) scatter_xblock(mv, bl, o, x0, xc, NY, sbuf.data());
       }
     }
+    // tfno-hot-end
   });
   counters_.stage("fused-fft-cgemm-ifft").seconds += t.seconds();
 }

@@ -96,9 +96,9 @@ struct SocketServer::Connection {
 
   // ---- cross-thread state
   std::atomic<bool> dead{false};
-  std::mutex ready_mu;           // guards `ready` (serve-callback handoff)
-  std::vector<OutBuf> ready;     // completed frames awaiting the io thread
-  bool ready_close = false;      // a ready frame asked for close-after-send
+  runtime::Mutex ready_mu;  // serve-callback handoff
+  std::vector<OutBuf> ready TFNO_GUARDED_BY(ready_mu);  // frames awaiting the io thread
+  bool ready_close TFNO_GUARDED_BY(ready_mu) = false;  // close after sending them
 };
 
 struct SocketServer::IoThread {
@@ -107,9 +107,11 @@ struct SocketServer::IoThread {
   std::size_t index = 0;
   std::thread thread;
 
-  std::mutex mu;  // guards pending/woken (producers: acceptor, serve callbacks)
-  std::vector<std::shared_ptr<Connection>> pending;  // accepted, not yet registered
-  std::vector<std::shared_ptr<Connection>> woken;    // have fresh `ready` frames
+  runtime::Mutex mu;  // producers: acceptor, serve callbacks
+  std::vector<std::shared_ptr<Connection>> pending
+      TFNO_GUARDED_BY(mu);  // accepted, not yet registered
+  std::vector<std::shared_ptr<Connection>> woken
+      TFNO_GUARDED_BY(mu);  // have fresh `ready` frames
 
   // io-thread-private registry of live connections (keeps them alive).
   std::unordered_map<int, std::shared_ptr<Connection>> conns;
@@ -134,33 +136,32 @@ SocketServer::SocketServer(Options opts, std::shared_ptr<serve::InferenceServer>
 SocketServer::~SocketServer() { stop(); }
 
 void SocketServer::start() {
+  const runtime::MutexLock lock(lifecycle_mu_);
   if (started_) throw std::logic_error("SocketServer::start called twice");
 
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
-  if (listen_fd_ < 0) throw sys_error("socket");
+  const int lfd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (lfd < 0) throw sys_error("socket");
   const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  ::setsockopt(lfd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_ANY);
   const int port = opts_.port >= 0 ? opts_.port : default_port();
   addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+  if (::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
     const auto err = sys_error("bind");
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+    ::close(lfd);
     throw err;
   }
-  if (::listen(listen_fd_, opts_.backlog) != 0) {
+  if (::listen(lfd, opts_.backlog) != 0) {
     const auto err = sys_error("listen");
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+    ::close(lfd);
     throw err;
   }
   socklen_t alen = sizeof addr;
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &alen);
-  bound_port_ = ntohs(addr.sin_port);
+  ::getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &alen);
+  bound_port_.store(ntohs(addr.sin_port), std::memory_order_release);
 
   io_.clear();
   for (std::size_t i = 0; i < opts_.io_threads; ++i) {
@@ -181,28 +182,33 @@ void SocketServer::start() {
     epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.u64 = kListenFdTag;
-    ::epoll_ctl(io_[0]->ep, EPOLL_CTL_ADD, listen_fd_, &ev);
+    ::epoll_ctl(io_[0]->ep, EPOLL_CTL_ADD, lfd, &ev);
   }
   reads_off_ = false;
   flush_exit_ = false;
+  listen_fd_.store(lfd, std::memory_order_release);
   for (auto& t : io_) {
     IoThread* tp = t.get();
     t->thread = std::thread([this, tp] { io_loop(*tp); });
   }
   started_ = true;
-  running_ = true;
+  running_.store(true, std::memory_order_release);
 }
 
 void SocketServer::stop() {
-  if (!started_ || !running_) return;
-  running_ = false;
+  const runtime::MutexLock lock(lifecycle_mu_);
+  if (!started_ || !running_.load(std::memory_order_acquire)) return;
+  running_.store(false, std::memory_order_release);
 
   // 1. Stop intake: no new connections, no new frames.  Existing
-  //    connections stay registered so queued responses still flush.
-  if (listen_fd_ >= 0) {
-    ::epoll_ctl(io_[0]->ep, EPOLL_CTL_DEL, listen_fd_, nullptr);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  //    connections stay registered so queued responses still flush.  The
+  //    listen fd is retired atomically and only shut down here; the close
+  //    waits until the io threads have joined, so a concurrent accept4 on
+  //    io thread 0 can never run on a closed (or recycled) descriptor.
+  const int lfd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (lfd >= 0) {
+    ::epoll_ctl(io_[0]->ep, EPOLL_CTL_DEL, lfd, nullptr);
+    ::shutdown(lfd, SHUT_RDWR);
   }
   reads_off_ = true;
   for (auto& t : io_) wake(*t);
@@ -224,7 +230,7 @@ void SocketServer::stop() {
     for (auto& [fd, c] : t->conns) {
       c->dead = true;
       ::close(c->fd);
-      const std::lock_guard<std::mutex> lock(stats_mu_);
+      const runtime::MutexLock stats_lock(stats_mu_);
       ++stats_.connections_closed;
     }
     t->conns.clear();
@@ -232,10 +238,11 @@ void SocketServer::stop() {
     if (t->event_fd >= 0) ::close(t->event_fd);
   }
   io_.clear();
+  if (lfd >= 0) ::close(lfd);  // deferred: the io threads are gone now
 }
 
 SocketServer::Stats SocketServer::stats() const {
-  const std::lock_guard<std::mutex> lock(stats_mu_);
+  const runtime::MutexLock lock(stats_mu_);
   return stats_;
 }
 
@@ -255,7 +262,12 @@ void SocketServer::update_read_interest(IoThread& t, const std::shared_ptr<Conne
 
 void SocketServer::accept_ready(IoThread& /*t*/) {
   while (true) {
-    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    // Snapshot the fd: stop() retires listen_fd_ concurrently (it defers
+    // the close until this thread has joined, so the snapshot stays valid;
+    // shutdown() makes the accept below fail fast instead of blocking).
+    const int lfd = listen_fd_.load(std::memory_order_acquire);
+    if (lfd < 0) return;
+    const int fd = ::accept4(lfd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) return;  // EAGAIN, or the listen fd is gone (shutdown race)
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
@@ -267,12 +279,12 @@ void SocketServer::accept_ready(IoThread& /*t*/) {
     c->fd = fd;
     c->io_index = next_io_.fetch_add(1) % io_.size();
     {
-      const std::lock_guard<std::mutex> lock(stats_mu_);
+      const runtime::MutexLock lock(stats_mu_);
       ++stats_.connections_accepted;
     }
     IoThread& owner = *io_[c->io_index];
     {
-      const std::lock_guard<std::mutex> lock(owner.mu);
+      const runtime::MutexLock lock(owner.mu);
       owner.pending.push_back(std::move(c));
     }
     wake(owner);
@@ -296,7 +308,7 @@ void SocketServer::close_conn(IoThread& t, const std::shared_ptr<Connection>& c)
   ::close(c->fd);
   t.conns.erase(c->fd);
   t.dying.push_back(c);
-  const std::lock_guard<std::mutex> lock(stats_mu_);
+  const runtime::MutexLock lock(stats_mu_);
   ++stats_.connections_closed;
 }
 
@@ -317,7 +329,7 @@ void SocketServer::enqueue_out(IoThread& t, const std::shared_ptr<Connection>& c
   if (!c->reading_paused && c->out_bytes > opts_.max_buffered_bytes) {
     c->reading_paused = true;
     {
-      const std::lock_guard<std::mutex> lock(stats_mu_);
+      const runtime::MutexLock lock(stats_mu_);
       ++stats_.backpressure_pauses;
     }
   }
@@ -337,7 +349,7 @@ void SocketServer::handle_write(IoThread& t, const std::shared_ptr<Connection>& 
     c->out_bytes -= static_cast<std::size_t>(n);
     if (b.off < b.len) break;  // kernel buffer full mid-frame
     c->out_q.pop_front();
-    const std::lock_guard<std::mutex> lock(stats_mu_);
+    const runtime::MutexLock lock(stats_mu_);
     ++stats_.responses_sent;
   }
   if (c->out_q.empty() && c->want_close) {
@@ -362,7 +374,7 @@ void SocketServer::queue_error_response(IoThread& t, const std::shared_ptr<Conne
   std::vector<std::byte> frame(encoded_response_bytes(0));
   const std::size_t len = encode_response(frame, rh);
   {
-    const std::lock_guard<std::mutex> lock(stats_mu_);
+    const runtime::MutexLock lock(stats_mu_);
     ++stats_.protocol_errors;
   }
   enqueue_out(t, c, std::move(frame), len, close_after);
@@ -452,7 +464,7 @@ void SocketServer::process_frame(IoThread& t, const std::shared_ptr<Connection>&
   inf->payload_bytes = out_elems * dtype_bytes(inf->head.dtype);
   inf->frame.resize(encoded_response_bytes(inf->payload_bytes));
   {
-    const std::lock_guard<std::mutex> lock(stats_mu_);
+    const runtime::MutexLock lock(stats_mu_);
     ++stats_.frames_decoded;
   }
   submit_request(t, c, std::move(inf));
@@ -509,20 +521,20 @@ void SocketServer::on_inference_done(const std::shared_ptr<Connection>& c,
   const std::size_t len = seal_response(f->frame);
 
   if (c->dead) {
-    const std::lock_guard<std::mutex> lock(stats_mu_);
+    const runtime::MutexLock lock(stats_mu_);
     ++stats_.dropped_responses;
     return;
   }
   IoThread& owner = *io_[c->io_index];
   {
-    const std::lock_guard<std::mutex> lock(c->ready_mu);
+    const runtime::MutexLock lock(c->ready_mu);
     OutBuf b;
     b.data = std::move(f->frame);
     b.len = len;
     c->ready.push_back(std::move(b));
   }
   {
-    const std::lock_guard<std::mutex> lock(owner.mu);
+    const runtime::MutexLock lock(owner.mu);
     owner.woken.push_back(c);
   }
   wake(owner);
@@ -555,7 +567,7 @@ void SocketServer::io_loop(IoThread& t) {
         std::vector<std::shared_ptr<Connection>> pending;
         std::vector<std::shared_ptr<Connection>> woken;
         {
-          const std::lock_guard<std::mutex> lock(t.mu);
+          const runtime::MutexLock lock(t.mu);
           pending.swap(t.pending);
           woken.swap(t.woken);
         }
@@ -570,7 +582,7 @@ void SocketServer::io_loop(IoThread& t) {
           if (c->dead) continue;
           std::vector<OutBuf> ready;
           {
-            const std::lock_guard<std::mutex> lock(c->ready_mu);
+            const runtime::MutexLock lock(c->ready_mu);
             ready.swap(c->ready);
           }
           for (auto& b : ready) {
@@ -582,7 +594,7 @@ void SocketServer::io_loop(IoThread& t) {
         continue;
       }
       if (ev.data.u64 == kListenFdTag) {
-        if (listen_fd_ >= 0) accept_ready(t);
+        if (listen_fd_.load(std::memory_order_acquire) >= 0) accept_ready(t);
         continue;
       }
       auto* cp = static_cast<Connection*>(ev.data.ptr);

@@ -40,8 +40,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
+
+#include "runtime/thread_annotations.hpp"
 
 #include "net/protocol.hpp"
 #include "serve/server.hpp"
@@ -113,17 +114,25 @@ class SocketServer {
 
   /// Binds, listens, and spawns the io threads.  Throws std::system_error
   /// when the socket cannot be set up (port in use, ...).
-  void start();
+  void start() TFNO_EXCLUDES(lifecycle_mu_);
 
   /// Stops accepting, quiesces reads, drains in-flight inference, flushes
   /// queued responses (bounded by Options::stop_flush_s), closes every
-  /// connection, and joins the io threads.  Idempotent.
-  void stop();
+  /// connection, and joins the io threads.  Idempotent and safe to call
+  /// concurrently from several threads (one wins; the rest block until
+  /// the wind-down finishes, then return).
+  void stop() TFNO_EXCLUDES(lifecycle_mu_);
 
   /// The bound listening port (after start(); ephemeral ports resolved).
-  [[nodiscard]] std::uint16_t port() const noexcept { return bound_port_; }
+  [[nodiscard]] std::uint16_t port() const noexcept {
+    return bound_port_.load(std::memory_order_acquire);
+  }
 
-  [[nodiscard]] bool running() const noexcept { return running_; }
+  /// Lock-free and callable from any thread (including concurrently with
+  /// start()/stop(), which it observes atomically).
+  [[nodiscard]] bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
 
   [[nodiscard]] Stats stats() const;
 
@@ -154,18 +163,25 @@ class SocketServer {
   std::shared_ptr<serve::InferenceServer> server_;
   std::size_t max_frame_ = 0;
 
-  int listen_fd_ = -1;
-  std::uint16_t bound_port_ = 0;
-  bool started_ = false;
-  bool running_ = false;
+  // Atomic: io thread 0 reads it (accept path) while stop() retires it.
+  // stop() shuts the socket down but defers the close until the io
+  // threads have joined, so the fd number can never be recycled under a
+  // concurrent accept4.
+  std::atomic<int> listen_fd_{-1};
+  std::atomic<std::uint16_t> bound_port_{0};
+  // Serializes start()/stop() against each other (stop() is idempotent
+  // and may race the destructor or an ops thread).
+  mutable runtime::Mutex lifecycle_mu_;
+  bool started_ TFNO_GUARDED_BY(lifecycle_mu_) = false;
+  std::atomic<bool> running_{false};     // lock-free running() snapshot
   std::atomic<bool> reads_off_{false};   // quiesce: stop consuming frames
   std::atomic<bool> flush_exit_{false};  // io threads exit once flushed
   std::atomic<std::size_t> next_io_{0};  // round-robin connection placement
 
   std::vector<std::unique_ptr<IoThread>> io_;
 
-  mutable std::mutex stats_mu_;
-  Stats stats_;
+  mutable runtime::Mutex stats_mu_;
+  Stats stats_ TFNO_GUARDED_BY(stats_mu_);
 };
 
 }  // namespace turbofno::net

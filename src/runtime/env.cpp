@@ -34,6 +34,11 @@ bool env_flag(const char* name) noexcept {
          std::strcmp(v, "true") == 0 || std::strcmp(v, "yes") == 0;
 }
 
+std::string env_string(const char* name) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? std::string{} : std::string{v};
+}
+
 std::string format_bytes(double bytes) {
   static constexpr std::array<const char*, 5> units = {"B", "KiB", "MiB", "GiB", "TiB"};
   std::size_t u = 0;

@@ -19,6 +19,11 @@ long env_long_clamped(const char* name, long fallback, long lo, long hi) noexcep
 /// True when env var `name` is set to a truthy value (1/on/true/yes).
 bool env_flag(const char* name) noexcept;
 
+/// Reads a string environment variable; empty when unset.  All TURBOFNO_*
+/// knob reads go through this family (the repo-invariant linter rejects
+/// raw getenv outside runtime/env), so every knob is greppable one way.
+std::string env_string(const char* name);
+
 /// Human-readable byte count ("1.5 GiB").
 std::string format_bytes(double bytes);
 

@@ -15,7 +15,7 @@ ThreadPool::ThreadPool(std::size_t workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     stopping_ = true;
   }
   work_cv_.notify_all();
@@ -24,7 +24,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> job) {
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     if (stopping_) return;
     jobs_.push_back(std::move(job));
   }
@@ -32,14 +32,14 @@ void ThreadPool::submit(std::function<void()> job) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return jobs_.empty() && active_ == 0; });
+  MutexLock lock(mu_);
+  while (!(jobs_.empty() && active_ == 0)) idle_cv_.wait(lock.native());
 }
 
 void ThreadPool::worker_loop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (;;) {
-    work_cv_.wait(lock, [this] { return !jobs_.empty() || stopping_; });
+    while (jobs_.empty() && !stopping_) work_cv_.wait(lock.native());
     if (jobs_.empty()) {
       // stopping_ with a drained queue: exit (destructor drains first).
       return;
@@ -47,9 +47,9 @@ void ThreadPool::worker_loop() {
     std::function<void()> job = std::move(jobs_.front());
     jobs_.pop_front();
     ++active_;
-    lock.unlock();
+    lock.Unlock();
     job();
-    lock.lock();
+    lock.Lock();
     --active_;
     if (jobs_.empty() && active_ == 0) idle_cv_.notify_all();
   }

@@ -12,9 +12,10 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "runtime/thread_annotations.hpp"
 
 namespace turbofno::runtime {
 
@@ -29,25 +30,25 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a job.  Jobs submitted after shutdown began are dropped.
-  void submit(std::function<void()> job);
+  void submit(std::function<void()> job) TFNO_EXCLUDES(mu_);
 
   /// Blocks until the queue is empty and every worker is idle.  Does not
   /// prevent further submissions; jobs submitted by running jobs are waited
   /// for too.
-  void wait_idle();
+  void wait_idle() TFNO_EXCLUDES(mu_);
 
   [[nodiscard]] std::size_t worker_count() const noexcept { return threads_.size(); }
 
  private:
-  void worker_loop();
+  void worker_loop() TFNO_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   std::condition_variable work_cv_;  // workers: queue non-empty or stopping
   std::condition_variable idle_cv_;  // wait_idle: queue empty and none active
-  std::deque<std::function<void()>> jobs_;
-  std::vector<std::thread> threads_;
-  std::size_t active_ = 0;
-  bool stopping_ = false;
+  std::deque<std::function<void()>> jobs_ TFNO_GUARDED_BY(mu_);
+  std::vector<std::thread> threads_;  // written at construction, joined at destruction
+  std::size_t active_ TFNO_GUARDED_BY(mu_) = 0;
+  bool stopping_ TFNO_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace turbofno::runtime

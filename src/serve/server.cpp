@@ -68,7 +68,7 @@ ModelId InferenceServer::register_model(std::unique_ptr<Model> m) {
   m->out_elems = engine_->output_elems(m->handle);
   m->batch_in.resize(opts_.policy.max_batch * m->in_elems);
   m->batch_out.resize(opts_.policy.max_batch * m->out_elems);
-  const std::lock_guard<std::mutex> lock(mu_);
+  const runtime::MutexLock lock(mu_);
   models_.push_back(std::move(m));
   return models_.size() - 1;
 }
@@ -100,27 +100,27 @@ ModelId InferenceServer::load_model(const core::Fno2dConfig& cfg,
 }
 
 std::size_t InferenceServer::input_elems(ModelId m) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const runtime::MutexLock lock(mu_);
   return models_.at(m)->in_elems;
 }
 
 std::size_t InferenceServer::output_elems(ModelId m) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const runtime::MutexLock lock(mu_);
   return models_.at(m)->out_elems;
 }
 
 std::size_t InferenceServer::queue_depth(ModelId m) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const runtime::MutexLock lock(mu_);
   return models_.at(m)->queued();
 }
 
 double InferenceServer::exec_estimate(ModelId m) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const runtime::MutexLock lock(mu_);
   return models_.at(m)->exec_ewma_s;
 }
 
 void InferenceServer::set_exec_estimate(ModelId m, double seconds) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const runtime::MutexLock lock(mu_);
   models_.at(m)->exec_ewma_s = seconds;
 }
 
@@ -218,7 +218,7 @@ void InferenceServer::submit_impl(ModelId model, Pending&& p) {
   InferResponse refusal;
   bool refuse = false;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const runtime::MutexLock lock(mu_);
     Model& m = *models_.at(model);
     p.id = next_id_++;
     p.submit_s = clock_.seconds();
@@ -438,7 +438,7 @@ void InferenceServer::execute(Model& m, std::vector<Pending> batch) {
   const double scatter_s = scatter_t.seconds();
 
   {
-    const std::lock_guard<std::mutex> lock(trace_mu_);
+    const runtime::MutexLock lock(trace_mu_);
     latency_.stage("queue-wait").seconds += queue_wait_sum;
     auto& g = latency_.stage("gather");
     g.seconds += gather_s;
@@ -452,7 +452,7 @@ void InferenceServer::execute(Model& m, std::vector<Pending> batch) {
   }
 
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const runtime::MutexLock lock(mu_);
     m.busy = false;
     inflight_ -= B;
     if (exec_ok) {
@@ -479,7 +479,7 @@ void InferenceServer::execute(Model& m, std::vector<Pending> batch) {
 }
 
 void InferenceServer::timekeeper_loop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  runtime::MutexLock lock(mu_);
   while (!stopping_) {
     double earliest = std::numeric_limits<double>::infinity();
     for (const auto& m : models_) {
@@ -488,7 +488,7 @@ void InferenceServer::timekeeper_loop() {
       }
     }
     if (earliest == std::numeric_limits<double>::infinity()) {
-      deadline_cv_.wait(lock);
+      deadline_cv_.wait(lock.native());
       continue;
     }
     const double now = clock_.seconds();
@@ -498,12 +498,12 @@ void InferenceServer::timekeeper_loop() {
       }
       continue;  // recompute the next earliest deadline
     }
-    deadline_cv_.wait_for(lock, std::chrono::duration<double>(earliest - now));
+    deadline_cv_.wait_for(lock.native(), std::chrono::duration<double>(earliest - now));
   }
 }
 
 void InferenceServer::flush() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const runtime::MutexLock lock(mu_);
   for (auto& m : models_) {
     if (m->queued() == 0) continue;
     if (!m->busy) {
@@ -516,29 +516,31 @@ void InferenceServer::flush() {
   }
 }
 
-void InferenceServer::drain_locked(std::unique_lock<std::mutex>& lock) {
+void InferenceServer::drain_locked(runtime::MutexLock& lock) {
   while (inflight_ > 0) {
     for (auto& m : models_) {
       if (!m->busy && m->queued() != 0) launch_locked(*m);
     }
-    drained_cv_.wait_for(lock, std::chrono::milliseconds(1));
+    drained_cv_.wait_for(lock.native(), std::chrono::milliseconds(1));
   }
 }
 
 void InferenceServer::drain() {
-  std::unique_lock<std::mutex> lock(mu_);
+  runtime::MutexLock lock(mu_);
   drain_locked(lock);
 }
 
 void InferenceServer::stop(StopMode mode) {
   std::vector<Pending> aborted;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    runtime::MutexLock lock(mu_);
     if (stop_done_) return;
     if (stop_running_) {
       // Another thread owns the wind-down (stop() and the destructor may
-      // race); wait for it to finish rather than double-joining.
-      drained_cv_.wait(lock, [this] { return stop_done_; });
+      // race); wait for it to finish rather than double-joining.  Explicit
+      // loop instead of the predicate overload: the analysis cannot see
+      // that a predicate lambda runs with the lock held.
+      while (!stop_done_) drained_cv_.wait(lock.native());
       return;
     }
     stop_running_ = true;
@@ -566,19 +568,19 @@ void InferenceServer::stop(StopMode mode) {
     complete(std::move(p), std::move(r));
   }
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const runtime::MutexLock lock(mu_);
     stop_done_ = true;
   }
   drained_cv_.notify_all();
 }
 
 ServerStats InferenceServer::stats() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const runtime::MutexLock lock(mu_);
   return stats_;
 }
 
 trace::PipelineCounters InferenceServer::latency_counters() const {
-  const std::lock_guard<std::mutex> lock(trace_mu_);
+  const runtime::MutexLock lock(trace_mu_);
   return latency_;
 }
 

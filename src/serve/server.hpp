@@ -42,11 +42,12 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <thread>
 #include <vector>
+
+#include "runtime/thread_annotations.hpp"
 
 #include "core/config.hpp"
 #include "core/engine.hpp"
@@ -195,16 +196,21 @@ class InferenceServer {
     std::size_t in_elems = 0;   // per request
     std::size_t out_elems = 0;  // per request
     std::optional<core::Session> session;
-    // Guarded by the server mutex:
+    // Guarded by the server's mu_ (a nested struct cannot name the owning
+    // server's member in a guarded_by attribute, so the protocol is stated
+    // here and enforced by the TFNO_REQUIRES(mu_) on every *_locked helper
+    // that touches these fields):
     std::deque<Pending> queue[kLevels];
     bool busy = false;  // an executor currently owns this model
     bool flush_requested = false;  // flush() arrived while busy; launch on completion
-    // Owned by the executor holding busy == true:
+    // Owned by the executor holding busy == true (single-owner protocol —
+    // only the worker that observed busy flip false->true under mu_ may
+    // touch the staging buffers, and it does so unlocked):
     AlignedBuffer<c32> batch_in;   // [max_batch, in_elems]
     AlignedBuffer<c32> batch_out;  // [max_batch, out_elems]
     AlignedBuffer<float> batch_in_f;   // real-lane staging, sized lazily
     AlignedBuffer<float> batch_out_f;
-    // Guarded by the server mutex: EWMA of per-request execution seconds,
+    // Guarded by the server's mu_: EWMA of per-request execution seconds,
     // learned from completed micro-batches (0 until the first completes).
     double exec_ewma_s = 0.0;
 
@@ -225,42 +231,44 @@ class InferenceServer {
   /// has checked the model has queued work.  `count_promotion` tallies a
   /// starvation promotion when an overdue Normal outranks queued High work
   /// — pass it only when the front is actually popped.
-  std::deque<Pending>& next_queue_locked(Model& m, double now, bool count_promotion);
+  std::deque<Pending>& next_queue_locked(Model& m, double now, bool count_promotion)
+      TFNO_REQUIRES(mu_);
   /// Pops the next request per QoS order.  Caller holds mu_ and has
   /// checked the model has queued work.
-  Pending pop_next_locked(Model& m, double now);
+  Pending pop_next_locked(Model& m, double now) TFNO_REQUIRES(mu_);
   /// Admission control: can `p` still meet its deadline given the backlog
   /// ahead of it (per QoS class) and the learned per-request estimate?
-  [[nodiscard]] bool deadline_feasible_locked(const Model& m, const Pending& p) const noexcept;
+  [[nodiscard]] bool deadline_feasible_locked(const Model& m, const Pending& p) const noexcept
+      TFNO_REQUIRES(mu_);
   // Pops up to max_batch requests and hands them to the pool.  Caller holds
   // mu_ and has checked the model is idle with a non-empty queue.
-  void launch_locked(Model& m);
-  void execute(Model& m, std::vector<Pending> batch);
-  void timekeeper_loop();
+  void launch_locked(Model& m) TFNO_REQUIRES(mu_);
+  void execute(Model& m, std::vector<Pending> batch) TFNO_EXCLUDES(mu_);
+  void timekeeper_loop() TFNO_EXCLUDES(mu_);
   // True when `m`'s queue should be flushed by time rather than size.
-  [[nodiscard]] bool deadline_due_locked(const Model& m, double now) const;
+  [[nodiscard]] bool deadline_due_locked(const Model& m, double now) const TFNO_REQUIRES(mu_);
   // Launches idle non-empty queues and waits until nothing is in flight.
-  void drain_locked(std::unique_lock<std::mutex>& lock);
+  void drain_locked(runtime::MutexLock& lock) TFNO_REQUIRES(mu_);
 
   Options opts_;
   std::shared_ptr<core::Engine> engine_;
   runtime::Timer clock_;  // server-lifetime monotonic clock
 
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<Model>> models_;
-  bool accepting_ = true;
-  bool stopping_ = false;      // timekeeper shutdown flag
-  bool stop_running_ = false;  // a stop() call owns the wind-down
-  bool stop_done_ = false;     // stop() ran to completion (join included)
-  std::uint64_t inflight_ = 0;  // accepted, not yet delivered
-  RequestId next_id_ = 1;
-  ServerStats stats_;
+  mutable runtime::Mutex mu_;
+  std::vector<std::unique_ptr<Model>> models_ TFNO_GUARDED_BY(mu_);
+  bool accepting_ TFNO_GUARDED_BY(mu_) = true;
+  bool stopping_ TFNO_GUARDED_BY(mu_) = false;      // timekeeper shutdown flag
+  bool stop_running_ TFNO_GUARDED_BY(mu_) = false;  // a stop() call owns the wind-down
+  bool stop_done_ TFNO_GUARDED_BY(mu_) = false;     // stop() ran to completion (join included)
+  std::uint64_t inflight_ TFNO_GUARDED_BY(mu_) = 0;  // accepted, not yet delivered
+  RequestId next_id_ TFNO_GUARDED_BY(mu_) = 1;
+  ServerStats stats_ TFNO_GUARDED_BY(mu_);
 
   std::condition_variable deadline_cv_;  // wakes the timekeeper
   std::condition_variable drained_cv_;   // wakes drain()/stop()
 
-  mutable std::mutex trace_mu_;
-  trace::PipelineCounters latency_{"serve"};
+  mutable runtime::Mutex trace_mu_;
+  trace::PipelineCounters latency_ TFNO_GUARDED_BY(trace_mu_){"serve"};
 
   runtime::ThreadPool pool_;
   std::thread timekeeper_;

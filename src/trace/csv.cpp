@@ -1,9 +1,10 @@
 #include "trace/csv.hpp"
 
-#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+
+#include "runtime/env.hpp"
 
 namespace turbofno::trace {
 
@@ -52,9 +53,6 @@ bool CsvWriter::write_to(const std::string& dir, const std::string& name) const 
   return static_cast<bool>(f);
 }
 
-std::string CsvWriter::env_dir() {
-  const char* v = std::getenv("TURBOFNO_CSV_DIR");
-  return v == nullptr ? std::string{} : std::string{v};
-}
+std::string CsvWriter::env_dir() { return runtime::env_string("TURBOFNO_CSV_DIR"); }
 
 }  // namespace turbofno::trace

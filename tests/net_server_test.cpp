@@ -534,6 +534,101 @@ TEST(NetServer, EightClientThreadsMixedModelsBitwiseSoak) {
   EXPECT_EQ(srv.stats().connections_closed, srv.stats().connections_accepted);
 }
 
+// ----------------------------------------------------------- lifecycle races
+
+// Regression tests for data races on the server's lifecycle state that
+// ThreadSanitizer flagged: running()/port()/stats() used to read plain
+// members that start()/stop() wrote concurrently, and the listen fd was
+// close()d while io thread 0 could still pass it to accept4.  They now go
+// through atomics (the fd is shut down at stop() and closed only after the
+// io threads join) and a lifecycle mutex serializes start()/stop().  These
+// tests run under the tsan CI job, where any regression is a hard failure.
+
+TEST(NetServer, ObserversAreSafeDuringStartAndStop) {
+  SocketServer::Options o;
+  o.port = 0;
+  SocketServer srv(o);
+  (void)srv.load_model(small_1d());
+
+  std::atomic<bool> observers_run{true};
+  std::atomic<std::uint64_t> sink{0};
+  std::vector<std::thread> observers;
+  observers.reserve(3);
+  for (int t = 0; t < 3; ++t) {
+    observers.emplace_back([&] {
+      while (observers_run.load(std::memory_order_acquire)) {
+        // Each of these used to race the start()/stop() writes below.
+        sink.fetch_add(srv.running() ? 1 : 0, std::memory_order_relaxed);
+        sink.fetch_add(srv.port(), std::memory_order_relaxed);
+        sink.fetch_add(srv.stats().connections_accepted, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  srv.start();
+  EXPECT_TRUE(srv.running());
+  // Give the observers time to overlap the running server, then wind down
+  // while they are still spinning.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  srv.stop();
+  EXPECT_FALSE(srv.running());
+
+  observers_run.store(false, std::memory_order_release);
+  for (auto& t : observers) t.join();
+}
+
+TEST(NetServer, ConcurrentStopCallsAreSerialized) {
+  SocketServer::Options o;
+  o.port = 0;
+  SocketServer srv(o);
+  const auto m = static_cast<std::uint32_t>(srv.load_model(small_1d()));
+  srv.start();
+
+  // Leave a request in flight so stop() has real wind-down work to race on.
+  Client cli;
+  cli.connect(srv.port());
+  cli.send_bytes(valid_request_frame(m, small_1d().in_channels * small_1d().n));
+
+  std::vector<std::thread> stoppers;
+  stoppers.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    stoppers.emplace_back([&srv] { srv.stop(); });
+  }
+  for (auto& t : stoppers) t.join();
+  EXPECT_FALSE(srv.running());
+  // Idempotent after the dust settles (the destructor calls it again too).
+  srv.stop();
+}
+
+TEST(NetServer, StopWhileClientsConnect) {
+  // Accept-vs-stop: clients hammer connect while stop() retires the listen
+  // socket.  Connections may fail (the server is going away) but nothing
+  // may crash or race on the fd.
+  SocketServer::Options o;
+  o.port = 0;
+  SocketServer srv(o);
+  (void)srv.load_model(small_1d());
+  srv.start();
+  const std::uint16_t port = srv.port();
+
+  std::atomic<bool> keep_connecting{true};
+  std::thread connector([&] {
+    while (keep_connecting.load(std::memory_order_acquire)) {
+      try {
+        Client cli;
+        cli.connect(port);
+      } catch (const std::exception&) {
+        // refused mid-shutdown: expected
+      }
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  srv.stop();
+  keep_connecting.store(false, std::memory_order_release);
+  connector.join();
+  EXPECT_FALSE(srv.running());
+}
+
 // ---------------------------------------------------------------- env knobs
 
 TEST(NetServer, EnvKnobsDrivePortAndFrameLimit) {

@@ -1,0 +1,165 @@
+// Concurrency stress for the runtime substrate: an oversubscribed
+// ThreadPool hammered from many submitters, parallel_for nested inside
+// pool jobs, and scratch-arena reuse across job waves.  These tests are
+// deliberately timing-heavy rather than value-heavy — their job is to give
+// ThreadSanitizer and the asan job real interleavings to chew on (the CI
+// build-tsan and sanitize jobs run this binary), while the assertions pin
+// the invariants that survive any interleaving: every submitted job runs
+// exactly once, wait_idle really waits, nested scopes rewind, and a
+// steady-state wave workload stops growing the arena after warm-up.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "runtime/parallel.hpp"
+#include "runtime/scratch.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace turbofno::runtime {
+namespace {
+
+TEST(ThreadPoolStress, OversubscribedSubmittersAllJobsRunOnce) {
+  // More workers than cores and more submitters than workers: every queue
+  // and wake path contends.
+  constexpr std::size_t kWorkers = 8;
+  constexpr std::size_t kSubmitters = 6;
+  constexpr std::size_t kJobsPer = 400;
+  ThreadPool pool(kWorkers);
+  std::atomic<std::size_t> ran{0};
+
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (std::size_t s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&pool, &ran] {
+      for (std::size_t j = 0; j < kJobsPer; ++j) {
+        pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), kSubmitters * kJobsPer);
+}
+
+TEST(ThreadPoolStress, WaitIdleObservesJobsSubmittedByJobs) {
+  // Jobs that submit follow-up jobs: wait_idle must not return while the
+  // follow-ups are still queued or running.
+  ThreadPool pool(4);
+  std::atomic<std::size_t> ran{0};
+  constexpr std::size_t kRoots = 64;
+  for (std::size_t i = 0; i < kRoots; ++i) {
+    pool.submit([&pool, &ran] {
+      ran.fetch_add(1, std::memory_order_relaxed);
+      pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 2 * kRoots);
+}
+
+TEST(ThreadPoolStress, DestructorDrainsQueuedJobs) {
+  std::atomic<std::size_t> ran{0};
+  constexpr std::size_t kJobs = 500;
+  {
+    ThreadPool pool(2);
+    for (std::size_t i = 0; i < kJobs; ++i) {
+      pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+    // No wait_idle: the destructor contract is drain-then-join.
+  }
+  EXPECT_EQ(ran.load(), kJobs);
+}
+
+TEST(RuntimeStress, NestedParallelForInsidePoolJobs) {
+  // The serving shape: pool workers each run a data-parallel kernel.  The
+  // inner parallel_for may build an OpenMP team per region; correctness
+  // must not depend on how the oversubscription resolves.
+  ThreadPool pool(4);
+  constexpr std::size_t kJobs = 32;
+  constexpr std::size_t kN = 1024;
+  std::atomic<std::size_t> total{0};
+  for (std::size_t j = 0; j < kJobs; ++j) {
+    pool.submit([&total] {
+      std::atomic<std::size_t> local{0};
+      parallel_for(0, kN, 64, [&local](std::size_t lo, std::size_t hi) {
+        auto& arena = tls_scratch();
+        const auto scope = arena.scope();
+        const std::span<std::size_t> buf = arena.alloc<std::size_t>(hi - lo);
+        for (std::size_t i = lo; i < hi; ++i) buf[i - lo] = i;
+        std::size_t sum = 0;
+        for (std::size_t i = 0; i < hi - lo; ++i) sum += buf[i];
+        local.fetch_add(sum, std::memory_order_relaxed);
+      });
+      total.fetch_add(local.load(), std::memory_order_relaxed);
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(total.load(), kJobs * (kN * (kN - 1) / 2));
+}
+
+TEST(RuntimeStress, ArenaStopsGrowingAfterWarmupWave) {
+  // Steady-state contract: wave after wave of identically-shaped jobs must
+  // reuse each worker thread's high-water arena storage, not grow it.
+  // Warm-up is tracked per worker thread (not per wave): under scheduler
+  // skew a worker may pick up its first-ever job arbitrarily late, and only
+  // a thread's first identically-shaped job is allowed to grow its arena.
+  ThreadPool pool(4);
+  constexpr std::size_t kWaves = 8;
+  constexpr std::size_t kJobsPerWave = 32;
+  constexpr std::size_t kElems = 4096;
+
+  std::atomic<bool> grew_after_warmup{false};
+
+  for (std::size_t wave = 0; wave < kWaves; ++wave) {
+    for (std::size_t j = 0; j < kJobsPerWave; ++j) {
+      pool.submit([&grew_after_warmup] {
+        thread_local bool warmed = false;
+        auto& arena = tls_scratch();
+        const std::size_t before = arena.bytes_reserved();
+        {
+          const auto scope = arena.scope();
+          const std::span<float> a = arena.alloc<float>(kElems);
+          const std::span<float> b = arena.alloc<float>(2 * kElems);
+          a[0] = 1.0f;
+          b[2 * kElems - 1] = 2.0f;
+          {
+            const auto inner = arena.scope();  // nested scope rewinds
+            const std::span<float> c = arena.alloc<float>(kElems / 2);
+            c[0] = a[0] + b[2 * kElems - 1];
+          }
+        }
+        const std::size_t after = arena.bytes_reserved();
+        if (warmed && after != before) {
+          grew_after_warmup.store(true, std::memory_order_relaxed);
+        }
+        warmed = true;
+      });
+    }
+    pool.wait_idle();
+  }
+  EXPECT_FALSE(grew_after_warmup.load())
+      << "scratch arena grew during steady-state waves";
+}
+
+TEST(RuntimeStress, ScopeRewindMakesStorageReusable) {
+  auto& arena = tls_scratch();
+  std::size_t reserved = 0;
+  {
+    const auto scope = arena.scope();
+    (void)arena.alloc<double>(1 << 14);
+    reserved = arena.bytes_reserved();
+  }
+  // The same shape allocated again after the rewind reuses the block.
+  for (int i = 0; i < 16; ++i) {
+    const auto scope = arena.scope();
+    const std::span<double> w = arena.alloc<double>(1 << 14);
+    w[0] = static_cast<double>(i);
+    EXPECT_EQ(arena.bytes_reserved(), reserved);
+  }
+}
+
+}  // namespace
+}  // namespace turbofno::runtime

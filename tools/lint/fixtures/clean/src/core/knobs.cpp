@@ -1,0 +1,2 @@
+#include "runtime/env.hpp"
+static const long k = env_long("TURBOFNO_KNOB", 1);

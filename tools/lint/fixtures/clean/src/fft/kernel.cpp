@@ -1,0 +1,6 @@
+void kernel() {
+  // tfno-hot-begin: worker body
+  int x = 0;
+  (void)x;  // arena.alloc would go here
+  // tfno-hot-end
+}

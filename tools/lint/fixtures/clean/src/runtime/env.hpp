@@ -1,0 +1,2 @@
+#pragma once
+long env_long(const char*, long);

@@ -1,0 +1,8 @@
+#include <vector>
+void kernel() {
+  std::vector<float> warm;   // fine: outside the hot region
+  warm.reserve(16);
+  // tfno-hot-begin: worker body
+  warm.resize(32);           // BAD: heap allocation in the hot region
+  // tfno-hot-end
+}

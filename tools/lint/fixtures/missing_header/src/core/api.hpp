@@ -1,0 +1,3 @@
+#pragma once
+#include "core/engine.hpp"
+#include "core/hidden.hpp"

@@ -1,0 +1,2 @@
+#include <cstdlib>
+const char* dump_dir() { return std::getenv("TURBOFNO_DUMP"); }

@@ -1,0 +1,3 @@
+#include "runtime/env.hpp"
+static const long k = env_long("TURBOFNO_KNOB", 1);
+static const long g = env_long("TURBOFNO_SECRET_KNOB", 0);

@@ -1,0 +1,5 @@
+#include <cstdlib>
+long env_long(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  return v ? fallback + 1 : fallback;
+}
