@@ -21,6 +21,12 @@
 // pipelined client) and its req/s is compared against the in-process
 // serve-8 mode — the gap is the full cost of the network front-end.
 //
+// A sharded-router axis prices the extra hop: the stream goes through a
+// shard::Router fronting two in-process shard::Workers (one replica of the
+// shape's model each, requests alternating between them), and its req/s is
+// compared against the direct single-process socket — the gap is the
+// router's frame relay + correlation remap.
+//
 //   bench_serve_throughput [--full] [--reps N] [--json PATH]
 #include <algorithm>
 #include <cstdio>
@@ -75,6 +81,13 @@ struct SocketResult {
   double p50_ms = 0.0;       // server-side total (queue + exec), from the wire
   double p95_ms = 0.0;
   double avg_micro_batch = 1.0;
+};
+
+/// The same stream through the shard router fronting two workers.
+struct ShardedResult {
+  double rps = 0.0;
+  double p50_ms = 0.0;       // server-side total at the owning worker
+  double p95_ms = 0.0;
 };
 
 std::vector<ShapeCase> shapes(bool full) {
@@ -252,7 +265,7 @@ SocketResult run_socket(const ShapeCase& s, const std::vector<std::vector<c32>>&
   }
 
   net::Client cli;
-  cli.connect(srv.port());
+  cli.connect(srv.bound_port());  // ephemeral bind: never collides across runs
 
   // Pipelined client: keep a bounded window in flight so the stream stays
   // busy without tripping the server's per-connection write backpressure.
@@ -287,9 +300,82 @@ SocketResult run_socket(const ShapeCase& s, const std::vector<std::vector<c32>>&
   return r;
 }
 
+ShardedResult run_sharded(const ShapeCase& s, const std::vector<std::vector<c32>>& reqs,
+                          std::size_t reps) {
+  // Two replicas of the shape's model, one per worker; requests alternate
+  // between global ids 0 and 1 so both shards (and the router's id remap
+  // on both paths) stay on the measured path.
+  shard::Topology topo;
+  if (s.is_2d) {
+    topo.add(s.c2, 0);
+    topo.add(s.c2, 1);
+  } else {
+    topo.add(s.c1, 0);
+    topo.add(s.c1, 1);
+  }
+
+  shard::Worker::Options wo;
+  wo.serve.policy.max_batch = 8;
+  wo.serve.policy.max_delay_s = 200e-6;
+  wo.serve.policy.queue_capacity = reqs.size();
+  wo.serve.workers = 1;
+  shard::Worker w0(topo, 0, wo);
+  shard::Worker w1(topo, 1, wo);
+  w0.start();
+  w1.start();
+
+  shard::Router router(topo);
+  router.set_worker_endpoint(0, w0.port());
+  router.set_worker_endpoint(1, w1.port());
+  router.start();
+
+  std::vector<std::uint32_t> dims;
+  if (s.is_2d) {
+    dims = {static_cast<std::uint32_t>(s.c2.in_channels), static_cast<std::uint32_t>(s.c2.nx),
+            static_cast<std::uint32_t>(s.c2.ny)};
+  } else {
+    dims = {static_cast<std::uint32_t>(s.c1.in_channels), static_cast<std::uint32_t>(s.c1.n)};
+  }
+
+  net::Client cli;
+  cli.connect(router.bound_port());
+
+  const std::size_t window = 16;
+  std::vector<double> totals;
+  net::Client::Result resp;
+  const double secs = runtime::time_best_of(reps, [&] {
+    totals.clear();
+    std::size_t sent = 0, received = 0;
+    while (received < reqs.size()) {
+      while (sent < reqs.size() && sent - received < window) {
+        cli.send_request(static_cast<std::uint32_t>(sent % 2), net::Dtype::C32, dims,
+                         std::as_bytes(std::span<const c32>(reqs[sent])));
+        ++sent;
+      }
+      if (!cli.recv_response(resp)) break;
+      totals.push_back(resp.head.total_us * 1e-6);
+      ++received;
+    }
+  });
+
+  ShardedResult r;
+  r.rps = static_cast<double>(reqs.size()) / secs;
+  std::sort(totals.begin(), totals.end());
+  if (!totals.empty()) {
+    r.p50_ms = totals[totals.size() / 2] * 1e3;
+    r.p95_ms = totals[(totals.size() * 95) / 100] * 1e3;
+  }
+  cli.close();
+  router.stop();
+  w0.stop();
+  w1.stop();
+  return r;
+}
+
 void write_json(const std::string& path, std::size_t requests,
                 const std::vector<std::pair<ShapeCase, std::vector<ModeResult>>>& results,
-                const std::vector<QosMix>& qos, const std::vector<SocketResult>& socket) {
+                const std::vector<QosMix>& qos, const std::vector<SocketResult>& socket,
+                const std::vector<ShardedResult>& sharded) {
   if (path.empty()) return;
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
@@ -329,8 +415,14 @@ void write_json(const std::string& path, std::size_t requests,
     std::fprintf(f,
                  "    ]},\n    \"socket_loopback\": {\"mode\": \"socket\", \"max_batch\": 8, "
                  "\"rps\": %.1f, \"relative_to_serve8\": %.3f, \"avg_micro_batch\": %.2f, "
+                 "\"p50_ms\": %.4f, \"p95_ms\": %.4f},\n",
+                 sk.rps, sk.rps / serve8_rps, sk.avg_micro_batch, sk.p50_ms, sk.p95_ms);
+    const auto& sh = sharded[i];
+    std::fprintf(f,
+                 "    \"sharded_router\": {\"mode\": \"sharded_router\", \"workers\": 2, "
+                 "\"max_batch\": 8, \"rps\": %.1f, \"relative_to_socket\": %.3f, "
                  "\"p50_ms\": %.4f, \"p95_ms\": %.4f}}%s\n",
-                 sk.rps, sk.rps / serve8_rps, sk.avg_micro_batch, sk.p50_ms, sk.p95_ms,
+                 sh.rps, sk.rps > 0.0 ? sh.rps / sk.rps : 0.0, sh.p50_ms, sh.p95_ms,
                  i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -351,6 +443,7 @@ int main(int argc, char** argv) {
   std::vector<std::pair<ShapeCase, std::vector<ModeResult>>> results;
   std::vector<QosMix> qos;
   std::vector<SocketResult> socket;
+  std::vector<ShardedResult> sharded;
   for (const auto& s : shapes(opt.full)) {
     const auto reqs = make_requests(s, requests);
     std::vector<ModeResult> modes;
@@ -358,6 +451,7 @@ int main(int argc, char** argv) {
     for (const auto b : batches) modes.push_back(run_served(s, reqs, b, opt.reps));
     qos.push_back(run_qos(s, reqs, opt.reps));
     socket.push_back(run_socket(s, reqs, opt.reps));
+    sharded.push_back(run_sharded(s, reqs, opt.reps));
 
     trace::TextTable table({"mode", "req/s", "vs serial", "vs serve-1", "avg batch", "p50 ms",
                             "p95 ms"});
@@ -382,11 +476,15 @@ int main(int argc, char** argv) {
     const auto& sk = socket.back();
     const double serve8_rps = modes.size() > 4 ? modes[4].rps : modes.back().rps;
     std::printf("  loopback socket @ max_batch=8: %.0f req/s (%.2fx of in-process serve-8), "
-                "server-side p95 %.3f ms, avg batch %.2f\n\n",
+                "server-side p95 %.3f ms, avg batch %.2f\n",
                 sk.rps, sk.rps / serve8_rps, sk.p95_ms, sk.avg_micro_batch);
+    const auto& sh = sharded.back();
+    std::printf("  sharded router, 2 workers @ max_batch=8: %.0f req/s (%.2fx of direct "
+                "socket), server-side p95 %.3f ms\n\n",
+                sh.rps, sk.rps > 0.0 ? sh.rps / sk.rps : 0.0, sh.p95_ms);
     results.emplace_back(s, std::move(modes));
   }
 
-  write_json(opt.json, requests, results, qos, socket);
+  write_json(opt.json, requests, results, qos, socket, sharded);
   return 0;
 }

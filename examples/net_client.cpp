@@ -66,7 +66,7 @@ int remote_main(const std::string& host, int port, std::uint32_t model,
   }
 
   std::printf("net_client: model %u  %s  status=%s\n", model, real ? "f32" : "c32",
-              net::wire_status_name(r.head.status));
+              net::wire_status_name(r.head.status).data());
   std::printf("  queue %.3f ms  exec %.3f ms  total %.3f ms  micro-batch %u\n",
               r.head.queue_us * 1e-3, r.head.exec_us * 1e-3, r.head.total_us * 1e-3,
               r.head.micro_batch);

@@ -2,8 +2,9 @@
 # Records the per-PR performance trajectory (ROADMAP item): runs the SIMD
 # micro bench, the serving-throughput bench (whose per-shape rows include
 # the loopback-socket axis — the framed wire protocol through
-# net::SocketServer priced against in-process serve-8), the FFT micro
-# bench (including
+# net::SocketServer priced against in-process serve-8 — and the
+# sharded_router axis — a shard::Router fronting two workers priced
+# against the direct socket), the FFT micro bench (including
 # the 2D schedule A/B pairs), the fig15 2D-FFTopt pipeline bench, and the
 # fig14/fig19 TurboFNO benches (whose trailing figures record the
 # real-vs-complex RFFT-lane A/B with spectral_path-tagged rows), and merges

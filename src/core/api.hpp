@@ -11,7 +11,8 @@
 // model configs (Backend::Auto included), the direct Fno models, weight
 // serialization, the serving layer (in-process turbofno::serve and the
 // socket front-end turbofno::net — wire protocol, SocketServer, Client),
-// and the tracing vocabulary.  Deeper
+// the sharded multi-process layer (turbofno::shard — Topology, Router,
+// Worker, Supervisor), and the tracing vocabulary.  Deeper
 // layers (fft/, gemm/, fused/ pipelines, gpusim/) remain available through
 // their own headers but are not part of the v2 compatibility surface.
 //
@@ -41,6 +42,10 @@
 #include "net/protocol.hpp"           // IWYU pragma: export
 #include "net/socket_server.hpp"      // IWYU pragma: export
 #include "serve/server.hpp"           // IWYU pragma: export
+#include "shard/router.hpp"           // IWYU pragma: export
+#include "shard/supervisor.hpp"       // IWYU pragma: export
+#include "shard/topology.hpp"         // IWYU pragma: export
+#include "shard/worker.hpp"           // IWYU pragma: export
 #include "tensor/complex.hpp"         // IWYU pragma: export
 #include "tensor/tensor.hpp"          // IWYU pragma: export
 #include "trace/counters.hpp"         // IWYU pragma: export

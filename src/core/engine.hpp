@@ -107,6 +107,18 @@ class Engine {
 
   [[nodiscard]] const EngineOptions& options() const noexcept { return opts_; }
 
+  /// Registry partitioning (the shard topology's primitive): share_spec
+  /// hands out a model's immutable specification, and adopt_spec registers
+  /// it in another engine without re-seeding or copying weights — a shard
+  /// worker adopting a subset of a catalog engine serves results
+  /// bitwise-identical to the catalog serving them itself.
+  [[nodiscard]] std::shared_ptr<const detail::ModelSpec> share_spec(ModelHandle m) const {
+    return spec(m);
+  }
+  ModelHandle adopt_spec(std::shared_ptr<const detail::ModelSpec> s) {
+    return add_spec(std::move(s));
+  }
+
  private:
   ModelHandle add_spec(std::shared_ptr<const detail::ModelSpec> spec);
   [[nodiscard]] std::shared_ptr<const detail::ModelSpec> spec(ModelHandle m) const;

@@ -1,16 +1,21 @@
 #include "net/client.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <stdexcept>
 #include <system_error>
+#include <thread>
 
 namespace turbofno::net {
 
@@ -40,6 +45,10 @@ void write_all(int fd, const std::byte* p, std::size_t n) {
     const auto r = ::read(fd, p + got, n - got);
     if (r < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_RCVTIMEO expired (set_io_timeout / ConnectOptions::io_timeout_s).
+        throw std::runtime_error("net::Client: read timed out");
+      }
       throw sys_error("read");
     }
     if (r == 0) {
@@ -55,7 +64,7 @@ void write_all(int fd, const std::byte* p, std::size_t n) {
 
 Client::~Client() { close(); }
 
-void Client::connect(std::uint16_t port, const std::string& host) {
+void Client::dial_once(std::uint16_t port, const std::string& host, double timeout_s) {
   close();
   fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd_ < 0) throw sys_error("socket");
@@ -70,13 +79,107 @@ void Client::connect(std::uint16_t port, const std::string& host) {
     close();
     throw std::runtime_error("net::Client: bad IPv4 host: " + host);
   }
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
-    const auto err = sys_error("connect");
-    close();
-    throw err;
+  if (timeout_s <= 0.0) {
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+      const auto err = sys_error("connect");
+      close();
+      throw err;
+    }
+  } else {
+    // Bounded dial: nonblocking connect, poll for writability, then read
+    // the outcome back with SO_ERROR (the POSIX nonblocking-connect idiom).
+    const int flags = ::fcntl(fd_, F_GETFL, 0);
+    ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+      if (errno != EINPROGRESS) {
+        const auto err = sys_error("connect");
+        close();
+        throw err;
+      }
+      pollfd pfd{fd_, POLLOUT, 0};
+      const int ready = ::poll(&pfd, 1, static_cast<int>(timeout_s * 1e3));
+      if (ready <= 0) {
+        close();
+        errno = ready == 0 ? ETIMEDOUT : errno;
+        throw sys_error("connect");
+      }
+      int soerr = 0;
+      socklen_t len = sizeof soerr;
+      ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &soerr, &len);
+      if (soerr != 0) {
+        close();
+        errno = soerr;
+        throw sys_error("connect");
+      }
+    }
+    ::fcntl(fd_, F_SETFL, flags);
   }
   const int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+void Client::connect(std::uint16_t port, const std::string& host) {
+  connect(port, host, ConnectOptions{});
+}
+
+void Client::connect(std::uint16_t port, const std::string& host, const ConnectOptions& opts) {
+  const int attempts = std::max(opts.attempts, 1);
+  double backoff = opts.backoff_s;
+  for (int a = 0;; ++a) {
+    try {
+      dial_once(port, host, opts.timeout_s);
+      break;
+    } catch (...) {
+      if (a + 1 >= attempts) throw;
+      if (backoff > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      }
+      backoff *= 2.0;
+    }
+  }
+  if (opts.io_timeout_s > 0.0) set_io_timeout(opts.io_timeout_s);
+}
+
+void Client::set_io_timeout(double seconds) noexcept {
+  io_timeout_s_ = seconds < 0.0 ? 0.0 : seconds;
+  if (fd_ < 0) return;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(io_timeout_s_);
+  tv.tv_usec = static_cast<suseconds_t>((io_timeout_s_ - std::floor(io_timeout_s_)) * 1e6);
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
+
+bool Client::ping(double timeout_s) noexcept {
+  if (fd_ < 0) return false;
+  const double saved = io_timeout_s_;
+  bool ok = false;
+  try {
+    ControlHead hb;
+    hb.kind = ControlKind::Heartbeat;
+    hb.token = next_correlation_++;
+    std::byte frame[kHeaderBytes + kControlBodyBytes];
+    const std::size_t len = encode_control({frame, sizeof frame}, hb);
+    write_all(fd_, frame, len);
+    set_io_timeout(timeout_s > 0.0 ? timeout_s : 1.0);
+    std::byte hdr[kHeaderBytes];
+    if (read_exact(fd_, hdr, kHeaderBytes)) {
+      FrameHeader fh;
+      if (decode_header({hdr, kHeaderBytes}, fh, kMaxMaxFrameBytes) == DecodeError::None) {
+        std::vector<std::byte> body(fh.body_len);
+        if (fh.body_len == 0 || read_exact(fd_, body.data(), fh.body_len)) {
+          ControlHead ack;
+          ok = verify_body(fh, body) == DecodeError::None && fh.type == FrameType::Control &&
+               decode_control(body, ack) == DecodeError::None &&
+               ack.kind == ControlKind::HeartbeatAck && ack.token == hb.token;
+        }
+      }
+    }
+  } catch (...) {
+    ok = false;
+  }
+  set_io_timeout(saved);
+  return ok;
 }
 
 void Client::close() noexcept {

@@ -51,8 +51,39 @@ class Client {
   /// server's write backpressure deterministic; 0 keeps the OS default.
   void set_recv_buffer(int bytes) noexcept { rcvbuf_ = bytes; }
 
+  /// Dialing knobs.  The defaults reproduce the historical behavior
+  /// (single attempt, OS connect timeout, reads block forever).
+  struct ConnectOptions {
+    /// Per-attempt connect timeout in seconds (nonblocking connect +
+    /// poll); 0 uses the OS default, which can block for minutes.
+    double timeout_s = 0.0;
+    /// Total connect attempts.  A refused/timed-out dial is retried after
+    /// a backoff that doubles per attempt — the router uses this to
+    /// re-dial workers mid-restart (ECONNREFUSED until the new process
+    /// binds).
+    int attempts = 1;
+    /// Sleep before the first retry; doubles each further retry.
+    double backoff_s = 0.05;
+    /// Read/write timeout in seconds applied to the connected socket
+    /// (SO_RCVTIMEO/SO_SNDTIMEO); a timed-out read throws
+    /// std::runtime_error instead of blocking forever.  0 = no timeout.
+    double io_timeout_s = 0.0;
+  };
+
   /// Connects to host:port (numeric IPv4 host).  Throws std::system_error.
   void connect(std::uint16_t port, const std::string& host = "127.0.0.1");
+  /// Connect with explicit timeout/retry behavior.  Throws the last
+  /// attempt's error once `opts.attempts` dials have failed.
+  void connect(std::uint16_t port, const std::string& host, const ConnectOptions& opts);
+
+  /// Applies (or clears, with 0) a read/write timeout on the open socket.
+  void set_io_timeout(double seconds) noexcept;
+
+  /// Liveness probe: sends a Heartbeat control frame and waits up to
+  /// `timeout_s` for the matching ack.  False on timeout, EOF, or a
+  /// non-matching reply (e.g. a pre-control peer answering BadFrame) —
+  /// never throws.  The supervisor health-checks workers with this.
+  [[nodiscard]] bool ping(double timeout_s = 1.0) noexcept;
   void close() noexcept;
   [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
 
@@ -93,8 +124,12 @@ class Client {
   bool recv_closed(double timeout_s = 5.0);
 
  private:
+  /// One dial attempt; throws on failure.  timeout_s <= 0 blocks.
+  void dial_once(std::uint16_t port, const std::string& host, double timeout_s);
+
   int fd_ = -1;
   int rcvbuf_ = 0;
+  double io_timeout_s_ = 0.0;
   std::uint64_t next_correlation_ = 1;
   std::vector<std::byte> scratch_;  // request encode buffer, reused
 };

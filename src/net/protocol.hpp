@@ -67,8 +67,12 @@ inline constexpr std::size_t kHeaderBytes = 16;
 inline constexpr std::size_t kMaxDims = 4;
 inline constexpr std::size_t kResponsePrefixBytes = 28;
 
-/// Frame kinds carried in the header's `type` field.
-enum class FrameType : std::uint8_t { Request = 1, Response = 2 };
+/// Frame kinds carried in the header's `type` field.  Control frames carry
+/// the shard-topology handshake/liveness traffic (Hello, Heartbeat); they
+/// are additive within wire version 1 — a request/response-only peer
+/// answers them with BadFrame, which the sender treats as "no control
+/// support", not as stream corruption.
+enum class FrameType : std::uint8_t { Request = 1, Response = 2, Control = 3 };
 
 /// Payload element types.  C32 is interleaved re/im single-precision pairs
 /// (the Session::run lane); F32 is real samples (the Session::run_real
@@ -264,7 +268,8 @@ inline void encode_header(std::span<std::byte> out, const FrameHeader& h) noexce
   if (std::to_integer<std::uint8_t>(in[4]) != kWireVersion) return DecodeError::BadVersion;
   const auto type = std::to_integer<std::uint8_t>(in[5]);
   if (type != static_cast<std::uint8_t>(FrameType::Request) &&
-      type != static_cast<std::uint8_t>(FrameType::Response)) {
+      type != static_cast<std::uint8_t>(FrameType::Response) &&
+      type != static_cast<std::uint8_t>(FrameType::Control)) {
     return DecodeError::BadType;
   }
   h.type = static_cast<FrameType>(type);
@@ -441,6 +446,59 @@ inline std::size_t encode_response(std::span<std::byte> out, const ResponseHead&
   h.total_us = load_u32le(b + 20);
   h.micro_batch = load_u32le(b + 24);
   payload = body.subspan(kResponsePrefixBytes);
+  return DecodeError::None;
+}
+
+// ---------------------------------------------------------- control frames
+// Handshake/liveness traffic of the shard topology (router <-> worker, and
+// the supervisor's health probes).  A control frame is a normal CRC-sealed
+// frame whose 12-byte body is {kind u8, 3 reserved bytes, token u64}.
+
+enum class ControlKind : std::uint8_t {
+  Hello = 1,         // sent after connect; token = expected peer model count (0 = any)
+  HelloAck = 2,      // reply; token = the server's registered model count
+  Heartbeat = 3,     // liveness probe; token is an opaque nonce
+  HeartbeatAck = 4,  // reply; echoes the probe's token
+};
+
+struct ControlHead {
+  ControlKind kind = ControlKind::Heartbeat;
+  std::uint64_t token = 0;
+};
+
+inline constexpr std::size_t kControlBodyBytes = 12;
+
+/// Total frame bytes (header + body) of a control frame.
+[[nodiscard]] constexpr std::size_t encoded_control_bytes() noexcept {
+  return kHeaderBytes + kControlBodyBytes;
+}
+
+/// Encodes a complete control frame into `out` (>= encoded_control_bytes()).
+/// Returns the encoded size.
+inline std::size_t encode_control(std::span<std::byte> out, const ControlHead& h) noexcept {
+  std::byte* b = out.data() + kHeaderBytes;
+  b[0] = static_cast<std::byte>(h.kind);
+  b[1] = b[2] = b[3] = std::byte{0};
+  store_u64le(b + 4, h.token);
+  FrameHeader fh;
+  fh.type = FrameType::Control;
+  fh.body_len = kControlBodyBytes;
+  fh.body_crc = crc32({out.data() + kHeaderBytes, kControlBodyBytes});
+  encode_header(out, fh);
+  return kHeaderBytes + kControlBodyBytes;
+}
+
+/// Decodes a control body (after verify_body).
+[[nodiscard]] inline DecodeError decode_control(std::span<const std::byte> body,
+                                                ControlHead& h) noexcept {
+  if (body.size() != kControlBodyBytes) return DecodeError::BadBody;
+  const auto kind = std::to_integer<std::uint8_t>(body[0]);
+  if (kind < static_cast<std::uint8_t>(ControlKind::Hello) ||
+      kind > static_cast<std::uint8_t>(ControlKind::HeartbeatAck)) {
+    return DecodeError::BadBody;
+  }
+  h.kind = static_cast<ControlKind>(kind);
+  h.token = load_u64le(body.data() + 4);
   return DecodeError::None;
 }
 

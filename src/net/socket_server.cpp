@@ -437,6 +437,29 @@ void SocketServer::process_frame(IoThread& t, const std::shared_ptr<Connection>&
     queue_error_response(t, c, 0, 0, decode_error_status(e), /*close_after=*/true);
     return;
   }
+  if (fh.type == FrameType::Control) {
+    // Handshake/liveness traffic from a router or supervisor probe.  Hello
+    // is answered with the registered model count (the prober checks it
+    // against the topology); Heartbeat echoes the token.  An ack sent *at*
+    // a server is a confused peer — well-formed stream, typed error, keep.
+    ControlHead ch;
+    if (decode_control(body, ch) != DecodeError::None ||
+        (ch.kind != ControlKind::Hello && ch.kind != ControlKind::Heartbeat)) {
+      queue_error_response(t, c, 0, 0, WireStatus::BadFrame, /*close_after=*/false);
+      return;
+    }
+    ControlHead ack;
+    ack.kind = ch.kind == ControlKind::Hello ? ControlKind::HelloAck : ControlKind::HeartbeatAck;
+    ack.token = ch.kind == ControlKind::Hello ? server_->model_count() : ch.token;
+    std::vector<std::byte> frame(encoded_control_bytes());
+    const std::size_t len = encode_control(frame, ack);
+    {
+      const runtime::MutexLock lock(stats_mu_);
+      ++stats_.control_frames;
+    }
+    enqueue_out(t, c, std::move(frame), len, /*close_after=*/false);
+    return;
+  }
   if (fh.type != FrameType::Request) {
     // A response frame sent at a server is a confused peer; the stream is
     // well-formed, so answer typed and keep the connection.

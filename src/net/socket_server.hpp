@@ -84,6 +84,7 @@ class SocketServer {
     std::uint64_t protocol_errors = 0;     // typed error responses queued
     std::uint64_t backpressure_pauses = 0;  // times a connection's reads parked
     std::uint64_t dropped_responses = 0;   // completions after client disconnect
+    std::uint64_t control_frames = 0;      // Hello/Heartbeat frames answered
   };
 
   SocketServer() : SocketServer(Options{}) {}
@@ -127,6 +128,10 @@ class SocketServer {
   [[nodiscard]] std::uint16_t port() const noexcept {
     return bound_port_.load(std::memory_order_acquire);
   }
+
+  /// Alias for port(): the OS-assigned port after binding port 0.  Benches
+  /// and tests use this so parallel runs never collide on a fixed port.
+  [[nodiscard]] std::uint16_t bound_port() const noexcept { return port(); }
 
   /// Lock-free and callable from any thread (including concurrently with
   /// start()/stop(), which it observes atomically).

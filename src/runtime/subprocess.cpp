@@ -1,0 +1,141 @@
+#include "runtime/subprocess.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <system_error>
+#include <thread>
+#include <utility>
+
+namespace turbofno::runtime {
+
+Subprocess::~Subprocess() { close_pipe(); }
+
+Subprocess::Subprocess(Subprocess&& other) noexcept
+    : pid_(std::exchange(other.pid_, -1)),
+      stdout_fd_(std::exchange(other.stdout_fd_, -1)),
+      reaped_(std::exchange(other.reaped_, false)),
+      exit_code_(std::exchange(other.exit_code_, -1)) {}
+
+Subprocess& Subprocess::operator=(Subprocess&& other) noexcept {
+  if (this != &other) {
+    close_pipe();
+    pid_ = std::exchange(other.pid_, -1);
+    stdout_fd_ = std::exchange(other.stdout_fd_, -1);
+    reaped_ = std::exchange(other.reaped_, false);
+    exit_code_ = std::exchange(other.exit_code_, -1);
+  }
+  return *this;
+}
+
+void Subprocess::close_pipe() noexcept {
+  if (stdout_fd_ >= 0) {
+    ::close(stdout_fd_);
+    stdout_fd_ = -1;
+  }
+}
+
+Subprocess Subprocess::spawn(const std::vector<std::string>& argv) {
+  if (argv.empty()) {
+    throw std::invalid_argument("runtime::Subprocess::spawn: empty argv");
+  }
+  // The exec argv must be built BEFORE fork: only async-signal-safe calls
+  // are allowed in the child of a multi-threaded parent, and malloc isn't.
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const std::string& a : argv) cargv.push_back(const_cast<char*>(a.c_str()));
+  cargv.push_back(nullptr);
+
+  int fds[2];
+  if (::pipe2(fds, O_CLOEXEC) != 0) {
+    throw std::system_error(errno, std::generic_category(), "pipe2");
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    const int err = errno;
+    ::close(fds[0]);
+    ::close(fds[1]);
+    throw std::system_error(err, std::generic_category(), "fork");
+  }
+  if (pid == 0) {
+    // Child: async-signal-safe only from here to exec.
+    ::dup2(fds[1], STDOUT_FILENO);
+    ::execv(cargv[0], cargv.data());
+    ::_exit(127);
+  }
+  ::close(fds[1]);
+  const int flags = ::fcntl(fds[0], F_GETFL, 0);
+  ::fcntl(fds[0], F_SETFL, flags | O_NONBLOCK);
+  Subprocess p;
+  p.pid_ = pid;
+  p.stdout_fd_ = fds[0];
+  return p;
+}
+
+std::size_t Subprocess::read_stdout(std::string& out) {
+  if (stdout_fd_ < 0) return 0;
+  std::size_t total = 0;
+  char buf[4096];
+  while (true) {
+    const auto n = ::read(stdout_fd_, buf, sizeof buf);
+    if (n > 0) {
+      out.append(buf, static_cast<std::size_t>(n));
+      total += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) {  // writer side closed (child exited)
+      close_pipe();
+    }
+    return total;  // EAGAIN / EOF / error: nothing more now
+  }
+}
+
+bool Subprocess::poll_exit() {
+  if (reaped_) return true;
+  if (pid_ <= 0) return false;
+  int status = 0;
+  const pid_t r = ::waitpid(pid_, &status, WNOHANG);
+  if (r != pid_) return false;
+  reaped_ = true;
+  exit_code_ = WIFSIGNALED(status) ? 128 + WTERMSIG(status) : WEXITSTATUS(status);
+  return true;
+}
+
+int Subprocess::wait() {
+  if (reaped_) return exit_code_;
+  int status = 0;
+  while (::waitpid(pid_, &status, 0) != pid_) {
+    if (errno != EINTR) {
+      reaped_ = true;
+      return exit_code_;  // ECHILD: someone else reaped; code unknown (-1)
+    }
+  }
+  reaped_ = true;
+  exit_code_ = WIFSIGNALED(status) ? 128 + WTERMSIG(status) : WEXITSTATUS(status);
+  return exit_code_;
+}
+
+void Subprocess::signal(int signo) noexcept {
+  if (pid_ > 0 && !reaped_) ::kill(pid_, signo);
+}
+
+int Subprocess::terminate(double grace_s) {
+  if (pid_ <= 0) return exit_code_;
+  signal(SIGTERM);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::duration<double>(grace_s);
+  while (!poll_exit()) {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      signal(SIGKILL);
+      return wait();
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return exit_code_;
+}
+
+}  // namespace turbofno::runtime

@@ -1,0 +1,64 @@
+// Minimal fork/exec child-process handle.
+//
+// Spawns argv[0] with an argument vector, captures the child's stdout on a
+// nonblocking pipe (read_stdout drains whatever is available), and exposes
+// poll/signal/wait primitives.  The post-fork, pre-exec window calls only
+// async-signal-safe functions (dup2/execv/_exit), so spawning is safe from
+// multi-threaded processes — and, unlike a bare fork, TSan-clean, because
+// the child immediately replaces its (single-threaded) image.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+namespace turbofno::runtime {
+
+class Subprocess {
+ public:
+  Subprocess() = default;
+  /// Closes the pipe but does NOT kill or reap a still-running child; call
+  /// terminate()/wait() first if the child must not outlive the handle.
+  ~Subprocess();
+
+  Subprocess(const Subprocess&) = delete;
+  Subprocess& operator=(const Subprocess&) = delete;
+  Subprocess(Subprocess&& other) noexcept;
+  Subprocess& operator=(Subprocess&& other) noexcept;
+
+  /// fork/execs `argv` (argv[0] is the executable path).  Throws
+  /// std::system_error when the pipe or fork fails; an exec failure
+  /// surfaces as the child exiting 127.
+  static Subprocess spawn(const std::vector<std::string>& argv);
+
+  [[nodiscard]] bool valid() const noexcept { return pid_ > 0; }
+  [[nodiscard]] pid_t pid() const noexcept { return pid_; }
+
+  /// Appends any bytes currently readable from the child's stdout to
+  /// `out`.  Nonblocking; returns the number of bytes appended (0 when
+  /// nothing is pending or the pipe is closed).
+  std::size_t read_stdout(std::string& out);
+
+  /// waitpid(WNOHANG): true once the child has exited and been reaped
+  /// (exit_code() is then valid; signal deaths report 128+signo).
+  [[nodiscard]] bool poll_exit();
+  /// Blocking waitpid.  Returns the exit code (128+signo for signals).
+  int wait();
+  [[nodiscard]] int exit_code() const noexcept { return exit_code_; }
+
+  /// kill(2) with `signo`; no-op after the child has been reaped.
+  void signal(int signo) noexcept;
+  /// SIGTERM, bounded wait, then SIGKILL: always reaps.
+  int terminate(double grace_s = 2.0);
+
+ private:
+  void close_pipe() noexcept;
+
+  pid_t pid_ = -1;
+  int stdout_fd_ = -1;
+  bool reaped_ = false;
+  int exit_code_ = -1;
+};
+
+}  // namespace turbofno::runtime

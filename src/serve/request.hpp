@@ -70,6 +70,20 @@ struct BatchingPolicy {
   /// of 8 * max_delay_s, floored at 1 ms (so max_delay_s == 0 — pure
   /// flush/size-triggered serving — cannot invert the two-level ordering).
   double starvation_s = 0.0;
+  /// Adaptive micro-batch sizing.  When on, the size trigger stops waiting
+  /// blindly for max_batch: the speculative launch target is the number of
+  /// arrivals expected within max_delay_s (from the per-model arrival-gap
+  /// EWMA), so sparse traffic launches small batches immediately instead
+  /// of eating the full delay — and under sustained overload (requests
+  /// arriving at least as fast as the learned exec_estimate drains them)
+  /// micro-batches may grow past max_batch up to max_batch * growth_limit.
+  /// Sessions are elastic, so growth is purely a policy decision; staging
+  /// buffers grow on demand.  Off by default: micro_batch <= max_batch is
+  /// part of the non-adaptive contract.
+  bool adaptive = false;
+  /// Overload growth ceiling, as a multiple of max_batch (>= 1; only read
+  /// when `adaptive` is set).
+  std::size_t growth_limit = 4;
 };
 
 /// Per-request latency breakdown (seconds).
@@ -104,6 +118,7 @@ struct ServerStats {
   std::uint64_t batched_requests = 0;  // sum of micro-batch sizes
   std::uint64_t high_submitted = 0;    // accepted with Priority::High
   std::uint64_t starvation_promotions = 0;  // Normal popped ahead of High
+  std::uint64_t grown_batches = 0;  // adaptive micro-batches larger than max_batch
   std::size_t max_micro_batch = 0;
 
   [[nodiscard]] double avg_micro_batch() const noexcept {

@@ -99,6 +99,17 @@ ModelId InferenceServer::load_model(const core::Fno2dConfig& cfg,
   return register_model(std::move(m));
 }
 
+ModelId InferenceServer::adopt_model(const core::Engine& from, core::ModelHandle h) {
+  auto m = std::make_unique<Model>();
+  m->handle = engine_->adopt_spec(from.share_spec(h));
+  return register_model(std::move(m));
+}
+
+std::size_t InferenceServer::model_count() const {
+  const runtime::MutexLock lock(mu_);
+  return models_.size();
+}
+
 std::size_t InferenceServer::input_elems(ModelId m) const {
   const runtime::MutexLock lock(mu_);
   return models_.at(m)->in_elems;
@@ -122,6 +133,16 @@ double InferenceServer::exec_estimate(ModelId m) const {
 void InferenceServer::set_exec_estimate(ModelId m, double seconds) {
   const runtime::MutexLock lock(mu_);
   models_.at(m)->exec_ewma_s = seconds;
+}
+
+double InferenceServer::arrival_estimate(ModelId m) const {
+  const runtime::MutexLock lock(mu_);
+  return models_.at(m)->arrival_ewma_s;
+}
+
+void InferenceServer::set_arrival_estimate(ModelId m, double seconds) {
+  const runtime::MutexLock lock(mu_);
+  models_.at(m)->arrival_ewma_s = seconds;
 }
 
 void InferenceServer::complete(Pending&& p, InferResponse&& r) {
@@ -249,10 +270,20 @@ void InferenceServer::submit_impl(ModelId model, Pending&& p) {
       ++stats_.submitted;
       if (p.priority == Priority::High) ++stats_.high_submitted;
       ++inflight_;
+      // Arrival-rate EWMA (adaptive sizing's load signal): the gap between
+      // consecutive *accepted* submissions.  Learned unconditionally —
+      // cheap, and it keeps arrival_estimate() meaningful even before the
+      // adaptive policy is switched on.
+      if (m.last_arrival_s >= 0.0) {
+        const double gap = p.submit_s - m.last_arrival_s;
+        m.arrival_ewma_s =
+            m.arrival_ewma_s == 0.0 ? gap : 0.75 * m.arrival_ewma_s + 0.25 * gap;
+      }
+      m.last_arrival_s = p.submit_s;
       const std::size_t level = p.priority == Priority::High ? kHigh : kNormal;
       const bool was_empty = m.queued() == 0;
       m.queue[level].push_back(std::move(p));
-      if (!m.busy && m.queued() >= opts_.policy.max_batch) {
+      if (!m.busy && m.queued() >= launch_target_locked(m)) {
         launch_locked(m);
       } else if (was_empty || level == kHigh) {
         deadline_cv_.notify_one();  // a new earliest deadline may exist
@@ -308,10 +339,34 @@ InferenceServer::Pending InferenceServer::pop_next_locked(Model& m, double now) 
   return p;
 }
 
+std::size_t InferenceServer::batch_cap_locked(const Model& m) const noexcept {
+  if (!opts_.policy.adaptive) return opts_.policy.max_batch;
+  // Sustained overload: requests arrive at least as fast as the learned
+  // per-request estimate can drain them.  Both EWMAs must have learned
+  // something — growth is never speculative about *cost*.
+  if (m.exec_ewma_s > 0.0 && m.arrival_ewma_s > 0.0 && m.arrival_ewma_s <= m.exec_ewma_s) {
+    return opts_.policy.max_batch * std::max<std::size_t>(opts_.policy.growth_limit, 1);
+  }
+  return opts_.policy.max_batch;
+}
+
+std::size_t InferenceServer::launch_target_locked(const Model& m) const noexcept {
+  if (!opts_.policy.adaptive || m.arrival_ewma_s <= 0.0) return opts_.policy.max_batch;
+  // Speculative sizing: the batch a full max_delay_s wait is *expected* to
+  // accumulate.  Once that many are queued, waiting longer cannot fill the
+  // batch further — launch now.  Sparse traffic (gap >= max_delay_s) thus
+  // launches singletons immediately instead of eating the delay.
+  const double expected = opts_.policy.max_delay_s / m.arrival_ewma_s;
+  const std::size_t cap = batch_cap_locked(m);
+  if (expected <= 1.0) return 1;
+  if (expected >= static_cast<double>(cap)) return cap;
+  return static_cast<std::size_t>(std::ceil(expected));
+}
+
 void InferenceServer::launch_locked(Model& m) {
   m.flush_requested = false;  // launching consumes any pending flush intent
   const double now = clock_.seconds();
-  const std::size_t n = std::min(m.queued(), opts_.policy.max_batch);
+  const std::size_t n = std::min(m.queued(), batch_cap_locked(m));
   auto batch = std::make_shared<std::vector<Pending>>();
   batch->reserve(n);
   batch->push_back(pop_next_locked(m, now));
@@ -378,10 +433,13 @@ void InferenceServer::execute(Model& m, std::vector<Pending> batch) {
     }
   } else if (real) {
     // The float staging area is sized lazily on the first multi-request
-    // real micro-batch (many deployments never submit this lane).
-    if (m.batch_in_f.size() < opts_.policy.max_batch * m.in_elems) {
-      m.batch_in_f.resize(opts_.policy.max_batch * m.in_elems);
-      m.batch_out_f.resize(opts_.policy.max_batch * m.out_elems);
+    // real micro-batch (many deployments never submit this lane), and
+    // grows when the adaptive policy launches past max_batch.  Safe
+    // unlocked: the executor owns the staging buffers while busy == true.
+    const std::size_t rows = std::max(B, opts_.policy.max_batch);
+    if (m.batch_in_f.size() < rows * m.in_elems) {
+      m.batch_in_f.resize(rows * m.in_elems);
+      m.batch_out_f.resize(rows * m.out_elems);
     }
     runtime::Timer gather_t;
     for (std::size_t i = 0; i < B; ++i) {
@@ -395,6 +453,12 @@ void InferenceServer::execute(Model& m, std::vector<Pending> batch) {
     const std::span<float> out{m.batch_out_f.data(), B * m.out_elems};
     guarded_run([&] { m.session->run_real(in, out, B); });
   } else {
+    // Complex staging is pre-sized to max_batch at registration; adaptive
+    // grown batches extend it here (executor-owned, see above).
+    if (m.batch_in.size() < B * m.in_elems) {
+      m.batch_in.resize(B * m.in_elems);
+      m.batch_out.resize(B * m.out_elems);
+    }
     runtime::Timer gather_t;
     for (std::size_t i = 0; i < B; ++i) {
       std::memcpy(m.batch_in.data() + i * m.in_elems, batch[i].in_view.data(),
@@ -468,8 +532,9 @@ void InferenceServer::execute(Model& m, std::vector<Pending> batch) {
     stats_.batches += 1;
     stats_.batched_requests += B;
     stats_.max_micro_batch = std::max(stats_.max_micro_batch, B);
+    if (B > opts_.policy.max_batch) ++stats_.grown_batches;
     if (m.queued() != 0 &&
-        (m.queued() >= opts_.policy.max_batch || !accepting_ || m.flush_requested ||
+        (m.queued() >= launch_target_locked(m) || !accepting_ || m.flush_requested ||
          deadline_due_locked(m, clock_.seconds()))) {
       launch_locked(m);
     }

@@ -91,6 +91,14 @@ class InferenceServer {
   /// bundle is validated against the architecture up front (throws).
   ModelId load_model(const core::Fno1dConfig& cfg, const core::WeightBundle& weights);
   ModelId load_model(const core::Fno2dConfig& cfg, const core::WeightBundle& weights);
+  /// Registry partitioning: registers model `h` of another engine by
+  /// adopting its immutable spec (Engine::share_spec/adopt_spec) — weights
+  /// are shared, not re-seeded, so a shard worker serving a subset of a
+  /// catalog is bitwise-identical to the catalog process serving it.
+  ModelId adopt_model(const core::Engine& from, core::ModelHandle h);
+
+  /// Number of registered models (what request frames may name).
+  [[nodiscard]] std::size_t model_count() const;
 
   /// The engine this server executes on.
   [[nodiscard]] const std::shared_ptr<core::Engine>& engine() const noexcept { return engine_; }
@@ -135,6 +143,13 @@ class InferenceServer {
   /// Overrides the learned estimate — a calibration/ops hook (and what
   /// makes admission-control tests deterministic).
   void set_exec_estimate(ModelId m, double seconds);
+
+  /// Mean inter-arrival gap estimate (seconds) for `m`: an EWMA over the
+  /// gaps between accepted submissions, 0 until two have arrived.  The
+  /// adaptive batch policy sizes speculative micro-batches from it.
+  [[nodiscard]] double arrival_estimate(ModelId m) const;
+  /// Overrides the learned arrival gap — same role as set_exec_estimate.
+  void set_arrival_estimate(ModelId m, double seconds);
 
   /// Flushes every non-empty queue as (possibly partial) micro-batches now,
   /// without waiting for size or deadline triggers.
@@ -213,6 +228,11 @@ class InferenceServer {
     // Guarded by the server's mu_: EWMA of per-request execution seconds,
     // learned from completed micro-batches (0 until the first completes).
     double exec_ewma_s = 0.0;
+    // Guarded by the server's mu_: EWMA of the gap between accepted
+    // submissions (0 until two arrive) and the previous arrival stamp
+    // (-1 before the first).  The adaptive policy's load signal.
+    double arrival_ewma_s = 0.0;
+    double last_arrival_s = -1.0;
 
     [[nodiscard]] std::size_t queued() const noexcept {
       return queue[kHigh].size() + queue[kNormal].size();
@@ -240,8 +260,20 @@ class InferenceServer {
   /// ahead of it (per QoS class) and the learned per-request estimate?
   [[nodiscard]] bool deadline_feasible_locked(const Model& m, const Pending& p) const noexcept
       TFNO_REQUIRES(mu_);
-  // Pops up to max_batch requests and hands them to the pool.  Caller holds
-  // mu_ and has checked the model is idle with a non-empty queue.
+  /// Largest micro-batch the policy currently allows for `m`: max_batch,
+  /// or max_batch * growth_limit when the adaptive policy sees sustained
+  /// overload (work arriving at least as fast as the learned estimate can
+  /// drain it one batch at a time).
+  [[nodiscard]] std::size_t batch_cap_locked(const Model& m) const noexcept TFNO_REQUIRES(mu_);
+  /// Queue depth that triggers a size-based launch for `m`.  Non-adaptive:
+  /// always max_batch.  Adaptive: the expected number of arrivals within
+  /// max_delay_s (speculative sizing — waiting longer would not fill the
+  /// batch further), clamped to [1, batch_cap_locked(m)].
+  [[nodiscard]] std::size_t launch_target_locked(const Model& m) const noexcept
+      TFNO_REQUIRES(mu_);
+  // Pops up to batch_cap_locked(m) requests and hands them to the pool.
+  // Caller holds mu_ and has checked the model is idle with a non-empty
+  // queue.
   void launch_locked(Model& m) TFNO_REQUIRES(mu_);
   void execute(Model& m, std::vector<Pending> batch) TFNO_EXCLUDES(mu_);
   void timekeeper_loop() TFNO_EXCLUDES(mu_);

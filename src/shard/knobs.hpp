@@ -1,0 +1,57 @@
+// Environment knobs of the shard topology (router / worker / supervisor).
+// Every default here is the value the corresponding Options field resolves
+// to when left at its sentinel; the README "Runtime knobs" table documents
+// each one (cross-checked by tools/lint/check_invariants.py).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "runtime/env.hpp"
+
+namespace turbofno::shard {
+
+/// TURBOFNO_SHARD_PORT: the router's public listening port when
+/// Router::Options::port is left at its -1 sentinel (default 7471 — one
+/// above the single-process TURBOFNO_NET_PORT default, so both topologies
+/// can run side by side).
+[[nodiscard]] inline std::uint16_t default_shard_port() noexcept {
+  return static_cast<std::uint16_t>(
+      runtime::env_long_clamped("TURBOFNO_SHARD_PORT", 7471, 0, 65535));
+}
+
+/// TURBOFNO_SHARD_HEARTBEAT_MS: heartbeat period (milliseconds) of the
+/// router's worker links and the supervisor's health probes (default 500).
+[[nodiscard]] inline double default_heartbeat_s() noexcept {
+  return static_cast<double>(
+             runtime::env_long_clamped("TURBOFNO_SHARD_HEARTBEAT_MS", 500, 10, 60000)) *
+         1e-3;
+}
+
+/// TURBOFNO_SHARD_WINDOW: per-worker in-flight request cap at the router
+/// (default 64).  Requests beyond it queue in the gap buffer — per-worker
+/// backpressure, so one slow shard cannot absorb unbounded router memory.
+[[nodiscard]] inline std::size_t default_worker_window() noexcept {
+  return static_cast<std::size_t>(
+      runtime::env_long_clamped("TURBOFNO_SHARD_WINDOW", 64, 1, 65536));
+}
+
+/// TURBOFNO_SHARD_GAP_QUEUE: requests the router parks per worker while
+/// that worker is down or its window is full (default 128); overflow is
+/// answered Status::Shed immediately.
+[[nodiscard]] inline std::size_t default_gap_queue() noexcept {
+  return static_cast<std::size_t>(
+      runtime::env_long_clamped("TURBOFNO_SHARD_GAP_QUEUE", 128, 0, 1 << 20));
+}
+
+/// TURBOFNO_SHARD_BACKOFF_MS: base restart/redial backoff (milliseconds,
+/// default 50).  Doubles per consecutive failure, clamped at 2 s.
+[[nodiscard]] inline double default_backoff_s() noexcept {
+  return static_cast<double>(
+             runtime::env_long_clamped("TURBOFNO_SHARD_BACKOFF_MS", 50, 1, 60000)) *
+         1e-3;
+}
+
+inline constexpr double kMaxBackoffS = 2.0;
+
+}  // namespace turbofno::shard

@@ -1,0 +1,1012 @@
+#include "shard/router.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+#include <system_error>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/timer.hpp"
+
+namespace turbofno::shard {
+
+namespace {
+
+[[nodiscard]] std::system_error sys_error(const char* what) {
+  return {errno, std::generic_category(), what};
+}
+
+/// One queued outbound buffer (a fully-encoded frame).
+struct OutBuf {
+  std::vector<std::byte> data;
+  std::size_t len = 0;
+  std::size_t off = 0;
+};
+
+}  // namespace
+
+// Frames are reassembled into a buffer with kHeaderBytes of headroom: the
+// body starts at offset kHeaderBytes, so a forwarded/relayed frame is the
+// reassembly buffer itself — rewrite two fields, reseal, write the header
+// in place, move the vector into the out queue.  The payload is never
+// copied inside the router.
+struct Router::ClientConn {
+  int fd = -1;
+  // Read reassembly.
+  std::array<std::byte, net::kHeaderBytes> hdr{};
+  std::size_t hdr_got = 0;
+  bool have_header = false;
+  net::FrameHeader fh;
+  std::vector<std::byte> buf;  // kHeaderBytes + fh.body_len
+  std::size_t body_got = 0;
+  // Write side.
+  std::deque<OutBuf> out_q;
+  std::size_t out_bytes = 0;
+  bool reading_paused = false;
+  bool want_close = false;
+  bool dead = false;
+};
+
+struct Router::WorkerLink {
+  std::size_t index = 0;
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  bool have_endpoint = false;
+
+  enum class State { Down, Connecting, Handshaking, Up };
+  State state = State::Down;
+  int fd = -1;
+
+  // Read reassembly (same headroom trick as ClientConn).
+  std::array<std::byte, net::kHeaderBytes> hdr{};
+  std::size_t hdr_got = 0;
+  bool have_header = false;
+  net::FrameHeader fh;
+  std::vector<std::byte> buf;
+  std::size_t body_got = 0;
+  // Write side.
+  std::deque<OutBuf> out_q;
+  std::size_t out_bytes = 0;
+
+  /// A forwarded request waiting for its worker response.
+  struct Pending {
+    std::shared_ptr<ClientConn> client;
+    std::uint64_t client_corr = 0;
+    net::Dtype dtype = net::Dtype::C32;
+  };
+  std::unordered_map<std::uint64_t, Pending> outstanding;
+
+  /// A decoded-but-not-yet-forwarded request (worker down or window full).
+  struct Parked {
+    std::vector<std::byte> frame;  // full frame, model field already local
+    std::shared_ptr<ClientConn> client;
+    std::uint64_t client_corr = 0;
+    net::Dtype dtype = net::Dtype::C32;
+  };
+  std::deque<Parked> gap;
+
+  // Redial / liveness bookkeeping (seconds on the router clock).
+  double next_dial_s = 0.0;
+  double backoff_s = 0.0;
+  double dial_start_s = 0.0;
+  double last_ack_s = 0.0;
+  double next_hb_s = 0.0;
+};
+
+struct Router::Impl {
+  explicit Impl(Router* router) : r(router) {}
+
+  Router* r;
+  runtime::Timer clock;
+
+  int ep = -1;
+  int event_fd = -1;
+  int listen_fd = -1;
+
+  // Resolved options.
+  std::size_t max_frame = 0;
+  std::size_t window = 0;
+  std::size_t gap_cap = 0;
+  double hb_s = 0.0;
+  double redial_min = 0.0;
+  double redial_max = 0.0;
+
+  std::uint64_t next_corr = 1;
+  std::unordered_map<int, std::shared_ptr<ClientConn>> clients;
+  std::vector<std::unique_ptr<WorkerLink>> links;
+  std::unordered_map<int, WorkerLink*> link_by_fd;
+
+  bool stopping = false;
+  double stop_deadline_s = 0.0;
+
+  // Cross-thread command queue (public API -> io thread).
+  struct Endpoint {
+    std::size_t index = 0;
+    std::string host;
+    std::uint16_t port = 0;
+  };
+  runtime::Mutex cmd_mu;
+  std::vector<Endpoint> pending_endpoints TFNO_GUARDED_BY(cmd_mu);
+  bool stop_requested TFNO_GUARDED_BY(cmd_mu) = false;
+
+  // ---- helpers ----------------------------------------------------------
+  void bump(std::uint64_t Stats::* f, std::uint64_t n = 1) {
+    const runtime::MutexLock lock(r->stats_mu_);
+    r->stats_.*f += n;
+  }
+
+  void wake() {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const auto w = ::write(event_fd, &one, sizeof one);
+  }
+
+  // Client side.
+  void accept_clients();
+  void update_client_interest(const std::shared_ptr<ClientConn>& c);
+  void enqueue_client(const std::shared_ptr<ClientConn>& c, std::vector<std::byte>&& frame,
+                      std::size_t len, bool close_after);
+  void queue_client_error(const std::shared_ptr<ClientConn>& c, std::uint64_t corr,
+                          net::Dtype dtype, net::WireStatus status, bool close_after);
+  void queue_client_status(const std::shared_ptr<ClientConn>& c, std::uint64_t corr,
+                           net::Dtype dtype, net::WireStatus status);
+  void flush_client(const std::shared_ptr<ClientConn>& c);
+  void handle_client_read(const std::shared_ptr<ClientConn>& c);
+  void process_client_frame(const std::shared_ptr<ClientConn>& c);
+  void close_client(const std::shared_ptr<ClientConn>& c);
+
+  // Worker side.
+  void update_link_interest(WorkerLink& w);
+  void enqueue_link(WorkerLink& w, std::vector<std::byte>&& frame, std::size_t len);
+  void flush_link(WorkerLink& w);
+  void dial(WorkerLink& w);
+  void start_handshake(WorkerLink& w);
+  void go_up(WorkerLink& w);
+  void fail_link(WorkerLink& w, net::WireStatus shed_status = net::WireStatus::Shed);
+  void handle_link_event(WorkerLink& w, std::uint32_t events);
+  void handle_link_read(WorkerLink& w);
+  void process_link_frame(WorkerLink& w);
+  void dispatch_or_park(WorkerLink& w, WorkerLink::Parked&& p);
+  void send_to_worker(WorkerLink& w, WorkerLink::Parked&& p);
+  void flush_gap(WorkerLink& w);
+
+  // Timers / commands / shutdown.
+  void process_commands();
+  void process_timers(double now);
+  [[nodiscard]] double next_deadline(double now) const;
+  void begin_stop();
+  [[nodiscard]] bool stop_complete() const;
+  void final_cleanup();
+};
+
+// --------------------------------------------------------------- client side
+
+void Router::Impl::accept_clients() {
+  while (true) {
+    const int fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN or a transient accept error: try next wake
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    auto c = std::make_shared<ClientConn>();
+    c->fd = fd;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(ep, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    clients.emplace(fd, std::move(c));
+    bump(&Stats::clients_accepted);
+  }
+}
+
+void Router::Impl::update_client_interest(const std::shared_ptr<ClientConn>& c) {
+  if (c->dead) return;
+  epoll_event ev{};
+  ev.events = 0;
+  if (!c->reading_paused && !c->want_close && !stopping) ev.events |= EPOLLIN;
+  if (!c->out_q.empty()) ev.events |= EPOLLOUT;
+  ev.data.fd = c->fd;
+  ::epoll_ctl(ep, EPOLL_CTL_MOD, c->fd, &ev);
+}
+
+void Router::Impl::close_client(const std::shared_ptr<ClientConn>& c) {
+  if (c->dead) return;
+  c->dead = true;
+  ::epoll_ctl(ep, EPOLL_CTL_DEL, c->fd, nullptr);
+  ::close(c->fd);
+  clients.erase(c->fd);
+  c->fd = -1;
+  bump(&Stats::clients_closed);
+}
+
+void Router::Impl::flush_client(const std::shared_ptr<ClientConn>& c) {
+  while (!c->out_q.empty()) {
+    OutBuf& o = c->out_q.front();
+    const auto w = ::send(c->fd, o.data.data() + o.off, o.len - o.off, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      close_client(c);
+      return;
+    }
+    o.off += static_cast<std::size_t>(w);
+    if (o.off < o.len) break;
+    c->out_bytes -= o.len;
+    c->out_q.pop_front();
+  }
+  if (c->out_q.empty() && c->want_close) {
+    close_client(c);
+    return;
+  }
+  // Backpressure hysteresis: resume reads once the queue drained past half.
+  if (c->reading_paused && c->out_bytes <= r->opts_.max_buffered_bytes / 2) {
+    c->reading_paused = false;
+  }
+  update_client_interest(c);
+}
+
+void Router::Impl::enqueue_client(const std::shared_ptr<ClientConn>& c,
+                                  std::vector<std::byte>&& frame, std::size_t len,
+                                  bool close_after) {
+  if (c->dead) {
+    bump(&Stats::dropped_responses);
+    return;
+  }
+  OutBuf o;
+  o.data = std::move(frame);
+  o.len = len;
+  c->out_q.push_back(std::move(o));
+  c->out_bytes += len;
+  if (close_after) c->want_close = true;
+  flush_client(c);  // opportunistic immediate write
+  if (c->dead) return;
+  if (!c->reading_paused && c->out_bytes > r->opts_.max_buffered_bytes) {
+    c->reading_paused = true;
+    update_client_interest(c);
+  }
+}
+
+void Router::Impl::queue_client_error(const std::shared_ptr<ClientConn>& c, std::uint64_t corr,
+                                      net::Dtype dtype, net::WireStatus status,
+                                      bool close_after) {
+  net::ResponseHead rh;
+  rh.correlation = corr;
+  rh.status = status;
+  rh.dtype = dtype;
+  std::vector<std::byte> frame(net::encoded_response_bytes(0));
+  const std::size_t len = net::encode_response(frame, rh);
+  bump(&Stats::protocol_errors);
+  enqueue_client(c, std::move(frame), len, close_after);
+}
+
+/// A router-originated non-error verdict (Shed / ShutDown) for a request
+/// the router accepted but could not get executed.
+void Router::Impl::queue_client_status(const std::shared_ptr<ClientConn>& c, std::uint64_t corr,
+                                       net::Dtype dtype, net::WireStatus status) {
+  net::ResponseHead rh;
+  rh.correlation = corr;
+  rh.status = status;
+  rh.dtype = dtype;
+  std::vector<std::byte> frame(net::encoded_response_bytes(0));
+  const std::size_t len = net::encode_response(frame, rh);
+  enqueue_client(c, std::move(frame), len, /*close_after=*/false);
+}
+
+void Router::Impl::handle_client_read(const std::shared_ptr<ClientConn>& c) {
+  while (!c->dead && !c->want_close && !c->reading_paused && !stopping) {
+    if (!c->have_header) {
+      const auto n =
+          ::read(c->fd, c->hdr.data() + c->hdr_got, net::kHeaderBytes - c->hdr_got);
+      if (n == 0) {
+        close_client(c);
+        return;
+      }
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        close_client(c);
+        return;
+      }
+      c->hdr_got += static_cast<std::size_t>(n);
+      if (c->hdr_got < net::kHeaderBytes) continue;
+      const net::DecodeError e = net::decode_header(c->hdr, c->fh, max_frame);
+      if (e != net::DecodeError::None) {
+        queue_client_error(c, 0, net::Dtype::C32, net::decode_error_status(e),
+                           /*close_after=*/true);
+        return;
+      }
+      c->have_header = true;
+      c->buf.resize(net::kHeaderBytes + c->fh.body_len);
+      c->body_got = 0;
+      if (c->fh.body_len == 0) process_client_frame(c);
+      continue;
+    }
+    const auto n = ::read(c->fd, c->buf.data() + net::kHeaderBytes + c->body_got,
+                          c->fh.body_len - c->body_got);
+    if (n == 0) {
+      close_client(c);
+      return;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      close_client(c);
+      return;
+    }
+    c->body_got += static_cast<std::size_t>(n);
+    if (c->body_got == c->fh.body_len) process_client_frame(c);
+  }
+}
+
+void Router::Impl::process_client_frame(const std::shared_ptr<ClientConn>& c) {
+  std::vector<std::byte> buf = std::move(c->buf);
+  const net::FrameHeader fh = c->fh;
+  c->have_header = false;
+  c->hdr_got = 0;
+  c->buf = {};
+  c->body_got = 0;
+  const std::span<const std::byte> body{buf.data() + net::kHeaderBytes, fh.body_len};
+
+  if (const net::DecodeError e = net::verify_body(fh, body); e != net::DecodeError::None) {
+    queue_client_error(c, 0, net::Dtype::C32, net::decode_error_status(e),
+                       /*close_after=*/true);
+    return;
+  }
+  if (fh.type == net::FrameType::Control) {
+    // The router answers client-side control traffic itself, exactly like
+    // a single-process server would: Hello -> model count, Heartbeat ->
+    // token echo.  (Worker liveness is the router's own business.)
+    net::ControlHead ch;
+    if (net::decode_control(body, ch) != net::DecodeError::None ||
+        (ch.kind != net::ControlKind::Hello && ch.kind != net::ControlKind::Heartbeat)) {
+      queue_client_error(c, 0, net::Dtype::C32, net::WireStatus::BadFrame,
+                         /*close_after=*/false);
+      return;
+    }
+    net::ControlHead ack;
+    ack.kind = ch.kind == net::ControlKind::Hello ? net::ControlKind::HelloAck
+                                                  : net::ControlKind::HeartbeatAck;
+    ack.token = ch.kind == net::ControlKind::Hello ? r->topo_.model_count() : ch.token;
+    std::vector<std::byte> frame(net::encoded_control_bytes());
+    const std::size_t len = net::encode_control(frame, ack);
+    enqueue_client(c, std::move(frame), len, /*close_after=*/false);
+    return;
+  }
+  if (fh.type != net::FrameType::Request) {
+    queue_client_error(c, 0, net::Dtype::C32, net::WireStatus::BadFrame,
+                       /*close_after=*/false);
+    return;
+  }
+  net::RequestHead head;
+  std::span<const std::byte> payload;
+  const net::DecodeError e = net::decode_request(body, head, payload);
+  if (e != net::DecodeError::None) {
+    queue_client_error(c, e == net::DecodeError::ShapeMismatch ? head.correlation : 0,
+                       net::Dtype::C32, net::decode_error_status(e),
+                       net::decode_error_closes(e));
+    return;
+  }
+  if (head.model >= r->topo_.model_count()) {
+    queue_client_error(c, head.correlation, head.dtype, net::WireStatus::UnknownModel,
+                       /*close_after=*/false);
+    return;
+  }
+  const Route route = r->topo_.route(head.model);
+  // Rewrite the model field to the worker-local id now; the correlation is
+  // assigned (and the CRC resealed) at forward time, which may be after a
+  // stay in the gap queue.
+  net::store_u32le(buf.data() + net::kHeaderBytes + 8, route.local);
+  WorkerLink::Parked p;
+  p.frame = std::move(buf);
+  p.client = c;
+  p.client_corr = head.correlation;
+  p.dtype = head.dtype;
+  dispatch_or_park(*links[route.worker], std::move(p));
+}
+
+// --------------------------------------------------------------- worker side
+
+void Router::Impl::update_link_interest(WorkerLink& w) {
+  if (w.fd < 0) return;
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  if (!w.out_q.empty() || w.state == WorkerLink::State::Connecting) ev.events |= EPOLLOUT;
+  ev.data.fd = w.fd;
+  ::epoll_ctl(ep, EPOLL_CTL_MOD, w.fd, &ev);
+}
+
+void Router::Impl::enqueue_link(WorkerLink& w, std::vector<std::byte>&& frame,
+                                std::size_t len) {
+  OutBuf o;
+  o.data = std::move(frame);
+  o.len = len;
+  w.out_q.push_back(std::move(o));
+  w.out_bytes += len;
+  flush_link(w);
+}
+
+void Router::Impl::flush_link(WorkerLink& w) {
+  while (!w.out_q.empty()) {
+    OutBuf& o = w.out_q.front();
+    const auto s = ::send(w.fd, o.data.data() + o.off, o.len - o.off, MSG_NOSIGNAL);
+    if (s < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      fail_link(w);
+      return;
+    }
+    o.off += static_cast<std::size_t>(s);
+    if (o.off < o.len) break;
+    w.out_bytes -= o.len;
+    w.out_q.pop_front();
+  }
+  update_link_interest(w);
+}
+
+void Router::Impl::dial(WorkerLink& w) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    w.next_dial_s = clock.seconds() + w.backoff_s;
+    w.backoff_s = std::min(w.backoff_s * 2.0, redial_max);
+    return;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(w.port);
+  if (::inet_pton(AF_INET, w.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    w.have_endpoint = false;  // unroutable host: wait for a new endpoint
+    return;
+  }
+  const int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  if (rc != 0 && errno != EINPROGRESS) {
+    ::close(fd);
+    w.next_dial_s = clock.seconds() + w.backoff_s;
+    w.backoff_s = std::min(w.backoff_s * 2.0, redial_max);
+    return;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  w.fd = fd;
+  w.state = WorkerLink::State::Connecting;
+  w.dial_start_s = clock.seconds();
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLOUT;
+  ev.data.fd = fd;
+  if (::epoll_ctl(ep, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    ::close(fd);
+    w.fd = -1;
+    w.state = WorkerLink::State::Down;
+    w.next_dial_s = clock.seconds() + w.backoff_s;
+    w.backoff_s = std::min(w.backoff_s * 2.0, redial_max);
+    return;
+  }
+  link_by_fd[fd] = &w;
+  if (rc == 0) start_handshake(w);
+}
+
+void Router::Impl::start_handshake(WorkerLink& w) {
+  w.state = WorkerLink::State::Handshaking;
+  w.dial_start_s = clock.seconds();
+  net::ControlHead hello;
+  hello.kind = net::ControlKind::Hello;
+  hello.token = r->topo_.owned_count(w.index);
+  std::vector<std::byte> frame(net::encoded_control_bytes());
+  const std::size_t len = net::encode_control(frame, hello);
+  enqueue_link(w, std::move(frame), len);
+}
+
+void Router::Impl::go_up(WorkerLink& w) {
+  w.state = WorkerLink::State::Up;
+  w.backoff_s = redial_min;
+  const double now = clock.seconds();
+  w.last_ack_s = now;
+  w.next_hb_s = now + hb_s;
+  bump(&Stats::worker_connects);
+  flush_gap(w);
+}
+
+void Router::Impl::fail_link(WorkerLink& w, net::WireStatus shed_status) {
+  if (w.fd >= 0) {
+    link_by_fd.erase(w.fd);
+    ::epoll_ctl(ep, EPOLL_CTL_DEL, w.fd, nullptr);
+    ::close(w.fd);
+    w.fd = -1;
+    bump(&Stats::worker_disconnects);
+  }
+  w.state = WorkerLink::State::Down;
+  w.have_header = false;
+  w.hdr_got = 0;
+  w.buf = {};
+  w.body_got = 0;
+  w.out_q.clear();
+  w.out_bytes = 0;
+  // Never silently drop accepted work: everything in flight at the dead
+  // worker is answered Shed (the client may retry; the gap queue keeps
+  // holding not-yet-forwarded requests for the reconnect).
+  for (auto& [corr, pend] : w.outstanding) {
+    bump(&Stats::shed_by_router);
+    queue_client_status(pend.client, pend.client_corr, pend.dtype, shed_status);
+  }
+  w.outstanding.clear();
+  w.next_dial_s = clock.seconds() + w.backoff_s;
+  w.backoff_s = std::min(std::max(w.backoff_s, redial_min) * 2.0, redial_max);
+}
+
+void Router::Impl::dispatch_or_park(WorkerLink& w, WorkerLink::Parked&& p) {
+  if (w.state == WorkerLink::State::Up && w.outstanding.size() < window && w.gap.empty()) {
+    send_to_worker(w, std::move(p));
+    return;
+  }
+  if (w.gap.size() < gap_cap) {
+    w.gap.push_back(std::move(p));
+    bump(&Stats::gap_queued);
+    return;
+  }
+  // Gap queue full: per-worker backpressure's last resort.
+  bump(&Stats::shed_by_router);
+  queue_client_status(p.client, p.client_corr, p.dtype, net::WireStatus::Shed);
+}
+
+void Router::Impl::send_to_worker(WorkerLink& w, WorkerLink::Parked&& p) {
+  const std::uint64_t corr = next_corr++;
+  std::byte* body = p.frame.data() + net::kHeaderBytes;
+  const auto body_len = static_cast<std::uint32_t>(p.frame.size() - net::kHeaderBytes);
+  net::store_u64le(body, corr);  // model field was rewritten at decode time
+  net::FrameHeader fh;
+  fh.type = net::FrameType::Request;
+  fh.body_len = body_len;
+  fh.body_crc = net::crc32({body, body_len});
+  net::encode_header(p.frame, fh);
+  WorkerLink::Pending pend;
+  pend.client = std::move(p.client);
+  pend.client_corr = p.client_corr;
+  pend.dtype = p.dtype;
+  w.outstanding.emplace(corr, std::move(pend));
+  const std::size_t len = p.frame.size();
+  enqueue_link(w, std::move(p.frame), len);
+  bump(&Stats::frames_routed);
+}
+
+void Router::Impl::flush_gap(WorkerLink& w) {
+  while (w.state == WorkerLink::State::Up && !w.gap.empty() &&
+         w.outstanding.size() < window) {
+    WorkerLink::Parked p = std::move(w.gap.front());
+    w.gap.pop_front();
+    send_to_worker(w, std::move(p));
+  }
+}
+
+void Router::Impl::handle_link_event(WorkerLink& w, std::uint32_t events) {
+  if ((events & (EPOLLERR | EPOLLHUP)) != 0) {
+    fail_link(w);
+    return;
+  }
+  if ((events & EPOLLOUT) != 0) {
+    if (w.state == WorkerLink::State::Connecting) {
+      int soerr = 0;
+      socklen_t len = sizeof soerr;
+      ::getsockopt(w.fd, SOL_SOCKET, SO_ERROR, &soerr, &len);
+      if (soerr != 0) {
+        fail_link(w);
+        return;
+      }
+      start_handshake(w);
+    } else {
+      flush_link(w);
+    }
+    if (w.fd < 0) return;
+  }
+  if ((events & EPOLLIN) != 0) handle_link_read(w);
+}
+
+void Router::Impl::handle_link_read(WorkerLink& w) {
+  while (w.fd >= 0) {
+    if (!w.have_header) {
+      const auto n = ::read(w.fd, w.hdr.data() + w.hdr_got, net::kHeaderBytes - w.hdr_got);
+      if (n == 0) {
+        fail_link(w);
+        return;
+      }
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        fail_link(w);
+        return;
+      }
+      w.hdr_got += static_cast<std::size_t>(n);
+      if (w.hdr_got < net::kHeaderBytes) continue;
+      if (net::decode_header(w.hdr, w.fh, max_frame) != net::DecodeError::None) {
+        fail_link(w);  // a worker speaking garbage is treated as dead
+        return;
+      }
+      w.have_header = true;
+      w.buf.resize(net::kHeaderBytes + w.fh.body_len);
+      w.body_got = 0;
+      if (w.fh.body_len == 0) process_link_frame(w);
+      continue;
+    }
+    const auto n = ::read(w.fd, w.buf.data() + net::kHeaderBytes + w.body_got,
+                          w.fh.body_len - w.body_got);
+    if (n == 0) {
+      fail_link(w);
+      return;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      fail_link(w);
+      return;
+    }
+    w.body_got += static_cast<std::size_t>(n);
+    if (w.body_got == w.fh.body_len) process_link_frame(w);
+  }
+}
+
+void Router::Impl::process_link_frame(WorkerLink& w) {
+  std::vector<std::byte> buf = std::move(w.buf);
+  const net::FrameHeader fh = w.fh;
+  w.have_header = false;
+  w.hdr_got = 0;
+  w.buf = {};
+  w.body_got = 0;
+  const std::span<const std::byte> body{buf.data() + net::kHeaderBytes, fh.body_len};
+
+  if (net::verify_body(fh, body) != net::DecodeError::None) {
+    fail_link(w);
+    return;
+  }
+  if (fh.type == net::FrameType::Control) {
+    net::ControlHead ch;
+    if (net::decode_control(body, ch) != net::DecodeError::None) {
+      bump(&Stats::protocol_errors);
+      return;
+    }
+    if (ch.kind == net::ControlKind::HelloAck) {
+      if (w.state != WorkerLink::State::Handshaking) return;
+      if (ch.token != r->topo_.owned_count(w.index)) {
+        // Registry mismatch (a worker serving the wrong topology): the
+        // link never comes Up, the stats show the redial loop.
+        bump(&Stats::protocol_errors);
+        fail_link(w);
+        return;
+      }
+      go_up(w);
+    } else if (ch.kind == net::ControlKind::HeartbeatAck) {
+      w.last_ack_s = clock.seconds();
+      bump(&Stats::heartbeats_acked);
+    }
+    return;
+  }
+  if (fh.type != net::FrameType::Response) {
+    bump(&Stats::protocol_errors);
+    return;
+  }
+  net::ResponseHead rh;
+  std::span<const std::byte> payload;
+  if (net::decode_response(body, rh, payload) != net::DecodeError::None) {
+    bump(&Stats::protocol_errors);
+    return;
+  }
+  // Any traffic proves liveness (a busy worker may answer heartbeats late).
+  w.last_ack_s = clock.seconds();
+  const auto it = w.outstanding.find(rh.correlation);
+  if (it == w.outstanding.end()) {
+    // A worker-originated corr-0 error or a response for a request shed at
+    // a previous link incarnation: nobody is waiting for it.
+    bump(&Stats::dropped_responses);
+    return;
+  }
+  WorkerLink::Pending pend = std::move(it->second);
+  w.outstanding.erase(it);
+  // Restore the client's correlation, reseal, and write the relay header
+  // in place — the payload bytes the worker produced are never touched,
+  // which is what makes the response bitwise-identical to a direct serve.
+  net::store_u64le(buf.data() + net::kHeaderBytes, pend.client_corr);
+  net::FrameHeader out;
+  out.type = net::FrameType::Response;
+  out.body_len = fh.body_len;
+  out.body_crc = net::crc32({buf.data() + net::kHeaderBytes, fh.body_len});
+  net::encode_header(buf, out);
+  const std::size_t len = buf.size();
+  bump(&Stats::responses_relayed);
+  enqueue_client(pend.client, std::move(buf), len, /*close_after=*/false);
+  flush_gap(w);
+}
+
+// ------------------------------------------------- commands / timers / stop
+
+void Router::Impl::process_commands() {
+  std::vector<Endpoint> endpoints;
+  bool want_stop = false;
+  {
+    const runtime::MutexLock lock(cmd_mu);
+    endpoints.swap(pending_endpoints);
+    want_stop = stop_requested;
+  }
+  for (const Endpoint& e : endpoints) {
+    if (e.index >= links.size()) continue;
+    WorkerLink& w = *links[e.index];
+    const bool changed = !w.have_endpoint || w.host != e.host || w.port != e.port;
+    w.host = e.host;
+    w.port = e.port;
+    w.have_endpoint = true;
+    if (changed && w.state != WorkerLink::State::Down) {
+      fail_link(w);  // the old process is gone; shed its in-flight work
+    }
+    if (w.state == WorkerLink::State::Down) {
+      w.backoff_s = redial_min;
+      w.next_dial_s = clock.seconds();  // dial the new endpoint immediately
+    }
+  }
+  if (want_stop && !stopping) begin_stop();
+}
+
+void Router::Impl::process_timers(double now) {
+  for (auto& lp : links) {
+    WorkerLink& w = *lp;
+    switch (w.state) {
+      case WorkerLink::State::Down:
+        if (w.have_endpoint && !stopping && now >= w.next_dial_s) dial(w);
+        break;
+      case WorkerLink::State::Connecting:
+      case WorkerLink::State::Handshaking:
+        if (now - w.dial_start_s > hb_s * static_cast<double>(r->opts_.heartbeat_misses)) {
+          fail_link(w);
+        }
+        break;
+      case WorkerLink::State::Up:
+        if (now - w.last_ack_s > hb_s * static_cast<double>(r->opts_.heartbeat_misses)) {
+          fail_link(w);
+          break;
+        }
+        if (now >= w.next_hb_s) {
+          net::ControlHead hb;
+          hb.kind = net::ControlKind::Heartbeat;
+          hb.token = next_corr++;  // any unique nonce
+          std::vector<std::byte> frame(net::encoded_control_bytes());
+          const std::size_t len = net::encode_control(frame, hb);
+          enqueue_link(w, std::move(frame), len);
+          bump(&Stats::heartbeats_sent);
+          w.next_hb_s = now + hb_s;
+        }
+        break;
+    }
+  }
+}
+
+double Router::Impl::next_deadline(double now) const {
+  double next = now + 1.0;  // idle tick cap
+  for (const auto& lp : links) {
+    const WorkerLink& w = *lp;
+    switch (w.state) {
+      case WorkerLink::State::Down:
+        if (w.have_endpoint && !stopping) next = std::min(next, w.next_dial_s);
+        break;
+      case WorkerLink::State::Connecting:
+      case WorkerLink::State::Handshaking:
+        next = std::min(
+            next, w.dial_start_s + hb_s * static_cast<double>(r->opts_.heartbeat_misses));
+        break;
+      case WorkerLink::State::Up:
+        next = std::min(next, w.next_hb_s);
+        next = std::min(
+            next, w.last_ack_s + hb_s * static_cast<double>(r->opts_.heartbeat_misses));
+        break;
+    }
+  }
+  if (stopping) next = std::min(next, stop_deadline_s);
+  return next;
+}
+
+void Router::Impl::begin_stop() {
+  stopping = true;
+  stop_deadline_s = clock.seconds() + r->opts_.stop_flush_s;
+  // Stop intake: no new clients, no new frames.  In-flight work at the
+  // workers still completes and relays within the flush window.
+  if (listen_fd >= 0) {
+    ::epoll_ctl(ep, EPOLL_CTL_DEL, listen_fd, nullptr);
+    ::close(listen_fd);
+    listen_fd = -1;
+  }
+  r->bound_port_.store(0, std::memory_order_release);
+  for (auto& [fd, c] : clients) {
+    c->reading_paused = true;  // reads off; writes keep flushing
+  }
+  // Gap-queued requests were accepted but can no longer be executed before
+  // shutdown: answer ShutDown, exactly like serve's StopMode::Abort.
+  for (auto& lp : links) {
+    while (!lp->gap.empty()) {
+      WorkerLink::Parked p = std::move(lp->gap.front());
+      lp->gap.pop_front();
+      queue_client_status(p.client, p.client_corr, p.dtype, net::WireStatus::ShutDown);
+    }
+  }
+  // Re-register client interests with reads off.
+  for (auto& [fd, c] : clients) update_client_interest(c);
+}
+
+bool Router::Impl::stop_complete() const {
+  for (const auto& lp : links) {
+    if (!lp->outstanding.empty()) return false;
+  }
+  for (const auto& [fd, c] : clients) {
+    if (!c->out_q.empty()) return false;
+  }
+  return true;
+}
+
+void Router::Impl::final_cleanup() {
+  // Past the flush window (or drained): anything still outstanding is
+  // answered ShutDown on a best-effort final flush, then all fds close.
+  for (auto& lp : links) {
+    fail_link(*lp, net::WireStatus::ShutDown);
+  }
+  std::vector<std::shared_ptr<ClientConn>> cs;
+  cs.reserve(clients.size());
+  for (auto& [fd, c] : clients) cs.push_back(c);
+  for (auto& c : cs) {
+    flush_client(c);
+    if (!c->dead) close_client(c);
+  }
+  clients.clear();
+}
+
+void Router::io_loop() {
+  Impl& im = *impl_;
+  std::array<epoll_event, 64> events{};
+  while (true) {
+    im.process_commands();
+    const double now = im.clock.seconds();
+    im.process_timers(now);
+    if (im.stopping && (im.stop_complete() || now >= im.stop_deadline_s)) break;
+    const double wait_s = std::max(0.0, im.next_deadline(now) - now);
+    const int timeout_ms = static_cast<int>(wait_s * 1e3) + 1;
+    const int n = ::epoll_wait(im.ep, events.data(), static_cast<int>(events.size()),
+                               timeout_ms);
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      const std::uint32_t ev = events[i].events;
+      if (fd == im.event_fd) {
+        std::uint64_t drain = 0;
+        [[maybe_unused]] const auto got = ::read(im.event_fd, &drain, sizeof drain);
+        continue;
+      }
+      if (fd == im.listen_fd) {
+        im.accept_clients();
+        continue;
+      }
+      if (const auto lit = im.link_by_fd.find(fd); lit != im.link_by_fd.end()) {
+        im.handle_link_event(*lit->second, ev);
+        continue;
+      }
+      const auto cit = im.clients.find(fd);
+      if (cit == im.clients.end()) continue;
+      const std::shared_ptr<ClientConn> c = cit->second;
+      if ((ev & (EPOLLERR | EPOLLHUP)) != 0) {
+        im.close_client(c);
+        continue;
+      }
+      if ((ev & EPOLLOUT) != 0) im.flush_client(c);
+      if (!c->dead && (ev & EPOLLIN) != 0) im.handle_client_read(c);
+    }
+  }
+  im.final_cleanup();
+}
+
+// ----------------------------------------------------------------- lifecycle
+
+Router::Router(Topology topo, Options opts)
+    : topo_(std::move(topo)), opts_(opts), impl_(std::make_unique<Impl>(this)) {
+  impl_->max_frame =
+      opts_.max_frame_bytes != 0 ? opts_.max_frame_bytes : net::default_max_frame_bytes();
+  impl_->window = opts_.worker_window != 0 ? opts_.worker_window : default_worker_window();
+  impl_->gap_cap = opts_.gap_queue != static_cast<std::size_t>(-1) ? opts_.gap_queue
+                                                                   : default_gap_queue();
+  impl_->hb_s = opts_.heartbeat_s > 0.0 ? opts_.heartbeat_s : default_heartbeat_s();
+  impl_->redial_min = opts_.redial_min_s > 0.0 ? opts_.redial_min_s : default_backoff_s();
+  impl_->redial_max = std::max(opts_.redial_max_s, impl_->redial_min);
+  for (std::size_t i = 0; i < topo_.worker_count(); ++i) {
+    auto link = std::make_unique<WorkerLink>();
+    link->index = i;
+    link->backoff_s = impl_->redial_min;
+    impl_->links.push_back(std::move(link));
+  }
+}
+
+Router::~Router() { stop(); }
+
+void Router::set_worker_endpoint(std::size_t index, std::uint16_t port,
+                                 const std::string& host) {
+  {
+    const runtime::MutexLock lock(impl_->cmd_mu);
+    impl_->pending_endpoints.push_back({index, host, port});
+  }
+  if (running()) impl_->wake();
+}
+
+void Router::start() {
+  const runtime::MutexLock lock(lifecycle_mu_);
+  if (started_) throw std::logic_error("shard::Router::start called twice");
+
+  Impl& im = *impl_;
+  const int lfd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (lfd < 0) throw sys_error("socket");
+  const int one = 1;
+  ::setsockopt(lfd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  const int port = opts_.port >= 0 ? opts_.port : default_shard_port();
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(lfd, opts_.backlog) != 0) {
+    const auto err = sys_error("bind/listen");
+    ::close(lfd);
+    throw err;
+  }
+  sockaddr_in bound{};
+  socklen_t blen = sizeof bound;
+  ::getsockname(lfd, reinterpret_cast<sockaddr*>(&bound), &blen);
+  im.listen_fd = lfd;
+  im.event_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  im.ep = ::epoll_create1(EPOLL_CLOEXEC);
+  if (im.event_fd < 0 || im.ep < 0) {
+    const auto err = sys_error("eventfd/epoll_create1");
+    ::close(lfd);
+    im.listen_fd = -1;
+    if (im.event_fd >= 0) ::close(im.event_fd);
+    if (im.ep >= 0) ::close(im.ep);
+    im.event_fd = im.ep = -1;
+    throw err;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = im.event_fd;
+  ::epoll_ctl(im.ep, EPOLL_CTL_ADD, im.event_fd, &ev);
+  ev.data.fd = im.listen_fd;
+  ::epoll_ctl(im.ep, EPOLL_CTL_ADD, im.listen_fd, &ev);
+
+  bound_port_.store(ntohs(bound.sin_port), std::memory_order_release);
+  started_ = true;
+  running_.store(true, std::memory_order_release);
+  io_thread_ = std::thread([this] { io_loop(); });
+}
+
+void Router::stop() {
+  const runtime::MutexLock lock(lifecycle_mu_);
+  if (!started_ || !running_.load(std::memory_order_acquire)) return;
+  {
+    const runtime::MutexLock cmd(impl_->cmd_mu);
+    impl_->stop_requested = true;
+  }
+  impl_->wake();
+  if (io_thread_.joinable()) io_thread_.join();
+  running_.store(false, std::memory_order_release);
+  Impl& im = *impl_;
+  if (im.event_fd >= 0) ::close(im.event_fd);
+  if (im.ep >= 0) ::close(im.ep);
+  im.event_fd = im.ep = -1;
+}
+
+Router::Stats Router::stats() const {
+  const runtime::MutexLock lock(stats_mu_);
+  return stats_;
+}
+
+}  // namespace turbofno::shard

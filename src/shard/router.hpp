@@ -1,0 +1,133 @@
+// Shard router: the public front door of a router/worker topology.
+//
+// Clients connect here speaking the ordinary wire protocol and cannot tell
+// the difference from a single-process SocketServer — same framing, same
+// typed errors, same close-on-integrity-error policy, bitwise-identical
+// payloads.  Per accepted request frame the router:
+//
+//   1. looks the global model id up in the Topology's route table,
+//   2. rewrites the body's correlation (to a router-assigned id unique
+//      across all clients) and model field (to the worker-local id),
+//      reseals the CRC, and forwards the frame to the owning worker,
+//   3. on the response, restores the client's correlation, reseals, and
+//      relays — out-of-order completion across clients and workers falls
+//      out of the correlation remap table.
+//
+// Per-worker backpressure: at most `worker_window` requests are in flight
+// per worker; excess (and all traffic while a worker is down) parks in a
+// bounded gap queue, and overflow is answered Status::Shed by the router
+// itself.  Worker links are health-checked with Heartbeat control frames
+// and re-dialed with exponential backoff; a link failure sheds that
+// worker's in-flight requests (never silently drops them) and the gap
+// queue flushes after the Hello/HelloAck handshake of the reconnect.
+//
+// Threading: one epoll io thread owns every connection, link, and table;
+// public methods post commands over an eventfd.  stats() is mutex-copied.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "runtime/thread_annotations.hpp"
+
+#include "net/protocol.hpp"
+#include "shard/knobs.hpp"
+#include "shard/topology.hpp"
+
+namespace turbofno::shard {
+
+class Router {
+ public:
+  struct Options {
+    /// Public listening port.  -1 resolves TURBOFNO_SHARD_PORT (default
+    /// 7471); 0 binds an ephemeral port (read back with bound_port()).
+    int port = 0;
+    /// Largest accepted frame body; 0 resolves TURBOFNO_NET_MAX_FRAME.
+    std::size_t max_frame_bytes = 0;
+    /// Outbound bytes buffered per client before its reads are parked.
+    std::size_t max_buffered_bytes = 4u << 20;
+    /// In-flight requests per worker; 0 resolves TURBOFNO_SHARD_WINDOW.
+    std::size_t worker_window = 0;
+    /// Gap-queue bound per worker; SIZE_MAX resolves TURBOFNO_SHARD_GAP_QUEUE.
+    std::size_t gap_queue = static_cast<std::size_t>(-1);
+    /// Worker heartbeat period in seconds; 0 resolves
+    /// TURBOFNO_SHARD_HEARTBEAT_MS.
+    double heartbeat_s = 0.0;
+    /// Unanswered periods before a link is declared dead.
+    std::size_t heartbeat_misses = 3;
+    /// Redial backoff bounds (doubles from min to max per failure).
+    double redial_min_s = 0.0;  // 0 resolves TURBOFNO_SHARD_BACKOFF_MS
+    double redial_max_s = kMaxBackoffS;
+    int backlog = 64;
+    /// stop() flushes pending client responses at most this long.
+    double stop_flush_s = 5.0;
+  };
+
+  struct Stats {
+    std::uint64_t clients_accepted = 0;
+    std::uint64_t clients_closed = 0;
+    std::uint64_t frames_routed = 0;      // requests forwarded to a worker
+    std::uint64_t responses_relayed = 0;  // worker responses returned to clients
+    std::uint64_t gap_queued = 0;         // requests parked for a down/full worker
+    std::uint64_t shed_by_router = 0;     // Shed answered by the router itself
+    std::uint64_t worker_connects = 0;    // links reaching Up (handshake done)
+    std::uint64_t worker_disconnects = 0;  // link failures (EOF/error/hb timeout)
+    std::uint64_t heartbeats_sent = 0;
+    std::uint64_t heartbeats_acked = 0;
+    std::uint64_t protocol_errors = 0;    // typed errors answered to clients
+    std::uint64_t dropped_responses = 0;  // worker responses with no live client
+  };
+
+  explicit Router(Topology topo) : Router(std::move(topo), Options{}) {}
+  Router(Topology topo, Options opts);
+  /// stop()s if still running.
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Points worker `index`'s link at host:port.  Callable before start()
+  /// and at any time after — the supervisor rewires restarted workers
+  /// (fresh ephemeral port) through this.  Thread-safe.
+  void set_worker_endpoint(std::size_t index, std::uint16_t port,
+                           const std::string& host = "127.0.0.1");
+
+  void start();
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::uint16_t port() const noexcept {
+    return bound_port_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::uint16_t bound_port() const noexcept { return port(); }
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] const Topology& topology() const noexcept { return topo_; }
+
+ private:
+  struct ClientConn;
+  struct WorkerLink;
+  struct Impl;
+
+  void io_loop();
+
+  Topology topo_;
+  Options opts_;
+  std::unique_ptr<Impl> impl_;
+
+  runtime::Mutex lifecycle_mu_;
+  bool started_ TFNO_GUARDED_BY(lifecycle_mu_) = false;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint16_t> bound_port_{0};
+  std::thread io_thread_;
+
+  mutable runtime::Mutex stats_mu_;
+  Stats stats_ TFNO_GUARDED_BY(stats_mu_);
+};
+
+}  // namespace turbofno::shard

@@ -1,0 +1,123 @@
+// Shard supervisor: spawns and babysits the worker fleet.
+//
+// Per worker index the supervisor fork/execs
+//
+//   <shardd> --worker --index I --topology <spec>
+//
+// and harvests the `TFNO_SHARDD_PORT=<port>` line the worker prints once
+// its ephemeral private port is bound; the port is handed to the
+// `on_endpoint` callback (normally Router::set_worker_endpoint), so a
+// restarted worker — fresh port and all — is rewired automatically.
+//
+// Liveness is monitored two ways: process exit (waitpid) and protocol
+// heartbeats (a Heartbeat control frame over a short-timeout net::Client
+// dial each period; `heartbeat_misses` consecutive failures get the worker
+// SIGKILLed and respawned).  Restarts back off exponentially from
+// `backoff_min_s` to `backoff_max_s`, resetting once a worker answers a
+// heartbeat again — a crash-looping shard degrades to periodic retries
+// instead of a fork storm, and the router sheds its traffic meanwhile.
+//
+// stop() joins the monitor thread BEFORE terminating the fleet, so a stop
+// can never race a restart.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/subprocess.hpp"
+#include "runtime/thread_annotations.hpp"
+
+#include "shard/knobs.hpp"
+#include "shard/topology.hpp"
+
+namespace turbofno::shard {
+
+class Supervisor {
+ public:
+  struct Options {
+    /// Path of the worker executable (normally tfno_shardd itself).
+    std::string shardd_path;
+    /// Heartbeat probe period in seconds; 0 resolves
+    /// TURBOFNO_SHARD_HEARTBEAT_MS.
+    double heartbeat_s = 0.0;
+    /// Consecutive missed probes before a worker is killed + respawned.
+    std::size_t heartbeat_misses = 3;
+    /// Restart backoff bounds (doubles per consecutive failure).
+    double backoff_min_s = 0.0;  // 0 resolves TURBOFNO_SHARD_BACKOFF_MS
+    double backoff_max_s = kMaxBackoffS;
+    /// Monitor thread poll period.
+    double poll_s = 0.015;
+    /// Extra argv appended to every worker spawn (test hook).
+    std::vector<std::string> extra_args;
+  };
+
+  struct Stats {
+    std::uint64_t spawns = 0;          // includes the initial fleet
+    std::uint64_t restarts = 0;        // spawns after a death/kill
+    std::uint64_t heartbeat_kills = 0;  // workers killed for missed probes
+    std::uint64_t endpoints_seen = 0;  // TFNO_SHARDD_PORT lines harvested
+  };
+
+  /// `on_endpoint(index, port)` fires (from the monitor thread) every time
+  /// a worker announces its private port — initial spawn and restarts.
+  Supervisor(Topology topo, Options opts,
+             std::function<void(std::size_t, std::uint16_t)> on_endpoint);
+  /// stop()s if still running.
+  ~Supervisor();
+
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  /// Spawns the fleet and starts the monitor thread.
+  void start();
+  /// Joins the monitor, then SIGTERM/waits (SIGKILL after grace) the fleet.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] Stats stats() const;
+  /// Worker `index`'s current pid, or -1 while it is down (test hook).
+  [[nodiscard]] pid_t worker_pid(std::size_t index) const;
+  /// SIGKILLs worker `index` (fault-injection test hook); the monitor
+  /// notices the death and restarts it with backoff.
+  void kill_worker(std::size_t index);
+
+ private:
+  struct WorkerProc {
+    runtime::Subprocess proc;
+    std::string pipe_buf;       // unparsed stdout tail
+    bool announced = false;     // TFNO_SHARDD_PORT seen for this incarnation
+    std::uint16_t port = 0;
+    bool ever_spawned = false;
+    double respawn_at_s = 0.0;  // monitor-clock deadline while down
+    double backoff_s = 0.0;
+    std::size_t missed_beats = 0;
+    double next_probe_s = 0.0;
+  };
+
+  void monitor_loop();
+  void spawn_worker_locked(std::size_t index, double now) TFNO_REQUIRES(mu_);
+  void drain_pipe_locked(std::size_t index) TFNO_REQUIRES(mu_);
+
+  Topology topo_;
+  Options opts_;
+  std::function<void(std::size_t, std::uint16_t)> on_endpoint_;
+  double hb_s_ = 0.0;
+
+  mutable runtime::Mutex mu_;
+  std::vector<std::unique_ptr<WorkerProc>> workers_ TFNO_GUARDED_BY(mu_);
+  Stats stats_ TFNO_GUARDED_BY(mu_);
+  bool started_ TFNO_GUARDED_BY(mu_) = false;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::thread monitor_;
+};
+
+}  // namespace turbofno::shard

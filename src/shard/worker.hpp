@@ -1,0 +1,72 @@
+// Shard worker: one process's slice of the model registry behind a
+// private SocketServer.
+//
+// A worker is a thin composition: an InferenceServer holding only the
+// models the topology assigns to this worker index (registered in global
+// order, so local ids match Topology::route), fronted by the existing
+// epoll SocketServer on a private port.  The wire protocol is unchanged —
+// a worker is indistinguishable from a whole single-process server that
+// happens to know fewer models — which is what makes the router's
+// bitwise-transparency guarantee possible.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "core/engine.hpp"
+#include "net/socket_server.hpp"
+#include "serve/server.hpp"
+#include "shard/topology.hpp"
+
+namespace turbofno::shard {
+
+class Worker {
+ public:
+  struct Options {
+    /// Private listening port; 0 (the default) binds ephemeral — the
+    /// worker announces the bound port (tfno_shardd prints it for the
+    /// supervisor to harvest).
+    int port = 0;
+    std::size_t io_threads = 1;
+    /// Batching policy of this shard's inference server.
+    serve::InferenceServer::Options serve;
+  };
+
+  /// Builds the owned subset from the topology's configs (weights seeded
+  /// per config — what fork/exec'd worker processes do).
+  Worker(const Topology& topo, std::size_t index) : Worker(topo, index, Options{}) {}
+  Worker(const Topology& topo, std::size_t index, Options opts);
+  /// Adopts the owned subset from a prebuilt catalog engine instead
+  /// (Engine::share_spec/adopt_spec): weights are shared, not re-seeded.
+  /// `catalog_handles[i]` is global model i's handle in `catalog`.
+  Worker(const Topology& topo, std::size_t index, const core::Engine& catalog,
+         std::span<const core::ModelHandle> catalog_handles)
+      : Worker(topo, index, catalog, catalog_handles, Options{}) {}
+  Worker(const Topology& topo, std::size_t index, const core::Engine& catalog,
+         std::span<const core::ModelHandle> catalog_handles, Options opts);
+  /// stop()s if still running.
+  ~Worker();
+
+  Worker(const Worker&) = delete;
+  Worker& operator=(const Worker&) = delete;
+
+  void start();
+  void stop();
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return front_->bound_port(); }
+  [[nodiscard]] std::size_t index() const noexcept { return index_; }
+  /// Models this worker serves (the HelloAck token a router validates).
+  [[nodiscard]] std::size_t model_count() const { return server_->model_count(); }
+  [[nodiscard]] const std::shared_ptr<serve::InferenceServer>& server() const noexcept {
+    return server_;
+  }
+  [[nodiscard]] net::SocketServer::Stats stats() const { return front_->stats(); }
+
+ private:
+  std::size_t index_;
+  std::shared_ptr<serve::InferenceServer> server_;
+  std::unique_ptr<net::SocketServer> front_;
+};
+
+}  // namespace turbofno::shard

@@ -1,0 +1,184 @@
+// net::Client dialing behavior: connect timeouts against full accept
+// queues, read timeouts against accepting-but-mute peers, retry with
+// backoff until a late listener appears, and the ping() liveness probe.
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <stdexcept>
+#include <system_error>
+#include <thread>
+#include <vector>
+
+#include "net/client.hpp"
+#include "net/socket_server.hpp"
+
+namespace turbofno::net {
+namespace {
+
+/// A raw listening socket that never accept()s.  Connections land in the
+/// kernel backlog (connect succeeds) but no byte is ever answered.
+struct MuteListener {
+  int fd = -1;
+  std::uint16_t port = 0;
+
+  explicit MuteListener(int backlog = 8) {
+    fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    EXPECT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+    EXPECT_EQ(::listen(fd, backlog), 0);
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len);
+    port = ntohs(bound.sin_port);
+  }
+  ~MuteListener() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+core::Fno1dConfig tiny_1d() {
+  core::Fno1dConfig c;
+  c.in_channels = 1;
+  c.hidden = 4;
+  c.out_channels = 1;
+  c.n = 32;
+  c.modes = 4;
+  c.layers = 1;
+  return c;
+}
+
+TEST(NetClient, ReadTimesOutAgainstAMutePeer) {
+  MuteListener mute;
+  Client cli;
+  Client::ConnectOptions co;
+  co.timeout_s = 1.0;
+  co.io_timeout_s = 0.2;  // reads give up fast
+  cli.connect(mute.port, "127.0.0.1", co);
+  ASSERT_TRUE(cli.connected());
+
+  // The listener never answers: recv must throw the timeout error instead
+  // of blocking forever.
+  Client::Result r;
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_THROW((void)cli.recv_response(r), std::runtime_error);
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  EXPECT_LT(waited, 5.0);  // gave up near the configured 0.2 s, not forever
+}
+
+TEST(NetClient, ConnectTimesOutAgainstAFullBacklog) {
+  // listen(fd, 1) with the queue pre-filled: further SYNs are dropped, so
+  // a connect() can only time out.
+  MuteListener mute(/*backlog=*/1);
+  // Fill the accept queue (Linux allows backlog+1 pending; over-fill it).
+  std::vector<Client> fillers(4);
+  int queued = 0;
+  for (auto& f : fillers) {
+    try {
+      Client::ConnectOptions co;
+      co.timeout_s = 0.2;
+      f.connect(mute.port, "127.0.0.1", co);
+      ++queued;
+    } catch (const std::exception&) {
+      break;  // queue is full — exactly the state we want
+    }
+  }
+  ASSERT_GE(queued, 1);
+
+  Client cli;
+  Client::ConnectOptions co;
+  co.timeout_s = 0.25;
+  co.attempts = 1;
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_THROW(cli.connect(mute.port, "127.0.0.1", co), std::system_error);
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  EXPECT_GE(waited, 0.2);  // it did wait out the timeout ...
+  EXPECT_LT(waited, 5.0);  // ... and not the OS default of minutes
+  EXPECT_FALSE(cli.connected());
+}
+
+TEST(NetClient, RetryWithBackoffReachesALateListener) {
+  // Reserve an ephemeral port number, release it, and bring the real
+  // server up on it only after a delay: the first dial(s) get
+  // ECONNREFUSED and the retry loop must carry the client through.
+  std::uint16_t port = 0;
+  {
+    MuteListener probe;
+    port = probe.port;
+  }
+  SocketServer::Options o;
+  o.port = port;
+  SocketServer srv(o);
+  (void)srv.load_model(tiny_1d());
+  std::thread late([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    srv.start();
+  });
+
+  Client cli;
+  Client::ConnectOptions co;
+  co.timeout_s = 0.5;
+  co.attempts = 10;
+  co.backoff_s = 0.05;
+  cli.connect(port, "127.0.0.1", co);  // throws (and fails the test) if retries don't land
+  EXPECT_TRUE(cli.connected());
+  late.join();
+  EXPECT_TRUE(cli.ping(2.0));
+  srv.stop();
+}
+
+TEST(NetClient, ExhaustedRetriesThrowTheLastError) {
+  std::uint16_t dead_port = 0;
+  {
+    MuteListener probe;
+    dead_port = probe.port;  // released at scope exit: nothing listens here
+  }
+  Client cli;
+  Client::ConnectOptions co;
+  co.timeout_s = 0.2;
+  co.attempts = 3;
+  co.backoff_s = 0.01;
+  EXPECT_THROW(cli.connect(dead_port, "127.0.0.1", co), std::system_error);
+  EXPECT_FALSE(cli.connected());
+}
+
+TEST(NetClient, PingProbesServerLivenessWithoutDisturbingRequests) {
+  SocketServer::Options o;
+  o.port = 0;
+  SocketServer srv(o);
+  const auto m = static_cast<std::uint32_t>(srv.load_model(tiny_1d()));
+  srv.start();
+
+  Client cli;
+  cli.connect(srv.port());
+  EXPECT_TRUE(cli.ping(2.0));
+
+  // An ordinary request still round-trips on the same connection, and the
+  // io timeout ping temporarily installed is restored (no spurious
+  // timeouts on the slow-ish first inference).
+  const std::uint32_t dims[] = {1, 32};
+  const std::vector<float> in(32, 1.0f);
+  EXPECT_EQ(cli.infer_real(m, dims, in).head.status, WireStatus::Ok);
+  EXPECT_TRUE(cli.ping(2.0));
+  EXPECT_GE(srv.stats().control_frames, 2u);
+
+  // Against a mute peer, ping reports false instead of hanging/throwing.
+  MuteListener mute;
+  Client dead;
+  Client::ConnectOptions co;
+  co.timeout_s = 1.0;
+  dead.connect(mute.port, "127.0.0.1", co);
+  EXPECT_FALSE(dead.ping(0.2));
+  srv.stop();
+}
+
+}  // namespace
+}  // namespace turbofno::net

@@ -390,5 +390,69 @@ TEST(NetProtocol, MaxFrameKnobParsesAndClamps) {
   ::unsetenv("TURBOFNO_NET_MAX_FRAME");
 }
 
+// ----------------------------------------------------------- control frames
+
+TEST(NetProtocol, ControlFrameRoundTripsAllKinds) {
+  for (const ControlKind kind : {ControlKind::Hello, ControlKind::HelloAck,
+                                 ControlKind::Heartbeat, ControlKind::HeartbeatAck}) {
+    ControlHead in;
+    in.kind = kind;
+    in.token = 0xfeedfacecafef00dULL;
+    std::vector<std::byte> frame(encoded_control_bytes());
+    const std::size_t len = encode_control(frame, in);
+    ASSERT_EQ(len, kHeaderBytes + kControlBodyBytes);
+
+    FrameHeader fh;
+    ASSERT_EQ(decode_header({frame.data(), kHeaderBytes}, fh, 1 << 20), DecodeError::None);
+    EXPECT_EQ(fh.type, FrameType::Control);  // type 3 passes the header check
+    EXPECT_EQ(fh.body_len, kControlBodyBytes);
+    const std::span<const std::byte> body{frame.data() + kHeaderBytes, fh.body_len};
+    ASSERT_EQ(verify_body(fh, body), DecodeError::None);
+
+    ControlHead out;
+    ASSERT_EQ(decode_control(body, out), DecodeError::None);
+    EXPECT_EQ(out.kind, in.kind);
+    EXPECT_EQ(out.token, in.token);
+  }
+}
+
+TEST(NetProtocol, ControlFrameGoldenByteLayout) {
+  ControlHead h;
+  h.kind = ControlKind::Heartbeat;
+  h.token = 0x1122334455667788ULL;
+  std::vector<std::byte> frame(encoded_control_bytes());
+  (void)encode_control(frame, h);
+  const auto* b = reinterpret_cast<const unsigned char*>(frame.data()) + kHeaderBytes;
+  EXPECT_EQ(b[0], 3u);  // kind = Heartbeat
+  EXPECT_EQ(b[1], 0u);  // zero padding
+  EXPECT_EQ(b[2], 0u);
+  EXPECT_EQ(b[3], 0u);
+  // token, little-endian at body offset 4.
+  EXPECT_EQ(b[4], 0x88u);
+  EXPECT_EQ(b[5], 0x77u);
+  EXPECT_EQ(b[11], 0x11u);
+}
+
+TEST(NetProtocol, MalformedControlBodiesRejected) {
+  std::vector<std::byte> frame(encoded_control_bytes());
+  ControlHead good;
+  good.kind = ControlKind::Hello;
+  good.token = 5;
+  (void)encode_control(frame, good);
+
+  ControlHead out;
+  // Kind 0 and kinds past HeartbeatAck are BadBody.
+  for (const unsigned bad_kind : {0u, 5u, 200u}) {
+    auto f = frame;
+    f[kHeaderBytes] = static_cast<std::byte>(bad_kind);
+    EXPECT_EQ(decode_control({f.data() + kHeaderBytes, kControlBodyBytes}, out),
+              DecodeError::BadBody)
+        << "kind " << bad_kind;
+  }
+  // A truncated control body is BadBody, not a read past the end.
+  EXPECT_EQ(decode_control({frame.data() + kHeaderBytes, kControlBodyBytes - 1}, out),
+            DecodeError::BadBody);
+}
+
 }  // namespace
 }  // namespace turbofno::net

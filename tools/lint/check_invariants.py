@@ -12,11 +12,13 @@ review because each one lives in two places at once:
   knob-docs        every TURBOFNO_* environment knob read through the
                    runtime/env helpers must have a row in README's
                    "Runtime knobs" env table, and every documented row
-                   must still be read somewhere in src/ (no stale docs).
+                   must still be read somewhere in src/ or tools/ (no
+                   stale docs).
   raw-getenv       all environment access goes through runtime/env, so
                    knobs are greppable one way and parsing stays
                    defensive in one place.  std::getenv anywhere else in
-                   src/ is a violation.
+                   src/ or tools/ (tfno_shardd reads knobs too) is a
+                   violation.
   hotpath-alloc    regions bracketed by `// tfno-hot-begin` and
                    `// tfno-hot-end` in src/fused/ and src/fft/ are
                    arena-scoped kernel worker bodies; heap allocation
@@ -59,13 +61,23 @@ def strip_line_comment(line: str) -> str:
     return line if idx < 0 else line[:idx]
 
 
+# Knob and getenv containment cover the tool binaries too: tfno_shardd
+# reads TURBOFNO_SHARD_WORKERS, and any future tool knob must stay
+# documented and env-helper-routed the same way library knobs are.
+KNOB_SUBDIRS = ("src", "tools")
+
+
 def source_files(root: Path, subdirs: tuple[str, ...] = ("src",)) -> list[Path]:
+    # tools/lint holds this linter's fixture corpus — trees deliberately
+    # seeded with violations — so it is never part of the linted surface.
+    fixture_base = root / "tools" / "lint"
     out: list[Path] = []
     for sub in subdirs:
         base = root / sub
         if base.is_dir():
             out.extend(p for p in sorted(base.rglob("*"))
-                       if p.suffix in (".hpp", ".cpp", ".h", ".cc"))
+                       if p.suffix in (".hpp", ".cpp", ".h", ".cc")
+                       and not p.is_relative_to(fixture_base))
     return out
 
 
@@ -148,7 +160,7 @@ def check_knob_docs(root: Path) -> list[str]:
         return []
     documented = readme_knob_table(readme)
     read_in_code: dict[str, Path] = {}
-    for path in source_files(root):
+    for path in source_files(root, KNOB_SUBDIRS):
         for m in ENV_HELPER_RE.finditer(path.read_text()):
             read_in_code.setdefault(m.group(1), path)
 
@@ -160,7 +172,7 @@ def check_knob_docs(root: Path) -> list[str]:
     ]
     violations += [
         f"knob-docs: {knob} is documented in README's \"Runtime knobs\" "
-        f"env table but no code under src/ reads it (stale doc?)"
+        f"env table but no code under src/ or tools/ reads it (stale doc?)"
         for knob in sorted(documented - set(read_in_code))
     ]
     return violations
@@ -174,7 +186,7 @@ GETENV_RE = re.compile(r"\b(?:std::)?getenv\s*\(")
 def check_raw_getenv(root: Path) -> list[str]:
     allowed = {Path("src/runtime/env.cpp"), Path("src/runtime/env.hpp")}
     violations = []
-    for path in source_files(root):
+    for path in source_files(root, KNOB_SUBDIRS):
         if path.relative_to(root) in allowed:
             continue
         for lineno, line in enumerate(path.read_text().splitlines(), 1):

@@ -1,0 +1,184 @@
+// tfno_shardd — sharded serving daemon (router + worker fleet).
+//
+// Fleet mode (default):
+//
+//   tfno_shardd [--topology SPEC] [--port P] [--workers N]
+//
+// builds a Topology (the demo topology spreads one 1D and one 2D model
+// per worker when --topology is omitted; N defaults to the
+// TURBOFNO_SHARD_WORKERS knob), starts the epoll router on the public
+// port (default: TURBOFNO_SHARD_PORT), and runs a Supervisor that
+// fork/execs this same binary once per worker index, harvesting each
+// worker's ephemeral private port and rewiring the router on restarts.
+// SIGTERM/SIGINT shut the fleet down cleanly.
+//
+// Worker mode (what the supervisor spawns; also usable standalone):
+//
+//   tfno_shardd --worker --index I --topology SPEC [--port P]
+//
+// serves topology SPEC's worker-I slice on a private port (ephemeral by
+// default) and announces it on stdout as `TFNO_SHARDD_PORT=<port>`.
+//
+// Topology SPEC grammar (';'-separated, '@' assigns the owning worker):
+//   1d:in,hidden,out,n,modes,layers@W
+//   2d:in,hidden,out,nx,ny,modes_x,modes_y,layers@W
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "runtime/env.hpp"
+#include "shard/router.hpp"
+#include "shard/supervisor.hpp"
+#include "shard/topology.hpp"
+#include "shard/worker.hpp"
+
+namespace {
+
+using namespace turbofno;
+
+/// Path of this binary (the supervisor re-execs it in worker mode).
+std::string self_path() {
+  char buf[4096];
+  const auto n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n <= 0) return "tfno_shardd";
+  buf[n] = '\0';
+  return buf;
+}
+
+/// Demo topology: one small 1D and one small 2D model per worker.
+shard::Topology demo_topology(std::size_t workers) {
+  shard::Topology topo;
+  for (std::size_t w = 0; w < workers; ++w) {
+    core::Fno1dConfig c1;
+    c1.in_channels = 1;
+    c1.hidden = 16;
+    c1.out_channels = 1;
+    c1.n = 256;
+    c1.modes = 16;
+    c1.layers = 2;
+    topo.add(c1, w);
+    core::Fno2dConfig c2;
+    c2.in_channels = 1;
+    c2.hidden = 8;
+    c2.out_channels = 1;
+    c2.nx = 32;
+    c2.ny = 32;
+    c2.modes_x = 8;
+    c2.modes_y = 8;
+    c2.layers = 2;
+    topo.add(c2, w);
+  }
+  return topo;
+}
+
+/// Blocks SIGTERM/SIGINT process-wide (call before spawning threads) and
+/// returns the set to sigwait on.
+sigset_t block_shutdown_signals() {
+  sigset_t set;
+  sigemptyset(&set);
+  sigaddset(&set, SIGTERM);
+  sigaddset(&set, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &set, nullptr);
+  return set;
+}
+
+int run_worker(const shard::Topology& topo, std::size_t index, int port) {
+  const sigset_t set = block_shutdown_signals();
+  shard::Worker::Options opts;
+  opts.port = port;
+  shard::Worker worker(topo, index, opts);
+  worker.start();
+  // The announcement line the supervisor harvests.  stdout may be a pipe:
+  // flush explicitly so the port is visible before the first request.
+  std::printf("TFNO_SHARDD_PORT=%u\n", static_cast<unsigned>(worker.port()));
+  std::fflush(stdout);
+  int sig = 0;
+  sigwait(&set, &sig);
+  worker.stop();
+  return 0;
+}
+
+int run_fleet(const shard::Topology& topo, int port) {
+  const sigset_t set = block_shutdown_signals();
+  shard::Router::Options ropts;
+  ropts.port = port;
+  shard::Router router(topo, ropts);
+  shard::Supervisor::Options sopts;
+  sopts.shardd_path = self_path();
+  shard::Supervisor supervisor(
+      topo, sopts, [&router](std::size_t index, std::uint16_t worker_port) {
+        router.set_worker_endpoint(index, worker_port);
+      });
+  router.start();
+  supervisor.start();
+  std::fprintf(stderr, "tfno_shardd: %zu models, %zu workers, port %u\n",
+               topo.model_count(), topo.worker_count(),
+               static_cast<unsigned>(router.bound_port()));
+  int sig = 0;
+  sigwait(&set, &sig);
+  supervisor.stop();
+  router.stop();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool worker_mode = false;
+  std::size_t index = 0;
+  std::string spec;
+  int port = -1;  // fleet: TURBOFNO_SHARD_PORT; worker: ephemeral
+  long workers = runtime::env_long_clamped("TURBOFNO_SHARD_WORKERS", 2, 1, 64);
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "tfno_shardd: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--worker") {
+      worker_mode = true;
+    } else if (arg == "--index") {
+      index = std::stoul(next());
+    } else if (arg == "--topology") {
+      spec = next();
+    } else if (arg == "--port") {
+      port = std::stoi(next());
+    } else if (arg == "--workers") {
+      workers = std::stol(next());
+    } else if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr,
+                   "usage: tfno_shardd [--topology SPEC] [--port P] [--workers N]\n"
+                   "       tfno_shardd --worker --index I --topology SPEC [--port P]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "tfno_shardd: unknown argument %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  try {
+    const shard::Topology topo = spec.empty()
+                                     ? demo_topology(static_cast<std::size_t>(workers))
+                                     : shard::Topology::parse(spec);
+    if (worker_mode) {
+      if (index >= topo.worker_count()) {
+        std::fprintf(stderr, "tfno_shardd: --index %zu out of range\n", index);
+        return 2;
+      }
+      return run_worker(topo, index, port < 0 ? 0 : port);
+    }
+    return run_fleet(topo, port);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tfno_shardd: %s\n", e.what());
+    return 1;
+  }
+}
